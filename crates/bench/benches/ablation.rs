@@ -1,0 +1,68 @@
+//! Criterion bench — ablations A1 and A2 from `DESIGN.md`:
+//!
+//! * **A1**: factorized exact information cost (`O(#leaves·k)`) vs
+//!   brute-force `2^k` enumeration. The design choice that makes the
+//!   lower-bound sweeps feasible.
+//! * **A2**: the exact combinadic batch codec vs per-element naive encoding
+//!   inside the Theorem 2 protocol — the `log k` vs `log n` separation in
+//!   running-time form (naive is cheaper to *encode* but sends more bits;
+//!   this bench quantifies the CPU price of the optimal code).
+
+use bci_encoding::bitio::BitWriter;
+use bci_encoding::combinadic::SubsetCodec;
+use bci_protocols::and_trees::sequential_and;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_a1_ic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_ic_factorized_vs_bruteforce");
+    for &k in &[8usize, 12, 14] {
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        group.bench_with_input(BenchmarkId::new("factorized", k), &k, |b, _| {
+            b.iter(|| black_box(tree.information_cost_product(&priors)))
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", k), &k, |b, _| {
+            b.iter(|| black_box(tree.information_cost_bruteforce(&priors)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_a2_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_subset_codec");
+    group.sample_size(20);
+    for &(z, bsz) in &[(1024u64, 64u64), (4096, 64), (4096, 512)] {
+        let subset: Vec<u64> = (0..bsz).map(|i| i * (z / bsz)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("combinadic_encode", format!("z{z}_b{bsz}")),
+            &subset,
+            |b, subset| {
+                let codec = SubsetCodec::new(z, bsz);
+                b.iter(|| {
+                    let mut w = BitWriter::new();
+                    codec.encode(subset, &mut w);
+                    black_box(w.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_encode", format!("z{z}_b{bsz}")),
+            &subset,
+            |b, subset| {
+                let width = 64 - (z - 1).leading_zeros();
+                b.iter(|| {
+                    let mut w = BitWriter::new();
+                    for &e in subset {
+                        w.write_bits(e, width);
+                    }
+                    black_box(w.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_a1_ic, bench_a2_codec);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: exact conditional-information-cost computation (E2's
+//! runtime companion) — tree construction plus the factorized `O(k²·leaves)`
+//! CIC evaluation.
+
+use bci_lowerbound::cic::cic_hard;
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and_trees::sequential_and;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("and_cic");
+    group.sample_size(10);
+    for &k in &[16usize, 64, 256] {
+        let tree = sequential_and(k);
+        let mu = HardDist::new(k);
+        group.bench_with_input(BenchmarkId::new("cic_hard", k), &k, |b, _| {
+            b.iter(|| black_box(cic_hard(&tree, &mu)))
+        });
+        group.bench_with_input(BenchmarkId::new("build_tree", k), &k, |b, &k| {
+            b.iter(|| black_box(sequential_and(k).leaves().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cic);
+criterion_main!(benches);

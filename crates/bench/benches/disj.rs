@@ -1,0 +1,36 @@
+//! Criterion bench: throughput of the two `DISJ_{n,k}` protocols (E1's
+//! runtime companion) across the `(n, k)` grid.
+
+use bci_protocols::disj::{batched, naive};
+use bci_protocols::workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_disj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disj");
+    group.sample_size(10);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+    for &(n, k) in &[(1024usize, 8usize), (4096, 8), (4096, 64)] {
+        let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("n{n}_k{k}")),
+            &inputs,
+            |b, inputs| b.iter(|| black_box(naive::run(inputs).bits)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_exact", format!("n{n}_k{k}")),
+            &inputs,
+            |b, inputs| b.iter(|| black_box(batched::run(inputs).bits)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_costmodel", format!("n{n}_k{k}")),
+            &inputs,
+            |b, inputs| b.iter(|| black_box(batched::cost(inputs).bits)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disj);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion bench: extension modules — union protocols, the sparse
+//! Håstad–Wigderson protocol, Huffman codes, the coordinate-wise DISJ
+//! ablation (A4), and the alias sampler.
+
+use bci_encoding::bitset::BitSet;
+use bci_encoding::huffman::HuffmanCode;
+use bci_info::dist::Dist;
+use bci_info::sampling::AliasSampler;
+use bci_protocols::disj::{batched, coordinatewise};
+use bci_protocols::{sparse, union, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union");
+    group.sample_size(10);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let inputs = workload::random_sets(2048, 8, 0.5, &mut rng);
+    group.bench_function("naive_n2048_k8", |b| {
+        b.iter(|| black_box(union::naive::run(&inputs).bits))
+    });
+    group.bench_function("batched_n2048_k8", |b| {
+        b.iter(|| black_box(union::batched::run(&inputs).bits))
+    });
+    group.finish();
+}
+
+/// A4: coordinate-wise AND vs batched disjointness — the protocol-level
+/// realization of "why batching matters".
+fn bench_a4_coordinatewise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_disj_structure");
+    group.sample_size(10);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let inputs = workload::planted_zero_cover(2048, 16, 0.0, &mut rng);
+    group.bench_function("coordinatewise", |b| {
+        b.iter(|| black_box(coordinatewise::run(&inputs).bits))
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(batched::run(&inputs).bits))
+    });
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_hw");
+    group.sample_size(10);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    for &s in &[64usize, 256] {
+        let n = 1 << 18;
+        let mut x = BitSet::new(n);
+        let mut y = BitSet::new(n);
+        while x.len() < s {
+            x.insert(rng.random_range(0..n));
+        }
+        while y.len() < s {
+            let e = rng.random_range(0..n);
+            if !x.contains(e) {
+                y.insert(e);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| black_box(sparse::run(&x, &y, &mut rng).bits))
+        });
+    }
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huffman");
+    let probs: Vec<f64> = {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let w: Vec<f64> = (0..512).map(|_| rng.random::<f64>() + 0.01).collect();
+        let total: f64 = w.iter().sum();
+        w.into_iter().map(|x| x / total).collect()
+    };
+    group.bench_function("build_512_symbols", |b| {
+        b.iter(|| black_box(HuffmanCode::from_probs(&probs).code_len(0)))
+    });
+    group.finish();
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let d = Dist::uniform(1024);
+    let alias = AliasSampler::new(&d);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    group.bench_function("alias_sample_1024", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
+    });
+    group.bench_function("inverse_cdf_sample_1024", |b| {
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union,
+    bench_a4_coordinatewise,
+    bench_sparse,
+    bench_huffman,
+    bench_alias
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the Lemma 7 protocol — literal exchange vs the cost
+//! model (E6/E7's runtime companion).
+
+use bci_compression::cost_model::sample_cost;
+use bci_compression::sampling::{exchange, SamplerConfig};
+use bci_core::experiments::e6_sampling::controlled_pair;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let config = SamplerConfig::default();
+    for &u in &[64usize, 1024] {
+        let (eta, nu) = controlled_pair(u, 0.5);
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::new("literal_exchange", u), &u, |b, _| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(exchange(&eta, &nu, &config, seed).bits)
+            })
+        });
+    }
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    for &s in &[4u64, 64] {
+        group.bench_with_input(BenchmarkId::new("cost_model", s), &s, |b, &s| {
+            b.iter(|| black_box(sample_cost(s, 4096.0, &mut rng).total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Prints the E10 table (extension: pointwise-OR / set union).
+
+use bci_core::experiments::e10_union as e10;
+
+fn main() {
+    println!("E10 — pointwise-OR (set union): naive vs batched member publishing");
+    println!("(iid 50%-density sets; union ≈ [n])\n");
+    let rows = e10::run(&e10::default_grid(), 0xE10);
+    print!("{}", e10::render(&rows));
+}

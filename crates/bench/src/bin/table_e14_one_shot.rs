@@ -1,0 +1,10 @@
+//! Prints the E14 table (extension: the one-shot round tax).
+
+use bci_core::experiments::e14_one_shot as e14;
+
+fn main() {
+    println!("E14 — single-shot round-by-round compression pays Theta(k), not IC");
+    println!("(sequential AND_k; 40 trials per point)\n");
+    let rows = e14::run(&e14::default_ks(), 40, 0xE14);
+    print!("{}", e14::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Prints the E1 table (Theorem 2: `DISJ_{n,k}` upper bound sweep).
+
+use bci_core::experiments::e1_disj_upper as e1;
+
+fn main() {
+    println!("E1 — Theorem 2: set disjointness communication, naive vs batched");
+    println!("(hard disjoint instances: one zero holder per coordinate)\n");
+    let rows = e1::run(&e1::default_grid(), 0xE1);
+    print!("{}", e1::render(&rows));
+}

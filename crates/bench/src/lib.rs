@@ -1,0 +1,9 @@
+//! Benchmark harness for the broadcast-ic workspace.
+//!
+//! * `src/bin/table_e*.rs` — one binary per experiment in `EXPERIMENTS.md`;
+//!   each prints the corresponding table (`cargo run -p bci-bench --release
+//!   --bin table_e1_disj_upper`, etc.). `table_all` prints every table.
+//! * `benches/*.rs` — criterion micro/meso-benchmarks: protocol throughput,
+//!   exact information-cost computation, the sampling protocol, the
+//!   factorized-vs-brute-force and exact-vs-approximate-codec ablations, and
+//!   the encoding substrate.

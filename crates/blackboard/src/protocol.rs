@@ -1,0 +1,228 @@
+//! Executable broadcast protocols.
+//!
+//! A [`Protocol`] captures the paper's model faithfully:
+//!
+//! * [`Protocol::next_speaker`] depends **only on the board** — the model
+//!   requires the board contents to determine whose turn it is;
+//! * [`Protocol::message`] sees only the speaking player's *own* input (the
+//!   signature enforces input privacy), the board, and a random source;
+//! * [`Protocol::output`] depends only on the board, so every player (and an
+//!   external observer) can compute it for free.
+
+use bci_encoding::bitio::BitVec;
+use rand::RngCore;
+
+use crate::board::Board;
+use crate::PlayerId;
+
+/// A protocol in the broadcast model.
+///
+/// See the [crate-level example](crate) for a full implementation.
+pub trait Protocol {
+    /// One player's private input.
+    type Input;
+    /// The value the protocol computes.
+    type Output;
+
+    /// Number of players `k`.
+    fn num_players(&self) -> usize;
+
+    /// Whose turn it is given the board, or `None` if the protocol halts.
+    ///
+    /// Must be a function of the board alone.
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId>;
+
+    /// The message `player` writes, given its own input and the board.
+    fn message(
+        &self,
+        player: PlayerId,
+        input: &Self::Input,
+        board: &Board,
+        rng: &mut dyn RngCore,
+    ) -> BitVec;
+
+    /// The output determined by a final board.
+    fn output(&self, board: &Board) -> Self::Output;
+}
+
+/// The result of running a protocol to completion.
+#[derive(Debug, Clone)]
+pub struct Execution<O> {
+    /// The final board (= the transcript).
+    pub board: Board,
+    /// The computed output.
+    pub output: O,
+    /// Total bits written — the communication cost of this execution.
+    pub bits_written: usize,
+}
+
+/// Runs `protocol` on `inputs` until it halts.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != protocol.num_players()`, if the protocol names
+/// an out-of-range speaker, or if it exceeds [`MAX_STEPS`] turns (a runaway
+/// protocol is a bug, not a result).
+pub fn run<P: Protocol>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: &mut dyn RngCore,
+) -> Execution<P::Output> {
+    assert_eq!(
+        inputs.len(),
+        protocol.num_players(),
+        "expected {} inputs, got {}",
+        protocol.num_players(),
+        inputs.len()
+    );
+    let mut board = Board::new();
+    let mut steps = 0usize;
+    while let Some(speaker) = protocol.next_speaker(&board) {
+        assert!(
+            speaker < protocol.num_players(),
+            "protocol named speaker {speaker} of {}",
+            protocol.num_players()
+        );
+        let msg = protocol.message(speaker, &inputs[speaker], &board, rng);
+        board.write(speaker, msg);
+        steps += 1;
+        assert!(steps <= MAX_STEPS, "protocol exceeded {MAX_STEPS} turns");
+    }
+    let output = protocol.output(&board);
+    let bits_written = board.total_bits();
+    Execution {
+        board,
+        output,
+        bits_written,
+    }
+}
+
+/// Hard cap on protocol turns; exceeded only by buggy non-terminating
+/// protocols.
+pub const MAX_STEPS: usize = 10_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Each player writes its 2-bit input in turn; output is the XOR of all.
+    struct XorAll {
+        k: usize,
+    }
+
+    impl Protocol for XorAll {
+        type Input = u8;
+        type Output = u8;
+
+        fn num_players(&self) -> usize {
+            self.k
+        }
+
+        fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+            (board.messages().len() < self.k).then_some(board.messages().len())
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            input: &u8,
+            _board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            BitVec::from_bools(&[input & 1 == 1, input & 2 == 2])
+        }
+
+        fn output(&self, board: &Board) -> u8 {
+            board.messages().iter().fold(0u8, |acc, m| {
+                let v = u8::from(m.bits.get(0).unwrap_or(false))
+                    | (u8::from(m.bits.get(1).unwrap_or(false)) << 1);
+                acc ^ v
+            })
+        }
+    }
+
+    #[test]
+    fn run_computes_and_counts() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let exec = run(&XorAll { k: 4 }, &[1, 2, 3, 1], &mut rng);
+        assert_eq!(exec.output, 1);
+        assert_eq!(exec.bits_written, 8);
+        assert_eq!(exec.board.messages().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 inputs")]
+    fn wrong_input_count_panics() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        run(&XorAll { k: 4 }, &[1, 2], &mut rng);
+    }
+
+    struct NeverHalts;
+
+    impl Protocol for NeverHalts {
+        type Input = ();
+        type Output = ();
+
+        fn num_players(&self) -> usize {
+            1
+        }
+
+        fn next_speaker(&self, _board: &Board) -> Option<PlayerId> {
+            Some(0)
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            _input: &(),
+            _board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            BitVec::from_bools(&[true])
+        }
+
+        fn output(&self, _board: &Board) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_protocol_is_caught() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        run(&NeverHalts, &[()], &mut rng);
+    }
+
+    struct BadSpeaker;
+
+    impl Protocol for BadSpeaker {
+        type Input = ();
+        type Output = ();
+
+        fn num_players(&self) -> usize {
+            2
+        }
+
+        fn next_speaker(&self, _board: &Board) -> Option<PlayerId> {
+            Some(7)
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            _input: &(),
+            _board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            BitVec::new()
+        }
+
+        fn output(&self, _board: &Board) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "named speaker 7")]
+    fn out_of_range_speaker_is_caught() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        run(&BadSpeaker, &[(), ()], &mut rng);
+    }
+}

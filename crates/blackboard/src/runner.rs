@@ -1,0 +1,176 @@
+//! Monte-Carlo harness for executable protocols: communication statistics,
+//! error rates, and transcript frequency tables.
+
+use bci_info::estimate::FreqTable;
+use rand::RngCore;
+
+use crate::protocol::{run, Protocol};
+use crate::stats::CommStats;
+
+/// Aggregate result of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-execution communication cost in bits.
+    pub comm: CommStats,
+    /// Number of trials whose output disagreed with the reference function.
+    pub errors: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl RunReport {
+    /// Empirical error rate.
+    pub fn error_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Runs `protocol` on `trials` sampled inputs, comparing each output against
+/// `reference`.
+///
+/// `sample_inputs` draws one joint input (a `Vec` with one entry per player)
+/// per trial.
+pub fn monte_carlo<P, S, F>(
+    protocol: &P,
+    mut sample_inputs: S,
+    reference: F,
+    trials: u64,
+    rng: &mut dyn RngCore,
+) -> RunReport
+where
+    P: Protocol,
+    P::Output: PartialEq,
+    S: FnMut(&mut dyn RngCore) -> Vec<P::Input>,
+    F: Fn(&[P::Input]) -> P::Output,
+{
+    let mut comm = CommStats::new();
+    let mut errors = 0u64;
+    for _ in 0..trials {
+        let inputs = sample_inputs(rng);
+        let expected = reference(&inputs);
+        let exec = run(protocol, &inputs, rng);
+        comm.record(exec.bits_written as f64);
+        if exec.output != expected {
+            errors += 1;
+        }
+    }
+    RunReport {
+        comm,
+        errors,
+        trials,
+    }
+}
+
+/// Collects a frequency table of transcripts over `trials` sampled inputs,
+/// keyed by [`Board::transcript_key`](crate::board::Board::transcript_key).
+///
+/// Feed the result to
+/// [`FreqTable::entropy_miller_madow`](bci_info::estimate::FreqTable) to
+/// estimate `H(Π)` — for deterministic protocols this equals `I(Π; X)`.
+pub fn transcript_table<P, S>(
+    protocol: &P,
+    mut sample_inputs: S,
+    trials: u64,
+    rng: &mut dyn RngCore,
+) -> FreqTable<String>
+where
+    P: Protocol,
+    S: FnMut(&mut dyn RngCore) -> Vec<P::Input>,
+{
+    let mut table = FreqTable::new();
+    for _ in 0..trials {
+        let inputs = sample_inputs(rng);
+        let exec = run(protocol, &inputs, rng);
+        table.record(exec.board.transcript_key());
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::Board;
+    use crate::PlayerId;
+    use bci_encoding::bitio::BitVec;
+    use rand::{Rng, SeedableRng};
+
+    /// k players announce their bit in order; output = AND.
+    struct AllSpeakAnd {
+        k: usize,
+    }
+
+    impl Protocol for AllSpeakAnd {
+        type Input = bool;
+        type Output = bool;
+
+        fn num_players(&self) -> usize {
+            self.k
+        }
+
+        fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+            (board.messages().len() < self.k).then_some(board.messages().len())
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            input: &bool,
+            _board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            BitVec::from_bools(&[*input])
+        }
+
+        fn output(&self, board: &Board) -> bool {
+            board.messages().iter().all(|m| m.bits.get(0) == Some(true))
+        }
+    }
+
+    #[test]
+    fn correct_protocol_has_zero_errors() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let report = monte_carlo(
+            &AllSpeakAnd { k: 5 },
+            |rng| (0..5).map(|_| rng.random_bool(0.5)).collect(),
+            |inputs| inputs.iter().all(|&b| b),
+            500,
+            &mut rng,
+        );
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.error_rate(), 0.0);
+        assert_eq!(report.trials, 500);
+        assert_eq!(report.comm.mean(), 5.0, "everyone speaks exactly once");
+    }
+
+    #[test]
+    fn wrong_reference_shows_errors() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let report = monte_carlo(
+            &AllSpeakAnd { k: 3 },
+            |rng| (0..3).map(|_| rng.random_bool(0.5)).collect(),
+            |inputs| inputs.iter().any(|&b| b), // OR, not AND
+            2000,
+            &mut rng,
+        );
+        // AND != OR whenever the input is mixed: prob = 1 − 2/8 = 3/4.
+        assert!((report.error_rate() - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn transcript_entropy_of_uniform_inputs() {
+        // 2 players, uniform bits: transcript = input, H = 2 bits.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let table = transcript_table(
+            &AllSpeakAnd { k: 2 },
+            |rng| (0..2).map(|_| rng.random_bool(0.5)).collect(),
+            20_000,
+            &mut rng,
+        );
+        assert_eq!(table.distinct(), 4);
+        assert!((table.entropy_plugin() - 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,945 @@
+//! Protocol trees over one-bit inputs, with exact transcript-distribution
+//! analysis.
+//!
+//! A [`ProtocolTree`] represents a randomized broadcast protocol on `k`
+//! players whose private inputs are single bits. Each internal node names a
+//! speaker and, for each value of the speaker's input bit, a probability
+//! distribution over outgoing edges; each edge carries a prefix-free bit
+//! label (the message written on the board); each leaf carries the protocol's
+//! output.
+//!
+//! This is exactly the object the paper's Lemma 3 applies to: for every leaf
+//! (= transcript) `ℓ`, the probability of reaching `ℓ` on input
+//! `X = (X₁, …, X_k)` factors as `Pr[Π(X) = ℓ] = ∏ᵢ q_{i,Xᵢ}^ℓ`, where
+//! `q_{i,b}^ℓ` multiplies the branch probabilities of player `i`'s moves
+//! along the path. The tree precomputes all `q` values at construction, which
+//! makes the following *exact* (no sampling):
+//!
+//! * the transcript distribution under any product input distribution,
+//! * per-player posteriors given a transcript (the paper's Lemma 4),
+//! * information cost `I(Π; X)` under product priors — using the fact that
+//!   the posterior on `X` given a transcript is itself a product
+//!   distribution, so the KL divergence splits into per-player terms,
+//! * worst-case and expected communication, and worst-case error.
+//!
+//! # Example
+//!
+//! ```
+//! use bci_blackboard::tree::TreeBuilder;
+//! use bci_encoding::bitio::BitVec;
+//!
+//! // One player announces its bit (deterministically).
+//! let mut b = TreeBuilder::new(1);
+//! let leaf0 = b.leaf(0);
+//! let leaf1 = b.leaf(1);
+//! let root = b.internal(
+//!     0,
+//!     vec![
+//!         (BitVec::from_bools(&[false]), [1.0, 0.0], leaf0),
+//!         (BitVec::from_bools(&[true]), [0.0, 1.0], leaf1),
+//!     ],
+//! );
+//! let tree = b.finish(root);
+//! // A uniform input bit is fully revealed: I(Π; X) = 1.
+//! assert!((tree.information_cost_product(&[0.5]) - 1.0).abs() < 1e-12);
+//! ```
+
+use bci_encoding::bitio::BitVec;
+use bci_info::dist::Dist;
+use bci_info::num::{clamp_nonneg, xlog2_ratio};
+use rand::Rng;
+
+use crate::PlayerId;
+
+/// Index of a node inside a [`ProtocolTree`].
+pub type NodeId = usize;
+
+/// Index into [`ProtocolTree::leaves`].
+pub type LeafId = usize;
+
+/// An outgoing edge of an internal node.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// The bits the speaker writes on the board for this branch.
+    pub label: BitVec,
+    /// Probability of taking this branch given the speaker's input bit:
+    /// `prob[b] = Pr[message = label | input = b]`.
+    pub prob: [f64; 2],
+    /// The node this branch leads to.
+    pub child: NodeId,
+}
+
+/// A node of the tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A halting state with the protocol's output.
+    Leaf {
+        /// The output value announced at this leaf.
+        output: usize,
+    },
+    /// A speaking turn.
+    Internal {
+        /// Which player speaks at this node.
+        speaker: PlayerId,
+        /// The possible messages.
+        edges: Vec<Edge>,
+    },
+}
+
+/// Precomputed per-leaf data: output, path length, and the Lemma-3
+/// `q`-decomposition.
+#[derive(Debug, Clone)]
+pub struct Leaf {
+    /// The tree node of this leaf.
+    pub node: NodeId,
+    /// Output value at this leaf.
+    pub output: usize,
+    /// Total label bits along the root-to-leaf path (communication cost of
+    /// this transcript).
+    pub path_bits: usize,
+    /// `q[i][b]` = product of player `i`'s branch probabilities along the
+    /// path when its input is `b`. Players who never speak on the path have
+    /// `q[i][b] = 1`.
+    q: Vec<[f64; 2]>,
+}
+
+impl Leaf {
+    /// The Lemma-3 factor `q_{i,b}` for this leaf.
+    pub fn q(&self, player: PlayerId, bit: bool) -> f64 {
+        self.q[player][usize::from(bit)]
+    }
+
+    /// `Pr[Π(x) = ℓ] = ∏ᵢ q_{i,xᵢ}` for a concrete input.
+    pub fn prob_given_input(&self, x: &[bool]) -> f64 {
+        debug_assert_eq!(x.len(), self.q.len());
+        x.iter()
+            .zip(&self.q)
+            .map(|(&b, q)| q[usize::from(b)])
+            .product()
+    }
+
+    /// `Pr[Π = ℓ]` under independent priors, where `priors[i] = Pr[Xᵢ = 1]`.
+    ///
+    /// This is the factorized form `∏ᵢ ((1−pᵢ)·q_{i,0} + pᵢ·q_{i,1})` that
+    /// lets information cost be computed in `O(#leaves · k)`.
+    pub fn prob_under_product(&self, priors: &[f64]) -> f64 {
+        debug_assert_eq!(priors.len(), self.q.len());
+        priors
+            .iter()
+            .zip(&self.q)
+            .map(|(&p, q)| (1.0 - p) * q[0] + p * q[1])
+            .product()
+    }
+
+    /// Posterior `Pr[Xᵢ = 1 | Π = ℓ]` under prior `Pr[Xᵢ = 1] = prior_one`
+    /// (Bayes' rule, the paper's Lemma 4). Returns `None` when the leaf is
+    /// unreachable under this prior for player `i`.
+    pub fn posterior_one(&self, player: PlayerId, prior_one: f64) -> Option<f64> {
+        let q = &self.q[player];
+        let mass = (1.0 - prior_one) * q[0] + prior_one * q[1];
+        if mass <= 0.0 {
+            return None;
+        }
+        Some(prior_one * q[1] / mass)
+    }
+}
+
+/// Incrementally builds a [`ProtocolTree`]. Create leaves and internal nodes
+/// bottom-up, then call [`finish`](TreeBuilder::finish) with the root.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    k: usize,
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Starts building a tree for `k` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "a protocol needs at least one player");
+        TreeBuilder {
+            k,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a leaf with the given output; returns its id.
+    pub fn leaf(&mut self, output: usize) -> NodeId {
+        self.nodes.push(Node::Leaf { output });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an internal node; returns its id.
+    ///
+    /// `edges` lists `(label, [Pr | input=0, Pr | input=1], child)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speaker ≥ k`, `edges` is empty, a probability is outside
+    /// `[0,1]`, the probabilities for either input bit do not sum to 1
+    /// (within `1e-9`), a child id is unknown, or the labels are not
+    /// prefix-free (which would make the board ambiguous).
+    pub fn internal(
+        &mut self,
+        speaker: PlayerId,
+        edges: Vec<(BitVec, [f64; 2], NodeId)>,
+    ) -> NodeId {
+        assert!(speaker < self.k, "speaker {speaker} out of range");
+        assert!(!edges.is_empty(), "internal node needs at least one edge");
+        for b in 0..2 {
+            let sum: f64 = edges.iter().map(|(_, p, _)| p[b]).sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "edge probabilities for input bit {b} sum to {sum}"
+            );
+        }
+        for (label, prob, child) in &edges {
+            assert!(
+                prob.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
+                "edge probability outside [0,1]: {prob:?}"
+            );
+            assert!(*child < self.nodes.len(), "unknown child node {child}");
+            assert!(
+                !(label.is_empty() && edges.len() > 1),
+                "empty label on a branching node"
+            );
+        }
+        // Prefix-freeness: no label may be a prefix of another.
+        for (i, (a, _, _)) in edges.iter().enumerate() {
+            for (b, _, _) in edges.iter().skip(i + 1) {
+                let min = a.len().min(b.len());
+                let is_prefix = (0..min).all(|j| a.get(j) == b.get(j));
+                assert!(!is_prefix, "labels {a} and {b} are not prefix-free");
+            }
+        }
+        self.nodes.push(Node::Internal {
+            speaker,
+            edges: edges
+                .into_iter()
+                .map(|(label, prob, child)| Edge { label, prob, child })
+                .collect(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Finalizes the tree rooted at `root`, precomputing all leaf data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is unknown or if the structure rooted there is not a
+    /// tree (a node reachable twice).
+    pub fn finish(self, root: NodeId) -> ProtocolTree {
+        assert!(root < self.nodes.len(), "unknown root {root}");
+        let mut visited = vec![false; self.nodes.len()];
+        let mut leaves = Vec::new();
+        // Iterative DFS carrying (node, path_bits, q) to avoid recursion
+        // limits on deep trees (e.g. sequential AND with k in the thousands).
+        let mut stack = vec![(root, 0usize, vec![[1.0f64; 2]; self.k])];
+        while let Some((id, path_bits, q)) = stack.pop() {
+            assert!(!visited[id], "node {id} reachable twice: not a tree");
+            visited[id] = true;
+            match &self.nodes[id] {
+                Node::Leaf { output } => leaves.push(Leaf {
+                    node: id,
+                    output: *output,
+                    path_bits,
+                    q,
+                }),
+                Node::Internal { speaker, edges } => {
+                    for e in edges {
+                        let mut q2 = q.clone();
+                        q2[*speaker][0] *= e.prob[0];
+                        q2[*speaker][1] *= e.prob[1];
+                        stack.push((e.child, path_bits + e.label.len(), q2));
+                    }
+                }
+            }
+        }
+        let mut leaf_of_node = vec![None; self.nodes.len()];
+        for (idx, leaf) in leaves.iter().enumerate() {
+            leaf_of_node[leaf.node] = Some(idx);
+        }
+        ProtocolTree {
+            k: self.k,
+            nodes: self.nodes,
+            root,
+            leaves,
+            leaf_of_node,
+        }
+    }
+}
+
+/// A finalized protocol tree; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ProtocolTree {
+    k: usize,
+    nodes: Vec<Node>,
+    root: NodeId,
+    leaves: Vec<Leaf>,
+    /// Maps a leaf's `NodeId` to its index in `leaves`.
+    leaf_of_node: Vec<Option<LeafId>>,
+}
+
+impl ProtocolTree {
+    /// Number of players `k`.
+    pub fn num_players(&self) -> usize {
+        self.k
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// The leaves with their precomputed `q`-decompositions.
+    pub fn leaves(&self) -> &[Leaf] {
+        &self.leaves
+    }
+
+    /// Worst-case communication: the longest root-to-leaf label path, in
+    /// bits. This is `CC(Π)`.
+    pub fn worst_case_bits(&self) -> usize {
+        self.leaves.iter().map(|l| l.path_bits).max().unwrap_or(0)
+    }
+
+    /// Expected communication under independent priors
+    /// (`priors[i] = Pr[Xᵢ = 1]`).
+    pub fn expected_bits_product(&self, priors: &[f64]) -> f64 {
+        self.check_priors(priors);
+        self.leaves
+            .iter()
+            .map(|l| l.prob_under_product(priors) * l.path_bits as f64)
+            .sum()
+    }
+
+    /// The exact transcript distribution (over leaf indices) on input `x`.
+    pub fn transcript_dist_given_input(&self, x: &[bool]) -> Vec<f64> {
+        assert_eq!(x.len(), self.k, "input length mismatch");
+        self.leaves.iter().map(|l| l.prob_given_input(x)).collect()
+    }
+
+    /// Exact external information cost `I(Π; X)` in bits, for independent
+    /// player inputs with `priors[i] = Pr[Xᵢ = 1]`.
+    ///
+    /// Uses the Lemma-3 factorization: given a leaf, the posterior on `X` is
+    /// a product distribution, so
+    /// `I(Π; X) = Σ_ℓ Pr[ℓ] Σᵢ D(post_i ‖ prior_i)` with *equality* —
+    /// computable in `O(#leaves · k)` instead of `O(2ᵏ)`. Validated against
+    /// [`information_cost_bruteforce`](Self::information_cost_bruteforce) in
+    /// the tests and the ablation bench.
+    pub fn information_cost_product(&self, priors: &[f64]) -> f64 {
+        self.check_priors(priors);
+        let mut total = 0.0;
+        for leaf in &self.leaves {
+            let pl = leaf.prob_under_product(priors);
+            if pl <= 0.0 {
+                continue;
+            }
+            let mut div = 0.0;
+            for (i, &p1) in priors.iter().enumerate() {
+                let post1 = leaf
+                    .posterior_one(i, p1)
+                    .expect("leaf has positive probability");
+                div += xlog2_ratio(post1, p1) + xlog2_ratio(1.0 - post1, 1.0 - p1);
+            }
+            total += pl * div;
+        }
+        clamp_nonneg(total, 1e-9)
+    }
+
+    /// Exact `I(Π; X)` by brute-force enumeration of all `2ᵏ` inputs.
+    ///
+    /// Exists to cross-validate
+    /// [`information_cost_product`](Self::information_cost_product); the
+    /// ablation bench compares their running times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20` (the enumeration would be enormous).
+    pub fn information_cost_bruteforce(&self, priors: &[f64]) -> f64 {
+        self.check_priors(priors);
+        assert!(
+            self.k <= 20,
+            "brute force limited to k ≤ 20, got {}",
+            self.k
+        );
+        let n_inputs = 1usize << self.k;
+        let mut rows = Vec::with_capacity(n_inputs);
+        for xi in 0..n_inputs {
+            let x: Vec<bool> = (0..self.k).map(|i| (xi >> i) & 1 == 1).collect();
+            let px: f64 = x
+                .iter()
+                .zip(priors)
+                .map(|(&b, &p)| if b { p } else { 1.0 - p })
+                .product();
+            let row: Vec<f64> = self
+                .leaves
+                .iter()
+                .map(|l| px * l.prob_given_input(&x))
+                .collect();
+            rows.push(row);
+        }
+        bci_info::joint::Joint2::new(rows)
+            .expect("transcript probabilities form a joint distribution")
+            .mutual_information()
+    }
+
+    /// The chain-rule decomposition of the information cost (the displayed
+    /// equation of the paper's Section 6):
+    ///
+    /// `IC(Π) = I(Π; X) = Σⱼ I(Mⱼ; X | M₍<ⱼ₎)`
+    ///
+    /// — and since message `Mⱼ` depends only on its speaker's input given
+    /// the history, each term is `I(Mⱼ; X_{iⱼ} | M₍<ⱼ₎)`. This method
+    /// returns, for every internal node `u`, the pair
+    /// `(u, Pr[reach u] · I(M_u; X_speaker | reach u))` under independent
+    /// priors. Summing the contributions recovers
+    /// [`information_cost_product`](Self::information_cost_product) exactly
+    /// (asserted by tests) — the identity Theorem 3's compression charges
+    /// round by round.
+    pub fn information_by_node(&self, priors: &[f64]) -> Vec<(NodeId, f64)> {
+        self.check_priors(priors);
+        let mut out = Vec::new();
+        // DFS carrying (node, reach probability, per-player q products).
+        let mut stack = vec![(self.root, 1.0f64, vec![[1.0f64; 2]; self.k])];
+        while let Some((id, p_reach, q)) = stack.pop() {
+            if p_reach <= 0.0 {
+                continue;
+            }
+            let Node::Internal { speaker, edges } = &self.nodes[id] else {
+                continue;
+            };
+            // Posterior of the speaker's input bit given the history.
+            let w0 = (1.0 - priors[*speaker]) * q[*speaker][0];
+            let w1 = priors[*speaker] * q[*speaker][1];
+            let mass = w0 + w1;
+            debug_assert!(mass > 0.0, "reachable node has positive mass");
+            let post = [w0 / mass, w1 / mass];
+            // Joint of (speaker bit, message).
+            let rows: Vec<Vec<f64>> = (0..2)
+                .map(|b| edges.iter().map(|e| post[b] * e.prob[b]).collect())
+                .collect();
+            let mi = bci_info::joint::Joint2::new(rows)
+                .expect("node message joint is a distribution")
+                .mutual_information();
+            out.push((id, p_reach * mi));
+            for e in edges {
+                let nu_e = post[0] * e.prob[0] + post[1] * e.prob[1];
+                let mut q2 = q.clone();
+                q2[*speaker][0] *= e.prob[0];
+                q2[*speaker][1] *= e.prob[1];
+                stack.push((e.child, p_reach * nu_e, q2));
+            }
+        }
+        out
+    }
+
+    /// Aggregates [`information_by_node`](Self::information_by_node) by
+    /// tree depth (root = depth 0): `profile[d]` is the information revealed
+    /// by round `d`'s messages. Sums to the information cost.
+    pub fn information_by_depth(&self, priors: &[f64]) -> Vec<f64> {
+        // Compute each node's depth by a cheap DFS.
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut stack = vec![(self.root, 0usize)];
+        let mut max_depth = 0;
+        while let Some((id, d)) = stack.pop() {
+            depth[id] = d;
+            max_depth = max_depth.max(d);
+            if let Node::Internal { edges, .. } = &self.nodes[id] {
+                for e in edges {
+                    stack.push((e.child, d + 1));
+                }
+            }
+        }
+        let mut profile = vec![0.0; max_depth + 1];
+        for (node, c) in self.information_by_node(priors) {
+            profile[depth[node]] += c;
+        }
+        while profile.last() == Some(&0.0) && profile.len() > 1 {
+            profile.pop();
+        }
+        profile
+    }
+
+    /// Exact `I(Π; X)` for an input distribution given as an explicit
+    /// support: `support[j] = (Pr[X = xⱼ], xⱼ)`.
+    ///
+    /// Unlike [`information_cost_product`](Self::information_cost_product)
+    /// this handles *correlated* player inputs (e.g. the two-point Lemma 6
+    /// distribution `μ′`, where exactly one player holds 0), at cost
+    /// `O(|support| · #leaves)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights do not sum to 1 (within `1e-9`) or an input has
+    /// the wrong length.
+    pub fn information_cost_support(&self, support: &[(f64, Vec<bool>)]) -> f64 {
+        let total: f64 = support.iter().map(|(w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "support weights sum to {total}");
+        assert!(
+            support.iter().all(|(_, x)| x.len() == self.k),
+            "input length mismatch"
+        );
+        // Marginal transcript distribution.
+        let mut marginal = vec![0.0f64; self.leaves.len()];
+        let conditionals: Vec<Vec<f64>> = support
+            .iter()
+            .map(|(w, x)| {
+                let d = self.transcript_dist_given_input(x);
+                for (m, &p) in marginal.iter_mut().zip(&d) {
+                    *m += w * p;
+                }
+                d
+            })
+            .collect();
+        let mut mi = 0.0;
+        for ((w, _), cond) in support.iter().zip(&conditionals) {
+            if *w == 0.0 {
+                continue;
+            }
+            for (&p, &m) in cond.iter().zip(&marginal) {
+                mi += w * xlog2_ratio(p, m);
+            }
+        }
+        clamp_nonneg(mi, 1e-9)
+    }
+
+    /// Worst-case error of the protocol against the target function `f`
+    /// (given as `f(x) -> output`), maximized over all `2ᵏ` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20`.
+    pub fn worst_case_error(&self, f: impl Fn(&[bool]) -> usize) -> f64 {
+        assert!(self.k <= 20, "error enumeration limited to k ≤ 20");
+        let mut worst: f64 = 0.0;
+        for xi in 0..(1usize << self.k) {
+            let x: Vec<bool> = (0..self.k).map(|i| (xi >> i) & 1 == 1).collect();
+            worst = worst.max(self.error_on_input(&x, f(&x)));
+        }
+        worst
+    }
+
+    /// Probability that the protocol's output differs from `expected` on
+    /// input `x`.
+    pub fn error_on_input(&self, x: &[bool], expected: usize) -> f64 {
+        self.leaves
+            .iter()
+            .filter(|l| l.output != expected)
+            .map(|l| l.prob_given_input(x))
+            .sum()
+    }
+
+    /// Samples one execution on input `x`: returns the leaf index and the
+    /// transcript bits written.
+    pub fn simulate<R: Rng + ?Sized>(&self, x: &[bool], rng: &mut R) -> (LeafId, BitVec) {
+        assert_eq!(x.len(), self.k, "input length mismatch");
+        let mut bits = BitVec::new();
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => {
+                    let leaf_idx = self.leaf_of_node[id].expect("leaf node is registered");
+                    return (leaf_idx, bits);
+                }
+                Node::Internal { speaker, edges } => {
+                    let b = usize::from(x[*speaker]);
+                    let weights: Vec<f64> = edges.iter().map(|e| e.prob[b]).collect();
+                    let d = Dist::from_weights(weights).expect("edge probabilities sum to one");
+                    let choice = d.sample(rng);
+                    bits.extend_from(&edges[choice].label);
+                    id = edges[choice].child;
+                }
+            }
+        }
+    }
+
+    /// The message distribution at an internal node given the speaker's
+    /// input bit: a distribution over the node's edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is a leaf.
+    pub fn message_dist(&self, id: NodeId, input_bit: bool) -> Dist {
+        match &self.nodes[id] {
+            Node::Leaf { .. } => panic!("node {id} is a leaf"),
+            Node::Internal { edges, .. } => Dist::from_weights(
+                edges
+                    .iter()
+                    .map(|e| e.prob[usize::from(input_bit)])
+                    .collect(),
+            )
+            .expect("edge probabilities sum to one"),
+        }
+    }
+
+    fn check_priors(&self, priors: &[f64]) {
+        assert_eq!(
+            priors.len(),
+            self.k,
+            "expected {} priors, got {}",
+            self.k,
+            priors.len()
+        );
+        assert!(
+            priors.iter().all(|p| (0.0..=1.0).contains(p)),
+            "priors must lie in [0,1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Deterministic 2-player sequential AND: player 0 announces its bit; if
+    /// 1, player 1 announces its bit.
+    fn and2() -> ProtocolTree {
+        let mut b = TreeBuilder::new(2);
+        let out0a = b.leaf(0);
+        let out0b = b.leaf(0);
+        let out1 = b.leaf(1);
+        let p1 = b.internal(
+            1,
+            vec![
+                (BitVec::from_bools(&[false]), [1.0, 0.0], out0b),
+                (BitVec::from_bools(&[true]), [0.0, 1.0], out1),
+            ],
+        );
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [1.0, 0.0], out0a),
+                (BitVec::from_bools(&[true]), [0.0, 1.0], p1),
+            ],
+        );
+        b.finish(root)
+    }
+
+    #[test]
+    fn structure_and_costs() {
+        let t = and2();
+        assert_eq!(t.num_players(), 2);
+        assert_eq!(t.leaves().len(), 3);
+        assert_eq!(t.worst_case_bits(), 2);
+        // Uniform inputs: E[bits] = 1·Pr[X₀=0] + 2·Pr[X₀=1] = 1.5.
+        assert!((t.expected_bits_product(&[0.5, 0.5]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_decomposition_on_deterministic_tree() {
+        let t = and2();
+        // The (1,1) leaf: q_{0,1} = q_{1,1} = 1, q_{·,0} = 0.
+        let leaf11 = t
+            .leaves()
+            .iter()
+            .find(|l| l.output == 1)
+            .expect("AND leaf exists");
+        assert_eq!(leaf11.q(0, true), 1.0);
+        assert_eq!(leaf11.q(0, false), 0.0);
+        assert_eq!(leaf11.prob_given_input(&[true, true]), 1.0);
+        assert_eq!(leaf11.prob_given_input(&[true, false]), 0.0);
+    }
+
+    #[test]
+    fn transcript_dist_sums_to_one() {
+        let t = and2();
+        for x in [[false, false], [false, true], [true, false], [true, true]] {
+            let d = t.transcript_dist_given_input(&x);
+            let sum: f64 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "input {x:?}");
+        }
+    }
+
+    #[test]
+    fn information_cost_of_deterministic_tree_is_transcript_entropy() {
+        // For a deterministic protocol, I(Π; X) = H(Π).
+        let t = and2();
+        let priors = [0.5, 0.5];
+        let probs: Vec<f64> = t
+            .leaves()
+            .iter()
+            .map(|l| l.prob_under_product(&priors))
+            .collect();
+        let h = bci_info::entropy::entropy(&probs);
+        let ic = t.information_cost_product(&priors);
+        assert!((ic - h).abs() < 1e-12, "ic={ic} h={h}");
+    }
+
+    #[test]
+    fn factorized_ic_matches_bruteforce() {
+        let t = and2();
+        for priors in [[0.5, 0.5], [0.9, 0.1], [1.0 / 3.0, 0.25]] {
+            let fast = t.information_cost_product(&priors);
+            let slow = t.information_cost_bruteforce(&priors);
+            assert!(
+                (fast - slow).abs() < 1e-10,
+                "priors {priors:?}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_node_leaks_less() {
+        // Player 0 sends its bit through a BSC(0.4): IC should be the BSC
+        // capacity-like value, well below 1, and match brute force.
+        let mut b = TreeBuilder::new(1);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.6, 0.4], l0),
+                (BitVec::from_bools(&[true]), [0.4, 0.6], l1),
+            ],
+        );
+        let t = b.finish(root);
+        let ic = t.information_cost_product(&[0.5]);
+        let bf = t.information_cost_bruteforce(&[0.5]);
+        assert!((ic - bf).abs() < 1e-12);
+        let h04 = -(0.4f64 * 0.4f64.log2() + 0.6 * 0.6f64.log2());
+        assert!((ic - (1.0 - h04)).abs() < 1e-12, "BSC(0.4) information");
+    }
+
+    #[test]
+    fn zero_and_one_priors_are_degenerate() {
+        let t = and2();
+        assert_eq!(t.information_cost_product(&[0.0, 0.0]), 0.0);
+        assert_eq!(t.information_cost_product(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn posterior_matches_bayes() {
+        let t = and2();
+        // After the (1,1) transcript, X₀ is certainly 1 whatever the prior.
+        let leaf11 = t.leaves().iter().find(|l| l.output == 1).unwrap();
+        assert_eq!(leaf11.posterior_one(0, 0.3), Some(1.0));
+        // After player 0 says 0 (1-bit transcript), X₁ keeps its prior.
+        let leaf0 = t
+            .leaves()
+            .iter()
+            .find(|l| l.path_bits == 1)
+            .expect("the short transcript");
+        assert_eq!(leaf0.posterior_one(1, 0.3), Some(0.3));
+        // Unreachable leaf for a 0/1-prior: posterior is None.
+        assert_eq!(leaf11.posterior_one(0, 0.0), None);
+    }
+
+    #[test]
+    fn error_against_and() {
+        let t = and2();
+        let and = |x: &[bool]| usize::from(x.iter().all(|&b| b));
+        assert_eq!(t.worst_case_error(and), 0.0);
+        // Against OR it errs on e.g. (1,0).
+        let or = |x: &[bool]| usize::from(x.iter().any(|&b| b));
+        assert!(t.worst_case_error(or) > 0.99);
+    }
+
+    #[test]
+    fn simulate_matches_exact_distribution() {
+        // Randomized tree: check simulated leaf frequencies against the exact
+        // transcript distribution.
+        let mut b = TreeBuilder::new(1);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.7, 0.2], l0),
+                (BitVec::from_bools(&[true]), [0.3, 0.8], l1),
+            ],
+        );
+        let t = b.finish(root);
+        let x = [true];
+        let exact = t.transcript_dist_given_input(&x);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let n = 100_000;
+        let mut counts = vec![0usize; t.leaves().len()];
+        for _ in 0..n {
+            let (leaf, _) = t.simulate(&x, &mut rng);
+            counts[leaf] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 / n as f64 - exact[i]).abs() < 0.01, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn simulate_transcript_bits_follow_labels() {
+        let t = and2();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let (_, bits) = t.simulate(&[true, true], &mut rng);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![true, true]);
+        let (_, bits) = t.simulate(&[false, true], &mut rng);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![false]);
+    }
+
+    #[test]
+    fn message_dist_reflects_input() {
+        let t = and2();
+        let d0 = t.message_dist(t.root(), false);
+        assert_eq!(d0.prob(0), 1.0);
+        let d1 = t.message_dist(t.root(), true);
+        assert_eq!(d1.prob(1), 1.0);
+    }
+
+    #[test]
+    fn chain_rule_sums_to_information_cost() {
+        // Section 6's identity on the deterministic AND tree...
+        let t = and2();
+        for priors in [[0.5, 0.5], [0.9, 0.2], [0.3, 0.7]] {
+            let total: f64 = t.information_by_node(&priors).iter().map(|(_, c)| c).sum();
+            let ic = t.information_cost_product(&priors);
+            assert!(
+                (total - ic).abs() < 1e-12,
+                "priors {priors:?}: {total} vs {ic}"
+            );
+        }
+        // ...and on a randomized tree.
+        let mut b = TreeBuilder::new(2);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let l2 = b.leaf(0);
+        let inner = b.internal(
+            1,
+            vec![
+                (BitVec::from_bools(&[false]), [0.7, 0.2], l0),
+                (BitVec::from_bools(&[true]), [0.3, 0.8], l1),
+            ],
+        );
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.6, 0.25], l2),
+                (BitVec::from_bools(&[true]), [0.4, 0.75], inner),
+            ],
+        );
+        let t = b.finish(root);
+        let priors = [0.45, 0.8];
+        let total: f64 = t.information_by_node(&priors).iter().map(|(_, c)| c).sum();
+        let ic = t.information_cost_product(&priors);
+        assert!((total - ic).abs() < 1e-12, "{total} vs {ic}");
+    }
+
+    #[test]
+    fn chain_rule_contributions_are_nonnegative_and_localized() {
+        let t = and2();
+        let contributions = t.information_by_node(&[0.5, 0.5]);
+        assert_eq!(contributions.len(), 2, "two internal nodes");
+        for (node, c) in &contributions {
+            assert!(*c >= 0.0, "node {node}: negative information {c}");
+        }
+        // The root (player 0's announcement, uniform bit) reveals exactly
+        // 1 bit; player 1 speaks with probability ½ and reveals 1 bit then.
+        let root_c = contributions
+            .iter()
+            .find(|(n, _)| *n == t.root())
+            .expect("root present")
+            .1;
+        assert!((root_c - 1.0).abs() < 1e-12);
+        let other_c: f64 = contributions
+            .iter()
+            .filter(|(n, _)| *n != t.root())
+            .map(|(_, c)| c)
+            .sum();
+        assert!((other_c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_profile_sums_to_ic_and_decays_for_sequential_protocols() {
+        let t = and2();
+        let priors = [0.8, 0.8];
+        let profile = t.information_by_depth(&priors);
+        let ic = t.information_cost_product(&priors);
+        let total: f64 = profile.iter().sum();
+        assert!((total - ic).abs() < 1e-12);
+        assert_eq!(profile.len(), 2);
+        // Later rounds only run conditionally, so they reveal less in
+        // expectation (for this protocol and prior).
+        assert!(profile[1] < profile[0]);
+    }
+
+    #[test]
+    fn support_ic_matches_product_ic_on_product_support() {
+        let t = and2();
+        let priors = [0.7, 0.4];
+        let mut support = Vec::new();
+        for xi in 0..4u32 {
+            let x: Vec<bool> = (0..2).map(|i| (xi >> i) & 1 == 1).collect();
+            let w: f64 = x
+                .iter()
+                .zip(&priors)
+                .map(|(&b, &p)| if b { p } else { 1.0 - p })
+                .product();
+            support.push((w, x));
+        }
+        let via_support = t.information_cost_support(&support);
+        let via_product = t.information_cost_product(&priors);
+        assert!((via_support - via_product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_ic_handles_correlated_inputs() {
+        // X₀ = X₁ uniformly: the first message already reveals everything
+        // about both bits, and the deterministic transcript has entropy 1.
+        let t = and2();
+        let support = vec![(0.5, vec![false, false]), (0.5, vec![true, true])];
+        let ic = t.information_cost_support(&support);
+        assert!((ic - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn builder_rejects_unnormalized_edges() {
+        let mut b = TreeBuilder::new(1);
+        let l = b.leaf(0);
+        b.internal(0, vec![(BitVec::from_bools(&[true]), [0.5, 1.0], l)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix-free")]
+    fn builder_rejects_prefix_labels() {
+        let mut b = TreeBuilder::new(1);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[true]), [0.5, 0.5], l0),
+                (BitVec::from_bools(&[true, false]), [0.5, 0.5], l1),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable twice")]
+    fn finish_rejects_dags() {
+        let mut b = TreeBuilder::new(1);
+        let l = b.leaf(0);
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.5, 0.5], l),
+                (BitVec::from_bools(&[true]), [0.5, 0.5], l),
+            ],
+        );
+        b.finish(root);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_bad_speaker() {
+        let mut b = TreeBuilder::new(2);
+        let l = b.leaf(0);
+        b.internal(2, vec![(BitVec::from_bools(&[true]), [1.0, 1.0], l)]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Theorem 3: amortized compression of `n` independent protocol copies.
+//!
+//! Run `n` independent instances of a protocol tree **round-synchronously**
+//! (round `j` executes step `j` of every unfinished copy — the paper is
+//! explicit that parallel execution, not sequential, keeps the round count
+//! at `r` rather than `n·r`). Each joint round is one message over the
+//! product universe; compressing it with the Lemma 7 sampler costs about
+//!
+//! `(information revealed this round) + O(log(n · IC) + log 1/ε)`
+//!
+//! bits, so the total is `n·IC(Π) + r·O(log(n·IC))` and the **per-copy** cost
+//! converges to `IC(Π)` as `n → ∞`.
+//!
+//! The speaker's true message distribution `η` is read off the tree node;
+//! the receivers' prior `ν` is the posterior-mixture
+//! `ν(m) = Σ_b Pr[X_speaker = b | transcript] · Pr[m | b]`, with the
+//! posterior maintained exactly via the running Lemma 3 `q`-products along
+//! each copy's path. The joint log-ratio is the sum of per-copy log-ratios
+//! (everything factorizes), and its transmission cost is sampled from the
+//! [`cost_model`](crate::cost_model).
+
+use bci_blackboard::tree::{Node, ProtocolTree};
+use rand::Rng;
+
+use crate::cost_model::sample_cost;
+
+/// Result of compressing the n-fold protocol.
+#[derive(Debug, Clone)]
+pub struct AmortizedReport {
+    /// Number of parallel copies `n`.
+    pub n_copies: usize,
+    /// Monte-Carlo trials averaged over.
+    pub trials: usize,
+    /// Rounds of the parallel protocol (max over trials).
+    pub rounds: usize,
+    /// Mean total compressed communication per trial, in bits.
+    pub mean_compressed_bits: f64,
+    /// Mean total *uncompressed* communication per trial (the raw labels).
+    pub mean_raw_bits: f64,
+    /// Exact single-copy information cost `IC(Π)`.
+    pub ic_per_copy: f64,
+}
+
+impl AmortizedReport {
+    /// Compressed bits per copy — the quantity that converges to
+    /// [`ic_per_copy`](Self::ic_per_copy).
+    pub fn per_copy_compressed(&self) -> f64 {
+        self.mean_compressed_bits / self.n_copies as f64
+    }
+
+    /// Raw bits per copy (the uncompressed baseline).
+    pub fn per_copy_raw(&self) -> f64 {
+        self.mean_raw_bits / self.n_copies as f64
+    }
+}
+
+/// One protocol copy's execution state.
+struct CopyState {
+    node: usize,
+    /// Running `q[i][b]` products along this copy's path.
+    q: Vec<[f64; 2]>,
+}
+
+/// Compresses `n` parallel copies of `tree` under independent per-player
+/// priors (`priors[i] = Pr[Xᵢ = 1]`, iid across copies), averaging the
+/// sampled communication over `trials` runs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `trials == 0`, or the priors are invalid.
+pub fn compress_nfold<R: Rng + ?Sized>(
+    tree: &ProtocolTree,
+    priors: &[f64],
+    n: usize,
+    trials: usize,
+    rng: &mut R,
+) -> AmortizedReport {
+    assert!(n > 0, "need at least one copy");
+    assert!(trials > 0, "need at least one trial");
+    let k = tree.num_players();
+    assert_eq!(priors.len(), k, "prior length mismatch");
+    let ic = tree.information_cost_product(priors);
+
+    let mut total_compressed = 0u64;
+    let mut total_raw = 0u64;
+    let mut max_rounds = 0usize;
+    for _ in 0..trials {
+        // Sample the n independent inputs.
+        let inputs: Vec<Vec<bool>> = (0..n)
+            .map(|_| priors.iter().map(|&p| rng.random_bool(p)).collect())
+            .collect();
+        let mut copies: Vec<CopyState> = (0..n)
+            .map(|_| CopyState {
+                node: tree.root(),
+                q: vec![[1.0; 2]; k],
+            })
+            .collect();
+        let mut rounds = 0usize;
+        loop {
+            let mut sum_log_ratio = 0.0f64;
+            let mut log2_universe = 0.0f64;
+            let mut any_active = false;
+            for (copy, x) in copies.iter_mut().zip(&inputs) {
+                let (speaker, edges) = match tree.node(copy.node) {
+                    Node::Leaf { .. } => continue,
+                    Node::Internal { speaker, edges } => (*speaker, edges),
+                };
+                any_active = true;
+                // Posterior of the speaker's bit given this copy's path.
+                let w0 = (1.0 - priors[speaker]) * copy.q[speaker][0];
+                let w1 = priors[speaker] * copy.q[speaker][1];
+                let mass = w0 + w1;
+                debug_assert!(mass > 0.0, "copy path has zero probability");
+                let post1 = w1 / mass;
+                // Sample the true message from η = dist given the real bit.
+                let b = usize::from(x[speaker]);
+                let u: f64 = rng.random();
+                let mut acc = 0.0;
+                let mut choice = edges.len() - 1;
+                for (e_idx, e) in edges.iter().enumerate() {
+                    acc += e.prob[b];
+                    if u < acc {
+                        choice = e_idx;
+                        break;
+                    }
+                }
+                let edge = &edges[choice];
+                let eta_m = edge.prob[b];
+                let nu_m = (1.0 - post1) * edge.prob[0] + post1 * edge.prob[1];
+                debug_assert!(nu_m > 0.0, "prior must cover the true message");
+                sum_log_ratio += (eta_m / nu_m).log2();
+                log2_universe += (edges.len() as f64).log2();
+                total_raw += edge.label.len() as u64;
+                // Advance the copy.
+                copy.q[speaker][0] *= edge.prob[0];
+                copy.q[speaker][1] *= edge.prob[1];
+                copy.node = edge.child;
+            }
+            if !any_active {
+                break;
+            }
+            rounds += 1;
+            let s = sum_log_ratio.ceil().max(0.0) as u64;
+            total_compressed += sample_cost(s, log2_universe, rng).total();
+        }
+        max_rounds = max_rounds.max(rounds);
+    }
+    AmortizedReport {
+        n_copies: n,
+        trials,
+        rounds: max_rounds,
+        mean_compressed_bits: total_compressed as f64 / trials as f64,
+        mean_raw_bits: total_raw as f64 / trials as f64,
+        ic_per_copy: ic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_protocols::and_trees::{noisy_sequential_and, sequential_and};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn per_copy_cost_decreases_towards_ic() {
+        let k = 8;
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        let mut r = rng(1);
+        let small = compress_nfold(&tree, &priors, 4, 40, &mut r);
+        let large = compress_nfold(&tree, &priors, 256, 10, &mut r);
+        assert!(
+            large.per_copy_compressed() < small.per_copy_compressed(),
+            "amortization must help: {} vs {}",
+            large.per_copy_compressed(),
+            small.per_copy_compressed()
+        );
+        // At n = 256 the per-copy cost should be within a few bits of IC.
+        assert!(
+            large.per_copy_compressed() < large.ic_per_copy + 3.0,
+            "per-copy {} vs IC {}",
+            large.per_copy_compressed(),
+            large.ic_per_copy
+        );
+    }
+
+    #[test]
+    fn compressed_cost_cannot_beat_information() {
+        // Shannon: per-copy cost ≥ IC − o(1). Allow slack for the ceil/γ
+        // overheads going the other way, but it must not collapse below IC/2.
+        let k = 8;
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        let mut r = rng(2);
+        let rep = compress_nfold(&tree, &priors, 512, 8, &mut r);
+        assert!(
+            rep.per_copy_compressed() > 0.5 * rep.ic_per_copy,
+            "per-copy {} below information {}",
+            rep.per_copy_compressed(),
+            rep.ic_per_copy
+        );
+    }
+
+    #[test]
+    fn compression_beats_raw_when_ic_is_far_below_cc() {
+        // Sequential AND under the near-ones prior: raw cost ≈ k-ish bits
+        // per copy, IC = O(log k) bits.
+        let k = 32;
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        let mut r = rng(3);
+        let rep = compress_nfold(&tree, &priors, 256, 8, &mut r);
+        assert!(
+            rep.mean_compressed_bits < 0.6 * rep.mean_raw_bits,
+            "compressed {} vs raw {}",
+            rep.mean_compressed_bits,
+            rep.mean_raw_bits
+        );
+    }
+
+    #[test]
+    fn rounds_match_protocol_depth_not_copies() {
+        let k = 6;
+        let tree = sequential_and(k);
+        let priors = vec![0.9; k];
+        let mut r = rng(4);
+        let rep = compress_nfold(&tree, &priors, 64, 5, &mut r);
+        assert!(rep.rounds <= k, "rounds {} exceed depth {k}", rep.rounds);
+    }
+
+    #[test]
+    fn works_on_randomized_trees() {
+        let k = 5;
+        let tree = noisy_sequential_and(k, 0.1);
+        let priors = vec![0.85; k];
+        let mut r = rng(5);
+        let rep = compress_nfold(&tree, &priors, 128, 6, &mut r);
+        assert!(rep.per_copy_compressed() > 0.0);
+        assert!(rep.ic_per_copy > 0.0);
+        assert!(
+            rep.per_copy_compressed() < rep.ic_per_copy + 4.0,
+            "per-copy {} vs IC {}",
+            rep.per_copy_compressed(),
+            rep.ic_per_copy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_copies_rejected() {
+        let tree = sequential_and(3);
+        compress_nfold(&tree, &[0.5; 3], 0, 1, &mut rng(0));
+    }
+}

@@ -1,0 +1,208 @@
+//! The communication-cost law of the Lemma 7 protocol, sampled without
+//! materializing the universe.
+//!
+//! Theorem 3 applies the sampling protocol to joint rounds of `n` parallel
+//! protocol copies, whose message universe has size `|U| = ∏ᵤ |Uᵤ|` — up to
+//! `2ⁿ`. The literal protocol enumerates a block of `|U|` public points per
+//! round, which is physically impossible at that size. But the three
+//! codewords have *known distributions* given the log-ratio `s` and `|U|`:
+//!
+//! * **block index** `B`: blocks succeed independently with probability
+//!   `1 − (1 − 1/|U|)^{|U|}` (→ `1 − 1/e`), so `B` is geometric;
+//! * **log-ratio** `s`: supplied by the caller (it is a deterministic
+//!   function of the sampled message, which the caller *can* sample — the
+//!   per-copy distributions factorize);
+//! * **index within `P′`**: `|P′| = 1 + Binomial(|U|−1, w/|U|)` where
+//!   `w = Σ_x min(1, 2ˢ·ν(x)) ≤ 2ˢ` is the mass of the scaled prior — in the
+//!   regime `2ˢ·ν(x) ≤ 1` this is `1 + Binomial(|U|−1, 2ˢ/|U|)`, which the
+//!   model approximates by `1 + Poisson(2ˢ)` (exact as `|U| → ∞`; the
+//!   deviation at small `|U|` is what experiment A3 measures).
+//!
+//! This module samples that law. The DESIGN.md substitution note: the model
+//! replaces the unenumerable public-point stream by its exact distribution,
+//! preserving the communication-cost behaviour while discarding only the
+//! unphysical enumeration; `tests/compression_validation.rs` compares it
+//! against the literal protocol on small universes.
+
+use bci_encoding::elias;
+use rand::Rng;
+
+/// Samples a `Poisson(lambda)` variate.
+///
+/// Knuth's product method below `λ ≤ 30`; for larger `λ` a normal
+/// approximation `⌊λ + √λ·Z + ½⌋` (clamped at 0), whose error is invisible
+/// at the `log₂` resolution the cost model needs.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or NaN.
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
+    assert!(lambda >= 0.0 && !lambda.is_nan(), "bad lambda {lambda}");
+    if lambda == 0.0 {
+        return 0.0;
+    }
+    if lambda <= 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation for large λ.
+    let z: f64 = {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    (lambda + lambda.sqrt() * z + 0.5).floor().max(0.0)
+}
+
+/// One sampled invocation of the Lemma 7 protocol's cost law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledCost {
+    /// Bits for the Elias-γ block index.
+    pub block_bits: u64,
+    /// Bits for the Elias-γ log-ratio.
+    pub s_bits: u64,
+    /// Bits for the index within `P′`.
+    pub index_bits: u64,
+}
+
+impl SampledCost {
+    /// Total bits of this invocation.
+    pub fn total(&self) -> u64 {
+        self.block_bits + self.s_bits + self.index_bits
+    }
+}
+
+/// Samples the cost of transmitting one message whose log-ratio is `s`,
+/// over a universe of `log2_universe` bits (only the logarithm matters).
+///
+/// # Panics
+///
+/// Panics if `log2_universe` is negative.
+pub fn sample_cost<R: Rng + ?Sized>(s: u64, log2_universe: f64, rng: &mut R) -> SampledCost {
+    assert!(log2_universe >= 0.0, "negative universe size");
+    // Per-block acceptance probability: 1 − (1 − 1/u)^u, → 1 − 1/e.
+    let accept = if log2_universe < 20.0 {
+        let u = 2f64.powf(log2_universe).max(1.0);
+        1.0 - (1.0 - 1.0 / u).powf(u)
+    } else {
+        1.0 - (-1.0f64).exp()
+    };
+    // Geometric block index (1-based).
+    let mut block = 1u64;
+    while !rng.random_bool(accept) {
+        block += 1;
+        if block > 64 {
+            break; // matches the literal protocol's truncation regime
+        }
+    }
+    // |P'| = 1 + Poisson(2^s), capped so log2 stays sane for huge s.
+    let index_bits = if s as f64 >= log2_universe {
+        // The scaled prior covers everything: |P'| ≈ |U|.
+        log2_universe.ceil() as u64
+    } else {
+        let p_size = 1.0 + sample_poisson(2f64.powf(s as f64), rng);
+        (p_size).log2().ceil().max(0.0) as u64
+    };
+    SampledCost {
+        block_bits: elias::gamma_len(block),
+        s_bits: elias::gamma_len(s + 1),
+        index_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_small_lambda() {
+        let mut r = rng(1);
+        let lambda = 4.2;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(lambda, &mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_normal_regime() {
+        let mut r = rng(2);
+        let lambda = 10_000.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() / lambda < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng(3);
+        assert_eq!(sample_poisson(0.0, &mut r), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_linearly_in_s() {
+        let mut r = rng(4);
+        let n = 3000;
+        let mean_cost = |s: u64, r: &mut rand_chacha::ChaCha8Rng| {
+            (0..n)
+                .map(|_| sample_cost(s, 1000.0, r).total())
+                .sum::<u64>() as f64
+                / n as f64
+        };
+        let c4 = mean_cost(4, &mut r);
+        let c16 = mean_cost(16, &mut r);
+        let c64 = mean_cost(64, &mut r);
+        // index_bits ≈ s: doubling s roughly doubles cost for large s.
+        assert!(c16 > c4 + 8.0, "c4={c4} c16={c16}");
+        assert!(c64 > c16 + 40.0, "c16={c16} c64={c64}");
+        // Overhead beyond s stays logarithmic.
+        assert!(c64 < 64.0 + 2.0 * 64f64.log2() + 12.0, "c64={c64}");
+    }
+
+    #[test]
+    fn cost_at_s_zero_is_constant() {
+        let mut r = rng(5);
+        let n = 5000;
+        let mean = (0..n)
+            .map(|_| sample_cost(0, 1_000_000.0, &mut r).total())
+            .sum::<u64>() as f64
+            / n as f64;
+        assert!(mean < 7.0, "mean {mean}");
+    }
+
+    #[test]
+    fn index_bits_capped_by_universe() {
+        let mut r = rng(6);
+        // s larger than log2|U|: P' is the whole universe.
+        let c = sample_cost(100, 10.0, &mut r);
+        assert_eq!(c.index_bits, 10);
+    }
+
+    #[test]
+    fn block_index_is_geometric_like() {
+        let mut r = rng(7);
+        let n = 50_000;
+        let mean_block_bits = (0..n)
+            .map(|_| sample_cost(0, 100.0, &mut r).block_bits)
+            .sum::<u64>() as f64
+            / n as f64;
+        // E[γ-bits of a Geom(1−1/e)] ≈ 1.8.
+        assert!(mean_block_bits < 3.0, "mean {mean_block_bits}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The `Ω(k / log k)` information-vs-communication gap (Section 6).
+//!
+//! `AND_k` separates external information from communication in the
+//! broadcast model:
+//!
+//! * **information**: the sequential protocol's transcript is determined by
+//!   the index of the first zero, so under *any* distribution
+//!   `IC(AND_k) ≤ H(Π) ≤ log₂(k + 1)`;
+//! * **communication**: under the Lemma 6 distribution `μ′`, any protocol
+//!   with error `≤ ε` needs `≥ (1 − ε/(1−ε′))·k` speaking turns, hence that
+//!   many bits.
+//!
+//! So no single-shot compression to `O(IC · polylog CC)` — the two-party
+//! result of Barak–Braverman–Chen–Rao [3] — can extend to `k` parties.
+//! [`and_gap`] computes both sides exactly for concrete `k`.
+
+use bci_lowerbound::counting::FoolingDist;
+use bci_protocols::and_trees::sequential_and;
+
+/// Both sides of the separation at a concrete `k`.
+#[derive(Debug, Clone)]
+pub struct GapReport {
+    /// Number of players.
+    pub k: usize,
+    /// Error budget `ε` of the communication lower bound.
+    pub eps: f64,
+    /// All-ones weight `ε′` of the hard distribution.
+    pub eps_prime: f64,
+    /// Exact `IC_{μ′}(sequential AND_k)` — an upper bound on
+    /// `inf_Π IC_{μ′}(Π)`.
+    pub ic_bits: f64,
+    /// The Lemma 6 communication lower bound, in bits.
+    pub cc_lower_bound: f64,
+    /// The witness protocol's worst-case communication (= `k`).
+    pub cc_witness: usize,
+}
+
+impl GapReport {
+    /// The separation ratio `CC-lower-bound / IC` — grows as `k / log k`.
+    pub fn ratio(&self) -> f64 {
+        self.cc_lower_bound / self.ic_bits
+    }
+}
+
+/// Closed-form `IC_{μ′}(sequential AND_k)`: the transcript is determined by
+/// the position of the (unique) zero or its absence, so the information
+/// equals the entropy of that indicator:
+///
+/// `H = ε′·log₂(1/ε′) + (1−ε′)·log₂(k/(1−ε′))`.
+pub fn sequential_ic_closed_form(k: usize, eps_prime: f64) -> f64 {
+    assert!(k >= 1);
+    assert!((0.0..1.0).contains(&eps_prime) && eps_prime > 0.0);
+    let e = eps_prime;
+    e * (1.0 / e).log2() + (1.0 - e) * (k as f64 / (1.0 - e)).log2()
+}
+
+/// Computes the gap at `k`, with the lower-bound parameters `(ε, ε′)`.
+///
+/// For `k ≤ 512` the information side is computed *exactly* from the
+/// protocol tree over the explicit support of `μ′` and cross-checked against
+/// the closed form; beyond that the closed form alone is used (the support
+/// computation is `O(k²·k)`).
+///
+/// # Panics
+///
+/// Panics if the parameters violate the Lemma 6 premise `ε < 1 − ε′`.
+pub fn and_gap(k: usize, eps: f64, eps_prime: f64) -> GapReport {
+    let mu = FoolingDist::new(k, eps_prime);
+    let cc_lower_bound = mu.speaker_threshold(eps);
+    let closed = sequential_ic_closed_form(k, eps_prime);
+    let ic_bits = if k <= 512 {
+        let tree = sequential_and(k);
+        let mut support = vec![(eps_prime, vec![true; k])];
+        let w = (1.0 - eps_prime) / k as f64;
+        for z in 0..k {
+            let mut x = vec![true; k];
+            x[z] = false;
+            support.push((w, x));
+        }
+        let exact = tree.information_cost_support(&support);
+        debug_assert!(
+            (exact - closed).abs() < 1e-6,
+            "closed form {closed} disagrees with exact {exact}"
+        );
+        exact
+    } else {
+        closed
+    };
+    GapReport {
+        k,
+        eps,
+        eps_prime,
+        ic_bits,
+        cc_lower_bound,
+        cc_witness: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_exact_support_computation() {
+        for k in [2usize, 8, 33, 100] {
+            let rep = and_gap(k, 0.05, 0.1);
+            let closed = sequential_ic_closed_form(k, 0.1);
+            assert!(
+                (rep.ic_bits - closed).abs() < 1e-9,
+                "k={k}: {} vs {closed}",
+                rep.ic_bits
+            );
+        }
+    }
+
+    #[test]
+    fn information_is_logarithmic() {
+        for k in [16usize, 256, 4096, 1 << 16] {
+            let rep = and_gap(k, 0.05, 0.1);
+            assert!(
+                rep.ic_bits <= ((k + 1) as f64).log2() + 1.0,
+                "k={k}: IC {} exceeds log₂(k+1)+1",
+                rep.ic_bits
+            );
+        }
+    }
+
+    #[test]
+    fn communication_bound_is_linear() {
+        let r1 = and_gap(100, 0.05, 0.1);
+        let r2 = and_gap(200, 0.05, 0.1);
+        assert!((r2.cc_lower_bound / r1.cc_lower_bound - 2.0).abs() < 1e-9);
+        // With small ε, nearly all players must speak.
+        assert!(r1.cc_lower_bound > 0.9 * 100.0);
+    }
+
+    #[test]
+    fn gap_ratio_grows_like_k_over_log_k() {
+        let r = |k: usize| and_gap(k, 0.05, 0.1).ratio();
+        let (g64, g1024, g16384) = (r(64), r(1024), r(16384));
+        assert!(g1024 > 2.0 * g64, "gap must grow: {g64} → {g1024}");
+        assert!(g16384 > 2.0 * g1024);
+        // Against the k/log k reference curve: the ratio of ratios matches
+        // within a factor of 2.
+        let reference = |k: f64| k / k.log2();
+        let measured_growth = g16384 / g64;
+        let reference_growth = reference(16384.0) / reference(64.0);
+        assert!(
+            (measured_growth / reference_growth - 1.0).abs() < 0.5,
+            "growth {measured_growth} vs reference {reference_growth}"
+        );
+    }
+
+    #[test]
+    fn witness_communication_dominates_lower_bound() {
+        let rep = and_gap(77, 0.05, 0.1);
+        assert!(rep.cc_witness as f64 >= rep.cc_lower_bound);
+    }
+}

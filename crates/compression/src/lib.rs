@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Interactive compression in the broadcast model (Section 6 of the paper).
+//!
+//! Three pieces:
+//!
+//! * [`sampling`] — the **Lemma 7 one-round sampling protocol** (Figure 1),
+//!   implemented literally: the speaker knows the true next-message
+//!   distribution `η`, everyone knows the prior `ν`, and shared randomness
+//!   defines a public stream of points `(x, p)`. The speaker transmits three
+//!   short codewords (block index, log-ratio `s`, index within the surviving
+//!   set `P′`) and every receiver decodes the identical sample. Expected
+//!   communication `D(η‖ν) + O(log D + log 1/ε)` instead of `log |U|`.
+//! * [`cost_model`] — the same protocol's *communication-cost law* sampled
+//!   without materializing the universe, so Theorem 3's n-fold compression
+//!   can scale to universes of size `2ⁿ`. Validated against the literal
+//!   protocol (see `tests/` and experiment A3).
+//! * [`amortized`] — **Theorem 3**: run `n` independent copies of a protocol
+//!   round-synchronously and compress each joint round with the sampler.
+//!   The per-copy cost converges to the exact information cost `IC(Π)` as
+//!   `n → ∞`.
+//! * [`gap`] — the **`Ω(k/log k)` separation**: `AND_k` has
+//!   `IC_μ(AND_k) = O(log k)` under every distribution, yet needs `Ω(k)`
+//!   communication — so single-shot compression to external information is
+//!   impossible for `k` parties.
+//!
+//! # Example
+//!
+//! ```
+//! use bci_compression::sampling::{exchange, SamplerConfig};
+//! use bci_info::dist::Dist;
+//!
+//! // The prior ν is close to the truth η: transmitting the sample is cheap.
+//! let eta = Dist::new(vec![0.5, 0.3, 0.1, 0.1])?;
+//! let nu = Dist::new(vec![0.4, 0.3, 0.2, 0.1])?;
+//! let out = exchange(&eta, &nu, &SamplerConfig::default(), 42);
+//! assert_eq!(out.sender_sample, out.receiver_sample);
+//! assert!(out.bits < 16, "far below log₂|U| only when ν ≈ η fails; here {}", out.bits);
+//! # Ok::<(), bci_info::dist::DistError>(())
+//! ```
+
+pub mod amortized;
+pub mod cost_model;
+pub mod gap;
+pub mod sampling;
+
+pub use amortized::{compress_nfold, AmortizedReport};
+pub use gap::{and_gap, GapReport};
+pub use sampling::{exchange, SamplerConfig};

@@ -1,0 +1,296 @@
+//! `bci` — command-line front end to the broadcast-ic library.
+//!
+//! ```text
+//! bci disj   --n 4096 --k 16 [--workload planted|random|intersect] [--density 0.5] [--seed 1]
+//! bci union  --n 4096 --k 16 [--density 0.5] [--seed 1]
+//! bci cic    --k 64
+//! bci gap    --k 1024
+//! bci sample --universe 256 --sharpness 0.5 --trials 200 [--seed 1]
+//! bci sparse --n 1048576 --s 128 --trials 20 [--seed 1]
+//! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bci_compression::amortized::compress_nfold;
+use bci_compression::gap::and_gap;
+use bci_compression::sampling::{exchange, lemma7_bound, SamplerConfig};
+use bci_core::table::{f, Table};
+use bci_info::divergence::kl;
+use bci_lowerbound::cic::cic_hard;
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and_trees::sequential_and;
+use bci_protocols::disj::{batched, coordinatewise, disj_function, naive};
+use bci_protocols::{sparse, union, workload};
+use rand::{Rng, SeedableRng};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "disj" => cmd_disj(&opts),
+        "union" => cmd_union(&opts),
+        "cic" => cmd_cic(&opts),
+        "gap" => cmd_gap(&opts),
+        "sample" => cmd_sample(&opts),
+        "sparse" => cmd_sparse(&opts),
+        "amortize" => cmd_amortize(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "bci — protocols and information costs in the broadcast model
+
+USAGE:
+  bci disj     --n <N> --k <K> [--workload planted|random|intersect] [--density D] [--seed S]
+  bci union    --n <N> --k <K> [--density D] [--seed S]
+  bci cic      --k <K>
+  bci gap      --k <K>
+  bci sample   --universe <U> --sharpness <P> [--trials T] [--seed S]
+  bci sparse   --n <N> --s <S> [--trials T] [--seed S]
+  bci amortize --k <K> --copies <N> [--trials T] [--seed S]";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got '{key}'"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_owned(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match opts.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        None => default.ok_or_else(|| format!("--{key} is required")),
+    }
+}
+
+fn rng_from(opts: &HashMap<String, String>) -> Result<rand_chacha::ChaCha8Rng, String> {
+    Ok(rand_chacha::ChaCha8Rng::seed_from_u64(get(
+        opts,
+        "seed",
+        Some(1u64),
+    )?))
+}
+
+fn cmd_disj(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = get(opts, "n", None)?;
+    let k: usize = get(opts, "k", None)?;
+    let density: f64 = get(opts, "density", Some(0.5))?;
+    let workload_name = opts.get("workload").map_or("planted", String::as_str);
+    let mut rng = rng_from(opts)?;
+    let inputs = match workload_name {
+        "planted" => workload::planted_zero_cover(n, k, 0.0, &mut rng),
+        "random" => workload::random_sets(n, k, density, &mut rng),
+        "intersect" => workload::planted_intersection(n, k, 1, density, &mut rng),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let expect = disj_function(&inputs);
+    println!("DISJ_{{n={n}, k={k}}} ({workload_name}): disjoint = {expect}\n");
+    let mut t = Table::new(["protocol", "bits", "cycles", "bits/n"]);
+    let nv = naive::run(&inputs);
+    t.row([
+        "naive".to_owned(),
+        nv.bits.to_string(),
+        nv.cycles.to_string(),
+        f(nv.bits as f64 / n.max(1) as f64, 2),
+    ]);
+    let bt = if n <= 8192 {
+        batched::run(&inputs)
+    } else {
+        batched::cost(&inputs)
+    };
+    t.row([
+        "batched (Thm 2)".to_owned(),
+        bt.bits.to_string(),
+        bt.cycles.to_string(),
+        f(bt.bits as f64 / n.max(1) as f64, 2),
+    ]);
+    let cw = coordinatewise::run(&inputs);
+    t.row([
+        "coordinate-wise AND".to_owned(),
+        cw.bits.to_string(),
+        cw.cycles.to_string(),
+        f(cw.bits as f64 / n.max(1) as f64, 2),
+    ]);
+    assert_eq!(nv.output, expect);
+    assert_eq!(bt.output, expect);
+    assert_eq!(cw.output, expect);
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_union(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = get(opts, "n", None)?;
+    let k: usize = get(opts, "k", None)?;
+    let density: f64 = get(opts, "density", Some(0.5))?;
+    let mut rng = rng_from(opts)?;
+    let inputs = workload::random_sets(n, k, density, &mut rng);
+    let u = union::union_function(&inputs);
+    println!("UNION_{{n={n}, k={k}}}: |union| = {}\n", u.len());
+    let nv = union::naive::run(&inputs);
+    let bt = union::batched::run(&inputs);
+    let mut t = Table::new(["protocol", "bits", "bits/member"]);
+    t.row([
+        "naive".to_owned(),
+        nv.bits.to_string(),
+        f(nv.bits as f64 / u.len().max(1) as f64, 2),
+    ]);
+    t.row([
+        "batched".to_owned(),
+        bt.bits.to_string(),
+        f(bt.bits as f64 / u.len().max(1) as f64, 2),
+    ]);
+    println!("{}", t.render());
+    Ok(())
+}
+
+fn cmd_cic(opts: &HashMap<String, String>) -> Result<(), String> {
+    let k: usize = get(opts, "k", None)?;
+    if k < 2 {
+        return Err("--k must be at least 2".into());
+    }
+    let cic = cic_hard(&sequential_and(k), &HardDist::new(k));
+    println!("CIC_mu(sequential AND_{k}) = {cic:.4} bits");
+    println!(
+        "CIC / log2(k)              = {:.4}",
+        cic / (k as f64).log2()
+    );
+    println!("worst-case communication   = {k} bits");
+    Ok(())
+}
+
+fn cmd_gap(opts: &HashMap<String, String>) -> Result<(), String> {
+    let k: usize = get(opts, "k", None)?;
+    let rep = and_gap(k, 0.05, 0.1);
+    println!("AND_{k}: information vs communication (eps=0.05, eps'=0.1)");
+    println!("  external information : {:.3} bits", rep.ic_bits);
+    println!("  communication bound  : {:.1} bits", rep.cc_lower_bound);
+    println!(
+        "  gap                  : {:.2}  (k/log2 k = {:.2})",
+        rep.ratio(),
+        k as f64 / (k as f64).log2()
+    );
+    Ok(())
+}
+
+fn cmd_sample(opts: &HashMap<String, String>) -> Result<(), String> {
+    let u: usize = get(opts, "universe", None)?;
+    let sharp: f64 = get(opts, "sharpness", None)?;
+    let trials: u64 = get(opts, "trials", Some(200u64))?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    if u < 2 || !(0.0..1.0).contains(&sharp) {
+        return Err("need --universe ≥ 2 and --sharpness in [0,1)".into());
+    }
+    let rest = (1.0 - sharp) / (u as f64 - 1.0);
+    let mut probs = vec![rest; u];
+    probs[0] = sharp;
+    let eta = bci_info::dist::Dist::new(probs).map_err(|e| e.to_string())?;
+    let nu = bci_info::dist::Dist::uniform(u);
+    let d = kl(&eta, &nu);
+    let config = SamplerConfig::default();
+    let mut bits = 0usize;
+    let mut agreed = 0u64;
+    for t in 0..trials {
+        let e = exchange(&eta, &nu, &config, seed.wrapping_add(t * 104_729));
+        bits += e.bits;
+        agreed += u64::from(e.agreed());
+    }
+    println!("Lemma 7 sampling over |U| = {u}, D(eta||nu) = {d:.3} bits:");
+    println!("  mean bits     = {:.2}", bits as f64 / trials as f64);
+    println!("  Lemma 7 curve = {:.2}", lemma7_bound(d));
+    println!("  naive cost    = {:.1} (log2 |U|)", (u as f64).log2());
+    println!("  agreement     = {}/{trials}", agreed);
+    Ok(())
+}
+
+fn cmd_sparse(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = get(opts, "n", None)?;
+    let s: usize = get(opts, "s", None)?;
+    let trials: u64 = get(opts, "trials", Some(20u64))?;
+    if 2 * s > n {
+        return Err("need 2s ≤ n".into());
+    }
+    let mut rng = rng_from(opts)?;
+    let mut bits = 0.0;
+    for _ in 0..trials {
+        let mut x = bci_encoding::bitset::BitSet::new(n);
+        let mut y = bci_encoding::bitset::BitSet::new(n);
+        while x.len() < s {
+            x.insert(rng.random_range(0..n));
+        }
+        while y.len() < s {
+            let e = rng.random_range(0..n);
+            if !x.contains(e) {
+                y.insert(e);
+            }
+        }
+        let out = sparse::run(&x, &y, &mut rng);
+        bits += out.bits;
+    }
+    println!("Hastad-Wigderson sparse disjointness, |X| = |Y| = {s}, n = {n}:");
+    println!(
+        "  mean bits = {:.1}  ({:.2} per element)",
+        bits / trials as f64,
+        bits / trials as f64 / s as f64
+    );
+    println!(
+        "  naive     = {:.0}  (send the set)",
+        sparse::naive_bits(n, s)
+    );
+    Ok(())
+}
+
+fn cmd_amortize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let k: usize = get(opts, "k", None)?;
+    let copies: usize = get(opts, "copies", None)?;
+    let trials: usize = get(opts, "trials", Some(10usize))?;
+    if k < 1 || copies < 1 {
+        return Err("need --k ≥ 1 and --copies ≥ 1".into());
+    }
+    let mut rng = rng_from(opts)?;
+    let tree = sequential_and(k);
+    let priors = vec![1.0 - 1.0 / k as f64; k];
+    let rep = compress_nfold(&tree, &priors, copies, trials, &mut rng);
+    println!("Theorem 3: {copies} parallel copies of sequential AND_{k}:");
+    println!("  per-copy raw        = {:.2} bits", rep.per_copy_raw());
+    println!(
+        "  per-copy compressed = {:.2} bits",
+        rep.per_copy_compressed()
+    );
+    println!("  information cost    = {:.2} bits", rep.ic_per_copy);
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! **E10 (extension) — pointwise-OR / set union**.
+//!
+//! The paper's related-work section: symmetrization proves `Ω(n log k)` for
+//! pointwise-OR (the union of the players' sets). The matching upper bound
+//! reuses Theorem 2's batching — members instead of zeros. This experiment
+//! sweeps `(n, k)` on dense-union instances and measures naive vs batched,
+//! mirroring E1.
+
+use bci_protocols::union::{batched, naive, union_function};
+use bci_protocols::workload;
+use rand::SeedableRng;
+
+use crate::table::{f, Table};
+
+/// One `(n, k)` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Universe size.
+    pub n: usize,
+    /// Players.
+    pub k: usize,
+    /// Union size of the instance.
+    pub union_size: usize,
+    /// Naive protocol bits.
+    pub naive_bits: usize,
+    /// Batched protocol bits.
+    pub batched_bits: usize,
+    /// naive / batched.
+    pub ratio: f64,
+    /// Batched bits per union element.
+    pub per_member: f64,
+    /// The fat-cycle bound `log₂(e·k)`.
+    pub bound: f64,
+}
+
+/// The grid used in `EXPERIMENTS.md`.
+pub fn default_grid() -> Vec<(usize, usize)> {
+    let mut g = Vec::new();
+    for &n in &[1024usize, 4096, 16384] {
+        for &k in &[4usize, 16, 64] {
+            g.push((n, k));
+        }
+    }
+    g
+}
+
+/// Runs the sweep on 50 %-density iid sets (union ≈ `[n]`, members well
+/// replicated — the batching-friendly regime).
+pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    grid.iter()
+        .map(|&(n, k)| {
+            let inputs = workload::random_sets(n, k, 0.5, &mut rng);
+            let expect = union_function(&inputs);
+            let nv = naive::run(&inputs);
+            let bt = if n <= 4096 {
+                let r = batched::run(&inputs);
+                assert_eq!(r.output, expect);
+                r.bits
+            } else {
+                batched::cost(&inputs)
+            };
+            assert_eq!(nv.output, expect);
+            Row {
+                n,
+                k,
+                union_size: expect.len(),
+                naive_bits: nv.bits,
+                batched_bits: bt,
+                ratio: nv.bits as f64 / bt as f64,
+                per_member: bt as f64 / expect.len().max(1) as f64,
+                bound: batched::per_member_bound(k),
+            }
+        })
+        .collect()
+}
+
+/// Renders the E10 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "n",
+        "k",
+        "|union|",
+        "naive bits",
+        "batched bits",
+        "naive/batched",
+        "b/member",
+        "log2(ek)",
+    ]);
+    for r in rows {
+        t.row([
+            r.n.to_string(),
+            r.k.to_string(),
+            r.union_size.to_string(),
+            r.naive_bits.to_string(),
+            r.batched_bits.to_string(),
+            f(r.ratio, 2),
+            f(r.per_member, 2),
+            f(r.bound, 2),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_wins_in_the_low_k_regime() {
+        let rows = run(&[(2048, 4), (2048, 64)], 11);
+        assert!(rows[0].ratio > 1.8, "n=2048,k=4: ratio {}", rows[0].ratio);
+        assert!(
+            rows[0].per_member < rows[0].bound + 1.0,
+            "per-member {} vs bound {}",
+            rows[0].per_member,
+            rows[0].bound
+        );
+        // k² ≥ n kills the advantage, as in E1.
+        assert!(rows[1].ratio < rows[0].ratio);
+    }
+}

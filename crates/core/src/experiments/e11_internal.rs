@@ -1,0 +1,106 @@
+//! **E11 (extension) — internal vs external information (Section 6
+//! footnote)**.
+//!
+//! For two players the paper remarks that external information dominates
+//! internal, so its amortized-compression result doesn't improve on
+//! Braverman–Rao [7] at `k = 2`. This experiment quantifies the
+//! relationship exactly:
+//!
+//! * under **product** priors the two coincide for every broadcast protocol
+//!   (the Lemma 3 product posterior kills `I(X;Y|Π)`);
+//! * under **correlated** inputs a strict gap `IC^ext − IC^int = I(X;Y|Π)
+//!   − I(X;Y) + …` opens up, reaching `H(X)` for perfectly correlated
+//!   inputs.
+
+use bci_lowerbound::internal::{external_ic_two_party_joint, internal_ic_two_party_joint};
+use bci_protocols::and_trees::{noisy_sequential_and, sequential_and};
+
+use crate::table::{f, Table};
+
+/// One correlation sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Protocol label.
+    pub protocol: &'static str,
+    /// Correlation parameter `ρ` (`Pr[X=Y] = ½ + 2ρ`).
+    pub rho: f64,
+    /// Exact internal cost.
+    pub internal: f64,
+    /// Exact external cost.
+    pub external: f64,
+}
+
+impl Row {
+    /// The gap `IC^ext − IC^int`.
+    pub fn gap(&self) -> f64 {
+        self.external - self.internal
+    }
+}
+
+/// The correlations used in `EXPERIMENTS.md` (`ρ = 0` is the product case,
+/// `ρ = 0.25` is `X = Y`).
+pub fn default_rhos() -> Vec<f64> {
+    vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.25]
+}
+
+/// Runs the sweep (exact; no randomness).
+pub fn run(rhos: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let protocols: [(&'static str, _); 2] = [
+        ("sequential AND_2", sequential_and(2)),
+        ("noisy AND_2 (eps=0.1)", noisy_sequential_and(2, 0.1)),
+    ];
+    for (name, tree) in &protocols {
+        for &rho in rhos {
+            let joint = [[0.25 + rho, 0.25 - rho], [0.25 - rho, 0.25 + rho]];
+            rows.push(Row {
+                protocol: name,
+                rho,
+                internal: internal_ic_two_party_joint(tree, &joint),
+                external: external_ic_two_party_joint(tree, &joint),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E11 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["protocol", "rho", "internal IC", "external IC", "gap"]);
+    for r in rows {
+        t.row([
+            r.protocol.to_owned(),
+            f(r.rho, 2),
+            f(r.internal, 4),
+            f(r.external, 4),
+            f(r.gap(), 4),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_is_zero_at_product_and_grows_with_correlation() {
+        let rows = run(&[0.0, 0.1, 0.25]);
+        for chunk in rows.chunks(3) {
+            assert!(
+                chunk[0].gap().abs() < 1e-9,
+                "product case: {}",
+                chunk[0].gap()
+            );
+            assert!(chunk[1].gap() > 1e-6, "correlated case must gap");
+            assert!(chunk[2].gap() > chunk[1].gap(), "gap grows with ρ");
+        }
+    }
+
+    #[test]
+    fn internal_never_exceeds_external() {
+        for r in run(&default_rhos()) {
+            assert!(r.internal <= r.external + 1e-9, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! **E12 (extension) — Håstad–Wigderson sparse disjointness**.
+//!
+//! The introduction's example of a vanishing log factor: two players with
+//! `|X| = |Y| = s` decide disjointness in `O(s)` bits, not `O(s log n)`.
+//! This experiment sweeps `s` at fixed `n` (cost should grow linearly in
+//! `s`) and sweeps `n` at fixed `s` (cost should not move), against the
+//! naive send-the-set baseline.
+
+use bci_encoding::bitset::BitSet;
+use bci_protocols::sparse::{naive_bits, run as hw_run};
+use rand::{Rng, SeedableRng};
+
+use crate::table::{f, Table};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Universe size.
+    pub n: usize,
+    /// Set size `s`.
+    pub s: usize,
+    /// Mean Håstad–Wigderson bits over the trials.
+    pub hw_bits: f64,
+    /// Mean bits per element (`≈ constant`).
+    pub per_element: f64,
+    /// The naive baseline `s·⌈log₂ n⌉`.
+    pub naive: f64,
+    /// Fraction of runs ending in the explicit fallback.
+    pub fallback_rate: f64,
+}
+
+fn disjoint_pair<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> (BitSet, BitSet) {
+    let mut x = BitSet::new(n);
+    let mut y = BitSet::new(n);
+    while x.len() < s {
+        x.insert(rng.random_range(0..n));
+    }
+    while y.len() < s {
+        let e = rng.random_range(0..n);
+        if !x.contains(e) {
+            y.insert(e);
+        }
+    }
+    (x, y)
+}
+
+/// Runs the sweep on disjoint pairs (the expensive case — intersecting
+/// pairs terminate early).
+pub fn run(grid: &[(usize, usize)], trials: u64, seed: u64) -> Vec<Row> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    grid.iter()
+        .map(|&(n, s)| {
+            let mut bits = 0.0;
+            let mut fallbacks = 0u64;
+            for _ in 0..trials {
+                let (x, y) = disjoint_pair(n, s, &mut rng);
+                let out = hw_run(&x, &y, &mut rng);
+                assert!(out.output, "disjoint instances");
+                bits += out.bits;
+                fallbacks += u64::from(out.fallback);
+            }
+            let hw = bits / trials as f64;
+            Row {
+                n,
+                s,
+                hw_bits: hw,
+                per_element: hw / s as f64,
+                naive: naive_bits(n, s),
+                fallback_rate: fallbacks as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// The grid used in `EXPERIMENTS.md`: an `s`-sweep at `n = 2²⁰` and an
+/// `n`-sweep at `s = 128`.
+pub fn default_grid() -> Vec<(usize, usize)> {
+    let mut g: Vec<(usize, usize)> = [32usize, 64, 128, 256, 512]
+        .iter()
+        .map(|&s| (1usize << 20, s))
+        .collect();
+    g.extend([(1usize << 12, 128), (1 << 16, 128), (1 << 24, 128)]);
+    g
+}
+
+/// Renders the E12 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "n",
+        "s",
+        "HW bits",
+        "bits/element",
+        "naive s*log2(n)",
+        "fallback rate",
+    ]);
+    for r in rows {
+        t.row([
+            r.n.to_string(),
+            r.s.to_string(),
+            f(r.hw_bits, 1),
+            f(r.per_element, 2),
+            f(r.naive, 0),
+            f(r.fallback_rate, 3),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_s_flat_in_n() {
+        let rows = run(&[(1 << 16, 64), (1 << 16, 256), (1 << 12, 64)], 15, 3);
+        // s quadrupled: cost within [2.5x, 6x].
+        let growth = rows[1].hw_bits / rows[0].hw_bits;
+        assert!((2.5..6.0).contains(&growth), "growth {growth}");
+        // n shrank 16x at fixed s: cost within 25%.
+        let drift = (rows[2].hw_bits - rows[0].hw_bits).abs() / rows[0].hw_bits;
+        assert!(drift < 0.25, "drift {drift}");
+        // Beats naive at these sizes.
+        assert!(rows[1].hw_bits < rows[1].naive);
+    }
+}

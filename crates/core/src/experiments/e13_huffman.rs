@@ -1,0 +1,126 @@
+//! **E13 (extension) — the one-way baseline: Huffman's `H + 1`**.
+//!
+//! The paper's introduction frames interactive compression against the
+//! classical one-way facts (Shannon `H`, Huffman `H + 1`). This experiment
+//! makes the contrast concrete on `AND_k`: the sequential protocol's
+//! transcript has entropy `H(Π) ≈ log₂ k` under `μ′`, and an *external
+//! recoder* (who sees the whole transcript) can Huffman-code it into
+//! `< H + 1` bits — yet Section 6 proves no *interactive protocol* can get
+//! below `Ω(k)`. One-way compression ≠ interactive compression, which is
+//! exactly why the `Ω(k/log k)` gap (E5) is interesting.
+
+use bci_encoding::huffman::HuffmanCode;
+use bci_lowerbound::counting::FoolingDist;
+use bci_protocols::and_trees::sequential_and;
+
+use crate::table::{f, Table};
+
+/// One `k` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Players.
+    pub k: usize,
+    /// Transcript entropy `H(Π)` under `μ′`.
+    pub entropy: f64,
+    /// Expected Huffman codeword length of the transcript.
+    pub huffman: f64,
+    /// The interactive lower bound (Lemma 6) in bits.
+    pub interactive_lb: f64,
+    /// The protocol's worst-case communication.
+    pub cc: usize,
+}
+
+/// The sweep used in `EXPERIMENTS.md`.
+pub fn default_ks() -> Vec<usize> {
+    vec![8, 32, 128, 512, 2048]
+}
+
+/// Lower-bound parameters (match E5).
+pub const EPS: f64 = 0.05;
+/// See [`EPS`].
+pub const EPS_PRIME: f64 = 0.1;
+
+/// Runs the sweep (exact; no randomness).
+pub fn run(ks: &[usize]) -> Vec<Row> {
+    ks.iter()
+        .map(|&k| {
+            let tree = sequential_and(k);
+            let mu = FoolingDist::new(k, EPS_PRIME);
+            // Transcript distribution under μ′: the support is k+1 inputs,
+            // each deterministically reaching one leaf.
+            let mut leaf_probs = vec![0.0f64; tree.leaves().len()];
+            let all_ones = vec![true; k];
+            let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &_| {
+                let d = bci_blackboard::ProtocolTree::transcript_dist_given_input(tree, x);
+                for (acc, p) in probs.iter_mut().zip(d) {
+                    *acc += w * p;
+                }
+            };
+            add(&mut leaf_probs, &all_ones, EPS_PRIME, &tree);
+            let w = (1.0 - EPS_PRIME) / k as f64;
+            for z in 0..k {
+                let mut x = all_ones.clone();
+                x[z] = false;
+                add(&mut leaf_probs, &x, w, &tree);
+            }
+            let entropy = bci_info::entropy::entropy(&leaf_probs);
+            let code = HuffmanCode::from_probs(&leaf_probs);
+            Row {
+                k,
+                entropy,
+                huffman: code.expected_len(&leaf_probs),
+                interactive_lb: mu.speaker_threshold(EPS),
+                cc: k,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E13 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "k",
+        "H(transcript)",
+        "Huffman E[len]",
+        "H+1",
+        "interactive LB",
+        "CC",
+    ]);
+    for r in rows {
+        t.row([
+            r.k.to_string(),
+            f(r.entropy, 3),
+            f(r.huffman, 3),
+            f(r.entropy + 1.0, 3),
+            f(r.interactive_lb, 1),
+            r.cc.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huffman_sits_in_the_shannon_window() {
+        for r in run(&[8, 128, 512]) {
+            assert!(r.huffman >= r.entropy - 1e-9, "k={}", r.k);
+            assert!(r.huffman < r.entropy + 1.0, "k={}", r.k);
+        }
+    }
+
+    #[test]
+    fn one_way_beats_interactive_bound_by_k_over_log_k() {
+        for r in run(&[128, 2048]) {
+            assert!(
+                r.interactive_lb > 10.0 * r.huffman,
+                "k={}: interactive {} vs one-way {}",
+                r.k,
+                r.interactive_lb,
+                r.huffman
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! **E15 (extension) — Shannon's amortized limit on transcript streams**.
+//!
+//! The introduction's other classical baseline: block coding many iid
+//! messages drives the per-message cost to `H(X)` (Shannon), while
+//! symbol-by-symbol Huffman is stuck at up to one extra bit each. This
+//! experiment block-codes streams of `AND_k` transcripts with the
+//! arithmetic coder and watches the per-transcript cost converge to the
+//! exact transcript entropy — the one-way analogue of Theorem 3's
+//! amortization (E7), with the same "amortization kills the per-item tax"
+//! shape.
+
+use bci_encoding::arithmetic::{decode_sequence, encode_sequence, ArithmeticModel};
+use bci_encoding::huffman::HuffmanCode;
+use bci_protocols::and_trees::sequential_and;
+use rand::SeedableRng;
+
+use crate::table::{f, Table};
+
+/// One block-size sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Block size `m` (transcripts coded jointly).
+    pub m: usize,
+    /// Arithmetic-coded bits per transcript (mean over trials).
+    pub arithmetic_per_symbol: f64,
+    /// Huffman bits per transcript (same streams).
+    pub huffman_per_symbol: f64,
+    /// Exact transcript entropy `H(Π)`.
+    pub entropy: f64,
+}
+
+/// Parameters of the experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Players per instance.
+    pub k: usize,
+    /// `Pr[Xᵢ = 1]` — near 1 makes transcripts skewed and `H` small.
+    pub prior: f64,
+    /// Trials averaged per block size.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            k: 16,
+            prior: 0.999,
+            trials: 50,
+            seed: 15,
+        }
+    }
+}
+
+/// The block sizes used in `EXPERIMENTS.md`.
+pub fn default_ms() -> Vec<usize> {
+    vec![1, 4, 16, 64, 256, 2048]
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params, ms: &[usize]) -> Vec<Row> {
+    let tree = sequential_and(params.k);
+    let priors = vec![params.prior; params.k];
+    // Exact transcript distribution over leaves.
+    let leaf_probs: Vec<f64> = tree
+        .leaves()
+        .iter()
+        .map(|l| l.prob_under_product(&priors))
+        .collect();
+    let entropy = bci_info::entropy::entropy(&leaf_probs);
+    let model = ArithmeticModel::from_probs(&leaf_probs);
+    let huffman = HuffmanCode::from_probs(&leaf_probs);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+    ms.iter()
+        .map(|&m| {
+            let mut arith_bits = 0usize;
+            let mut huff_bits = 0usize;
+            for _ in 0..params.trials {
+                let symbols: Vec<usize> = (0..m)
+                    .map(|_| {
+                        let x: Vec<bool> = priors
+                            .iter()
+                            .map(|&p| rand::Rng::random_bool(&mut rng, p))
+                            .collect();
+                        tree.simulate(&x, &mut rng).0
+                    })
+                    .collect();
+                let bits = encode_sequence(&model, &symbols);
+                debug_assert_eq!(decode_sequence(&model, &bits, symbols.len()), symbols);
+                arith_bits += bits.len();
+                huff_bits += symbols.iter().map(|&s| huffman.code_len(s)).sum::<usize>();
+            }
+            let denom = (m * params.trials) as f64;
+            Row {
+                m,
+                arithmetic_per_symbol: arith_bits as f64 / denom,
+                huffman_per_symbol: huff_bits as f64 / denom,
+                entropy,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E15 table.
+pub fn render(params: &Params, rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "block m",
+        "arithmetic b/transcript",
+        "Huffman b/transcript",
+        "H(transcript)",
+    ]);
+    for r in rows {
+        t.row([
+            r.m.to_string(),
+            f(r.arithmetic_per_symbol, 3),
+            f(r.huffman_per_symbol, 3),
+            f(r.entropy, 3),
+        ]);
+    }
+    format!(
+        "k = {}, Pr[X_i = 1] = {} (skewed transcripts)\n{}",
+        params.k,
+        params.prior,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_coding_converges_to_entropy() {
+        let params = Params {
+            trials: 20,
+            ..Params::default()
+        };
+        let rows = run(&params, &[1, 1024]);
+        // Large blocks land within 10% + a few hundredths of H.
+        let big = &rows[1];
+        assert!(
+            big.arithmetic_per_symbol < big.entropy * 1.1 + 0.05,
+            "per-symbol {} vs H {}",
+            big.arithmetic_per_symbol,
+            big.entropy
+        );
+        // Small blocks pay the termination overhead.
+        assert!(rows[0].arithmetic_per_symbol > big.arithmetic_per_symbol);
+        // Huffman is stuck ≥ 1 bit/transcript on this sub-bit source.
+        assert!(big.huffman_per_symbol >= 1.0 - 1e-9);
+        assert!(big.entropy < 1.0, "the source really is sub-bit");
+    }
+}

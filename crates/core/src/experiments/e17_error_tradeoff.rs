@@ -1,0 +1,102 @@
+//! **E17 (extension) — the error–information tradeoff**.
+//!
+//! Theorem 1 holds "for sufficiently small δ", and the Lemma 5 chain's
+//! constants degrade explicitly as the error grows (`π₂(B₀) ≤ C·δ`,
+//! `π₂(B₁) ≤ δ/μ(𝒳₂)`). This experiment sweeps the per-player noise of the
+//! sequential protocol at fixed `k` and tracks, exactly: the worst-case
+//! error, the conditional information cost, and the pointing mass — the
+//! quantitative version of "allowing more error buys less information
+//! leakage, until the protocol stops pointing at all".
+
+use bci_lowerbound::cic::cic_hard;
+use bci_lowerbound::good_transcripts::analyze;
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and::and_function;
+use bci_protocols::and_trees::noisy_sequential_and;
+
+use crate::table::{f, Table};
+
+/// One noise-level sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Per-player flip probability `ε`.
+    pub eps: f64,
+    /// Exact worst-case error of the protocol.
+    pub error: f64,
+    /// Exact `CIC_μ`.
+    pub cic: f64,
+    /// Lemma 5 pointing mass at threshold `α ≥ k/2`.
+    pub pointing_mass: f64,
+}
+
+/// The noise levels used in `EXPERIMENTS.md`.
+pub fn default_epsilons() -> Vec<f64> {
+    vec![0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5]
+}
+
+/// Runs the sweep at fixed `k` (exact; no randomness). `k ≤ 20` because
+/// the worst-case-error enumeration is `2ᵏ`.
+pub fn run(k: usize, epsilons: &[f64]) -> Vec<Row> {
+    assert!(k <= 20, "worst-case error enumeration limited to k ≤ 20");
+    let mu = HardDist::new(k);
+    epsilons
+        .iter()
+        .map(|&eps| {
+            let tree = noisy_sequential_and(k, eps);
+            Row {
+                eps,
+                error: tree.worst_case_error(|x| usize::from(and_function(x))),
+                cic: cic_hard(&tree, &mu),
+                pointing_mass: analyze(&tree, 20.0, 0.5).pointing_mass,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E17 table.
+pub fn render(k: usize, rows: &[Row]) -> String {
+    let mut t = Table::new(["eps", "worst-case error", "CIC", "pointing mass"]);
+    for r in rows {
+        t.row([
+            format!("{:.0e}", r.eps),
+            f(r.error, 4),
+            f(r.cic, 4),
+            f(r.pointing_mass, 4),
+        ]);
+    }
+    format!("k = {k}\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn information_decreases_as_error_grows() {
+        let rows = run(12, &[0.0, 0.01, 0.1, 0.5]);
+        for w in rows.windows(2) {
+            assert!(w[1].error >= w[0].error - 1e-12, "error monotone");
+            assert!(w[1].cic <= w[0].cic + 1e-9, "information monotone down");
+        }
+        // At ε = 1/2 the messages are pure noise.
+        let last = rows.last().expect("nonempty");
+        assert!(last.cic < 1e-9, "CIC at pure noise: {}", last.cic);
+        assert!(last.pointing_mass < 1e-9);
+    }
+
+    #[test]
+    fn small_error_preserves_pointing() {
+        let rows = run(16, &[1e-4, 0.25]);
+        assert!(rows[0].pointing_mass > 0.95);
+        assert!(rows[1].pointing_mass < rows[0].pointing_mass);
+    }
+
+    #[test]
+    fn zero_noise_matches_exact_protocol() {
+        use bci_protocols::and_trees::sequential_and;
+        let rows = run(10, &[0.0]);
+        assert_eq!(rows[0].error, 0.0);
+        let exact = cic_hard(&sequential_and(10), &HardDist::new(10));
+        assert!((rows[0].cic - exact).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! **E18 (extension) — promise disjointness instances**.
+//!
+//! The promise version of set disjointness (either the sets share exactly
+//! one element or they are pairwise disjoint) is the form that drives the
+//! streaming lower bounds the paper cites ([1, 2, 17]). This experiment
+//! runs the Theorem 2 protocol on promise instances across set sizes and
+//! records how its cost adapts: the protocol must still certify *all* `n`
+//! coordinates, so the promise does not make the upper bound cheaper — the
+//! `Ω(n/k)`-per-player hardness of the promise problem lives below the
+//! general `Ω(n log k)` bound, and the measured costs sit between them.
+
+use bci_protocols::disj::{batched, naive};
+use bci_protocols::workload;
+use rand::SeedableRng;
+
+use crate::table::Table;
+
+/// One promise-instance sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Universe size.
+    pub n: usize,
+    /// Players.
+    pub k: usize,
+    /// Per-player set size.
+    pub set_size: usize,
+    /// Whether the instance has the unique intersection.
+    pub intersecting: bool,
+    /// Batched protocol bits.
+    pub batched_bits: usize,
+    /// Naive protocol bits.
+    pub naive_bits: usize,
+    /// Protocol output (false = found the intersection).
+    pub output: bool,
+}
+
+/// Runs the sweep: for each `(n, k, set_size)` both promise cases.
+pub fn run(grid: &[(usize, usize, usize)], seed: u64) -> Vec<Row> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &(n, k, set_size) in grid {
+        let (with, _) = workload::unique_intersection(n, k, set_size, &mut rng);
+        let b = batched::run(&with);
+        let nv = naive::run(&with);
+        assert!(!b.output && !nv.output);
+        rows.push(Row {
+            n,
+            k,
+            set_size,
+            intersecting: true,
+            batched_bits: b.bits,
+            naive_bits: nv.bits,
+            output: b.output,
+        });
+        let without = workload::pairwise_disjoint(n, k, set_size, &mut rng);
+        let b = batched::run(&without);
+        let nv = naive::run(&without);
+        assert!(b.output && nv.output);
+        rows.push(Row {
+            n,
+            k,
+            set_size,
+            intersecting: false,
+            batched_bits: b.bits,
+            naive_bits: nv.bits,
+            output: b.output,
+        });
+    }
+    rows
+}
+
+/// The grid used in `EXPERIMENTS.md`.
+pub fn default_grid() -> Vec<(usize, usize, usize)> {
+    vec![
+        (2048, 8, 16),
+        (2048, 8, 128),
+        (2048, 8, 255),
+        (8192, 16, 256),
+    ]
+}
+
+/// Renders the E18 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "n",
+        "k",
+        "set size",
+        "promise case",
+        "batched bits",
+        "naive bits",
+        "decided",
+    ]);
+    for r in rows {
+        t.row([
+            r.n.to_string(),
+            r.k.to_string(),
+            r.set_size.to_string(),
+            if r.intersecting {
+                "unique intersection"
+            } else {
+                "pairwise disjoint"
+            }
+            .to_owned(),
+            r.batched_bits.to_string(),
+            r.naive_bits.to_string(),
+            if r.output { "disjoint" } else { "non-disjoint" }.to_owned(),
+        ]);
+    }
+    format!(
+        "{}\n(batched/naive costs are dominated by certifying the n \
+         coordinates;\nthe promise changes the answer, not the certification \
+         work)\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_promise_cases_are_decided_correctly() {
+        let rows = run(&[(512, 4, 32)], 7);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows[0].output, "unique intersection detected");
+        assert!(rows[1].output, "pairwise disjoint certified");
+    }
+
+    #[test]
+    fn costs_track_certification_not_the_promise() {
+        // Sparse sets → most coordinates are zeros for everyone → both
+        // cases publish ~n coordinates; the costs are within 25%.
+        let rows = run(&[(1024, 8, 16)], 9);
+        let ratio = rows[0].batched_bits as f64 / rows[1].batched_bits as f64;
+        assert!((0.75..1.33).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,101 @@
+//! **E2 — Theorem 1**: `CIC_μ(AND_k) = Θ(log k)`.
+//!
+//! Computes the *exact* conditional information cost of the sequential
+//! `AND_k` witness under the hard distribution `μ`, for a sweep of `k`. The
+//! claim to reproduce: `CIC / log₂ k` is bounded between constants (the
+//! protocol witnesses the `O(log k)` side; Theorem 1 says no protocol can do
+//! asymptotically better than `Ω(log k)`, so the witness curve and the bound
+//! curve bracket a Θ(log k) band).
+
+use bci_lowerbound::cic::{cic_hard, theorem1_bound};
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and_trees::sequential_and;
+
+use crate::table::{f, Table};
+
+/// One `k` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of players.
+    pub k: usize,
+    /// Exact `CIC_μ` of the sequential witness.
+    pub cic: f64,
+    /// `CIC / log₂ k` — flat in `k` iff the scaling is `Θ(log k)`.
+    pub cic_over_log_k: f64,
+    /// The Theorem 1 lower-bound curve `(p/2)·log₂ k` at `p = 1/2`.
+    pub theorem1: f64,
+    /// The witness's worst-case communication (`= k`).
+    pub cc: usize,
+}
+
+/// The sweep used in `EXPERIMENTS.md`.
+pub fn default_ks() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64, 128, 256, 512]
+}
+
+/// Runs the sweep (fully deterministic — everything is exact).
+pub fn run(ks: &[usize]) -> Vec<Row> {
+    ks.iter()
+        .map(|&k| {
+            let cic = cic_hard(&sequential_and(k), &HardDist::new(k));
+            Row {
+                k,
+                cic,
+                cic_over_log_k: cic / (k as f64).log2().max(1e-9),
+                theorem1: theorem1_bound(k, 0.5),
+                cc: k,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E2 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["k", "CIC(seq AND)", "CIC/log2 k", "(1/4)log2 k", "CC"]);
+    for r in rows {
+        t.row([
+            r.k.to_string(),
+            f(r.cic, 4),
+            f(r.cic_over_log_k, 4),
+            f(r.theorem1, 4),
+            r.cc.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_flat_across_two_orders_of_magnitude() {
+        let rows = run(&[4, 64, 512]);
+        let ratios: Vec<f64> = rows.iter().map(|r| r.cic_over_log_k).collect();
+        for w in ratios.windows(2) {
+            assert!(
+                (w[0] / w[1]).abs() < 2.0 && (w[1] / w[0]).abs() < 2.0,
+                "ratios {ratios:?} not within a constant band"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_sits_above_theorem1_curve() {
+        for r in run(&[16, 128, 512]) {
+            assert!(
+                r.cic >= 0.5 * r.theorem1,
+                "k={}: witness {} below the bound shape {}",
+                r.k,
+                r.cic,
+                r.theorem1
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_two_is_well_defined() {
+        let rows = run(&[2]);
+        assert!(rows[0].cic > 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! **E3 — Lemma 5**: small-error protocols point at a zero-holder.
+//!
+//! For protocols with error `δ`, the paper's chain bounds
+//! `π₂(B₁) ≤ δ/μ(𝒳₂)`, `π₂(B₀) ≤ C·δ`, and concludes that most of `π₂`'s
+//! mass lies on transcripts with `max_i α_i ≥ c·k`. This experiment runs the
+//! exact accounting on the noisy sequential protocol (per-player flip
+//! `δ/k`, total error `≈ δ`) across `k` and `δ`.
+
+use bci_lowerbound::good_transcripts::{analyze, PointingReport};
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and_trees::noisy_sequential_and;
+
+use crate::table::{f, Table};
+
+/// One `(k, δ)` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of players.
+    pub k: usize,
+    /// Target protocol error `δ`.
+    pub delta: f64,
+    /// The exact Section 4.1 masses.
+    pub report: PointingReport,
+    /// `δ / μ(𝒳₂)` — the paper's bound on `π₂(B₁)`.
+    pub b1_bound: f64,
+    /// `C · δ` — the paper's bound on `π₂(B₀)`.
+    pub b0_bound: f64,
+}
+
+/// The sweep used in `EXPERIMENTS.md`.
+pub fn default_grid() -> Vec<(usize, f64)> {
+    let mut g = Vec::new();
+    for &k in &[8usize, 32, 128, 512] {
+        for &d in &[1e-3, 1e-2] {
+            g.push((k, d));
+        }
+    }
+    g
+}
+
+/// The constant `C` of the `L` test and the pointing factor `c` used
+/// throughout the experiment.
+pub const BIG_C: f64 = 20.0;
+/// Pointing threshold factor: transcripts count as pointing when
+/// `max α ≥ ALPHA_FACTOR · k`.
+pub const ALPHA_FACTOR: f64 = 0.5;
+
+/// Runs the sweep (exact; no randomness).
+pub fn run(grid: &[(usize, f64)]) -> Vec<Row> {
+    grid.iter()
+        .map(|&(k, delta)| {
+            let tree = noisy_sequential_and(k, delta / k as f64);
+            let report = analyze(&tree, BIG_C, ALPHA_FACTOR);
+            let mu = HardDist::new(k);
+            Row {
+                k,
+                delta,
+                b1_bound: delta / mu.mass_zero_count(2),
+                b0_bound: BIG_C * delta,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E3 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "k",
+        "delta",
+        "pi2(L)",
+        "pi2(L')",
+        "pi2(B0)",
+        "C*delta",
+        "pi2(B1)",
+        "delta/mu(X2)",
+        "pointing mass",
+    ]);
+    for r in rows {
+        t.row([
+            r.k.to_string(),
+            format!("{:.0e}", r.delta),
+            f(r.report.pi2_l, 4),
+            f(r.report.pi2_lprime, 4),
+            f(r.report.pi2_b0, 5),
+            f(r.b0_bound, 5),
+            f(r.report.pi2_b1, 5),
+            f(r.b1_bound, 5),
+            f(r.report.pointing_mass, 4),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bounds_hold_on_every_row() {
+        for r in run(&[(16, 1e-3), (64, 1e-2), (256, 1e-3)]) {
+            assert!(
+                r.report.pi2_b1 <= r.b1_bound + 1e-9,
+                "k={}: π₂(B₁) {} exceeds δ/μ(X₂) {}",
+                r.k,
+                r.report.pi2_b1,
+                r.b1_bound
+            );
+            assert!(
+                r.report.pi2_b0 <= r.b0_bound + 1e-9,
+                "k={}: π₂(B₀) {} exceeds C·δ {}",
+                r.k,
+                r.report.pi2_b0,
+                r.b0_bound
+            );
+            assert!(
+                r.report.pointing_mass >= 0.9,
+                "k={}: pointing mass {}",
+                r.k,
+                r.report.pointing_mass
+            );
+        }
+    }
+
+    #[test]
+    fn masses_partition_pi2() {
+        for r in run(&[(32, 1e-2)]) {
+            let total = r.report.pi2_l + r.report.pi2_b0 + r.report.pi2_b1;
+            assert!((total - 1.0).abs() < 1e-9, "π₂ partition sums to {total}");
+        }
+    }
+}

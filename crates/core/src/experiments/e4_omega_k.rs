@@ -1,0 +1,170 @@
+//! **E4 — Lemma 6**: `CC_ε(AND_k) = Ω(k)`.
+//!
+//! Sweeps the number of speakers `ℓ` of the truncated deterministic
+//! protocol and measures its error under the two-point distribution `μ′`,
+//! three ways: the closed form `(1−ε′)(1−ℓ/k)`, the exact tree computation,
+//! and a Monte-Carlo run of the executable protocol. The error crosses `ε`
+//! exactly at the lemma's threshold `(1 − ε/(1−ε′))·k` — linear in `k`.
+
+use bci_blackboard::runner::monte_carlo;
+use bci_lowerbound::counting::FoolingDist;
+use bci_protocols::and::{and_function, TruncatedAnd};
+use bci_protocols::and_trees::truncated_and;
+use rand::SeedableRng;
+
+use crate::table::{f, Table};
+
+/// One speaker-count sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of players.
+    pub k: usize,
+    /// Speakers `ℓ`.
+    pub speakers: usize,
+    /// Closed-form error `(1−ε′)(1−ℓ/k)`.
+    pub closed_form: f64,
+    /// Exact error from the protocol tree.
+    pub exact: f64,
+    /// Monte-Carlo error of the executable protocol.
+    pub monte_carlo: f64,
+    /// Whether the lemma predicts error `> ε` at this `ℓ`.
+    pub below_threshold: bool,
+}
+
+/// Parameters of the experiment.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Players.
+    pub k: usize,
+    /// Error budget `ε`.
+    pub eps: f64,
+    /// All-ones weight `ε′`.
+    pub eps_prime: f64,
+    /// Monte-Carlo trials per point.
+    pub trials: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            k: 128,
+            eps: 0.1,
+            eps_prime: 0.15,
+            trials: 20_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs the sweep over `speaker_fracs · k` speakers.
+pub fn run(params: &Params, speaker_fracs: &[f64]) -> Vec<Row> {
+    let d = FoolingDist::new(params.k, params.eps_prime);
+    let threshold = d.speaker_threshold(params.eps);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+    speaker_fracs
+        .iter()
+        .map(|&frac| {
+            let speakers = ((params.k as f64 * frac).round() as usize).min(params.k);
+            let closed_form = d.truncated_error(speakers);
+            // error_of_tree enumerates the μ′ support of k+1 inputs
+            // directly — no 2^k blowup — so it is exact at any k.
+            let exact = d.error_of_tree(&truncated_and(params.k, speakers));
+            let protocol = TruncatedAnd::new(params.k, speakers);
+            let report = monte_carlo(
+                &protocol,
+                |rng| d.sample(rng),
+                and_function,
+                params.trials,
+                &mut rng,
+            );
+            Row {
+                k: params.k,
+                speakers,
+                closed_form,
+                exact,
+                monte_carlo: report.error_rate(),
+                below_threshold: (speakers as f64) < threshold,
+            }
+        })
+        .collect()
+}
+
+/// The default sweep fractions.
+pub fn default_fracs() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 0.85, 0.9, 0.95, 1.0]
+}
+
+/// Renders the E4 table.
+pub fn render(params: &Params, rows: &[Row]) -> String {
+    let d = FoolingDist::new(params.k, params.eps_prime);
+    let mut t = Table::new([
+        "speakers",
+        "closed form",
+        "exact (tree)",
+        "Monte Carlo",
+        "lemma: err>eps?",
+    ]);
+    for r in rows {
+        t.row([
+            r.speakers.to_string(),
+            f(r.closed_form, 4),
+            f(r.exact, 4),
+            f(r.monte_carlo, 4),
+            if r.below_threshold { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    format!(
+        "k = {}, eps = {}, eps' = {}, Lemma 6 threshold = {:.1} speakers\n{}",
+        params.k,
+        params.eps,
+        params.eps_prime,
+        d.speaker_threshold(params.eps),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_measurements_agree() {
+        let params = Params {
+            k: 64,
+            trials: 40_000,
+            ..Params::default()
+        };
+        for r in run(&params, &[0.5, 0.9, 1.0]) {
+            assert!(
+                (r.closed_form - r.exact).abs() < 1e-12,
+                "closed form vs exact at ℓ={}",
+                r.speakers
+            );
+            assert!(
+                (r.monte_carlo - r.exact).abs() < 0.02,
+                "MC {} vs exact {} at ℓ={}",
+                r.monte_carlo,
+                r.exact,
+                r.speakers
+            );
+        }
+    }
+
+    #[test]
+    fn error_crosses_eps_at_the_threshold() {
+        let params = Params {
+            k: 100,
+            trials: 1000,
+            ..Params::default()
+        };
+        for r in run(&params, &[0.2, 0.95, 1.0]) {
+            if r.below_threshold {
+                assert!(r.exact > params.eps, "ℓ={}: {}", r.speakers, r.exact);
+            } else {
+                assert!(r.exact <= params.eps + 1e-12);
+            }
+        }
+    }
+}

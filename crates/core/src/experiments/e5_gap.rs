@@ -1,0 +1,92 @@
+//! **E5 — Section 6**: the `Ω(k / log k)` information-vs-communication gap.
+//!
+//! For each `k`, computes the exact external information cost of `AND_k`'s
+//! sequential witness under `μ′` (an upper bound on `inf_Π IC`, logarithmic)
+//! and the Lemma 6 communication lower bound (linear). Their ratio is the
+//! measured gap; the reference curve is `k / log₂ k`.
+
+use bci_compression::gap::{and_gap, GapReport};
+
+use crate::table::{f, Table};
+
+/// One `k` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The two sides and their parameters.
+    pub report: GapReport,
+    /// The `k / log₂ k` reference value.
+    pub reference: f64,
+}
+
+/// The sweep used in `EXPERIMENTS.md`.
+pub fn default_ks() -> Vec<usize> {
+    vec![16, 64, 256, 1024, 4096, 16384, 65536]
+}
+
+/// Lower-bound parameters used throughout: `ε = 0.05`, `ε′ = 0.1`.
+pub const EPS: f64 = 0.05;
+/// See [`EPS`].
+pub const EPS_PRIME: f64 = 0.1;
+
+/// Runs the sweep (exact; no randomness).
+pub fn run(ks: &[usize]) -> Vec<Row> {
+    ks.iter()
+        .map(|&k| Row {
+            report: and_gap(k, EPS, EPS_PRIME),
+            reference: k as f64 / (k as f64).log2(),
+        })
+        .collect()
+}
+
+/// Renders the E5 table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "k",
+        "IC (bits)",
+        "CC lower bound",
+        "gap = CC/IC",
+        "k/log2 k",
+        "gap/(k/log k)",
+    ]);
+    for r in rows {
+        t.row([
+            r.report.k.to_string(),
+            f(r.report.ic_bits, 3),
+            f(r.report.cc_lower_bound, 1),
+            f(r.report.ratio(), 2),
+            f(r.reference, 2),
+            f(r.report.ratio() / r.reference, 3),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_tracks_k_over_log_k_with_flat_constant() {
+        let rows = run(&[64, 1024, 16384]);
+        let constants: Vec<f64> = rows
+            .iter()
+            .map(|r| r.report.ratio() / r.reference)
+            .collect();
+        for w in constants.windows(2) {
+            assert!(
+                w[1] / w[0] < 1.5 && w[0] / w[1] < 1.5,
+                "constants {constants:?} drift"
+            );
+        }
+    }
+
+    #[test]
+    fn information_stays_logarithmic_communication_linear() {
+        let rows = run(&[256, 65536]);
+        let (a, b) = (&rows[0], &rows[1]);
+        // k grew 256×; IC grew by ≈ log(256) = 8 additive bits.
+        assert!(b.report.ic_bits - a.report.ic_bits < 9.0);
+        // CC bound grew by the same 256× factor.
+        assert!((b.report.cc_lower_bound / a.report.cc_lower_bound - 256.0).abs() < 1.0);
+    }
+}

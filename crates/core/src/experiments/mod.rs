@@ -1,0 +1,25 @@
+//! One driver per paper result; see `EXPERIMENTS.md` for the index.
+//!
+//! Every module follows the same shape: a `Row` struct, `run(params) ->
+//! Vec<Row>` producing the numbers, `render(&[Row]) -> String` producing the
+//! table, and `default_*` helpers with the parameters used in
+//! `EXPERIMENTS.md`. The `bci-bench` binaries are one-line wrappers.
+
+pub mod e10_union;
+pub mod e11_internal;
+pub mod e12_sparse;
+pub mod e13_huffman;
+pub mod e14_one_shot;
+pub mod e15_block_coding;
+pub mod e16_profile;
+pub mod e17_error_tradeoff;
+pub mod e18_promise;
+pub mod e1_disj_upper;
+pub mod e2_and_cic;
+pub mod e3_pointing;
+pub mod e4_omega_k;
+pub mod e5_gap;
+pub mod e6_sampling;
+pub mod e7_amortized;
+pub mod e8_direct_sum;
+pub mod e9_divergence;

@@ -1,0 +1,93 @@
+//! Integration tests of the `bci` CLI binary: every subcommand runs, prints
+//! what it promises, and bad invocations fail with usage help.
+
+use std::process::Command;
+
+fn bci(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bci"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn disj_subcommand_prints_all_three_protocols() {
+    let out = bci(&["disj", "--n", "512", "--k", "8", "--seed", "3"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("naive"));
+    assert!(stdout.contains("batched (Thm 2)"));
+    assert!(stdout.contains("coordinate-wise AND"));
+    assert!(stdout.contains("disjoint = true"));
+}
+
+#[test]
+fn cic_subcommand_reports_the_ratio() {
+    let out = bci(&["cic", "--k", "64"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("CIC_mu(sequential AND_64)"));
+    assert!(stdout.contains("CIC / log2(k)"));
+}
+
+#[test]
+fn gap_subcommand_reports_both_sides() {
+    let out = bci(&["gap", "--k", "256"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("external information"));
+    assert!(stdout.contains("communication bound"));
+}
+
+#[test]
+fn sample_subcommand_respects_lemma7() {
+    let out = bci(&[
+        "sample",
+        "--universe",
+        "64",
+        "--sharpness",
+        "0.5",
+        "--trials",
+        "50",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("agreement     = 50/50"), "{stdout}");
+}
+
+#[test]
+fn sparse_and_amortize_and_union_run() {
+    for args in [
+        vec!["sparse", "--n", "65536", "--s", "32", "--trials", "5"],
+        vec!["amortize", "--k", "8", "--copies", "16", "--trials", "3"],
+        vec!["union", "--n", "256", "--k", "4"],
+    ] {
+        let out = bci(&args);
+        assert!(out.status.success(), "{args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bci(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .expect("utf8")
+        .contains("USAGE"));
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    for args in [
+        vec![],                                    // no command
+        vec!["frobnicate"],                        // unknown command
+        vec!["disj"],                              // missing required options
+        vec!["disj", "--n", "banana", "--k", "4"], // unparsable value
+        vec!["disj", "--n"],                       // dangling option
+    ] {
+        let out = bci(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains("USAGE"), "{args:?}: {stderr}");
+    }
+}

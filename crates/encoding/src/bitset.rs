@@ -1,0 +1,404 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! Player inputs in `DISJ_{n,k}` are subsets of `[n]`; the protocols
+//! intersect, subtract and scan them constantly, so a compact word-parallel
+//! set representation matters for the large-`n` sweeps.
+
+use std::fmt;
+
+/// A set of integers in `{0, …, capacity−1}` backed by `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use bci_encoding::bitset::BitSet;
+///
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(64);
+/// let mut b = BitSet::new(100);
+/// b.insert(64);
+/// b.insert(99);
+/// assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![64]);
+/// assert!(!a.intersection(&b).is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with elements drawn from `{0, …, capacity−1}`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates the full set `{0, …, capacity−1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is `≥ capacity`.
+    pub fn from_elements<I: IntoIterator<Item = usize>>(capacity: usize, elems: I) -> Self {
+        let mut s = BitSet::new(capacity);
+        for e in elems {
+            s.insert(e);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// The universe size this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `elem`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= capacity`.
+    pub fn insert(&mut self, elem: usize) -> bool {
+        assert!(elem < self.capacity, "element {elem} out of range");
+        let mask = 1u64 << (elem % 64);
+        let word = &mut self.words[elem / 64];
+        let newly = *word & mask == 0;
+        *word |= mask;
+        newly
+    }
+
+    /// Removes `elem`; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= capacity`.
+    pub fn remove(&mut self, elem: usize) -> bool {
+        assert!(elem < self.capacity, "element {elem} out of range");
+        let mask = 1u64 << (elem % 64);
+        let word = &mut self.words[elem / 64];
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Whether `elem` is in the set (out-of-range elements are absent).
+    pub fn contains(&self, elem: usize) -> bool {
+        if elem >= self.capacity {
+            return false;
+        }
+        self.words[elem / 64] & (1u64 << (elem % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// The complement within the universe.
+    pub fn complement(&self) -> BitSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.trim();
+        out
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn zip_with(&self, other: &BitSet, f: impl Fn(u64, u64) -> u64) -> BitSet {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Whether `self` and `other` have no common element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Read access to the backing words (little-endian; bit `j` of word `w`
+    /// is element `64w + j`).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a set from raw backing words, masking off bits `≥ capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `⌈capacity/64⌉` long.
+    pub fn from_words(capacity: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            capacity.div_ceil(64),
+            "expected {} words for capacity {capacity}",
+            capacity.div_ceil(64)
+        );
+        let mut s = BitSet { words, capacity };
+        s.trim();
+        s
+    }
+
+    /// Iterates over elements in increasing order.
+    pub fn iter(&self) -> Elements<'_> {
+        Elements {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects elements into a set whose capacity is `max + 1`.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let elems: Vec<usize> = iter.into_iter().collect();
+        let cap = elems.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_elements(cap, elems)
+    }
+}
+
+/// Iterator over a [`BitSet`]'s elements, produced by [`BitSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Elements<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Elements<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports not-new");
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        let c = s.complement();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn full_zero_capacity() {
+        let s = BitSet::full(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_elements(200, [1, 5, 100, 199]);
+        let b = BitSet::from_elements(200, [5, 100, 150]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![5, 100]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 5, 100, 150, 199]
+        );
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 199]);
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let a = BitSet::from_elements(100, [0, 50, 99]);
+        let c = a.complement();
+        assert_eq!(a.len() + c.len(), 100);
+        assert!(a.intersection(&c).is_empty());
+        assert_eq!(a.union(&c), BitSet::full(100));
+    }
+
+    #[test]
+    fn iter_in_order_across_words() {
+        let elems = [0usize, 63, 64, 65, 127, 128];
+        let s = BitSet::from_elements(129, elems);
+        assert_eq!(s.iter().collect::<Vec<_>>(), elems);
+    }
+
+    #[test]
+    fn union_with_in_place() {
+        let mut a = BitSet::from_elements(10, [1]);
+        let b = BitSet::from_elements(10, [2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn subset_and_disjoint_predicates() {
+        let a = BitSet::from_elements(130, [1, 64, 129]);
+        let b = BitSet::from_elements(130, [1, 64, 100, 129]);
+        let c = BitSet::from_elements(130, [2, 65]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a), "reflexive");
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        let empty = BitSet::new(130);
+        assert!(empty.is_subset(&a));
+        assert!(empty.is_disjoint(&a));
+        assert!(empty.is_disjoint(&empty));
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let a = BitSet::from_elements(100, [0, 63, 64, 99]);
+        let b = BitSet::from_words(100, a.words().to_vec());
+        assert_eq!(a, b);
+        // from_words masks out-of-capacity bits.
+        let c = BitSet::from_words(3, vec![u64::MAX]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: BitSet = [4usize, 2, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4, 7]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Huffman coding — the paper's single-shot baseline for *one-way*
+//! transmission.
+//!
+//! The introduction contrasts interactive compression with the classical
+//! facts: Shannon's `H(X)` per message in the limit and Huffman's
+//! `H(X) + 1` for a single message. This module implements the optimal
+//! prefix code so the workspace can realize that baseline: an external
+//! observer who knows a deterministic protocol's transcript distribution can
+//! recode transcripts at `≤ H(Π) + 1` expected bits — which is what makes
+//! the *interactive*, distributed setting (where no single party knows
+//! everything) the interesting one.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::bitio::{BitReader, BitVec, BitWriter};
+
+/// A Huffman code over symbols `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use bci_encoding::bitio::{BitReader, BitWriter};
+/// use bci_encoding::huffman::HuffmanCode;
+///
+/// let code = HuffmanCode::from_probs(&[0.5, 0.25, 0.125, 0.125]);
+/// // Dyadic distribution: codeword lengths equal the self-information.
+/// assert_eq!(code.code_len(0), 1);
+/// assert_eq!(code.code_len(3), 3);
+/// let mut w = BitWriter::new();
+/// code.encode(2, &mut w);
+/// code.encode(0, &mut w);
+/// let bits = w.into_bits();
+/// let mut r = BitReader::new(&bits);
+/// assert_eq!(code.decode(&mut r), Some(2));
+/// assert_eq!(code.decode(&mut r), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Codeword per symbol.
+    codewords: Vec<BitVec>,
+    /// Decoding tree: nodes are `(left, right)` indices into `nodes`;
+    /// negative values `-(sym+1)` denote leaves.
+    nodes: Vec<[i64; 2]>,
+    root: usize,
+}
+
+impl HuffmanCode {
+    /// Builds the optimal prefix code for the given non-negative weights
+    /// (they need not be normalized). Zero-weight symbols still receive a
+    /// codeword (with the longest lengths), so every symbol stays
+    /// encodable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty or contains negatives/NaN.
+    pub fn from_probs(probs: &[f64]) -> Self {
+        assert!(!probs.is_empty(), "need at least one symbol");
+        assert!(
+            probs.iter().all(|&p| p >= 0.0 && !p.is_nan()),
+            "weights must be non-negative"
+        );
+        let n = probs.len();
+        // Single-symbol alphabet: 0-bit codeword, trivial decoder.
+        if n == 1 {
+            return HuffmanCode {
+                codewords: vec![BitVec::new()],
+                nodes: vec![[-1, -1]],
+                root: 0,
+            };
+        }
+        // Min-heap of (weight, tie, node). Leaves are -(sym+1).
+        #[derive(PartialEq)]
+        struct W(f64);
+        impl Eq for W {}
+        impl PartialOrd for W {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for W {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<(W, usize, i64)>> = BinaryHeap::new();
+        let mut tie = 0usize;
+        for (sym, &p) in probs.iter().enumerate() {
+            // Tiny floor keeps zero-weight symbols mergeable last.
+            heap.push(Reverse((W(p.max(0.0)), tie, -(sym as i64) - 1)));
+            tie += 1;
+        }
+        let mut nodes: Vec<[i64; 2]> = Vec::with_capacity(n - 1);
+        while heap.len() > 1 {
+            let Reverse((W(w1), _, a)) = heap.pop().expect("len > 1");
+            let Reverse((W(w2), _, b)) = heap.pop().expect("len > 1");
+            nodes.push([a, b]);
+            let id = (nodes.len() - 1) as i64;
+            heap.push(Reverse((W(w1 + w2), tie, id)));
+            tie += 1;
+        }
+        let Reverse((_, _, root)) = heap.pop().expect("one element left");
+        let root = root as usize;
+        // Walk the tree to assign codewords.
+        let mut codewords = vec![BitVec::new(); n];
+        let mut stack = vec![(root as i64, BitVec::new())];
+        while let Some((node, prefix)) = stack.pop() {
+            if node < 0 {
+                codewords[(-node - 1) as usize] = prefix;
+                continue;
+            }
+            let [l, r] = nodes[node as usize];
+            let mut pl = prefix.clone();
+            pl.push(false);
+            stack.push((l, pl));
+            let mut pr = prefix;
+            pr.push(true);
+            stack.push((r, pr));
+        }
+        HuffmanCode {
+            codewords,
+            nodes,
+            root,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.codewords.len()
+    }
+
+    /// Length of symbol `sym`'s codeword in bits.
+    pub fn code_len(&self, sym: usize) -> usize {
+        self.codewords[sym].len()
+    }
+
+    /// Expected codeword length under `probs` (assumed normalized).
+    pub fn expected_len(&self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.codewords.len(), "symbol count mismatch");
+        probs
+            .iter()
+            .zip(&self.codewords)
+            .map(|(&p, cw)| p * cw.len() as f64)
+            .sum()
+    }
+
+    /// Appends symbol `sym`'s codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is out of range.
+    pub fn encode(&self, sym: usize, writer: &mut BitWriter) {
+        for b in self.codewords[sym].iter() {
+            writer.write_bit(b);
+        }
+    }
+
+    /// Reads one symbol; `None` on truncated input.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Option<usize> {
+        if self.codewords.len() == 1 {
+            return Some(0);
+        }
+        let mut node = self.root as i64;
+        loop {
+            if node < 0 {
+                return Some((-node - 1) as usize);
+            }
+            let bit = reader.read_bit()?;
+            node = self.nodes[node as usize][usize::from(bit)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entropy(probs: &[f64]) -> f64 {
+        probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+
+    #[test]
+    fn dyadic_distribution_achieves_entropy_exactly() {
+        let probs = [0.5, 0.25, 0.125, 0.0625, 0.0625];
+        let code = HuffmanCode::from_probs(&probs);
+        assert!((code.expected_len(&probs) - entropy(&probs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_length_within_entropy_plus_one() {
+        // The classical Huffman guarantee H ≤ E[len] < H + 1 on assorted
+        // distributions.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.05, 0.05],
+            vec![0.4, 0.3, 0.2, 0.1],
+            vec![1.0 / 7.0; 7],
+            vec![0.01, 0.01, 0.98],
+        ];
+        for probs in cases {
+            let code = HuffmanCode::from_probs(&probs);
+            let e = code.expected_len(&probs);
+            let h = entropy(&probs);
+            assert!(e >= h - 1e-12, "{probs:?}: {e} < H = {h}");
+            assert!(e < h + 1.0, "{probs:?}: {e} ≥ H+1 = {}", h + 1.0);
+        }
+    }
+
+    #[test]
+    fn codewords_are_prefix_free() {
+        let probs = [0.3, 0.25, 0.2, 0.15, 0.07, 0.03];
+        let code = HuffmanCode::from_probs(&probs);
+        for a in 0..probs.len() {
+            for b in 0..probs.len() {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (&code.codewords[a], &code.codewords[b]);
+                if ca.len() <= cb.len() {
+                    let is_prefix = (0..ca.len()).all(|i| ca.get(i) == cb.get(i));
+                    assert!(!is_prefix, "codeword {a} prefixes {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let probs = [0.5, 0.2, 0.15, 0.1, 0.05];
+        let code = HuffmanCode::from_probs(&probs);
+        let symbols = [0usize, 4, 2, 2, 1, 0, 3, 4, 0];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s, &mut w);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &s in &symbols {
+            assert_eq!(code.decode(&mut r), Some(s));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn single_symbol_alphabet_costs_zero_bits() {
+        let code = HuffmanCode::from_probs(&[1.0]);
+        assert_eq!(code.code_len(0), 0);
+        let mut w = BitWriter::new();
+        code.encode(0, &mut w);
+        let bits = w.into_bits();
+        assert!(bits.is_empty());
+        let mut r = BitReader::new(&bits);
+        assert_eq!(code.decode(&mut r), Some(0));
+    }
+
+    #[test]
+    fn zero_probability_symbols_stay_encodable() {
+        let probs = [0.5, 0.0, 0.5, 0.0];
+        let code = HuffmanCode::from_probs(&probs);
+        let mut w = BitWriter::new();
+        code.encode(1, &mut w);
+        code.encode(3, &mut w);
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        assert_eq!(code.decode(&mut r), Some(1));
+        assert_eq!(code.decode(&mut r), Some(3));
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let code = HuffmanCode::from_probs(&[0.25; 4]);
+        let bits = BitVec::from_bools(&[true]); // all codewords are 2 bits
+        let mut r = BitReader::new(&bits);
+        assert_eq!(code.decode(&mut r), None);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let code = HuffmanCode::from_probs(&[0.999, 0.001]);
+        assert_eq!(code.code_len(0), 1);
+        assert_eq!(code.code_len(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        HuffmanCode::from_probs(&[0.5, -0.1]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Unary code: `n` is written as `n` one-bits followed by a zero-bit.
+//!
+//! Used as the building block of the Elias codes and directly by protocols
+//! for small geometric-like quantities (e.g. the block index in the
+//! Lemma-7 sampling protocol, whose distribution is dominated by a
+//! geometric).
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Writes `n` in unary (`n` ones then a zero): `n + 1` bits.
+///
+/// # Example
+///
+/// ```
+/// use bci_encoding::bitio::{BitReader, BitWriter};
+/// use bci_encoding::unary;
+///
+/// let mut w = BitWriter::new();
+/// unary::encode(3, &mut w);
+/// assert_eq!(w.bits().to_string(), "1110");
+/// let bits = w.into_bits();
+/// let mut r = BitReader::new(&bits);
+/// assert_eq!(unary::decode(&mut r), Some(3));
+/// ```
+pub fn encode(n: u64, writer: &mut BitWriter) {
+    for _ in 0..n {
+        writer.write_bit(true);
+    }
+    writer.write_bit(false);
+}
+
+/// Length in bits of the unary code of `n`.
+pub fn code_len(n: u64) -> u64 {
+    n + 1
+}
+
+/// Reads a unary-coded value; `None` on truncated input.
+pub fn decode(reader: &mut BitReader<'_>) -> Option<u64> {
+    let mut n = 0u64;
+    loop {
+        match reader.read_bit()? {
+            true => n += 1,
+            false => return Some(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitVec;
+
+    #[test]
+    fn round_trip_small() {
+        for n in 0..50u64 {
+            let mut w = BitWriter::new();
+            encode(n, &mut w);
+            assert_eq!(w.len() as u64, code_len(n));
+            let bits = w.into_bits();
+            let mut r = BitReader::new(&bits);
+            assert_eq!(decode(&mut r), Some(n));
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_is_single_bit() {
+        let mut w = BitWriter::new();
+        encode(0, &mut w);
+        assert_eq!(w.bits().to_string(), "0");
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let bits = BitVec::from_bools(&[true, true]);
+        let mut r = BitReader::new(&bits);
+        assert_eq!(decode(&mut r), None);
+    }
+
+    #[test]
+    fn sequence_of_codes_is_self_delimiting() {
+        let values = [0u64, 5, 1, 0, 3];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            encode(v, &mut w);
+        }
+        let bits = w.into_bits();
+        let mut r = BitReader::new(&bits);
+        for &v in &values {
+            assert_eq!(decode(&mut r), Some(v));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Probability distributions over explicit finite supports.
+//!
+//! A [`Dist`] is a validated probability vector over outcomes `0..len`. The
+//! outcomes are indices; callers attach meaning (player inputs, messages,
+//! transcripts) externally. This keeps the information-theoretic core free of
+//! domain types and lets the blackboard crate reuse it for both inputs and
+//! transcripts.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::num::close;
+
+/// Error returned when a probability vector fails validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The support was empty.
+    Empty,
+    /// A probability was negative or NaN (the offending index and value).
+    InvalidProbability(usize, f64),
+    /// The vector did not sum to one (the observed sum).
+    NotNormalized(f64),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Empty => write!(f, "distribution support is empty"),
+            DistError::InvalidProbability(i, p) => {
+                write!(f, "invalid probability {p} at index {i}")
+            }
+            DistError::NotNormalized(s) => {
+                write!(f, "probabilities sum to {s}, expected 1")
+            }
+        }
+    }
+}
+
+impl Error for DistError {}
+
+/// A probability distribution over `{0, …, len−1}`.
+///
+/// # Example
+///
+/// ```
+/// use bci_info::dist::Dist;
+///
+/// let d = Dist::new(vec![0.5, 0.25, 0.25])?;
+/// assert_eq!(d.len(), 3);
+/// assert_eq!(d.prob(0), 0.5);
+/// assert!((d.entropy() - 1.5).abs() < 1e-12);
+/// # Ok::<(), bci_info::dist::DistError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Dist {
+    probs: Vec<f64>,
+}
+
+impl Dist {
+    /// Validates and wraps a probability vector.
+    ///
+    /// The sum must be within `1e-9` of one; residual float error is
+    /// renormalized away.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Empty`] for an empty vector,
+    /// [`DistError::InvalidProbability`] for negative/NaN entries,
+    /// [`DistError::NotNormalized`] if the sum is off by more than `1e-9`.
+    pub fn new(probs: Vec<f64>) -> Result<Self, DistError> {
+        if probs.is_empty() {
+            return Err(DistError::Empty);
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            if p < 0.0 || p.is_nan() {
+                return Err(DistError::InvalidProbability(i, p));
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if !close(sum, 1.0, 1e-9) {
+            return Err(DistError::NotNormalized(sum));
+        }
+        let mut d = Dist { probs };
+        if sum != 1.0 {
+            for p in &mut d.probs {
+                *p /= sum;
+            }
+        }
+        Ok(d)
+    }
+
+    /// Normalizes arbitrary non-negative weights into a distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Empty`] for an empty vector or all-zero weights,
+    /// [`DistError::InvalidProbability`] for negative/NaN entries.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, DistError> {
+        if weights.is_empty() {
+            return Err(DistError::Empty);
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if w < 0.0 || w.is_nan() {
+                return Err(DistError::InvalidProbability(i, w));
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(DistError::Empty);
+        }
+        let probs = weights.into_iter().map(|w| w / sum).collect();
+        Ok(Dist { probs })
+    }
+
+    /// The uniform distribution over `n` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "uniform distribution needs a nonempty support");
+        Dist {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// A Bernoulli distribution over `{0, 1}` with `Pr[1] = p`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidProbability`] if `p` is outside `[0, 1]`.
+    pub fn bernoulli(p: f64) -> Result<Self, DistError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(DistError::InvalidProbability(1, p));
+        }
+        Ok(Dist {
+            probs: vec![1.0 - p, p],
+        })
+    }
+
+    /// The point mass on outcome `i` within a support of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn delta(n: usize, i: usize) -> Self {
+        assert!(i < n, "point mass index {i} outside support {n}");
+        let mut probs = vec![0.0; n];
+        probs[i] = 1.0;
+        Dist { probs }
+    }
+
+    /// Support size.
+    #[allow(clippy::len_without_is_empty)] // support is never empty by construction
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the support.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        crate::entropy::entropy(&self.probs)
+    }
+
+    /// Samples an outcome using inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Float round-off: return the last outcome with nonzero probability.
+        self.probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("distribution has positive mass")
+    }
+
+    /// The product distribution over pairs `(a, b)`, indexed `a * other.len() + b`.
+    pub fn product(&self, other: &Dist) -> Dist {
+        let mut probs = Vec::with_capacity(self.len() * other.len());
+        for &a in &self.probs {
+            for &b in &other.probs {
+                probs.push(a * b);
+            }
+        }
+        Dist { probs }
+    }
+
+    /// The mixture `Σ_i weights[i] · components[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` and `components` have different lengths, the
+    /// components have differing supports, or the result fails validation.
+    pub fn mixture(weights: &[f64], components: &[Dist]) -> Dist {
+        assert_eq!(
+            weights.len(),
+            components.len(),
+            "one weight per component required"
+        );
+        assert!(!components.is_empty(), "mixture of nothing");
+        let n = components[0].len();
+        assert!(
+            components.iter().all(|c| c.len() == n),
+            "components must share a support"
+        );
+        let mut probs = vec![0.0; n];
+        for (w, c) in weights.iter().zip(components) {
+            for (acc, &p) in probs.iter_mut().zip(&c.probs) {
+                *acc += w * p;
+            }
+        }
+        Dist::new(probs).expect("mixture of valid distributions is valid")
+    }
+}
+
+impl fmt::Debug for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dist{:?}", self.probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates() {
+        assert_eq!(Dist::new(vec![]), Err(DistError::Empty));
+        assert!(matches!(
+            Dist::new(vec![0.5, -0.5, 1.0]),
+            Err(DistError::InvalidProbability(1, _))
+        ));
+        assert!(matches!(
+            Dist::new(vec![0.5, 0.4]),
+            Err(DistError::NotNormalized(_))
+        ));
+        assert!(Dist::new(vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn new_renormalizes_roundoff() {
+        let third = 1.0 / 3.0;
+        let d = Dist::new(vec![third, third, third]).unwrap();
+        let sum: f64 = d.probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = Dist::from_weights(vec![2.0, 6.0]).unwrap();
+        assert_eq!(d.prob(0), 0.25);
+        assert_eq!(d.prob(1), 0.75);
+        assert_eq!(Dist::from_weights(vec![0.0, 0.0]), Err(DistError::Empty));
+    }
+
+    #[test]
+    fn uniform_and_delta() {
+        let u = Dist::uniform(4);
+        assert!(u.probs().iter().all(|&p| p == 0.25));
+        let d = Dist::delta(4, 2);
+        assert_eq!(d.prob(2), 1.0);
+        assert_eq!(d.entropy(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_convention() {
+        let d = Dist::bernoulli(0.7).unwrap();
+        assert!((d.prob(1) - 0.7).abs() < 1e-15, "index 1 carries Pr[1]");
+        assert!(Dist::bernoulli(1.5).is_err());
+        assert!(Dist::bernoulli(-0.1).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let d = Dist::new(vec![0.2, 0.5, 0.3]).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - d.prob(i)).abs() < 0.01,
+                "outcome {i}: freq {freq} vs prob {}",
+                d.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_never_returns_zero_mass_outcome() {
+        let d = Dist::new(vec![0.0, 1.0, 0.0]).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn product_indexing() {
+        let a = Dist::new(vec![0.25, 0.75]).unwrap();
+        let b = Dist::new(vec![0.5, 0.5]).unwrap();
+        let p = a.product(&b);
+        assert_eq!(p.len(), 4);
+        // index = a * 2 + b
+        assert!((p.prob(0) - 0.125).abs() < 1e-15);
+        assert!((p.prob(3) - 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn product_entropy_is_additive() {
+        let a = Dist::new(vec![0.25, 0.75]).unwrap();
+        let b = Dist::uniform(8);
+        let p = a.product(&b);
+        assert!((p.entropy() - (a.entropy() + b.entropy())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_of_deltas_is_weights() {
+        let m = Dist::mixture(&[0.3, 0.7], &[Dist::delta(2, 0), Dist::delta(2, 1)]);
+        assert!((m.prob(0) - 0.3).abs() < 1e-15);
+        assert!((m.prob(1) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Dist::new(vec![0.5, 0.4]).unwrap_err();
+        assert!(e.to_string().contains("sum to"));
+    }
+}

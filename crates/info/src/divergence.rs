@@ -1,0 +1,160 @@
+//! Distances between distributions: KL divergence (Definition 4),
+//! total-variation distance, and the paper's Eq. (3)–(4) posterior bound.
+
+use crate::dist::Dist;
+use crate::num::xlog2_ratio;
+
+/// Kullback–Leibler divergence `D(p ‖ q) = Σ p(x) log₂ (p(x)/q(x))` in bits.
+///
+/// Returns `+∞` when `p` has mass where `q` has none. Think of `p` as the
+/// posterior ("true") distribution and `q` as the prior, matching the
+/// paper's usage.
+///
+/// # Panics
+///
+/// Panics if the supports differ in size.
+///
+/// # Example
+///
+/// ```
+/// use bci_info::dist::Dist;
+/// use bci_info::divergence::kl;
+///
+/// let p = Dist::bernoulli(0.5)?;
+/// let q = Dist::bernoulli(0.25)?;
+/// assert!(kl(&p, &q) > 0.0);
+/// assert_eq!(kl(&p, &p), 0.0);
+/// # Ok::<(), bci_info::dist::DistError>(())
+/// ```
+pub fn kl(p: &Dist, q: &Dist) -> f64 {
+    assert_eq!(p.len(), q.len(), "KL divergence needs matching supports");
+    let d: f64 = p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(&pp, &qq)| xlog2_ratio(pp, qq))
+        .sum();
+    // D(p‖q) ≥ 0; clamp float round-off.
+    if d.is_finite() {
+        d.max(0.0)
+    } else {
+        d
+    }
+}
+
+/// Total-variation distance `½ Σ |p(x) − q(x)| ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the supports differ in size.
+pub fn total_variation(p: &Dist, q: &Dist) -> f64 {
+    assert_eq!(p.len(), q.len(), "TV distance needs matching supports");
+    0.5 * p
+        .probs()
+        .iter()
+        .zip(q.probs())
+        .map(|(&pp, &qq)| (pp - qq).abs())
+        .sum::<f64>()
+}
+
+/// The paper's Eq. (3)–(4) lower bound on the divergence of a "pointing"
+/// posterior from the hard-distribution prior:
+///
+/// `D( Bern-posterior ‖ Bern(1/k on zero) ) ≥ p·log₂ k − H(p) ≥ p·log₂ k − 1`,
+///
+/// where `p` is the posterior probability of `X_i = 0`. This helper returns
+/// the middle expression `p·log₂ k − H(p)` so experiments can check both
+/// inequalities.
+pub fn pointing_divergence_bound(posterior_zero: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&posterior_zero));
+    assert!(k >= 2);
+    let h = if posterior_zero == 0.0 || posterior_zero == 1.0 {
+        0.0
+    } else {
+        -posterior_zero * posterior_zero.log2()
+            - (1.0 - posterior_zero) * (1.0 - posterior_zero).log2()
+    };
+    posterior_zero * (k as f64).log2() - h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bern(p: f64) -> Dist {
+        Dist::bernoulli(p).unwrap()
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = Dist::new(vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(kl(&p, &p), 0.0);
+        let q = Dist::new(vec![0.25, 0.25, 0.5]).unwrap();
+        assert!(kl(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = bern(0.5);
+        let q = bern(0.01);
+        assert!((kl(&p, &q) - kl(&q, &p)).abs() > 0.1);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_violation() {
+        let p = bern(0.5);
+        let q = bern(0.0); // q puts no mass on outcome 1
+        assert_eq!(kl(&p, &q), f64::INFINITY);
+        // ...but the reverse is finite: q's support is inside p's.
+        assert!(kl(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D(Bern(1/2) ‖ Bern(1/4)) = 0.5·log(2) + 0.5·log(2/3) ... compute:
+        let expect = 0.5 * (0.5f64 / 0.25).log2() + 0.5 * (0.5f64 / 0.75).log2();
+        assert!((kl(&bern(0.5), &bern(0.25)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_properties() {
+        let p = bern(0.5);
+        let q = bern(0.0);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-15);
+        let r = bern(1.0);
+        assert!(
+            (total_variation(&q, &r) - 1.0).abs() < 1e-15,
+            "disjoint supports"
+        );
+    }
+
+    #[test]
+    fn eq34_bound_holds_exactly() {
+        // Exact KL between the posterior Bern and the prior with Pr[0] = 1/k
+        // dominates p·log k − H(p).
+        for k in [4usize, 16, 256, 4096] {
+            // Prior over {0,1} for X_i: Pr[X_i = 0] = 1/k, i.e. Bern(1 - 1/k).
+            let prior = bern(1.0 - 1.0 / k as f64);
+            for p0 in [0.1, 0.25, 0.5, 0.9] {
+                let post = bern(1.0 - p0); // posterior Pr[0] = p0
+                let exact = kl(&post, &prior);
+                let bound = pointing_divergence_bound(p0, k);
+                assert!(
+                    exact >= bound - 1e-9,
+                    "k={k} p0={p0}: exact {exact} < bound {bound}"
+                );
+                // And the paper's final form: ≥ p log k − 1.
+                assert!(exact >= p0 * (k as f64).log2() - 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching supports")]
+    fn kl_support_mismatch_panics() {
+        let p = Dist::uniform(2);
+        let q = Dist::uniform(3);
+        kl(&p, &q);
+    }
+}

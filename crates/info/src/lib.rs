@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Finite-support information theory for protocol analysis.
+//!
+//! Everything the paper's definitions need (Section 3): entropy, conditional
+//! entropy, KL divergence, mutual information and conditional mutual
+//! information — over explicitly-represented finite distributions — plus
+//! plug-in estimators for use on sampled transcripts.
+//!
+//! The crate is deliberately exact-first: the lower-bound experiments compute
+//! `I(Π; X | Z)` from closed-form transcript distributions, and only the
+//! large-scale sweeps fall back to the estimators in [`estimate`].
+//!
+//! # Example
+//!
+//! ```
+//! use bci_info::dist::Dist;
+//! use bci_info::divergence::kl;
+//!
+//! let prior = Dist::bernoulli(1.0 - 1.0 / 64.0).unwrap(); // Pr[X_i = 0] = 1/k
+//! let posterior = Dist::bernoulli(0.5).unwrap(); // after a pointing transcript
+//! // Equation (3)-(4) of the paper: the divergence is ≥ p·log k − H(p).
+//! let d = kl(&posterior, &prior);
+//! assert!(d > 0.5 * 64f64.log2() - 1.0);
+//! ```
+
+pub mod dist;
+pub mod divergence;
+pub mod entropy;
+pub mod estimate;
+pub mod joint;
+pub mod num;
+pub mod sampling;
+
+pub use dist::{Dist, DistError};
+pub use divergence::{kl, total_variation};
+pub use entropy::entropy;
+pub use joint::Joint2;

@@ -1,0 +1,85 @@
+//! Small numeric helpers shared across the information-theory code.
+
+/// `x · log₂(x)` with the standard convention `0 log 0 = 0`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `x` is negative or NaN.
+pub fn xlog2x(x: f64) -> f64 {
+    debug_assert!(x >= 0.0 && !x.is_nan(), "xlog2x domain error: {x}");
+    if x == 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// `p · log₂(p/q)` with the conventions `0 log(0/q) = 0` and
+/// `p log(p/0) = +∞` for `p > 0`.
+pub fn xlog2_ratio(p: f64, q: f64) -> f64 {
+    debug_assert!(p >= 0.0 && q >= 0.0, "negative probability: p={p} q={q}");
+    if p == 0.0 {
+        0.0
+    } else if q == 0.0 {
+        f64::INFINITY
+    } else {
+        p * (p / q).log2()
+    }
+}
+
+/// Approximate equality for accumulated floating-point probabilities.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Clamps tiny negative values (accumulated float error) to zero.
+///
+/// Entropy-style sums are mathematically non-negative but can come out as
+/// `-1e-16`; experiment code uses this to keep reported quantities clean.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `x` is more negative than `-tol`, which
+/// indicates a real bug rather than round-off.
+pub fn clamp_nonneg(x: f64, tol: f64) -> f64 {
+    debug_assert!(x >= -tol, "value {x} too negative to be round-off");
+    x.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xlog2x_zero_convention() {
+        assert_eq!(xlog2x(0.0), 0.0);
+    }
+
+    #[test]
+    fn xlog2x_values() {
+        assert!((xlog2x(1.0)).abs() < 1e-15);
+        assert!((xlog2x(0.5) + 0.5).abs() < 1e-15);
+        assert!((xlog2x(2.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        assert_eq!(xlog2_ratio(0.0, 0.0), 0.0);
+        assert_eq!(xlog2_ratio(0.0, 0.5), 0.0);
+        assert_eq!(xlog2_ratio(0.5, 0.0), f64::INFINITY);
+        assert!((xlog2_ratio(0.5, 0.25) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn close_uses_relative_scale() {
+        assert!(close(1e9, 1e9 + 10.0, 1e-6));
+        assert!(!close(1.0, 1.1, 1e-6));
+        assert!(close(0.0, 1e-9, 1e-6), "absolute tolerance near zero");
+    }
+
+    #[test]
+    fn clamp_handles_roundoff() {
+        assert_eq!(clamp_nonneg(-1e-15, 1e-9), 0.0);
+        assert_eq!(clamp_nonneg(0.25, 1e-9), 0.25);
+    }
+}

@@ -1,0 +1,183 @@
+//! Constant-time sampling from fixed finite distributions.
+//!
+//! The protocol simulators draw from the same message distributions millions
+//! of times; the inverse-CDF scan in [`Dist::sample`] is `O(support)`.
+//! [`AliasSampler`] preprocesses a distribution with Vose's alias method
+//! (`O(support)` setup) and then samples in `O(1)`.
+
+use rand::Rng;
+
+use crate::dist::Dist;
+
+/// A Walker/Vose alias table over a fixed distribution.
+///
+/// # Example
+///
+/// ```
+/// use bci_info::dist::Dist;
+/// use bci_info::sampling::AliasSampler;
+/// use rand::SeedableRng;
+///
+/// let d = Dist::new(vec![0.5, 0.3, 0.2])?;
+/// let sampler = AliasSampler::new(&d);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let x = sampler.sample(&mut rng);
+/// assert!(x < 3);
+/// # Ok::<(), bci_info::dist::DistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    /// Acceptance probability per column.
+    prob: Vec<f64>,
+    /// Fallback outcome per column.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table (Vose's stable two-worklist construction).
+    pub fn new(dist: &Dist) -> Self {
+        let n = dist.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        // Scale so the average column height is 1.
+        let scaled: Vec<f64> = dist.probs().iter().map(|&p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasSampler { prob, alias }
+    }
+
+    /// Support size.
+    #[allow(clippy::len_without_is_empty)] // support is never empty
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Draws one outcome in `O(1)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+}
+
+impl From<&Dist> for AliasSampler {
+    fn from(d: &Dist) -> Self {
+        AliasSampler::new(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn frequencies(sampler: &AliasSampler, n_outcomes: usize, trials: usize) -> Vec<f64> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut counts = vec![0usize; n_outcomes];
+        for _ in 0..trials {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let d = Dist::new(vec![0.5, 0.3, 0.15, 0.05]).unwrap();
+        let s = AliasSampler::new(&d);
+        let freqs = frequencies(&s, 4, 200_000);
+        for (i, &f) in freqs.iter().enumerate() {
+            assert!(
+                (f - d.prob(i)).abs() < 0.01,
+                "outcome {i}: {f} vs {}",
+                d.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn point_mass_always_returns_it() {
+        let d = Dist::delta(5, 3);
+        let s = AliasSampler::new(&d);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_large_support() {
+        let d = Dist::uniform(1000);
+        let s = AliasSampler::new(&d);
+        let freqs = frequencies(&s, 1000, 500_000);
+        let max_dev = freqs
+            .iter()
+            .map(|&f| (f - 0.001).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 0.0005, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn zero_probability_outcomes_never_appear() {
+        let d = Dist::new(vec![0.0, 0.7, 0.0, 0.3]).unwrap();
+        let s = AliasSampler::new(&d);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..50_000 {
+            let x = s.sample(&mut rng);
+            assert!(x == 1 || x == 3, "impossible outcome {x}");
+        }
+    }
+
+    #[test]
+    fn single_outcome_support() {
+        let d = Dist::uniform(1);
+        let s = AliasSampler::new(&d);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(s.sample(&mut rng), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_inverse_cdf_sampler() {
+        // Same distribution, two samplers, close empirical laws.
+        let d = Dist::new(vec![0.25, 0.1, 0.4, 0.05, 0.2]).unwrap();
+        let s = AliasSampler::new(&d);
+        let alias_freqs = frequencies(&s, 5, 100_000);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for i in 0..5 {
+            let cdf_f = counts[i] as f64 / 100_000.0;
+            assert!((alias_freqs[i] - cdf_f).abs() < 0.01, "outcome {i}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The Lemma 6 fooling argument: `CC_ε(AND_k) = Ω(k)`.
+//!
+//! The hard distribution `μ′`: with probability `ε′` every player receives
+//! 1; otherwise one uniformly random player receives 0 and the rest 1. Any
+//! deterministic protocol in which fewer than `(1 − ε/(1−ε′))·k` players
+//! speak on the all-ones input cannot distinguish `1ᵏ` from an input whose
+//! only zero sits with a silent player, so it errs with probability `> ε`.
+//!
+//! This module computes the exact distributional error of concrete protocols
+//! under `μ′` and the threshold the lemma predicts, so the `Ω(k)` experiment
+//! can sweep the number of speakers and watch the error cross `ε` exactly
+//! where Lemma 6 says it must.
+
+use bci_blackboard::tree::ProtocolTree;
+use rand::Rng;
+
+/// The two-point distribution `μ′` of Lemma 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoolingDist {
+    k: usize,
+    eps_prime: f64,
+}
+
+impl FoolingDist {
+    /// Creates `μ′` for `k` players with all-ones weight `eps_prime`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `eps_prime ∉ (0, 1)`.
+    pub fn new(k: usize, eps_prime: f64) -> Self {
+        assert!(k > 0, "need at least one player");
+        assert!(
+            (0.0..1.0).contains(&eps_prime) && eps_prime > 0.0,
+            "ε′ = {eps_prime} outside (0,1)"
+        );
+        FoolingDist { k, eps_prime }
+    }
+
+    /// Number of players.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The all-ones weight `ε′`.
+    pub fn eps_prime(&self) -> f64 {
+        self.eps_prime
+    }
+
+    /// Samples one input from `μ′`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        if rng.random_bool(self.eps_prime) {
+            vec![true; self.k]
+        } else {
+            let z = rng.random_range(0..self.k);
+            let mut x = vec![true; self.k];
+            x[z] = false;
+            x
+        }
+    }
+
+    /// The exact distributional error of a protocol tree under `μ′`
+    /// (the support has only `k + 1` inputs, so this is exact and cheap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree's player count differs from `k`.
+    pub fn error_of_tree(&self, tree: &ProtocolTree) -> f64 {
+        assert_eq!(tree.num_players(), self.k, "player count mismatch");
+        let all_ones = vec![true; self.k];
+        let mut err = self.eps_prime * tree.error_on_input(&all_ones, 1);
+        let w = (1.0 - self.eps_prime) / self.k as f64;
+        for z in 0..self.k {
+            let mut x = all_ones.clone();
+            x[z] = false;
+            err += w * tree.error_on_input(&x, 0);
+        }
+        err
+    }
+
+    /// Closed-form error of the truncated protocol with `speakers` speakers:
+    /// it outputs 1 whenever the zero (if any) is silent, so the error is
+    /// `(1 − ε′)·(k − speakers)/k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speakers > k`.
+    pub fn truncated_error(&self, speakers: usize) -> f64 {
+        assert!(speakers <= self.k, "more speakers than players");
+        (1.0 - self.eps_prime) * (self.k - speakers) as f64 / self.k as f64
+    }
+
+    /// Lemma 6's threshold: a deterministic protocol whose all-ones
+    /// execution has fewer than this many speakers errs with probability
+    /// `> eps` under `μ′`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ≥ 1 − ε′` (the lemma's premise `ε/(1−ε′) < 1` fails).
+    pub fn speaker_threshold(&self, eps: f64) -> f64 {
+        assert!(
+            eps < 1.0 - self.eps_prime,
+            "need ε < 1 − ε′ for the lemma to bite"
+        );
+        (1.0 - eps / (1.0 - self.eps_prime)) * self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_protocols::and_trees::{sequential_and, truncated_and};
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_matches_the_two_point_law() {
+        let d = FoolingDist::new(8, 0.3);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let n = 100_000;
+        let mut all_ones = 0usize;
+        let mut zero_counts = [0usize; 8];
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            let zeros: Vec<usize> = x
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .map(|(i, _)| i)
+                .collect();
+            match zeros.len() {
+                0 => all_ones += 1,
+                1 => zero_counts[zeros[0]] += 1,
+                _ => panic!("μ′ never has two zeros"),
+            }
+        }
+        assert!((all_ones as f64 / n as f64 - 0.3).abs() < 0.01);
+        for (i, &c) in zero_counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 0.7 / 8.0).abs() < 0.01, "player {i}");
+        }
+    }
+
+    #[test]
+    fn exact_protocol_has_zero_error() {
+        let k = 6;
+        let d = FoolingDist::new(k, 0.25);
+        assert_eq!(d.error_of_tree(&sequential_and(k)), 0.0);
+    }
+
+    #[test]
+    fn truncated_error_matches_closed_form_and_tree() {
+        let k = 10;
+        let d = FoolingDist::new(k, 0.2);
+        for speakers in 0..=k {
+            let tree = truncated_and(k, speakers);
+            let from_tree = d.error_of_tree(&tree);
+            let closed = d.truncated_error(speakers);
+            assert!(
+                (from_tree - closed).abs() < 1e-12,
+                "speakers={speakers}: {from_tree} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma6_threshold_is_where_error_crosses_eps() {
+        // truncated_error(l) > eps ⟺ l < threshold — exactly the lemma.
+        let k = 100;
+        let eps = 0.1;
+        let eps_prime = 0.15;
+        let d = FoolingDist::new(k, eps_prime);
+        let threshold = d.speaker_threshold(eps);
+        for speakers in 0..=k {
+            let err = d.truncated_error(speakers);
+            if (speakers as f64) < threshold - 1e-9 {
+                assert!(err > eps, "speakers={speakers}: err {err} ≤ ε");
+            } else {
+                assert!(err <= eps + 1e-12, "speakers={speakers}: err {err} > ε");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_linear_in_k() {
+        let eps = 0.05;
+        let eps_prime = 0.1;
+        let t64 = FoolingDist::new(64, eps_prime).speaker_threshold(eps);
+        let t128 = FoolingDist::new(128, eps_prime).speaker_threshold(eps);
+        assert!(
+            (t128 / t64 - 2.0).abs() < 1e-12,
+            "Ω(k): threshold doubles with k"
+        );
+        assert!(t64 > 0.9 * 64.0, "most players must speak for small ε");
+    }
+
+    #[test]
+    #[should_panic(expected = "bite")]
+    fn threshold_rejects_large_eps() {
+        FoolingDist::new(10, 0.5).speaker_threshold(0.6);
+    }
+}

@@ -1,0 +1,300 @@
+//! The "good transcripts" machinery of Section 4.1: the conditional
+//! transcript distributions `π_c`, the sets `L`, `L′`, `B₀`, `B₁`, and the
+//! Lemma 5 pointing property.
+//!
+//! For each transcript `ℓ` of a protocol tree and each zero-count `c`,
+//!
+//! `π_c(ℓ) = Pr[Π = ℓ | X ∈ 𝒳_c] = (1/C(k,c)) Σ_{|S|=c} ∏_{i∈S} q_{i,0} ∏_{i∉S} q_{i,1}`
+//!
+//! is computed exactly by dynamic programming over players (the inner sum is
+//! an elementary symmetric polynomial in disguise). The paper's sets are then
+//!
+//! * `L` — output-0 transcripts with `π₂(ℓ) ≥ C · ∏ᵢ q_{i,1}^ℓ` ("strongly
+//!   prefer two-zero inputs over `1^k`");
+//! * `L′ ⊆ L` — additionally `π₂(ℓ) ≥ ½·π₃(ℓ)` ("like two zeros at least
+//!   half as much as three");
+//! * `B₁` — output-1 transcripts (wrong on `𝒳₂`);
+//! * `B₀` — output-0 transcripts outside `L`.
+//!
+//! Lemma 5 asserts that for small-error protocols, most of `π₂`'s mass sits
+//! on transcripts pointing at a player (`max_i α_i^ℓ ≥ c·k`); [`analyze`]
+//! measures every quantity in that chain.
+
+use bci_blackboard::tree::{Leaf, ProtocolTree};
+
+use crate::qdecomp::{max_alpha, Alpha};
+
+/// Exact `Pr[Π = ℓ | X ∈ 𝒳_c]` for the uniform distribution over inputs
+/// with exactly `c` zeros.
+///
+/// # Panics
+///
+/// Panics if `c > k`.
+pub fn pi_c(leaf: &Leaf, c: usize, k: usize) -> f64 {
+    assert!(c <= k, "zero count {c} exceeds k = {k}");
+    // dp[j] = Σ over subsets of processed players with j zeros of ∏ q's.
+    let mut dp = vec![0.0f64; c + 1];
+    dp[0] = 1.0;
+    for i in 0..k {
+        let q0 = leaf.q(i, false);
+        let q1 = leaf.q(i, true);
+        for j in (0..=c).rev() {
+            dp[j] = dp[j] * q1 + if j > 0 { dp[j - 1] * q0 } else { 0.0 };
+        }
+    }
+    let log_binom = bci_encoding::approx::log2_binomial(k as u64, c as u64);
+    dp[c] / 2f64.powf(log_binom)
+}
+
+/// Per-transcript record of every quantity in the Section 4.1 argument.
+#[derive(Debug, Clone)]
+pub struct LeafRecord {
+    /// Index into `tree.leaves()`.
+    pub leaf: usize,
+    /// The protocol's output at this transcript.
+    pub output: usize,
+    /// `π₂(ℓ)`.
+    pub pi2: f64,
+    /// `π₃(ℓ)`.
+    pub pi3: f64,
+    /// `Pr[Π(1ᵏ) = ℓ] = ∏ᵢ q_{i,1}`.
+    pub prob_all_ones: f64,
+    /// `max_i α_i^ℓ`.
+    pub max_alpha: Alpha,
+    /// Membership in `L` (depends on the chosen constant `C`).
+    pub in_l: bool,
+    /// Membership in `L′`.
+    pub in_lprime: bool,
+}
+
+/// Aggregate masses for the Lemma 5 chain.
+#[derive(Debug, Clone)]
+pub struct PointingReport {
+    /// Number of players.
+    pub k: usize,
+    /// The constant `C` used for membership in `L`.
+    pub big_c: f64,
+    /// The pointing threshold: `α ≥ alpha_factor · k`.
+    pub alpha_factor: f64,
+    /// `π₂(L)`.
+    pub pi2_l: f64,
+    /// `π₂(L′)`.
+    pub pi2_lprime: f64,
+    /// `π₂(B₀)`: output-0 transcripts that fail the `L` test.
+    pub pi2_b0: f64,
+    /// `π₂(B₁)`: output-1 transcripts.
+    pub pi2_b1: f64,
+    /// `π₂`-mass of output-0 transcripts with `max_i α_i ≥ alpha_factor·k`.
+    pub pointing_mass: f64,
+    /// `Pr[Π(1ᵏ) outputs 0]` — the error on the all-ones input.
+    pub error_on_all_ones: f64,
+}
+
+/// Computes the per-leaf records for a given constant `C`.
+pub fn leaf_records(tree: &ProtocolTree, big_c: f64) -> Vec<LeafRecord> {
+    let k = tree.num_players();
+    tree.leaves()
+        .iter()
+        .enumerate()
+        .map(|(idx, leaf)| {
+            let pi2 = pi_c(leaf, 2, k);
+            let pi3 = pi_c(leaf, 3, k);
+            let prob_all_ones = leaf.prob_given_input(&vec![true; k]);
+            let in_l = leaf.output == 0 && pi2 >= big_c * prob_all_ones;
+            let in_lprime = in_l && pi2 >= 0.5 * pi3;
+            LeafRecord {
+                leaf: idx,
+                output: leaf.output,
+                pi2,
+                pi3,
+                prob_all_ones,
+                max_alpha: max_alpha(leaf, k),
+                in_l,
+                in_lprime,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full Section 4.1 accounting on a protocol tree.
+///
+/// `big_c` is the constant `C` defining `L`; `alpha_factor` is the pointing
+/// threshold `c` in `max α ≥ c·k`.
+pub fn analyze(tree: &ProtocolTree, big_c: f64, alpha_factor: f64) -> PointingReport {
+    let k = tree.num_players();
+    let records = leaf_records(tree, big_c);
+    let mut report = PointingReport {
+        k,
+        big_c,
+        alpha_factor,
+        pi2_l: 0.0,
+        pi2_lprime: 0.0,
+        pi2_b0: 0.0,
+        pi2_b1: 0.0,
+        pointing_mass: 0.0,
+        error_on_all_ones: 0.0,
+    };
+    for r in &records {
+        if r.output == 0 {
+            report.error_on_all_ones += r.prob_all_ones;
+            if r.in_l {
+                report.pi2_l += r.pi2;
+            } else {
+                report.pi2_b0 += r.pi2;
+            }
+            if r.in_lprime {
+                report.pi2_lprime += r.pi2;
+            }
+            if r.max_alpha.at_least(alpha_factor * k as f64) {
+                report.pointing_mass += r.pi2;
+            }
+        } else {
+            report.pi2_b1 += r.pi2;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_protocols::and_trees::{lazy_and, noisy_sequential_and, sequential_and};
+
+    #[test]
+    fn pi_c_is_a_distribution_over_leaves() {
+        let k = 7;
+        let t = noisy_sequential_and(k, 0.1);
+        for c in [1usize, 2, 3] {
+            let total: f64 = t.leaves().iter().map(|l| pi_c(l, c, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "c={c}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pi_c_matches_direct_enumeration() {
+        let k = 6;
+        let t = noisy_sequential_and(k, 0.25);
+        let c = 2;
+        // Enumerate all C(6,2) = 15 two-zero inputs directly.
+        for (idx, leaf) in t.leaves().iter().enumerate() {
+            let mut direct = 0.0;
+            let mut count = 0;
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let mut x = vec![true; k];
+                    x[a] = false;
+                    x[b] = false;
+                    direct += leaf.prob_given_input(&x);
+                    count += 1;
+                }
+            }
+            direct /= count as f64;
+            let dp = pi_c(leaf, c, k);
+            assert!((dp - direct).abs() < 1e-12, "leaf {idx}");
+        }
+    }
+
+    #[test]
+    fn pi_zero_is_indicator_of_all_ones() {
+        let k = 5;
+        let t = sequential_and(k);
+        for leaf in t.leaves() {
+            let expect = leaf.prob_given_input(&vec![true; k]);
+            assert!((pi_c(leaf, 0, k) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_protocol_has_all_mass_in_l_and_pointing() {
+        // Zero-error sequential AND: every output-0 transcript proves a zero
+        // (α = ∞), and π₂(B₀ ∪ B₁) = 0.
+        for k in [8usize, 32, 128] {
+            let report = analyze(&sequential_and(k), 100.0, 1.0);
+            assert!((report.pi2_l - 1.0).abs() < 1e-9, "k={k}");
+            assert!(report.pi2_b0.abs() < 1e-12);
+            assert!(report.pi2_b1.abs() < 1e-12);
+            assert!((report.pointing_mass - 1.0).abs() < 1e-9);
+            assert_eq!(report.error_on_all_ones, 0.0);
+        }
+    }
+
+    #[test]
+    fn lemma5_masses_on_small_error_protocols() {
+        // Noisy protocol with per-player flip δ/k: total error ≈ δ. The
+        // Lemma 5 chain should still leave most π₂-mass pointing.
+        let k = 64;
+        let delta = 0.001;
+        let t = noisy_sequential_and(k, delta / k as f64);
+        let report = analyze(&t, 50.0, 0.5);
+        assert!(
+            report.pi2_b1 < 0.05,
+            "output-1 mass under π₂ is error-like: {}",
+            report.pi2_b1
+        );
+        assert!(report.pi2_b0 < 0.1, "B₀ mass: {}", report.pi2_b0);
+        assert!(
+            report.pointing_mass > 0.8,
+            "pointing mass {} too small",
+            report.pointing_mass
+        );
+        assert!(report.error_on_all_ones < 2.0 * delta);
+    }
+
+    #[test]
+    fn b1_mass_is_bounded_by_error_over_mu_x2() {
+        // The paper: π₂(B₁) ≤ δ / μ(𝒳₂). The give-up protocol has output-0
+        // giveups (B₀-type), so use a protocol erring towards 1 instead:
+        // truncated AND errs by outputting 1 on silent zeros.
+        use crate::hard_dist::HardDist;
+        use bci_protocols::and_trees::truncated_and;
+        let k = 10;
+        let t = truncated_and(k, 8);
+        let report = analyze(&t, 10.0, 0.5);
+        // Error of truncated(8 of 10) on two-zero inputs: both zeros silent:
+        // C(2,2)/C(10,2) = 1/45.
+        assert!((report.pi2_b1 - 1.0 / 45.0).abs() < 1e-9);
+        let mu = HardDist::new(k);
+        assert!(mu.mass_zero_count(2) > 0.0);
+    }
+
+    #[test]
+    fn giveup_transcripts_land_in_b0() {
+        // The lazy protocol's give-up branch: output 0, but π₂(ℓ) = δ equals
+        // ∏ q_{i,1} = δ, so with C > 1 it fails the L test.
+        let k = 8;
+        let delta = 0.2;
+        let t = lazy_and(k, delta);
+        let report = analyze(&t, 10.0, 0.5);
+        assert!(
+            (report.pi2_b0 - delta).abs() < 1e-9,
+            "give-up mass {} should be exactly δ",
+            report.pi2_b0
+        );
+        // The rest of the mass still points.
+        assert!((report.pointing_mass - (1.0 - delta)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq6_sum_of_alphas_is_linear_on_l() {
+        // For ℓ ∈ L (finite α case), (1/C(k,2))·Σ_{i<j} αᵢαⱼ ≥ C implies
+        // Σᵢ αᵢ ≥ (√C/2)·k. Verify on a noisy protocol where α is finite.
+        let k = 32;
+        let big_c = 16.0;
+        let t = noisy_sequential_and(k, 0.01);
+        let records = leaf_records(&t, big_c);
+        for r in records.iter().filter(|r| r.in_l) {
+            let leaf = &t.leaves()[r.leaf];
+            let sum: f64 = (0..k)
+                .map(|i| match crate::qdecomp::alpha(leaf, i) {
+                    Alpha::Finite(a) => a,
+                    _ => f64::INFINITY,
+                })
+                .sum();
+            assert!(
+                sum >= big_c.sqrt() / 2.0 * k as f64,
+                "leaf {}: Σα = {sum}",
+                r.leaf
+            );
+        }
+    }
+}

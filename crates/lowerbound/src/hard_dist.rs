@@ -1,0 +1,255 @@
+//! The hard input distribution `μ` of Section 4.1.
+//!
+//! Draw a uniformly random special player `Z ∈ [k]` and set `X_Z = 0`; every
+//! other player independently receives 0 with probability `1/k`. The two
+//! properties the proof needs:
+//!
+//! 1. every input in the support has a zero, so `AND_k(X) = 0` always;
+//! 2. conditioned on `Z`, the coordinates `X₁, …, X_k` are independent.
+
+use rand::Rng;
+
+/// The hard distribution `μ` on `(X, Z)` for `AND_k`.
+///
+/// # Example
+///
+/// ```
+/// use bci_lowerbound::hard_dist::HardDist;
+///
+/// let mu = HardDist::new(16);
+/// let priors = mu.priors_given_z(3);
+/// assert_eq!(priors[3], 0.0); // the special player always holds 0
+/// assert!((priors[0] - (1.0 - 1.0 / 16.0)).abs() < 1e-15);
+/// // Constant probability of exactly two zeros (the proof conditions on it):
+/// assert!(mu.mass_zero_count(2) > 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardDist {
+    k: usize,
+}
+
+impl HardDist {
+    /// Creates the distribution for `k ≥ 2` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "the hard distribution needs k ≥ 2");
+        HardDist { k }
+    }
+
+    /// Number of players.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `Pr[Xᵢ = 0]` for a non-special player.
+    pub fn zero_prob(&self) -> f64 {
+        1.0 / self.k as f64
+    }
+
+    /// The conditional priors given `Z = z`: `priors[i] = Pr[Xᵢ = 1 | Z=z]`
+    /// (0 for the special player, `1 − 1/k` otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z ≥ k`.
+    pub fn priors_given_z(&self, z: usize) -> Vec<f64> {
+        assert!(z < self.k, "special player {z} out of range");
+        let p1 = 1.0 - self.zero_prob();
+        let mut priors = vec![p1; self.k];
+        priors[z] = 0.0;
+        priors
+    }
+
+    /// `Pr[X = x | Z = z]` — zero if `x[z] = 1`, else the product of the
+    /// other players' Bernoulli factors.
+    pub fn prob_given_z(&self, x: &[bool], z: usize) -> f64 {
+        assert_eq!(x.len(), self.k, "input length mismatch");
+        assert!(z < self.k, "special player {z} out of range");
+        if x[z] {
+            return 0.0;
+        }
+        let p0 = self.zero_prob();
+        x.iter()
+            .enumerate()
+            .filter(|&(i, _)| i != z)
+            .map(|(_, &b)| if b { 1.0 - p0 } else { p0 })
+            .product()
+    }
+
+    /// The marginal `Pr[X = x]` (averaged over `Z`).
+    pub fn prob(&self, x: &[bool]) -> f64 {
+        (0..self.k)
+            .map(|z| self.prob_given_z(x, z) / self.k as f64)
+            .sum()
+    }
+
+    /// `μ(𝒳_c)`: the probability that the input has exactly `c` zeros.
+    ///
+    /// This is `Pr[1 + Binomial(k−1, 1/k) = c]`; for `c = 2` it converges to
+    /// `1/e ≈ 0.37`, the constant the proof relies on.
+    pub fn mass_zero_count(&self, c: usize) -> f64 {
+        if c == 0 || c > self.k {
+            return 0.0;
+        }
+        // Exactly c−1 of the k−1 non-special players receive zero.
+        let extra = c - 1;
+        let k = self.k as f64;
+        let p = 1.0 / k;
+        let log_binom = bci_encoding::approx::log2_binomial(self.k as u64 - 1, extra as u64);
+        (2f64.powf(log_binom)) * p.powi(extra as i32) * (1.0 - p).powi((self.k - 1 - extra) as i32)
+    }
+
+    /// Samples `(z, x)` from `μ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, Vec<bool>) {
+        let z = rng.random_range(0..self.k);
+        let p0 = self.zero_prob();
+        let x = (0..self.k)
+            .map(|i| if i == z { false } else { !rng.random_bool(p0) })
+            .collect();
+        (z, x)
+    }
+
+    /// Samples an input *conditioned on exactly `c` zeros*: a uniformly
+    /// random `c`-subset of players receives 0 (the conditional law of `μ`
+    /// given `𝒳_c`, which is symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` or `c > k`.
+    pub fn sample_with_zero_count<R: Rng + ?Sized>(&self, c: usize, rng: &mut R) -> Vec<bool> {
+        assert!(c >= 1 && c <= self.k, "zero count {c} out of range");
+        let mut x = vec![true; self.k];
+        let mut chosen = 0;
+        // Reservoir-free uniform subset: Floyd's algorithm is overkill here;
+        // simple rejection over positions is fine for c ≪ k and exact anyway.
+        while chosen < c {
+            let i = rng.random_range(0..self.k);
+            if x[i] {
+                x[i] = false;
+                chosen += 1;
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn support_always_contains_a_zero() {
+        let mu = HardDist::new(8);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let (z, x) = mu.sample(&mut rng);
+            assert!(!x[z], "special player holds 0");
+            assert!(x.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn conditional_probabilities_sum_to_one() {
+        let mu = HardDist::new(4);
+        for z in 0..4 {
+            let total: f64 = (0..16u32)
+                .map(|xi| {
+                    let x: Vec<bool> = (0..4).map(|i| (xi >> i) & 1 == 1).collect();
+                    mu.prob_given_z(&x, z)
+                })
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "z={z}");
+        }
+    }
+
+    #[test]
+    fn marginal_sums_to_one_and_respects_support() {
+        let mu = HardDist::new(5);
+        let mut total = 0.0;
+        for xi in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| (xi >> i) & 1 == 1).collect();
+            let p = mu.prob(&x);
+            total += p;
+            if x.iter().all(|&b| b) {
+                assert_eq!(p, 0.0, "all-ones is outside the support");
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_count_masses_match_enumeration() {
+        let mu = HardDist::new(6);
+        for c in 0..=6usize {
+            let enumerated: f64 = (0..64u32)
+                .map(|xi| {
+                    let x: Vec<bool> = (0..6).map(|i| (xi >> i) & 1 == 1).collect();
+                    if x.iter().filter(|&&b| !b).count() == c {
+                        mu.prob(&x)
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            assert!(
+                (enumerated - mu.mass_zero_count(c)).abs() < 1e-10,
+                "c={c}: {enumerated} vs {}",
+                mu.mass_zero_count(c)
+            );
+        }
+    }
+
+    #[test]
+    fn two_zero_mass_approaches_inverse_e() {
+        let mu = HardDist::new(4096);
+        let target = (-1.0f64).exp();
+        assert!((mu.mass_zero_count(2) - target).abs() < 0.01);
+    }
+
+    #[test]
+    fn priors_given_z_shape() {
+        let mu = HardDist::new(10);
+        let priors = mu.priors_given_z(7);
+        assert_eq!(priors.len(), 10);
+        assert_eq!(priors[7], 0.0);
+        for (i, &p) in priors.iter().enumerate() {
+            if i != 7 {
+                assert!((p - 0.9).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_with_zero_count_is_uniform_over_subsets() {
+        let mu = HardDist::new(4);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            let x = mu.sample_with_zero_count(2, &mut rng);
+            assert_eq!(x.iter().filter(|&&b| !b).count(), 2);
+            let key: Vec<usize> = x
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .map(|(i, _)| i)
+                .collect();
+            *counts.entry(key).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 6); // C(4,2)
+        for (pair, c) in counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 1.0 / 6.0).abs() < 0.01, "{pair:?}: {freq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn rejects_k_one() {
+        HardDist::new(1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Internal information cost for two players — the notion the paper
+//! contrasts with external information in Section 6.
+//!
+//! For two parties, `IC^int(Π) = I(Π; X | Y) + I(Π; Y | X)` measures what
+//! the players learn *about each other's inputs*; the amortized-compression
+//! result of Braverman–Rao [7] compresses to this quantity. The paper notes
+//! that (a) for two players external information dominates internal
+//! (`IC^int ≤ IC^ext`), so its Theorem 3 does not improve on [7] at `k = 2`,
+//! and (b) the internal notion "does not extend to the multiparty broadcast
+//! model for `k > 2`" — every player sees the whole board, so there is no
+//! single canonical "what player i didn't already know" decomposition.
+//!
+//! This module computes the two-player internal cost exactly (by
+//! enumeration over the four joint inputs) so the workspace can exhibit the
+//! `IC^int ≤ IC^ext` ordering concretely.
+
+use bci_blackboard::tree::ProtocolTree;
+use bci_info::joint::{conditional_mutual_information, Joint2};
+
+/// Exact two-player internal information cost
+/// `I(Π; X | Y) + I(Π; Y | X)` under independent priors
+/// (`priors[i] = Pr[Xᵢ = 1]`).
+///
+/// Note a structural fact this workspace makes checkable: for *independent*
+/// inputs, `IC^ext − IC^int = I(X; Y | Π)`, and in the broadcast model the
+/// posterior on `(X, Y)` given any transcript is a product distribution
+/// (Lemma 3), so `I(X; Y | Π) = 0` — internal *equals* external for every
+/// protocol tree under product priors. A strict gap requires correlated
+/// inputs; see [`internal_ic_two_party_joint`].
+///
+/// # Panics
+///
+/// Panics if the tree does not have exactly 2 players or the priors are
+/// invalid.
+pub fn internal_ic_two_party(tree: &ProtocolTree, priors: &[f64; 2]) -> f64 {
+    assert_eq!(
+        tree.num_players(),
+        2,
+        "internal information is defined here for 2 players"
+    );
+    assert!(priors.iter().all(|p| (0.0..=1.0).contains(p)));
+    i_pi_x_given_other(tree, priors, 0) + i_pi_x_given_other(tree, priors, 1)
+}
+
+/// `I(Π; X_player | X_other)` by enumeration, for independent priors.
+fn i_pi_x_given_other(tree: &ProtocolTree, priors: &[f64; 2], player: usize) -> f64 {
+    let other = 1 - player;
+    let mut slices = Vec::new();
+    for other_bit in [false, true] {
+        let w_other = if other_bit {
+            priors[other]
+        } else {
+            1.0 - priors[other]
+        };
+        if w_other == 0.0 {
+            continue;
+        }
+        // Joint of (X_player, Π) conditioned on X_other = other_bit.
+        let mut rows = Vec::new();
+        for my_bit in [false, true] {
+            let w_me = if my_bit {
+                priors[player]
+            } else {
+                1.0 - priors[player]
+            };
+            let mut x = [false; 2];
+            x[player] = my_bit;
+            x[other] = other_bit;
+            let row: Vec<f64> = tree
+                .transcript_dist_given_input(&x)
+                .into_iter()
+                .map(|p| w_me * p)
+                .collect();
+            rows.push(row);
+        }
+        slices.push((w_other, Joint2::new(rows).expect("valid joint")));
+    }
+    // Re-normalize in case a degenerate prior dropped a slice.
+    let total: f64 = slices.iter().map(|(w, _)| w).sum();
+    for (w, _) in &mut slices {
+        *w /= total;
+    }
+    conditional_mutual_information(&slices)
+}
+
+/// Exact two-player internal information cost under an arbitrary
+/// (possibly correlated) joint input distribution
+/// `joint[x0][x1] = Pr[X₀ = x0, X₁ = x1]`.
+///
+/// # Panics
+///
+/// Panics if the tree does not have 2 players or the joint does not sum
+/// to 1 (within `1e-9`).
+pub fn internal_ic_two_party_joint(tree: &ProtocolTree, joint: &[[f64; 2]; 2]) -> f64 {
+    assert_eq!(tree.num_players(), 2, "two players required");
+    let total: f64 = joint.iter().flatten().sum();
+    assert!((total - 1.0).abs() < 1e-9, "joint sums to {total}");
+    i_pi_given_other_joint(tree, joint, 0) + i_pi_given_other_joint(tree, joint, 1)
+}
+
+/// `I(Π; X_player | X_other)` for a correlated joint distribution.
+fn i_pi_given_other_joint(tree: &ProtocolTree, joint: &[[f64; 2]; 2], player: usize) -> f64 {
+    let other = 1 - player;
+    let mut slices = Vec::new();
+    for other_bit in 0..2usize {
+        // Marginal of the conditioning variable and conditional of ours.
+        let w_other: f64 = (0..2)
+            .map(|m| index_joint(joint, player, m, other_bit))
+            .sum();
+        if w_other == 0.0 {
+            continue;
+        }
+        let mut rows = Vec::new();
+        for my_bit in 0..2usize {
+            let w_me = index_joint(joint, player, my_bit, other_bit) / w_other;
+            let mut x = [false; 2];
+            x[player] = my_bit == 1;
+            x[other] = other_bit == 1;
+            let row: Vec<f64> = tree
+                .transcript_dist_given_input(&x)
+                .into_iter()
+                .map(|p| w_me * p)
+                .collect();
+            rows.push(row);
+        }
+        slices.push((w_other, Joint2::new(rows).expect("valid joint")));
+    }
+    let total: f64 = slices.iter().map(|(w, _)| w).sum();
+    for (w, _) in &mut slices {
+        *w /= total;
+    }
+    conditional_mutual_information(&slices)
+}
+
+/// `Pr[X_player = mine, X_other = theirs]` from the `[x0][x1]` table.
+fn index_joint(joint: &[[f64; 2]; 2], player: usize, mine: usize, theirs: usize) -> f64 {
+    if player == 0 {
+        joint[mine][theirs]
+    } else {
+        joint[theirs][mine]
+    }
+}
+
+/// External information cost `I(Π; X₀X₁)` under an arbitrary joint input
+/// distribution, for comparison with
+/// [`internal_ic_two_party_joint`].
+///
+/// # Panics
+///
+/// Same conditions as [`internal_ic_two_party_joint`].
+pub fn external_ic_two_party_joint(tree: &ProtocolTree, joint: &[[f64; 2]; 2]) -> f64 {
+    assert_eq!(tree.num_players(), 2, "two players required");
+    let support: Vec<(f64, Vec<bool>)> = (0..2)
+        .flat_map(|a| (0..2).map(move |b| (joint[a][b], vec![a == 1, b == 1])))
+        .collect();
+    tree.information_cost_support(&support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_blackboard::tree::TreeBuilder;
+    use bci_encoding::bitio::BitVec;
+    use bci_protocols::and_trees::{noisy_sequential_and, sequential_and};
+
+    #[test]
+    fn internal_never_exceeds_external_two_party() {
+        // The classical ordering IC^int ≤ IC^ext, on a grid of protocols
+        // and priors.
+        let trees = [
+            sequential_and(2),
+            noisy_sequential_and(2, 0.1),
+            noisy_sequential_and(2, 0.3),
+        ];
+        for tree in &trees {
+            for &p0 in &[0.2, 0.5, 0.8] {
+                for &p1 in &[0.3, 0.5, 0.9] {
+                    let internal = internal_ic_two_party(tree, &[p0, p1]);
+                    let external = tree.information_cost_product(&[p0, p1]);
+                    assert!(
+                        internal <= external + 1e-9,
+                        "p=({p0},{p1}): internal {internal} > external {external}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and2_known_values() {
+        // Uniform priors: player 0's bit is always broadcast (1 bit learned
+        // by an outside observer), player 1's only when X₀ = 1.
+        let tree = sequential_and(2);
+        let external = tree.information_cost_product(&[0.5, 0.5]);
+        assert!((external - 1.5).abs() < 1e-12, "H(Π) = 1.5 bits");
+        let internal = internal_ic_two_party(&tree, &[0.5, 0.5]);
+        // I(Π;X₀|X₁) = H(X₀) = 1 (transcript determines X₀ regardless of
+        // X₁); I(Π;X₁|X₀) = Pr[X₀=1]·H(X₁) = 0.5.
+        assert!((internal - 1.5).abs() < 1e-12, "got {internal}");
+        // For this protocol the transcript is a function of the input, and
+        // each message is about exactly one player's bit, so the two match.
+    }
+
+    #[test]
+    fn product_priors_force_equality() {
+        // The broadcast-model structural fact: product posteriors (Lemma 3)
+        // make I(X;Y|Π) = 0, so internal = external exactly, even for
+        // randomized protocols.
+        for tree in [sequential_and(2), noisy_sequential_and(2, 0.25)] {
+            for &(p0, p1) in &[(0.5, 0.5), (0.3, 0.8), (0.9, 0.2)] {
+                let internal = internal_ic_two_party(&tree, &[p0, p1]);
+                let external = tree.information_cost_product(&[p0, p1]);
+                assert!(
+                    (external - internal).abs() < 1e-9,
+                    "({p0},{p1}): internal {internal} vs external {external}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_gap_appears_with_correlated_inputs() {
+        // Perfectly correlated inputs (X = Y): the other player already
+        // knows everything, so internal information is 0, while an external
+        // observer still learns the shared bit from the transcript.
+        let tree = sequential_and(2);
+        let joint = [[0.5, 0.0], [0.0, 0.5]]; // X = Y uniform
+        let internal = internal_ic_two_party_joint(&tree, &joint);
+        let external = external_ic_two_party_joint(&tree, &joint);
+        assert!(internal.abs() < 1e-9, "internal should vanish: {internal}");
+        assert!(
+            (external - 1.0).abs() < 1e-9,
+            "external is H(X) = 1: {external}"
+        );
+    }
+
+    #[test]
+    fn joint_form_reduces_to_product_form_when_independent() {
+        let tree = noisy_sequential_and(2, 0.15);
+        let (p0, p1) = (0.7, 0.4);
+        let joint = [
+            [(1.0 - p0) * (1.0 - p1), (1.0 - p0) * p1],
+            [p0 * (1.0 - p1), p0 * p1],
+        ];
+        let a = internal_ic_two_party_joint(&tree, &joint);
+        let b = internal_ic_two_party(&tree, &[p0, p1]);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn internal_bounded_by_external_for_correlated_inputs_grid() {
+        // IC^int ≤ IC^ext holds generally for 2 players; sweep correlations.
+        let tree = noisy_sequential_and(2, 0.2);
+        for &rho in &[0.0, 0.1, 0.2, 0.25] {
+            // Symmetric joint with Pr[X=Y=1] boosted by rho.
+            let joint = [[0.25 + rho, 0.25 - rho], [0.25 - rho, 0.25 + rho]];
+            let internal = internal_ic_two_party_joint(&tree, &joint);
+            let external = external_ic_two_party_joint(&tree, &joint);
+            assert!(
+                internal <= external + 1e-9,
+                "rho={rho}: {internal} > {external}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_independent_transcripts_have_zero_internal_cost() {
+        // A protocol that ignores inputs: both notions are zero.
+        let mut b = TreeBuilder::new(2);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(0);
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.5, 0.5], l0),
+                (BitVec::from_bools(&[true]), [0.5, 0.5], l1),
+            ],
+        );
+        let tree = b.finish(root);
+        assert!(internal_ic_two_party(&tree, &[0.5, 0.5]).abs() < 1e-12);
+        assert!(tree.information_cost_product(&[0.5, 0.5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_priors_are_handled() {
+        let tree = sequential_and(2);
+        assert_eq!(internal_ic_two_party(&tree, &[0.0, 0.5]), 0.0);
+        assert_eq!(internal_ic_two_party(&tree, &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Executable `AND_k` protocols.
+//!
+//! `AND_k(X₁, …, X_k) = X₁ ∧ … ∧ X_k` on one-bit inputs. Three protocols:
+//!
+//! * [`SequentialAnd`] — players announce their bit in order and stop at the
+//!   first zero. Worst-case communication `k`, but external information cost
+//!   only `O(log k)` (the transcript is determined by the index of the first
+//!   zero — Section 6 of the paper uses exactly this protocol to exhibit the
+//!   `Ω(k / log k)` compression gap).
+//! * [`AllSpeakAnd`] — everyone announces regardless; communication exactly
+//!   `k`. The maximally-leaky baseline.
+//! * [`TruncatedAnd`] — only players `0..speakers` announce; the output
+//!   guesses that silent players hold 1. Deterministic and *wrong* with the
+//!   probability quantified by Lemma 6; the `Ω(k)` experiment sweeps
+//!   `speakers`.
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::Protocol;
+use bci_blackboard::PlayerId;
+use bci_encoding::bitio::BitVec;
+use rand::RngCore;
+
+/// The reference function: logical AND of all input bits.
+pub fn and_function(inputs: &[bool]) -> bool {
+    inputs.iter().all(|&b| b)
+}
+
+/// Players 0, 1, … announce their bit until someone says 0 or all have
+/// spoken. Output: 1 iff all announced bits were 1 and all `k` players spoke.
+#[derive(Debug, Clone)]
+pub struct SequentialAnd {
+    k: usize,
+}
+
+impl SequentialAnd {
+    /// Creates the protocol for `k` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one player");
+        SequentialAnd { k }
+    }
+}
+
+impl Protocol for SequentialAnd {
+    type Input = bool;
+    type Output = bool;
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        match board.messages().last() {
+            Some(m) if m.bits.get(0) == Some(false) => None,
+            _ if board.messages().len() >= self.k => None,
+            _ => Some(board.messages().len()),
+        }
+    }
+
+    fn message(
+        &self,
+        _player: PlayerId,
+        input: &bool,
+        _board: &Board,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        BitVec::from_bools(&[*input])
+    }
+
+    fn output(&self, board: &Board) -> bool {
+        board.messages().len() == self.k
+            && board.messages().iter().all(|m| m.bits.get(0) == Some(true))
+    }
+}
+
+/// Every player announces its bit; output is the AND of all announcements.
+/// Communication is exactly `k` on every input.
+#[derive(Debug, Clone)]
+pub struct AllSpeakAnd {
+    k: usize,
+}
+
+impl AllSpeakAnd {
+    /// Creates the protocol for `k` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one player");
+        AllSpeakAnd { k }
+    }
+}
+
+impl Protocol for AllSpeakAnd {
+    type Input = bool;
+    type Output = bool;
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        (board.messages().len() < self.k).then_some(board.messages().len())
+    }
+
+    fn message(
+        &self,
+        _player: PlayerId,
+        input: &bool,
+        _board: &Board,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        BitVec::from_bools(&[*input])
+    }
+
+    fn output(&self, board: &Board) -> bool {
+        board.messages().iter().all(|m| m.bits.get(0) == Some(true))
+    }
+}
+
+/// The sequential protocol cut short: players `0..speakers` announce in
+/// order (stopping early at a zero, like [`SequentialAnd`]); the output
+/// optimistically assumes every silent player holds 1.
+///
+/// This is the protocol family behind the paper's Lemma 6: any deterministic
+/// protocol in which fewer than `(1 − ε/(1−ε′))·k` players speak on the
+/// all-ones input errs with probability `> ε` under the hard distribution
+/// `μ'`. The experiment sweeps `speakers` and measures the error.
+#[derive(Debug, Clone)]
+pub struct TruncatedAnd {
+    k: usize,
+    speakers: usize,
+}
+
+impl TruncatedAnd {
+    /// Creates the protocol: `speakers` of the `k` players announce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `speakers > k`.
+    pub fn new(k: usize, speakers: usize) -> Self {
+        assert!(k > 0, "need at least one player");
+        assert!(speakers <= k, "cannot have {speakers} speakers among {k}");
+        TruncatedAnd { k, speakers }
+    }
+
+    /// How many players speak.
+    pub fn speakers(&self) -> usize {
+        self.speakers
+    }
+}
+
+impl Protocol for TruncatedAnd {
+    type Input = bool;
+    type Output = bool;
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        match board.messages().last() {
+            Some(m) if m.bits.get(0) == Some(false) => None,
+            _ if board.messages().len() >= self.speakers => None,
+            _ => Some(board.messages().len()),
+        }
+    }
+
+    fn message(
+        &self,
+        _player: PlayerId,
+        input: &bool,
+        _board: &Board,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        BitVec::from_bools(&[*input])
+    }
+
+    fn output(&self, board: &Board) -> bool {
+        board.messages().iter().all(|m| m.bits.get(0) == Some(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_blackboard::protocol::run;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(0)
+    }
+
+    fn bools(pattern: &[u8]) -> Vec<bool> {
+        pattern.iter().map(|&b| b == 1).collect()
+    }
+
+    #[test]
+    fn sequential_and_is_correct_on_all_inputs() {
+        let p = SequentialAnd::new(4);
+        for xi in 0..16u32 {
+            let x: Vec<bool> = (0..4).map(|i| (xi >> i) & 1 == 1).collect();
+            let exec = run(&p, &x, &mut rng());
+            assert_eq!(exec.output, and_function(&x), "input {x:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_stops_at_first_zero() {
+        let p = SequentialAnd::new(6);
+        let exec = run(&p, &bools(&[1, 1, 0, 1, 1, 1]), &mut rng());
+        assert_eq!(exec.bits_written, 3);
+        assert!(!exec.output);
+        // All ones: everyone speaks.
+        let exec = run(&p, &bools(&[1; 6]), &mut rng());
+        assert_eq!(exec.bits_written, 6);
+        assert!(exec.output);
+    }
+
+    #[test]
+    fn sequential_and_communication_is_first_zero_index_plus_one() {
+        let p = SequentialAnd::new(8);
+        for z in 0..8 {
+            let mut x = vec![true; 8];
+            x[z] = false;
+            let exec = run(&p, &x, &mut rng());
+            assert_eq!(exec.bits_written, z + 1);
+        }
+    }
+
+    #[test]
+    fn all_speak_and_always_costs_k() {
+        let p = AllSpeakAnd::new(5);
+        for x in [bools(&[0, 0, 0, 0, 0]), bools(&[1, 1, 1, 1, 1])] {
+            let exec = run(&p, &x, &mut rng());
+            assert_eq!(exec.bits_written, 5);
+            assert_eq!(exec.output, and_function(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_and_errs_exactly_on_silent_zeros() {
+        let p = TruncatedAnd::new(6, 3);
+        // Zero among the speakers: correct.
+        let exec = run(&p, &bools(&[1, 0, 1, 1, 1, 1]), &mut rng());
+        assert!(!exec.output);
+        // Zero only among the silent: wrong.
+        let exec = run(&p, &bools(&[1, 1, 1, 0, 1, 1]), &mut rng());
+        assert!(exec.output, "truncated protocol misses the zero");
+        assert_ne!(exec.output, and_function(&bools(&[1, 1, 1, 0, 1, 1])));
+        assert_eq!(exec.bits_written, 3);
+    }
+
+    #[test]
+    fn truncated_with_all_speakers_is_correct() {
+        let p = TruncatedAnd::new(4, 4);
+        for xi in 0..16u32 {
+            let x: Vec<bool> = (0..4).map(|i| (xi >> i) & 1 == 1).collect();
+            assert_eq!(run(&p, &x, &mut rng()).output, and_function(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_zero_speakers_writes_nothing() {
+        let p = TruncatedAnd::new(3, 0);
+        let exec = run(&p, &bools(&[0, 0, 0]), &mut rng());
+        assert_eq!(exec.bits_written, 0);
+        assert!(exec.output, "vacuous AND of no announcements");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have")]
+    fn truncated_validates_speakers() {
+        TruncatedAnd::new(3, 4);
+    }
+}

@@ -1,0 +1,334 @@
+//! `AND_k` protocols as exact [`ProtocolTree`]s.
+//!
+//! The lower-bound and compression experiments need exact transcript
+//! distributions, so each `AND_k` protocol is also provided as a tree:
+//!
+//! * [`sequential_and`] — the zero-error witness with `IC = O(log k)`;
+//! * [`all_speak_and`] — everyone announces; `CC = IC`-maximal baseline;
+//! * [`truncated_and`] — the deterministic Lemma-6 family;
+//! * [`noisy_sequential_and`] — each announcement passes through a binary
+//!   symmetric channel with flip probability `ε`, giving a *randomized,
+//!   erring* protocol (Lemma 5 requires its conclusions to hold for any
+//!   small-error protocol, not just exact ones);
+//! * [`lazy_and`] — with probability `δ` the first speaker "throws its hands
+//!   up" and the protocol outputs 0 with no information exchanged. This is
+//!   the paper's own example of transcripts that point at no player, used to
+//!   test that the good-transcript machinery routes them into `B₀`.
+//!
+//! All trees use output `0`/`1` for the AND value.
+
+use bci_blackboard::tree::{ProtocolTree, TreeBuilder};
+use bci_encoding::bitio::BitVec;
+
+fn bit(b: bool) -> BitVec {
+    BitVec::from_bools(&[b])
+}
+
+/// The sequential `AND_k` tree: player `i` announces its bit; a zero ends
+/// the protocol with output 0; `k` ones end with output 1.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use bci_protocols::and_trees::sequential_and;
+///
+/// let t = sequential_and(8);
+/// assert_eq!(t.worst_case_bits(), 8); // CC = k
+/// assert_eq!(t.leaves().len(), 9); // first zero at 0..7, or all ones
+/// ```
+pub fn sequential_and(k: usize) -> ProtocolTree {
+    assert!(k > 0, "need at least one player");
+    let mut b = TreeBuilder::new(k);
+    // Build backwards from the last player.
+    let mut next = b.leaf(1); // all announced 1
+    for i in (0..k).rev() {
+        let zero_leaf = b.leaf(0);
+        next = b.internal(
+            i,
+            vec![
+                (bit(false), [1.0, 0.0], zero_leaf),
+                (bit(true), [0.0, 1.0], next),
+            ],
+        );
+    }
+    b.finish(next)
+}
+
+/// The all-speak `AND_k` tree: every player announces its bit regardless;
+/// the leaf output is the AND of the announcements.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 24` (the tree has `2ᵏ` leaves).
+pub fn all_speak_and(k: usize) -> ProtocolTree {
+    assert!(k > 0, "need at least one player");
+    assert!(
+        k <= 24,
+        "all-speak tree has 2^k leaves; k = {k} is too large"
+    );
+    let mut b = TreeBuilder::new(k);
+    // Recursively: after players 0..i announced with running AND `acc`.
+    fn subtree(b: &mut TreeBuilder, k: usize, i: usize, acc: bool) -> usize {
+        if i == k {
+            return b.leaf(usize::from(acc));
+        }
+        let on_zero = subtree(b, k, i + 1, false);
+        let on_one = subtree(b, k, i + 1, acc);
+        b.internal(
+            i,
+            vec![
+                (bit(false), [1.0, 0.0], on_zero),
+                (bit(true), [0.0, 1.0], on_one),
+            ],
+        )
+    }
+    let root = subtree(&mut b, k, 0, true);
+    b.finish(root)
+}
+
+/// The truncated deterministic tree: players `0..speakers` announce; the
+/// output is the AND of the announcements (silent players presumed 1).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `speakers > k`.
+pub fn truncated_and(k: usize, speakers: usize) -> ProtocolTree {
+    assert!(k > 0, "need at least one player");
+    assert!(speakers <= k, "cannot have {speakers} speakers among {k}");
+    let mut b = TreeBuilder::new(k);
+    let mut next = b.leaf(1);
+    for i in (0..speakers).rev() {
+        let zero_leaf = b.leaf(0);
+        next = b.internal(
+            i,
+            vec![
+                (bit(false), [1.0, 0.0], zero_leaf),
+                (bit(true), [0.0, 1.0], next),
+            ],
+        );
+    }
+    b.finish(next)
+}
+
+/// Sequential AND where each announcement is flipped with probability `eps`
+/// (a binary symmetric channel per player).
+///
+/// The protocol errs: on the all-ones input some player reads as 0 with
+/// probability `1 − (1−ε)ᵏ`, so choose `eps ≲ δ/k` for overall error `δ`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `eps ∉ [0, ½]`.
+pub fn noisy_sequential_and(k: usize, eps: f64) -> ProtocolTree {
+    assert!(k > 0, "need at least one player");
+    assert!(
+        (0.0..=0.5).contains(&eps),
+        "flip probability {eps} outside [0, 1/2]"
+    );
+    let mut b = TreeBuilder::new(k);
+    let mut next = b.leaf(1);
+    for i in (0..k).rev() {
+        let zero_leaf = b.leaf(0);
+        next = b.internal(
+            i,
+            vec![
+                // Announce 0: truthful w.p. 1−ε on input 0, a flip w.p. ε on 1.
+                (bit(false), [1.0 - eps, eps], zero_leaf),
+                (bit(true), [eps, 1.0 - eps], next),
+            ],
+        );
+    }
+    b.finish(next)
+}
+
+/// Sequential AND that, with probability `delta`, gives up immediately: the
+/// first speaker writes a 2-bit "give up" marker and the protocol outputs 0
+/// without consulting anyone.
+///
+/// Give-up transcripts carry no information about the input and point at no
+/// player; they are exactly the `B₀` transcripts of the paper's
+/// good-transcript argument.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `delta ∉ [0, 1)`.
+pub fn lazy_and(k: usize, delta: f64) -> ProtocolTree {
+    assert!(k >= 2, "lazy AND needs k ≥ 2");
+    assert!((0.0..1.0).contains(&delta), "delta {delta} outside [0,1)");
+    let mut b = TreeBuilder::new(k);
+    // Ordinary sequential tail for players 1..k.
+    let mut next = b.leaf(1);
+    for i in (1..k).rev() {
+        let zero_leaf = b.leaf(0);
+        next = b.internal(
+            i,
+            vec![
+                (bit(false), [1.0, 0.0], zero_leaf),
+                (bit(true), [0.0, 1.0], next),
+            ],
+        );
+    }
+    // Player 0 has three moves: "00" = give up (input-independent),
+    // "01" = announce 0, "1" = announce 1.
+    let give_up = b.leaf(0);
+    let zero_leaf = b.leaf(0);
+    let root = b.internal(
+        0,
+        vec![
+            (BitVec::from_bools(&[false, false]), [delta, delta], give_up),
+            (
+                BitVec::from_bools(&[false, true]),
+                [1.0 - delta, 0.0],
+                zero_leaf,
+            ),
+            (bit(true), [0.0, 1.0 - delta], next),
+        ],
+    );
+    b.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::and::and_function;
+
+    fn and_usize(x: &[bool]) -> usize {
+        usize::from(and_function(x))
+    }
+
+    #[test]
+    fn sequential_tree_is_exact() {
+        for k in [1usize, 2, 3, 7] {
+            let t = sequential_and(k);
+            assert_eq!(t.worst_case_error(and_usize), 0.0, "k={k}");
+            assert_eq!(t.worst_case_bits(), k);
+        }
+    }
+
+    #[test]
+    fn sequential_tree_matches_executable_protocol() {
+        use bci_blackboard::protocol::run;
+        use rand::SeedableRng;
+        let k = 5;
+        let tree = sequential_and(k);
+        let exec_protocol = crate::and::SequentialAnd::new(k);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        for xi in 0..(1u32 << k) {
+            let x: Vec<bool> = (0..k).map(|i| (xi >> i) & 1 == 1).collect();
+            let exec = run(&exec_protocol, &x, &mut rng);
+            // The tree is deterministic: exactly one leaf has probability 1.
+            let dist = tree.transcript_dist_given_input(&x);
+            let leaf = dist.iter().position(|&p| p > 0.99).expect("deterministic");
+            assert_eq!(tree.leaves()[leaf].output, usize::from(exec.output));
+            assert_eq!(tree.leaves()[leaf].path_bits, exec.bits_written);
+        }
+    }
+
+    #[test]
+    fn sequential_ic_is_first_zero_entropy() {
+        // Under iid Bern(p) inputs the transcript is determined by the index
+        // of the first zero, so IC = H(geometric-truncated distribution).
+        let k = 10;
+        let p1: f64 = 0.9; // Pr[X_i = 1]
+        let t = sequential_and(k);
+        let mut probs: Vec<f64> = (0..k).map(|i| p1.powi(i as i32) * (1.0 - p1)).collect();
+        probs.push(p1.powi(k as i32));
+        let h = bci_info::entropy::entropy(&probs);
+        let ic = t.information_cost_product(&vec![p1; k]);
+        assert!((ic - h).abs() < 1e-10, "ic={ic} h={h}");
+    }
+
+    #[test]
+    fn all_speak_leaks_everything() {
+        let k = 6;
+        let t = all_speak_and(k);
+        assert_eq!(t.worst_case_error(and_usize), 0.0);
+        assert_eq!(t.worst_case_bits(), k);
+        // Uniform inputs: transcript = input, IC = k bits.
+        let ic = t.information_cost_product(&vec![0.5; k]);
+        assert!((ic - k as f64).abs() < 1e-10);
+        // And strictly more than sequential under the same prior.
+        let seq_ic = sequential_and(k).information_cost_product(&vec![0.5; k]);
+        assert!(seq_ic < ic);
+    }
+
+    #[test]
+    fn truncated_error_is_probability_of_silent_zero() {
+        let k = 8;
+        let l = 5;
+        let t = truncated_and(k, l);
+        // Worst case: all speakers hold 1, some silent player holds 0.
+        let mut x = vec![true; k];
+        x[l] = false; // silent zero
+        assert_eq!(t.error_on_input(&x, and_usize(&x)), 1.0);
+        // Zero among speakers: no error.
+        let mut y = vec![true; k];
+        y[0] = false;
+        assert_eq!(t.error_on_input(&y, and_usize(&y)), 0.0);
+    }
+
+    #[test]
+    fn noisy_tree_error_scales_with_eps() {
+        let k = 6;
+        let eps = 0.01;
+        let t = noisy_sequential_and(k, eps);
+        let err = t.worst_case_error(and_usize);
+        assert!(err > 0.0, "noise must cause some error");
+        // Union bound: error ≤ k·ε.
+        assert!(err <= k as f64 * eps + 1e-12, "err={err}");
+        // Zero noise degenerates to the exact protocol.
+        assert_eq!(
+            noisy_sequential_and(k, 0.0).worst_case_error(and_usize),
+            0.0
+        );
+    }
+
+    #[test]
+    fn lazy_tree_error_equals_delta_exactly_on_all_ones() {
+        let k = 4;
+        let delta = 0.07;
+        let t = lazy_and(k, delta);
+        let all_ones = vec![true; k];
+        let err = t.error_on_input(&all_ones, 1);
+        assert!((err - delta).abs() < 1e-12);
+        // On inputs with a zero the output 0 is always right.
+        let with_zero = vec![true, false, true, true];
+        assert_eq!(t.error_on_input(&with_zero, 0), 0.0);
+        assert!((t.worst_case_error(and_usize) - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_tree_give_up_leaf_carries_no_information() {
+        let k = 4;
+        let t = lazy_and(k, 0.25);
+        // The give-up leaf is the 2-bit path with q_{i,0} = q_{i,1} for all i
+        // except player 0 where q_{0,0} = q_{0,1} = δ.
+        let giveup = t
+            .leaves()
+            .iter()
+            .find(|l| l.path_bits == 2 && (l.q(0, false) - l.q(0, true)).abs() < 1e-15)
+            .expect("give-up leaf");
+        for i in 0..k {
+            assert!((giveup.q(i, false) - giveup.q(i, true)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn factorized_ic_cross_validates_on_randomized_trees() {
+        let t = noisy_sequential_and(5, 0.1);
+        let priors = [0.9, 0.8, 0.95, 0.85, 0.9];
+        let fast = t.information_cost_product(&priors);
+        let slow = t.information_cost_bruteforce(&priors);
+        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+
+        let t = lazy_and(4, 0.3);
+        let priors = [0.7, 0.9, 0.6, 0.8];
+        let fast = t.information_cost_product(&priors);
+        let slow = t.information_cost_bruteforce(&priors);
+        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+}

@@ -1,0 +1,274 @@
+//! `DISJ_{n,k}` as an exact [`GeneralTree`] — the whole problem, not just
+//! its one-bit pieces, under the exact-analysis machinery.
+//!
+//! Player `i`'s input is its set `Xᵢ ⊆ [n]`, encoded as a symbol in
+//! `0..2ⁿ`. The protocol is the coordinate-wise one the direct sum speaks
+//! about: process columns `j = 0, …, n−1` in order; in a column, players
+//! announce bit `j` of their set sequentially; a zero moves to the next
+//! column, a full column of ones ends with output 0 ("non-disjoint"); all
+//! columns cleared ends with output 1 ("disjoint").
+//!
+//! With this tree, `CIC_{μⁿ}(DISJ_{n,k})` is computed *directly* — no
+//! additivity assumption — and the tests confirm the Lemma 1 equality
+//! `CIC_{μⁿ}(Πⁿ) = n · CIC_μ(AND_k)` at the level of the full disjointness
+//! protocol.
+
+use bci_blackboard::general_tree::{GeneralTree, GeneralTreeBuilder};
+use bci_encoding::bitio::BitVec;
+use bci_info::dist::Dist;
+
+use crate::and_trees;
+use bci_lowerbound_shim::HardDistLike;
+
+/// Minimal local stand-in so this crate does not depend on
+/// `bci-lowerbound` (which depends on us): the hard distribution's
+/// conditional priors are three lines of arithmetic.
+mod bci_lowerbound_shim {
+    /// Per-player `Pr[bit = 1 | Z = z]` of the Section 4.1 hard
+    /// distribution.
+    pub trait HardDistLike {
+        /// `Pr[Xᵢ = 1 | Z = z]` for player `i`.
+        fn prior_one(&self, i: usize, z: usize) -> f64;
+    }
+
+    /// The hard distribution with `k` players.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Hard {
+        /// Number of players.
+        pub k: usize,
+    }
+
+    impl HardDistLike for Hard {
+        fn prior_one(&self, i: usize, z: usize) -> f64 {
+            if i == z {
+                0.0
+            } else {
+                1.0 - 1.0 / self.k as f64
+            }
+        }
+    }
+}
+
+pub use bci_lowerbound_shim::Hard;
+
+fn bit(v: bool) -> BitVec {
+    BitVec::from_bools(&[v])
+}
+
+/// Builds the coordinate-wise `DISJ_{n,k}` tree over set-valued inputs.
+///
+/// # Panics
+///
+/// Panics if the tree would be too large (`(k+1)ⁿ > 4096` paths) — the
+/// exact machinery is for small instances; use the executable protocols for
+/// sweeps.
+pub fn coordinatewise_disj_tree(n: usize, k: usize) -> GeneralTree {
+    assert!(n >= 1 && k >= 1, "need n, k ≥ 1");
+    assert!(
+        (k + 1).pow(n as u32) <= 4096,
+        "tree too large: (k+1)^n = {}",
+        (k + 1).pow(n as u32)
+    );
+    let alphabet = 1usize << n;
+    let mut b = GeneralTreeBuilder::new(vec![alphabet; k]);
+
+    /// Probability vector for "player announces bit j = value".
+    fn col_prob(alphabet: usize, j: usize, value: bool) -> Vec<f64> {
+        (0..alphabet)
+            .map(|s| {
+                let has = (s >> j) & 1 == 1;
+                if has == value {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the subtree starting at column `j`, player `i`.
+    fn build(
+        b: &mut GeneralTreeBuilder,
+        n: usize,
+        k: usize,
+        alphabet: usize,
+        j: usize,
+        i: usize,
+    ) -> usize {
+        if j == n {
+            return b.leaf(1); // all columns cleared: disjoint
+        }
+        // On a one-announcement: next player in this column, or the
+        // non-disjoint leaf if this was the last.
+        let on_one = if i + 1 < k {
+            build(b, n, k, alphabet, j, i + 1)
+        } else {
+            b.leaf(0) // full column of ones: intersection found
+        };
+        // On a zero-announcement: this column is cleared; start the next.
+        let on_zero = build(b, n, k, alphabet, j + 1, 0);
+        b.internal(
+            i,
+            vec![
+                (bit(false), col_prob(alphabet, j, false), on_zero),
+                (bit(true), col_prob(alphabet, j, true), on_one),
+            ],
+        )
+    }
+
+    let root = build(&mut b, n, k, alphabet, 0, 0);
+    b.finish(root)
+}
+
+/// The n-fold hard-distribution prior for one player: the product over
+/// coordinates of `Bern(prior given zⱼ)`, as a distribution over set
+/// symbols in `0..2ⁿ`.
+pub fn player_prior(n: usize, k: usize, player: usize, zvec: &[usize]) -> Dist {
+    assert_eq!(zvec.len(), n, "one special player per coordinate");
+    let hard = Hard { k };
+    let probs: Vec<f64> = (0..(1usize << n))
+        .map(|s| {
+            (0..n)
+                .map(|j| {
+                    let p1 = hard.prior_one(player, zvec[j]);
+                    if (s >> j) & 1 == 1 {
+                        p1
+                    } else {
+                        1.0 - p1
+                    }
+                })
+                .product()
+        })
+        .collect();
+    Dist::new(probs).expect("product of Bernoullis")
+}
+
+/// Exact `CIC_{μⁿ}(coordinate-wise DISJ_{n,k}) = I(Π; X | Z₁…Z_n)`,
+/// computed directly on the full tree by averaging over all `kⁿ` auxiliary
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if `kⁿ > 4096`.
+pub fn disj_cic_exact(n: usize, k: usize) -> f64 {
+    let n_aux = k.pow(n as u32);
+    assert!(n_aux <= 4096, "auxiliary space too large");
+    let tree = coordinatewise_disj_tree(n, k);
+    let w = 1.0 / n_aux as f64;
+    let mut total = 0.0;
+    for zi in 0..n_aux {
+        let mut rest = zi;
+        let zvec: Vec<usize> = (0..n)
+            .map(|_| {
+                let z = rest % k;
+                rest /= k;
+                z
+            })
+            .collect();
+        let priors: Vec<Dist> = (0..k).map(|i| player_prior(n, k, i, &zvec)).collect();
+        total += w * tree.information_cost_product(&priors);
+    }
+    total
+}
+
+/// Exact single-copy `CIC_μ(AND_k)` via the binary tree (for the Lemma 1
+/// comparison without importing `bci-lowerbound`).
+pub fn and_cic_exact(k: usize) -> f64 {
+    let tree = and_trees::sequential_and(k);
+    let hard = Hard { k };
+    let w = 1.0 / k as f64;
+    (0..k)
+        .map(|z| {
+            let priors: Vec<f64> = (0..k).map(|i| hard.prior_one(i, z)).collect();
+            w * tree.information_cost_product(&priors)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disj::{coordinatewise, disj_function};
+    use bci_encoding::bitset::BitSet;
+
+    #[test]
+    fn tree_computes_disjointness_exactly() {
+        let (n, k) = (3, 3);
+        let tree = coordinatewise_disj_tree(n, k);
+        for xi in 0..(1usize << (n * k)) {
+            let symbols: Vec<usize> = (0..k).map(|i| (xi >> (i * n)) & ((1 << n) - 1)).collect();
+            let sets: Vec<BitSet> = symbols
+                .iter()
+                .map(|&s| BitSet::from_elements(n, (0..n).filter(|&j| (s >> j) & 1 == 1)))
+                .collect();
+            let expect = usize::from(disj_function(&sets));
+            let dist = tree.transcript_dist_given_input(&symbols);
+            let leaf = dist
+                .iter()
+                .position(|&p| p > 0.999)
+                .expect("deterministic tree");
+            assert_eq!(tree.leaves()[leaf].output, expect, "input {symbols:?}");
+        }
+    }
+
+    #[test]
+    fn tree_communication_matches_executable_protocol() {
+        let (n, k) = (2, 3);
+        let tree = coordinatewise_disj_tree(n, k);
+        for xi in 0..(1usize << (n * k)) {
+            let symbols: Vec<usize> = (0..k).map(|i| (xi >> (i * n)) & ((1 << n) - 1)).collect();
+            let sets: Vec<BitSet> = symbols
+                .iter()
+                .map(|&s| BitSet::from_elements(n, (0..n).filter(|&j| (s >> j) & 1 == 1)))
+                .collect();
+            let run = coordinatewise::run(&sets);
+            let dist = tree.transcript_dist_given_input(&symbols);
+            let leaf = dist.iter().position(|&p| p > 0.999).expect("deterministic");
+            assert_eq!(tree.leaves()[leaf].path_bits, run.bits, "input {symbols:?}");
+        }
+    }
+
+    #[test]
+    fn lemma1_equality_on_the_full_disjointness_tree() {
+        // CIC_{μⁿ}(DISJ tree) = n · CIC_μ(AND_k), computed with zero shared
+        // machinery between the two sides.
+        for (n, k) in [(1usize, 3usize), (2, 3), (3, 3), (2, 4)] {
+            let whole = disj_cic_exact(n, k);
+            let per_copy = and_cic_exact(k);
+            assert!(
+                (whole - n as f64 * per_copy).abs() < 1e-9,
+                "(n={n},k={k}): {whole} vs {}",
+                n as f64 * per_copy
+            );
+        }
+    }
+
+    #[test]
+    fn disj_cic_grows_linearly_in_n() {
+        let k = 3;
+        let c1 = disj_cic_exact(1, k);
+        let c2 = disj_cic_exact(2, k);
+        let c3 = disj_cic_exact(3, k);
+        assert!((c2 - 2.0 * c1).abs() < 1e-9);
+        assert!((c3 - 3.0 * c1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn player_prior_is_a_valid_product_distribution() {
+        let d = player_prior(3, 4, 1, &[0, 1, 2]);
+        assert_eq!(d.len(), 8);
+        // Player 1 is special in coordinate 1: every symbol with bit 1 set
+        // has probability 0.
+        for s in 0..8usize {
+            if (s >> 1) & 1 == 1 {
+                assert_eq!(d.prob(s), 0.0, "symbol {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn guards_reject_big_trees() {
+        coordinatewise_disj_tree(8, 8);
+    }
+}

@@ -1,0 +1,472 @@
+//! Computing the union (pointwise-OR) of the players' sets.
+//!
+//! The paper's related-work discussion singles out *pointwise-OR* — the
+//! players must output the vector `Y` with `Y^j = ⋁ᵢ Xᵢ^j`, i.e. the union
+//! `⋃ᵢ Xᵢ` — as a problem where symmetrization proves `Ω(n log k)` but the
+//! technique fails for disjointness. The upper-bound side mirrors Theorem 2:
+//! members (instead of zeros) are published, and batching them into subset
+//! codes brings the per-element cost from `log₂ n` down to `log₂(e·k)` on
+//! dense unions.
+//!
+//! Unlike disjointness, a fat cycle where everyone passes cannot end the
+//! protocol — unpublished coordinates might still be members held thinly —
+//! so an all-pass cycle (or reaching `z < k²`) drops into one final naive
+//! cycle where everyone dumps all remaining members. The output is the full
+//! union, read off the board.
+
+use bci_blackboard::board::Board;
+use bci_encoding::approx::approx_binomial_code_len;
+use bci_encoding::bitio::{BitReader, BitWriter};
+use bci_encoding::bitset::BitSet;
+use bci_encoding::combinadic::SubsetCodec;
+
+/// The reference function: the union of the players' sets.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or capacities mismatch.
+pub fn union_function(inputs: &[BitSet]) -> BitSet {
+    assert!(!inputs.is_empty(), "union needs at least one player");
+    let mut u = inputs[0].clone();
+    for x in &inputs[1..] {
+        u.union_with(x);
+    }
+    u
+}
+
+/// Result of running a union protocol.
+#[derive(Debug, Clone)]
+pub struct UnionRun {
+    /// The final board.
+    pub board: Board,
+    /// Total bits written.
+    pub bits: usize,
+    /// The computed union.
+    pub output: BitSet,
+    /// Cycles executed.
+    pub cycles: usize,
+}
+
+fn check_inputs(n: usize, inputs: &[BitSet]) {
+    assert!(!inputs.is_empty(), "need at least one player");
+    assert!(
+        inputs.iter().all(|x| x.capacity() == n),
+        "all inputs must share a universe"
+    );
+}
+
+fn index_width(z: usize) -> u32 {
+    if z <= 1 {
+        0
+    } else {
+        usize::BITS - (z - 1).leading_zeros()
+    }
+}
+
+/// The naive union protocol: one cycle; each player writes its not-yet-
+/// published members as `1`+`⌈log₂ n⌉`-bit records, then a terminating `0`.
+pub mod naive {
+    use super::*;
+
+    /// Runs the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or capacities mismatch.
+    pub fn run(inputs: &[BitSet]) -> UnionRun {
+        let n = inputs.first().map_or(0, BitSet::capacity);
+        check_inputs(n, inputs);
+        let width = index_width(n);
+        let mut board = Board::new();
+        let mut published = BitSet::new(n);
+        for (player, x) in inputs.iter().enumerate() {
+            let mut w = BitWriter::new();
+            for j in x.difference(&published).iter() {
+                w.write_bit(true);
+                w.write_bits(j as u64, width);
+                published.insert(j);
+            }
+            w.write_bit(false);
+            board.write(player, w.into_bits());
+        }
+        let bits = board.total_bits();
+        UnionRun {
+            board,
+            bits,
+            output: published,
+            cycles: 1,
+        }
+    }
+
+    /// Replays a finished board without inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed board.
+    pub fn decode(n: usize, k: usize, board: &Board) -> BitSet {
+        let width = index_width(n);
+        let mut published = BitSet::new(n);
+        assert_eq!(board.messages().len(), k, "one turn per player");
+        for (turn, msg) in board.messages().iter().enumerate() {
+            assert_eq!(msg.speaker, turn, "players speak in order");
+            let mut r = BitReader::new(&msg.bits);
+            while r.read_bit().expect("truncated turn") {
+                let j = r.read_bits(width).expect("truncated index") as usize;
+                assert!(published.insert(j), "member {j} repeated");
+            }
+            assert_eq!(r.remaining(), 0, "trailing bits");
+        }
+        published
+    }
+}
+
+/// The batched union protocol: Theorem 2's packing applied to members.
+pub mod batched {
+    use super::*;
+
+    /// Runs the protocol.
+    ///
+    /// Fat cycles (while `z ≥ k²`): a player with at least `⌈z/k⌉` new
+    /// members writes exactly that many as a subset code over the
+    /// cycle-start unpublished set; otherwise it passes (1 bit). An all-pass
+    /// fat cycle, or `z < k²`, triggers one final naive cycle in which every
+    /// player dumps all remaining members as indices into the unpublished
+    /// set; the protocol then halts (early if the whole universe is
+    /// published).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or capacities mismatch.
+    pub fn run(inputs: &[BitSet]) -> UnionRun {
+        let n = inputs.first().map_or(0, BitSet::capacity);
+        check_inputs(n, inputs);
+        let k = inputs.len();
+        let mut board = Board::new();
+        let mut published = BitSet::new(n);
+        let mut cycles = 0usize;
+        loop {
+            if published.len() == n {
+                break;
+            }
+            cycles += 1;
+            let z_list: Vec<usize> = published.complement().iter().collect();
+            let z = z_list.len();
+            let mut pos = vec![usize::MAX; n];
+            for (idx, &j) in z_list.iter().enumerate() {
+                pos[j] = idx;
+            }
+            if z >= k * k {
+                let b = z.div_ceil(k);
+                let codec = SubsetCodec::new(z as u64, b as u64);
+                let mut all_passed = true;
+                for (player, x) in inputs.iter().enumerate() {
+                    let fresh: Vec<usize> = x.difference(&published).iter().collect();
+                    let mut w = BitWriter::new();
+                    if fresh.len() >= b {
+                        let chosen = &fresh[..b];
+                        let indices: Vec<u64> = chosen.iter().map(|&j| pos[j] as u64).collect();
+                        w.write_bit(true);
+                        codec.encode(&indices, &mut w);
+                        for &j in chosen {
+                            published.insert(j);
+                        }
+                        all_passed = false;
+                    } else {
+                        w.write_bit(false);
+                    }
+                    board.write(player, w.into_bits());
+                    if published.len() == n {
+                        break;
+                    }
+                }
+                if all_passed || published.len() == n {
+                    if published.len() == n {
+                        break;
+                    }
+                    // Final naive cycle over the remaining universe.
+                    final_naive_cycle(inputs, &mut board, &mut published);
+                    cycles += 1;
+                    break;
+                }
+            } else {
+                final_naive_cycle(inputs, &mut board, &mut published);
+                break;
+            }
+        }
+        let bits = board.total_bits();
+        UnionRun {
+            board,
+            bits,
+            output: published,
+            cycles,
+        }
+    }
+
+    fn final_naive_cycle(inputs: &[BitSet], board: &mut Board, published: &mut BitSet) {
+        let n = published.capacity();
+        let z_list: Vec<usize> = published.complement().iter().collect();
+        let z = z_list.len();
+        let width = index_width(z);
+        let mut pos = vec![usize::MAX; n];
+        for (idx, &j) in z_list.iter().enumerate() {
+            pos[j] = idx;
+        }
+        for (player, x) in inputs.iter().enumerate() {
+            let mut w = BitWriter::new();
+            for j in x.difference(published).iter() {
+                w.write_bit(true);
+                w.write_bits(pos[j] as u64, width);
+                published.insert(j);
+            }
+            w.write_bit(false);
+            board.write(player, w.into_bits());
+        }
+    }
+
+    /// Estimated bits of the same schedule without big-integer encoding
+    /// (bit-identical to [`run`] up to float rounding of the code length).
+    pub fn cost(inputs: &[BitSet]) -> usize {
+        let n = inputs.first().map_or(0, BitSet::capacity);
+        check_inputs(n, inputs);
+        let k = inputs.len();
+        let mut published = BitSet::new(n);
+        let mut bits = 0usize;
+        loop {
+            if published.len() == n {
+                return bits;
+            }
+            let z = n - published.len();
+            if z >= k * k {
+                let b = z.div_ceil(k);
+                let code = 1 + approx_binomial_code_len(z as u64, b as u64) as usize;
+                let mut all_passed = true;
+                for x in inputs {
+                    let fresh: Vec<usize> = x.difference(&published).iter().collect();
+                    if fresh.len() >= b {
+                        bits += code;
+                        for &j in &fresh[..b] {
+                            published.insert(j);
+                        }
+                        all_passed = false;
+                    } else {
+                        bits += 1;
+                    }
+                    if published.len() == n {
+                        break;
+                    }
+                }
+                if all_passed || published.len() == n {
+                    if published.len() == n {
+                        return bits;
+                    }
+                    return bits + naive_tail_cost(inputs, &mut published);
+                }
+            } else {
+                return bits + naive_tail_cost(inputs, &mut published);
+            }
+        }
+    }
+
+    fn naive_tail_cost(inputs: &[BitSet], published: &mut BitSet) -> usize {
+        let n = published.capacity();
+        let z = n - published.len();
+        let width = index_width(z) as usize;
+        let mut bits = 0;
+        for x in inputs {
+            let fresh: Vec<usize> = x.difference(published).iter().collect();
+            bits += fresh.len() * (1 + width) + 1;
+            for j in fresh {
+                published.insert(j);
+            }
+        }
+        bits
+    }
+
+    /// Replays a finished board without inputs, recovering the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed board.
+    pub fn decode(n: usize, k: usize, board: &Board) -> BitSet {
+        let mut published = BitSet::new(n);
+        let mut msgs = board.messages().iter().peekable();
+        'outer: while published.len() < n {
+            let z_list: Vec<usize> = published.complement().iter().collect();
+            let z = z_list.len();
+            if z >= k * k {
+                let b = z.div_ceil(k);
+                let codec = SubsetCodec::new(z as u64, b as u64);
+                let mut all_passed = true;
+                for player in 0..k {
+                    let Some(msg) = msgs.next() else {
+                        break 'outer; // board ended exactly at the halt
+                    };
+                    assert_eq!(msg.speaker, player, "unexpected speaker");
+                    let mut r = BitReader::new(&msg.bits);
+                    if r.read_bit().expect("empty turn") {
+                        for idx in codec.decode(&mut r) {
+                            let j = z_list[idx as usize];
+                            assert!(published.insert(j), "member {j} repeated");
+                        }
+                        all_passed = false;
+                    }
+                    assert_eq!(r.remaining(), 0, "trailing bits");
+                    if published.len() == n {
+                        break 'outer;
+                    }
+                }
+                if all_passed {
+                    decode_naive_cycle(n, k, &mut msgs, &mut published);
+                    break;
+                }
+            } else {
+                decode_naive_cycle(n, k, &mut msgs, &mut published);
+                break;
+            }
+        }
+        assert!(msgs.next().is_none(), "board has extra messages");
+        published
+    }
+
+    fn decode_naive_cycle<'a, I: Iterator<Item = &'a bci_blackboard::board::Message>>(
+        _n: usize,
+        k: usize,
+        msgs: &mut I,
+        published: &mut BitSet,
+    ) {
+        let z_list: Vec<usize> = published.complement().iter().collect();
+        let width = index_width(z_list.len());
+        for player in 0..k {
+            let msg = msgs.next().expect("naive cycle has one turn per player");
+            assert_eq!(msg.speaker, player, "unexpected speaker");
+            let mut r = BitReader::new(&msg.bits);
+            while r.read_bit().expect("truncated turn") {
+                let idx = r.read_bits(width).expect("truncated index") as usize;
+                let j = z_list[idx];
+                assert!(published.insert(j), "member {j} repeated");
+            }
+            assert_eq!(r.remaining(), 0, "trailing bits");
+        }
+    }
+
+    /// The fat-cycle per-member bound, identical to Theorem 2's:
+    /// `log₂(e·k)` bits.
+    pub fn per_member_bound(k: usize) -> f64 {
+        (std::f64::consts::E * k as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn both_protocols_compute_the_union() {
+        let mut r = rng(1);
+        for trial in 0..25 {
+            let n = 30 + trial * 23;
+            let k = 2 + trial % 7;
+            let inputs = workload::random_sets(n, k, 0.4, &mut r);
+            let expect = union_function(&inputs);
+            assert_eq!(naive::run(&inputs).output, expect, "naive trial {trial}");
+            assert_eq!(
+                batched::run(&inputs).output,
+                expect,
+                "batched trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn boards_decode_without_inputs() {
+        let mut r = rng(2);
+        for trial in 0..10 {
+            let n = 200 + trial * 60;
+            let k = 3 + trial % 5;
+            let inputs = workload::random_sets(n, k, 0.6, &mut r);
+            let nv = naive::run(&inputs);
+            assert_eq!(naive::decode(n, k, &nv.board), nv.output);
+            let bt = batched::run(&inputs);
+            assert_eq!(batched::decode(n, k, &bt.board), bt.output, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn cost_model_matches_exact_bits() {
+        let mut r = rng(3);
+        for trial in 0..10 {
+            let n = 128 + trial * 100;
+            let k = 2 + trial % 6;
+            let inputs = workload::random_sets(n, k, 0.7, &mut r);
+            let exact = batched::run(&inputs);
+            assert_eq!(batched::cost(&inputs), exact.bits, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn batched_beats_naive_on_dense_replicated_unions() {
+        // Every coordinate is a member of ~half the players: plenty of
+        // batching opportunities, union = [n].
+        let mut r = rng(4);
+        let n = 2048;
+        let k = 8;
+        let inputs = workload::random_sets(n, k, 0.5, &mut r);
+        // E[missing coordinates] = n·2⁻ᵏ = 8: the union is essentially [n].
+        assert!(union_function(&inputs).len() > n - 30, "union is dense");
+        let nv = naive::run(&inputs);
+        let bt = batched::run(&inputs);
+        assert!(
+            (bt.bits as f64) < 0.7 * nv.bits as f64,
+            "batched {} vs naive {}",
+            bt.bits,
+            nv.bits
+        );
+    }
+
+    #[test]
+    fn thin_unions_fall_back_to_naive_costs() {
+        // Union is a small fraction of [n] spread one-per-player: the
+        // information-theoretic cost is |U|·log(n/|U|) ≈ |U|·log k, but no
+        // player ever holds z/k members, so the all-pass path triggers.
+        let n = 1024;
+        let k = 4;
+        let mut inputs = vec![BitSet::new(n); k];
+        for j in 0..32 {
+            inputs[j % k].insert(j * 31);
+        }
+        let bt = batched::run(&inputs);
+        assert_eq!(bt.output, union_function(&inputs));
+        // One all-pass fat cycle (k bits) + naive dump.
+        assert!(bt.bits <= k + 32 * (11 + 1) + k, "bits = {}", bt.bits);
+    }
+
+    #[test]
+    fn empty_and_full_edge_cases() {
+        let inputs = vec![BitSet::new(40); 3];
+        let bt = batched::run(&inputs);
+        assert!(bt.output.is_empty());
+        let full = vec![BitSet::full(40); 3];
+        let bt = batched::run(&full);
+        assert_eq!(bt.output.len(), 40);
+        assert_eq!(batched::decode(40, 3, &bt.board), bt.output);
+    }
+
+    #[test]
+    fn union_early_halt_when_everything_published() {
+        // Player 0 holds all of [n]: the first batch cycles publish
+        // everything; later players never speak in the final partial cycle.
+        let n = 512;
+        let k = 4;
+        let mut inputs = vec![BitSet::new(n); k];
+        inputs[0] = BitSet::full(n);
+        let bt = batched::run(&inputs);
+        assert_eq!(bt.output.len(), n);
+        assert_eq!(batched::decode(n, k, &bt.board), bt.output);
+    }
+}

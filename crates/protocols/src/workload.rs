@@ -1,0 +1,329 @@
+//! Input generators for the set-disjointness experiments.
+//!
+//! The paper's upper bound is worst-case, so the sweeps use instances that
+//! stress different parts of the protocol:
+//!
+//! * [`planted_zero_cover`] — disjoint instances where zeros are scarce
+//!   (each coordinate has exactly one guaranteed zero holder): the protocol
+//!   must publish essentially all `n` coordinates, exposing the
+//!   per-coordinate cost (`log k` vs `log n`).
+//! * [`planted_intersection`] — non-disjoint instances with a planted
+//!   intersection, for correctness and early-termination behaviour.
+//! * [`random_sets`] — iid `Bernoulli(density)` sets, the unstructured case.
+//! * [`single_holder`] — one player holds *all* the zeros: maximizes the
+//!   number of cycles in the batched protocol (only `z/k` coordinates are
+//!   published per cycle).
+
+use bci_encoding::bitset::BitSet;
+use rand::Rng;
+
+/// Each player's set contains each coordinate independently with probability
+/// `density`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `density ∉ [0, 1]`.
+pub fn random_sets<R: Rng + ?Sized>(n: usize, k: usize, density: f64, rng: &mut R) -> Vec<BitSet> {
+    assert!(k > 0, "need at least one player");
+    assert!((0.0..=1.0).contains(&density), "density outside [0,1]");
+    (0..k)
+        .map(|_| {
+            let mut s = BitSet::new(n);
+            for j in 0..n {
+                if rng.random_bool(density) {
+                    s.insert(j);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// A guaranteed-disjoint instance: for every coordinate `j` one uniformly
+/// random player is forced to exclude `j`; every other player excludes `j`
+/// independently with probability `extra_zero_prob` (0 gives the densest,
+/// hardest instances).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `extra_zero_prob ∉ [0, 1]`.
+pub fn planted_zero_cover<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    extra_zero_prob: f64,
+    rng: &mut R,
+) -> Vec<BitSet> {
+    assert!(k > 0, "need at least one player");
+    assert!(
+        (0.0..=1.0).contains(&extra_zero_prob),
+        "probability outside [0,1]"
+    );
+    let mut sets = vec![BitSet::full(n); k];
+    for j in 0..n {
+        let z = rng.random_range(0..k);
+        sets[z].remove(j);
+        for (i, s) in sets.iter_mut().enumerate() {
+            if i != z && extra_zero_prob > 0.0 && rng.random_bool(extra_zero_prob) {
+                s.remove(j);
+            }
+        }
+    }
+    sets
+}
+
+/// A guaranteed-non-disjoint instance: iid `Bernoulli(density)` sets with
+/// `m ≥ 1` uniformly chosen coordinates forced into every set.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `m == 0`, `m > n`, or `density ∉ [0, 1]`.
+pub fn planted_intersection<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    m: usize,
+    density: f64,
+    rng: &mut R,
+) -> Vec<BitSet> {
+    assert!(m >= 1, "need at least one planted coordinate");
+    assert!(m <= n, "cannot plant {m} coordinates in a universe of {n}");
+    let mut sets = random_sets(n, k, density, rng);
+    let mut planted = Vec::with_capacity(m);
+    while planted.len() < m {
+        let j = rng.random_range(0..n);
+        if !planted.contains(&j) {
+            planted.push(j);
+        }
+    }
+    for s in &mut sets {
+        for &j in &planted {
+            s.insert(j);
+        }
+    }
+    sets
+}
+
+/// A *unique-intersection promise* instance: every player's set has
+/// `set_size` elements, all `k` sets share exactly one common coordinate,
+/// and apart from it they are pairwise disjoint. This is the promise version
+/// of disjointness the paper's related-work section connects to streaming
+/// lower bounds ([2, 17] and Alon–Matias–Szegedy [1]).
+///
+/// Returns the instance and the planted common coordinate.
+///
+/// # Panics
+///
+/// Panics if `set_size == 0` or the sets don't fit
+/// (`k·(set_size−1) + 1 > n`).
+pub fn unique_intersection<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    set_size: usize,
+    rng: &mut R,
+) -> (Vec<BitSet>, usize) {
+    assert!(k > 0, "need at least one player");
+    assert!(set_size >= 1, "sets must be nonempty");
+    assert!(
+        k * (set_size - 1) < n,
+        "universe too small: need {} ≤ {n}",
+        k * (set_size - 1) + 1
+    );
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.random_range(0..=i));
+    }
+    let common = perm[0];
+    let mut sets = Vec::with_capacity(k);
+    let mut next = 1;
+    for _ in 0..k {
+        let mut s = BitSet::new(n);
+        s.insert(common);
+        for _ in 0..set_size - 1 {
+            s.insert(perm[next]);
+            next += 1;
+        }
+        sets.push(s);
+    }
+    (sets, common)
+}
+
+/// The matching no-intersection promise instance: `k` pairwise-disjoint
+/// sets of `set_size` elements each.
+///
+/// # Panics
+///
+/// Panics if `k·set_size > n`.
+pub fn pairwise_disjoint<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    set_size: usize,
+    rng: &mut R,
+) -> Vec<BitSet> {
+    assert!(k > 0, "need at least one player");
+    assert!(k * set_size <= n, "universe too small");
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.random_range(0..=i));
+    }
+    (0..k)
+        .map(|i| BitSet::from_elements(n, perm[i * set_size..(i + 1) * set_size].iter().copied()))
+        .collect()
+}
+
+/// The cycle-count stressor: player 0 holds the empty set (all zeros), every
+/// other player holds all of `[n]`. Disjoint for `k ≥ 1`, and only player 0
+/// can ever publish, `⌈z/k⌉` coordinates per cycle.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn single_holder(n: usize, k: usize) -> Vec<BitSet> {
+    assert!(k > 0, "need at least one player");
+    let mut sets = vec![BitSet::full(n); k];
+    sets[0] = BitSet::new(n);
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disj::disj_function;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn planted_zero_cover_is_always_disjoint() {
+        let mut r = rng(1);
+        for _ in 0..20 {
+            let inputs = planted_zero_cover(97, 7, 0.2, &mut r);
+            assert!(disj_function(&inputs));
+        }
+    }
+
+    #[test]
+    fn planted_zero_cover_dense_has_one_zero_per_coordinate() {
+        let mut r = rng(2);
+        let inputs = planted_zero_cover(50, 5, 0.0, &mut r);
+        for j in 0..50 {
+            let zeros = inputs.iter().filter(|s| !s.contains(j)).count();
+            assert_eq!(zeros, 1, "coordinate {j}");
+        }
+    }
+
+    #[test]
+    fn planted_intersection_is_never_disjoint() {
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let inputs = planted_intersection(64, 4, 2, 0.1, &mut r);
+            assert!(!disj_function(&inputs));
+        }
+    }
+
+    #[test]
+    fn planted_intersection_has_at_least_m_common() {
+        let mut r = rng(4);
+        let inputs = planted_intersection(64, 4, 5, 0.0, &mut r);
+        let mut common = inputs[0].clone();
+        for s in &inputs[1..] {
+            common = common.intersection(s);
+        }
+        assert!(common.len() >= 5);
+    }
+
+    #[test]
+    fn random_sets_density_is_respected() {
+        let mut r = rng(5);
+        let sets = random_sets(10_000, 1, 0.3, &mut r);
+        let frac = sets[0].len() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn random_sets_degenerate_densities() {
+        let mut r = rng(6);
+        assert!(random_sets(100, 2, 0.0, &mut r)
+            .iter()
+            .all(BitSet::is_empty));
+        assert!(random_sets(100, 2, 1.0, &mut r)
+            .iter()
+            .all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn single_holder_shape() {
+        let inputs = single_holder(30, 4);
+        assert!(disj_function(&inputs));
+        assert!(inputs[0].is_empty());
+        assert!(inputs[1..].iter().all(|s| s.len() == 30));
+    }
+
+    #[test]
+    fn unique_intersection_promise_holds() {
+        let mut r = rng(8);
+        for trial in 0..15 {
+            let k = 2 + trial % 5;
+            let s = 3 + trial % 7;
+            let (sets, common) = unique_intersection(200, k, s, &mut r);
+            assert_eq!(sets.len(), k);
+            // Every set has the right size and contains the common element.
+            for set in &sets {
+                assert_eq!(set.len(), s);
+                assert!(set.contains(common));
+            }
+            // The intersection of all sets is exactly {common}.
+            let mut inter = sets[0].clone();
+            for set in &sets[1..] {
+                inter = inter.intersection(set);
+            }
+            assert_eq!(inter.iter().collect::<Vec<_>>(), vec![common]);
+            // Pairwise, the only shared element is the common one.
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let shared: Vec<usize> = sets[i].intersection(&sets[j]).iter().collect();
+                    assert_eq!(shared, vec![common], "pair ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_disjoint_promise_holds() {
+        let mut r = rng(9);
+        let sets = pairwise_disjoint(100, 4, 10, &mut r);
+        for i in 0..4 {
+            assert_eq!(sets[i].len(), 10);
+            for j in (i + 1)..4 {
+                assert!(sets[i].is_disjoint(&sets[j]), "pair ({i},{j})");
+            }
+        }
+        assert!(disj_function(&sets));
+    }
+
+    #[test]
+    fn promise_instances_are_decided_correctly_by_the_protocols() {
+        use crate::disj::{batched, naive};
+        let mut r = rng(10);
+        let (with, _) = unique_intersection(256, 4, 20, &mut r);
+        assert!(!naive::run(&with).output);
+        assert!(!batched::run(&with).output);
+        let without = pairwise_disjoint(256, 4, 20, &mut r);
+        assert!(naive::run(&without).output);
+        assert!(batched::run(&without).output);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn unique_intersection_validates_fit() {
+        let mut r = rng(11);
+        unique_intersection(10, 4, 4, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot plant")]
+    fn planted_intersection_validates_m() {
+        let mut r = rng(7);
+        planted_intersection(4, 2, 5, 0.5, &mut r);
+    }
+}

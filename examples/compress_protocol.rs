@@ -1,0 +1,78 @@
+//! Figure 1, reproduced: the rejection-sampling compression step — plus the
+//! full Theorem 3 amortized pipeline it powers.
+//!
+//! The paper's Figure 1 shows a universe with the true distribution η (thick
+//! curve), the receivers' prior ν (thin curve) and the scaled prior 2^s·ν
+//! (dashed): public points under η are what the sender may pick; points
+//! under 2^s·ν are the candidate set P′ the receivers consider; the sender
+//! names its point's index inside P′.
+//!
+//! This example renders that picture in ASCII for a concrete run, then
+//! compresses 512 parallel copies of AND_16 and prints the per-copy
+//! convergence to the information cost.
+//!
+//! Run with: `cargo run --release --example compress_protocol`
+
+use broadcast_ic::compression::amortized::compress_nfold;
+use broadcast_ic::compression::sampling::{exchange, SamplerConfig};
+use broadcast_ic::info::dist::Dist;
+use broadcast_ic::info::divergence::kl;
+use broadcast_ic::protocols::and_trees::sequential_and;
+use rand::SeedableRng;
+
+fn bar(p: f64, scale: f64) -> String {
+    "#".repeat((p * scale).round() as usize)
+}
+
+fn main() {
+    // ---------------- Figure 1: one sampling step ----------------
+    let eta = Dist::new(vec![0.02, 0.08, 0.45, 0.25, 0.05, 0.05, 0.05, 0.05]).expect("valid");
+    let nu = Dist::new(vec![0.125; 8]).expect("valid");
+    let d = kl(&eta, &nu);
+
+    println!("Figure 1 — one round of the Lemma 7 sampling protocol");
+    println!("universe |U| = 8, D(eta||nu) = {d:.3} bits\n");
+    println!("  x   eta(x) (sender only)   nu(x) (everyone)");
+    for x in 0..8 {
+        println!(
+            "  {x}   {:<22} {:<20}",
+            format!("{:.2} {}", eta.prob(x), bar(eta.prob(x), 40.0)),
+            format!("{:.2} {}", nu.prob(x), bar(nu.prob(x), 40.0)),
+        );
+    }
+
+    let ex = exchange(&eta, &nu, &SamplerConfig::default(), 20250707);
+    println!("\n  the sender rejection-samples over public points, then sends:");
+    println!("    1. block index            (Elias-gamma)");
+    println!("    2. log-ratio s = {}        (Elias-gamma)", ex.s);
+    println!("    3. index inside P'        (fixed width)");
+    println!(
+        "  total {} bits vs naive log2|U| = 3; receivers decoded outcome {} = sender's {}\n",
+        ex.bits, ex.receiver_sample, ex.sender_sample
+    );
+    assert!(ex.agreed());
+
+    // ---------------- Theorem 3: amortize it ----------------
+    let k = 16;
+    let tree = sequential_and(k);
+    let priors = vec![1.0 - 1.0 / k as f64; k];
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    println!("Theorem 3 — compressing n parallel copies of sequential AND_{k}");
+    println!("  (per-copy bits; IC is the information-theoretic floor)\n");
+    println!(
+        "  {:>6}  {:>10}  {:>12}  {:>8}",
+        "n", "raw/copy", "compressed/copy", "IC"
+    );
+    for n in [1usize, 8, 64, 512] {
+        let rep = compress_nfold(&tree, &priors, n, 10, &mut rng);
+        println!(
+            "  {:>6}  {:>10.2}  {:>12.2}  {:>8.2}",
+            n,
+            rep.per_copy_raw(),
+            rep.per_copy_compressed(),
+            rep.ic_per_copy
+        );
+    }
+    println!("\nAs n grows the O(log(n·IC)) per-round overhead amortizes away and");
+    println!("the per-copy cost approaches the information cost — Theorem 3.");
+}

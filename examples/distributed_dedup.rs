@@ -1,0 +1,79 @@
+//! Distributed duplicate detection — the workload the paper's introduction
+//! motivates, staged on a single-hop wireless cluster.
+//!
+//! `k` edge caches each hold a set of content IDs (out of a catalogue of
+//! `n`). The operator wants to know whether any ID is cached on *every*
+//! node (a "fully replicated" item that can be evicted everywhere but one).
+//! That is exactly `¬DISJ_{n,k}` on the cached-ID sets, and the broadcast
+//! channel (everyone hears every transmission) is exactly the blackboard
+//! model.
+//!
+//! The example compares the airtime (total bits broadcast) of the naive
+//! protocol against the paper's batched protocol across cluster sizes, on
+//! both replicated and non-replicated catalogues.
+//!
+//! Run with: `cargo run --release --example distributed_dedup`
+
+use broadcast_ic::core::table::{f, Table};
+use broadcast_ic::protocols::disj::{batched, disj_function, naive};
+use broadcast_ic::protocols::workload;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+    let n = 4096; // catalogue size
+
+    println!("Distributed duplicate detection over a broadcast channel");
+    println!("catalogue n = {n} content IDs; airtime in bits\n");
+
+    let mut table = Table::new([
+        "caches k",
+        "catalogue",
+        "fully-replicated item?",
+        "naive airtime",
+        "batched airtime",
+        "saving",
+    ]);
+
+    for &k in &[4usize, 16, 64] {
+        // Scenario A: no fully replicated item (hard case: the protocol must
+        // certify every ID has a non-holder).
+        let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
+        assert!(disj_function(&inputs));
+        let slow = naive::run(&inputs);
+        let fast = batched::run(&inputs);
+        assert!(slow.output && fast.output);
+        table.row([
+            k.to_string(),
+            "adversarial".to_owned(),
+            "no".to_owned(),
+            slow.bits.to_string(),
+            fast.bits.to_string(),
+            f(100.0 * (1.0 - fast.bits as f64 / slow.bits as f64), 0) + "%",
+        ]);
+
+        // Scenario B: a handful of fully replicated items planted in an
+        // otherwise ~60%-full catalogue (easy case: found quickly).
+        let inputs = workload::planted_intersection(n, k, 4, 0.6, &mut rng);
+        assert!(!disj_function(&inputs));
+        let slow = naive::run(&inputs);
+        let fast = batched::run(&inputs);
+        assert!(!slow.output && !fast.output);
+        table.row([
+            k.to_string(),
+            "typical (60% full)".to_owned(),
+            "yes (4 planted)".to_owned(),
+            slow.bits.to_string(),
+            fast.bits.to_string(),
+            f(100.0 * (1.0 - fast.bits as f64 / slow.bits as f64), 0) + "%",
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "The batched protocol (paper, Theorem 2) packs zero-announcements into\n\
+         subset codes: ~log2(e·k) bits per ID instead of ~log2(n). The saving\n\
+         is largest when k ≪ n — exactly the regime of a small cache cluster\n\
+         over a big catalogue."
+    );
+}

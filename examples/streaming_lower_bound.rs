@@ -1,0 +1,116 @@
+//! From streaming algorithms to broadcast protocols — the reduction behind
+//! the paper's streaming motivation ([1, 2, 17] in its references).
+//!
+//! A p-pass, S-bit-memory streaming algorithm for a function of a stream
+//! yields a broadcast protocol: split the stream among k players; each pass,
+//! the players run the algorithm on their chunk in order, broadcasting the
+//! S-bit memory state to hand over. Total communication ≈ `p·k·S` bits.
+//! Contrapositive: a communication lower bound of `C` on the induced
+//! problem forces `S ≥ C/(p·k)` memory.
+//!
+//! Here the stream is the multiset of "missing pairs" `(player, coordinate)`
+//! and the induced problem is exactly `DISJ_{n,k}`; the paper's
+//! `Ω(n log k + k)` bound therefore gives `S = Ω((n log k)/(p·k))` for any
+//! streaming algorithm solving it. The example *executes* the reduction
+//! with a concrete bitmap-memory algorithm and compares the reduction's
+//! airtime against the paper's optimal protocol.
+//!
+//! Run with: `cargo run --release --example streaming_lower_bound`
+
+use broadcast_ic::core::table::Table;
+use broadcast_ic::protocols::disj::{batched, disj_function};
+use broadcast_ic::protocols::workload;
+use rand::SeedableRng;
+
+/// A 1-pass streaming algorithm deciding DISJ from the stream of zero
+/// coordinates: memory = one bitmap of `n` bits (coordinates with a known
+/// zero). This is the *trivial* algorithm; the point of the lower bound is
+/// that one cannot do asymptotically better than `(n log k)/k` per handoff.
+struct BitmapStreamAlgo {
+    memory: Vec<bool>,
+}
+
+impl BitmapStreamAlgo {
+    fn new(n: usize) -> Self {
+        BitmapStreamAlgo {
+            memory: vec![false; n],
+        }
+    }
+
+    fn feed(&mut self, zero_coordinate: usize) {
+        self.memory[zero_coordinate] = true;
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.memory.len()
+    }
+
+    fn output(&self) -> bool {
+        self.memory.iter().all(|&b| b) // every coordinate has a zero
+    }
+
+    fn load(&mut self, state: &[bool]) {
+        self.memory.copy_from_slice(state);
+    }
+}
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let n = 4096;
+
+    println!("Streaming → broadcast reduction for DISJ_{{n={n},k}}");
+    println!("(1-pass bitmap algorithm, S = n bits of memory)\n");
+
+    let mut t = Table::new([
+        "k",
+        "reduction airtime (k-1)*S",
+        "optimal protocol (Thm 2)",
+        "lower bound n*log2(k)",
+        "S lower bound per handoff",
+    ]);
+    for &k in &[4usize, 16, 64] {
+        let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
+        assert!(disj_function(&inputs));
+
+        // Execute the reduction: player i streams its zero coordinates into
+        // the algorithm, then broadcasts the S-bit memory to player i+1.
+        let mut algo = BitmapStreamAlgo::new(n);
+        let mut airtime = 0usize;
+        for (i, x) in inputs.iter().enumerate() {
+            if i > 0 {
+                // Receive the previous state (already in `algo`).
+            }
+            for j in x.complement().iter() {
+                algo.feed(j);
+            }
+            if i + 1 < k {
+                // Broadcast the memory state: S bits.
+                airtime += algo.memory_bits();
+                let state: Vec<bool> = algo.memory.clone();
+                let mut next = BitmapStreamAlgo::new(n);
+                next.load(&state);
+                algo = next;
+            }
+        }
+        assert!(algo.output(), "the reduction decides DISJ correctly");
+
+        let optimal = batched::run(&inputs).bits;
+        let lb = (n as f64) * (k as f64).log2();
+        t.row([
+            k.to_string(),
+            airtime.to_string(),
+            optimal.to_string(),
+            format!("{lb:.0}"),
+            format!("{:.0}", lb / ((k - 1) as f64)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The reduction's airtime is (k−1)·S, so the paper's Ω(n log k) bound\n\
+         forces S ≥ n·log₂(k)/(k−1) bits of streaming memory per pass — the\n\
+         bitmap algorithm's S = n is within a log factor of optimal for\n\
+         small k, and *no* streaming algorithm can beat the bound. This is\n\
+         how communication lower bounds in the broadcast model translate\n\
+         into streaming-memory lower bounds."
+    );
+}

@@ -1,0 +1,34 @@
+//! # broadcast-ic
+//!
+//! Reproduction of *"On Information Complexity in the Broadcast Model"*
+//! (Braverman & Oshman, PODC 2015) as a Rust library suite.
+//!
+//! This root crate re-exports the whole workspace behind one name and hosts
+//! the runnable `examples/` and cross-crate integration `tests/`. See the
+//! README for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! The sub-crates:
+//!
+//! * [`info`] — finite-support information theory (distributions, entropy,
+//!   KL divergence, mutual information, estimators).
+//! * [`encoding`] — bit I/O, universal codes, exact combinadic subset codec.
+//! * [`blackboard`] — the k-party broadcast model: boards, transcripts,
+//!   executable protocols and protocol trees with exact analysis.
+//! * [`protocols`] — the paper's protocols: `AND_k` variants and the naive /
+//!   optimal set-disjointness protocols.
+//! * [`lowerbound`] — the lower-bound machinery made executable:
+//!   q-decompositions, α-coefficients, posteriors, good transcripts, exact
+//!   conditional information cost.
+//! * [`compression`] — the Lemma-7 sampling protocol and Theorem-3 amortized
+//!   compression.
+//! * [`core`] — high-level facade and the experiment drivers behind every
+//!   table in `EXPERIMENTS.md`.
+
+pub use bci_blackboard as blackboard;
+pub use bci_compression as compression;
+pub use bci_core as core;
+pub use bci_encoding as encoding;
+pub use bci_info as info;
+pub use bci_lowerbound as lowerbound;
+pub use bci_protocols as protocols;

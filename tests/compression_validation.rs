@@ -1,0 +1,136 @@
+//! Validation of the compression stack — in particular ablation **A3**:
+//! the scalable cost model must agree with the literal Lemma 7 protocol on
+//! universes small enough to run both.
+
+use broadcast_ic::compression::amortized::compress_nfold;
+use broadcast_ic::compression::cost_model::sample_cost;
+use broadcast_ic::compression::gap::and_gap;
+use broadcast_ic::compression::sampling::{exchange, SamplerConfig};
+use broadcast_ic::info::dist::Dist;
+use broadcast_ic::info::divergence::kl;
+use broadcast_ic::protocols::and_trees::sequential_and;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand_chacha::ChaCha8Rng {
+    rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A3: mean cost of the literal protocol vs the cost model, at matched `s`.
+#[test]
+fn cost_model_matches_literal_protocol_mean() {
+    let u = 128usize;
+    // η concentrated enough to give a spread of s values.
+    let mut probs = vec![0.2 / (u as f64 - 1.0); u];
+    probs[3] = 0.8;
+    let eta = Dist::new(probs).unwrap();
+    let nu = Dist::uniform(u);
+    let config = SamplerConfig::default();
+
+    // Literal protocol: collect (s, bits) pairs.
+    let trials = 4000u64;
+    let mut literal_bits = 0u64;
+    let mut s_values = Vec::new();
+    for t in 0..trials {
+        let e = exchange(&eta, &nu, &config, t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        assert!(e.agreed());
+        literal_bits += e.bits as u64;
+        s_values.push(e.s);
+    }
+    let literal_mean = literal_bits as f64 / trials as f64;
+
+    // Cost model driven by the same s-distribution.
+    let mut r = rng(77);
+    let mut model_bits = 0u64;
+    for &s in &s_values {
+        model_bits += sample_cost(s, (u as f64).log2(), &mut r).total();
+    }
+    let model_mean = model_bits as f64 / trials as f64;
+
+    assert!(
+        (literal_mean - model_mean).abs() < 1.5,
+        "literal {literal_mean} vs model {model_mean}"
+    );
+}
+
+#[test]
+fn literal_protocol_cost_scales_with_divergence_not_universe() {
+    // Fix the divergence, grow the universe 64×: cost barely moves.
+    let config = SamplerConfig::default();
+    // η and ν differ only on outcome 0 (η: 0.5, ν: 0.25; rest uniform), so
+    // D(η‖ν) = 0.5·log₂2 + 0.5·log₂(2/3) ≈ 0.21 bits for every |U|.
+    let mean_cost = |u: usize, seed: u64| {
+        let mut eta_p = vec![0.5 / (u as f64 - 1.0); u];
+        eta_p[0] = 0.5;
+        let mut nu_p = vec![0.75 / (u as f64 - 1.0); u];
+        nu_p[0] = 0.25;
+        let eta = Dist::new(eta_p).unwrap();
+        let nu = Dist::new(nu_p).unwrap();
+        let trials = 800u64;
+        let total: usize = (0..trials)
+            .map(|t| exchange(&eta, &nu, &config, seed + t * 104729).bits)
+            .sum();
+        (kl(&eta, &nu), total as f64 / trials as f64)
+    };
+    let (d_small, c_small) = mean_cost(64, 1);
+    let (d_big, c_big) = mean_cost(4096, 2);
+    assert!((d_big - d_small).abs() < 0.01, "divergence held fixed");
+    // log₂|U| grew from 6 to 12; a naive encoding would pay those 6 extra
+    // bits, the sampler must not.
+    assert!(
+        (c_big - c_small).abs() < 2.0,
+        "cost jumped with |U| at fixed divergence: {c_small} → {c_big}"
+    );
+}
+
+#[test]
+fn amortized_convergence_is_monotone_in_n_on_average() {
+    let k = 8;
+    let tree = sequential_and(k);
+    let priors = vec![1.0 - 1.0 / k as f64; k];
+    let mut r = rng(3);
+    let per_copy = |n: usize, r: &mut rand_chacha::ChaCha8Rng| {
+        compress_nfold(&tree, &priors, n, 30, r).per_copy_compressed()
+    };
+    let c1 = per_copy(1, &mut r);
+    let c16 = per_copy(16, &mut r);
+    let c256 = per_copy(256, &mut r);
+    assert!(c16 < c1, "{c1} → {c16}");
+    assert!(c256 < c16, "{c16} → {c256}");
+    let ic = tree.information_cost_product(&priors);
+    assert!(c256 < ic + 2.0, "per-copy {c256} vs IC {ic}");
+    assert!(
+        c256 > 0.8 * ic,
+        "per-copy {c256} suspiciously below IC {ic}"
+    );
+}
+
+#[test]
+fn gap_report_is_internally_consistent() {
+    for &k in &[32usize, 512, 8192] {
+        let rep = and_gap(k, 0.05, 0.1);
+        assert!(rep.ic_bits > 0.0);
+        assert!(rep.cc_lower_bound <= rep.cc_witness as f64);
+        assert!(rep.ratio() > 1.0, "k={k}: gap must favour communication");
+        assert!(
+            rep.ic_bits <= ((k + 1) as f64).log2() + 1.0,
+            "IC is logarithmic"
+        );
+    }
+}
+
+#[test]
+fn sampler_agreement_holds_under_adversarial_priors() {
+    // ν anti-correlated with η: worst case for cost, never for correctness.
+    let u = 32;
+    let mut eta_p = vec![0.9 / (u as f64 - 1.0); u];
+    eta_p[0] = 0.1;
+    let mut nu_p = vec![0.1 / (u as f64 - 1.0); u];
+    nu_p[0] = 0.9;
+    let eta = Dist::new(eta_p).unwrap();
+    let nu = Dist::new(nu_p).unwrap();
+    let config = SamplerConfig::default();
+    for seed in 0..500u64 {
+        let e = exchange(&eta, &nu, &config, seed * 65537);
+        assert!(e.agreed(), "seed {seed}");
+    }
+}

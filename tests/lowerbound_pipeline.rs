@@ -1,0 +1,165 @@
+//! Integration tests of the full lower-bound pipeline: Lemma 2's
+//! per-player decomposition, Lemma 4 posteriors against sampled Bayes,
+//! Lemma 5's chain at scale, and Theorem 1's scaling band.
+
+use broadcast_ic::info::dist::Dist;
+use broadcast_ic::info::divergence::kl;
+use broadcast_ic::lowerbound::cic::cic_hard;
+use broadcast_ic::lowerbound::good_transcripts::{analyze, pi_c};
+use broadcast_ic::lowerbound::hard_dist::HardDist;
+use broadcast_ic::lowerbound::qdecomp::posterior_zero;
+use broadcast_ic::protocols::and_trees::{
+    all_speak_and, lazy_and, noisy_sequential_and, sequential_and,
+};
+use rand::SeedableRng;
+
+#[test]
+fn lemma2_sum_of_marginal_divergences_lower_bounds_cmi() {
+    // I(Π; X | Z) ≥ Σᵢ E D(posterior_i ‖ prior_i). For conditionally
+    // product distributions our exact computation realizes this with
+    // equality; verify the inequality holds leaf by leaf as stated.
+    let k = 10;
+    let mu = HardDist::new(k);
+    let tree = noisy_sequential_and(k, 0.05);
+    for z in 0..k {
+        let priors = mu.priors_given_z(z);
+        let exact = tree.information_cost_product(&priors);
+        // Reconstruct the right-hand side of Lemma 2 manually.
+        let mut rhs = 0.0;
+        for leaf in tree.leaves() {
+            let pl = leaf.prob_under_product(&priors);
+            if pl <= 0.0 {
+                continue;
+            }
+            for (i, &p1) in priors.iter().enumerate() {
+                let post1 = leaf.posterior_one(i, p1).expect("reachable leaf");
+                let post = Dist::bernoulli(post1).expect("valid");
+                let prior = Dist::bernoulli(p1).expect("valid");
+                rhs += pl * kl(&post, &prior);
+            }
+        }
+        assert!(
+            exact >= rhs - 1e-9,
+            "z={z}: I = {exact} below the Lemma 2 sum {rhs}"
+        );
+        assert!(
+            (exact - rhs).abs() < 1e-9,
+            "product case: Lemma 2 is tight, {exact} vs {rhs}"
+        );
+    }
+}
+
+#[test]
+fn lemma4_posterior_matches_sampled_bayes() {
+    // Empirically: run the protocol on the hard distribution (conditioned
+    // on Z ≠ i), estimate Pr[X_i = 0 | transcript] from samples, compare to
+    // the Lemma 4 closed form α/(α+k−1).
+    let k = 6;
+    let mu = HardDist::new(k);
+    let tree = noisy_sequential_and(k, 0.1);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let trials = 400_000;
+    // counts[leaf][i] = (times X_i = 0, times leaf seen), conditioned Z ≠ i.
+    let mut zero_counts = vec![vec![0u64; k]; tree.leaves().len()];
+    let mut leaf_counts = vec![vec![0u64; k]; tree.leaves().len()];
+    for _ in 0..trials {
+        let (z, x) = mu.sample(&mut rng);
+        let (leaf, _) = tree.simulate(&x, &mut rng);
+        for i in 0..k {
+            if i != z {
+                leaf_counts[leaf][i] += 1;
+                if !x[i] {
+                    zero_counts[leaf][i] += 1;
+                }
+            }
+        }
+    }
+    let mut checked = 0;
+    for (leaf_idx, leaf) in tree.leaves().iter().enumerate() {
+        for i in 0..k {
+            if leaf_counts[leaf_idx][i] >= 20_000 {
+                let empirical = zero_counts[leaf_idx][i] as f64 / leaf_counts[leaf_idx][i] as f64;
+                let lemma4 = posterior_zero(leaf, i, k);
+                assert!(
+                    (empirical - lemma4).abs() < 0.02,
+                    "leaf {leaf_idx} player {i}: sampled {empirical} vs Lemma 4 {lemma4}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 10, "only {checked} cells had enough samples");
+}
+
+#[test]
+fn theorem1_band_holds_up_to_k_1024() {
+    // CIC(sequential witness) / log₂ k stays in a constant band over three
+    // orders of magnitude — the Θ(log k) scaling.
+    let mut ratios = Vec::new();
+    for &k in &[4usize, 16, 64, 256, 1024] {
+        let cic = cic_hard(&sequential_and(k), &HardDist::new(k));
+        ratios.push(cic / (k as f64).log2());
+    }
+    let (min, max) = ratios.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &r| {
+        (lo.min(r), hi.max(r))
+    });
+    assert!(min > 0.3, "ratios {ratios:?}");
+    assert!(max < 1.0, "ratios {ratios:?}");
+    assert!(max / min < 2.0, "band too wide: {ratios:?}");
+}
+
+#[test]
+fn all_speak_dominates_sequential_dominates_lazy() {
+    // Information ordering across the protocol family, at several k.
+    for &k in &[4usize, 16, 64] {
+        let mu = HardDist::new(k);
+        let all = cic_hard(&all_speak_and(k.min(20)), &HardDist::new(k.min(20)));
+        let seq = cic_hard(&sequential_and(k), &mu);
+        let lazy = cic_hard(&lazy_and(k, 0.5), &mu);
+        assert!(lazy < seq, "k={k}: lazy {lazy} < sequential {seq}");
+        if k <= 20 {
+            let seq_small = cic_hard(&sequential_and(k), &HardDist::new(k));
+            assert!(seq_small <= all + 1e-9, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn lemma5_pointing_survives_error_increase_until_it_doesnt() {
+    // As δ grows the B₀/B₁ masses grow and pointing mass falls — the
+    // monotone trade-off behind "choose δ small enough".
+    let k = 64;
+    let mass = |delta: f64| {
+        let tree = noisy_sequential_and(k, delta / k as f64);
+        analyze(&tree, 20.0, 0.5).pointing_mass
+    };
+    let m_tiny = mass(1e-4);
+    let m_small = mass(1e-2);
+    let m_big = mass(0.3);
+    assert!(m_tiny > 0.99, "{m_tiny}");
+    assert!(m_small < m_tiny + 1e-12);
+    assert!(m_big < m_small, "{m_big} vs {m_small}");
+}
+
+#[test]
+fn pi_c_conditional_distributions_are_consistent_with_sampling() {
+    let k = 8;
+    let mu = HardDist::new(k);
+    let tree = noisy_sequential_and(k, 0.02);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let trials = 200_000;
+    let mut counts = vec![0u64; tree.leaves().len()];
+    for _ in 0..trials {
+        let x = mu.sample_with_zero_count(2, &mut rng);
+        let (leaf, _) = tree.simulate(&x, &mut rng);
+        counts[leaf] += 1;
+    }
+    for (idx, leaf) in tree.leaves().iter().enumerate() {
+        let exact = pi_c(leaf, 2, k);
+        let freq = counts[idx] as f64 / trials as f64;
+        assert!(
+            (freq - exact).abs() < 0.01,
+            "leaf {idx}: sampled {freq} vs exact π₂ {exact}"
+        );
+    }
+}
