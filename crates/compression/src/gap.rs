@@ -11,7 +11,7 @@
 //!   many bits.
 //!
 //! So no single-shot compression to `O(IC · polylog CC)` — the two-party
-//! result of Barak–Braverman–Chen–Rao [3] — can extend to `k` parties.
+//! result of Barak–Braverman–Chen–Rao \[3\] — can extend to `k` parties.
 //! [`and_gap`] computes both sides exactly for concrete `k`.
 
 use bci_lowerbound::counting::FoolingDist;

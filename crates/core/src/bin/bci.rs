@@ -8,6 +8,7 @@
 //! bci sample --universe 256 --sharpness 0.5 --trials 200 [--seed 1]
 //! bci sparse --n 1048576 --s 128 --trials 20 [--seed 1]
 //! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
+//! bci fabric --sessions 1024 --workers 4 --seed 1 [--protocol disj|and] [--n 256] [--k 4]
 //! ```
 
 use std::collections::HashMap;
@@ -17,13 +18,19 @@ use bci_compression::amortized::compress_nfold;
 use bci_compression::gap::and_gap;
 use bci_compression::sampling::{exchange, lemma7_bound, SamplerConfig};
 use bci_core::table::{f, Table};
+use bci_fabric::driver::{monte_carlo_fabric, FabricReport};
+use bci_fabric::scheduler::SchedulerConfig;
+use bci_fabric::session::{FaultKind, FaultPlan, FaultSpec, SessionSelector};
+use bci_fabric::transport::{ChannelTransport, InProcessTransport};
 use bci_info::divergence::kl;
 use bci_lowerbound::cic::cic_hard;
 use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and::{and_function, SequentialAnd};
 use bci_protocols::and_trees::sequential_and;
+use bci_protocols::disj::broadcast::BroadcastDisj;
 use bci_protocols::disj::{batched, coordinatewise, disj_function, naive};
 use bci_protocols::{sparse, union, workload};
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
         "sample" => cmd_sample(&opts),
         "sparse" => cmd_sparse(&opts),
         "amortize" => cmd_amortize(&opts),
+        "fabric" => cmd_fabric(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,7 +78,10 @@ USAGE:
   bci gap      --k <K>
   bci sample   --universe <U> --sharpness <P> [--trials T] [--seed S]
   bci sparse   --n <N> --s <S> [--trials T] [--seed S]
-  bci amortize --k <K> --copies <N> [--trials T] [--seed S]";
+  bci amortize --k <K> --copies <N> [--trials T] [--seed S]
+  bci fabric   --sessions <N> --workers <W> [--protocol disj|and] [--n N] [--k K] [--seed S]
+               [--transport channel|inprocess] [--deadline-ms MS] [--batch B] [--queue Q]
+               [--fault none|slow|crash|drop] [--fault-player P] [--fault-every N] [--slow-ms MS]";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -293,4 +304,168 @@ fn cmd_amortize(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("  information cost    = {:.2} bits", rep.ic_per_copy);
     Ok(())
+}
+
+fn cmd_fabric(opts: &HashMap<String, String>) -> Result<(), String> {
+    use std::time::Duration;
+
+    let sessions: u64 = get(opts, "sessions", Some(1024u64))?;
+    let workers: usize = get(opts, "workers", Some(4usize))?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    let n: usize = get(opts, "n", Some(256usize))?;
+    let k: usize = get(opts, "k", Some(4usize))?;
+    let density: f64 = get(opts, "density", Some(0.7))?;
+    let deadline_ms: u64 = get(opts, "deadline-ms", Some(5000u64))?;
+    let batch: usize = get(opts, "batch", Some(32usize))?;
+    let queue: usize = get(opts, "queue", Some(8usize))?;
+    let protocol_name = opts.get("protocol").map_or("disj", String::as_str);
+    let transport_name = opts.get("transport").map_or("channel", String::as_str);
+    let fault_name = opts.get("fault").map_or("none", String::as_str);
+    let fault_player: usize = get(opts, "fault-player", Some(0usize))?;
+    let fault_every: u64 = get(opts, "fault-every", Some(10u64))?;
+    let slow_ms: u64 = get(opts, "slow-ms", Some(10u64))?;
+    if workers == 0 || batch == 0 || queue == 0 {
+        return Err("--workers, --batch, and --queue must be positive".into());
+    }
+    if k == 0 {
+        return Err("--k must be positive".into());
+    }
+    if fault_name != "none" && fault_player >= k {
+        return Err(format!(
+            "--fault-player {fault_player} out of range for k = {k}"
+        ));
+    }
+
+    let config = SchedulerConfig {
+        workers,
+        batch_size: batch,
+        queue_capacity: queue,
+        deadline: Some(Duration::from_millis(deadline_ms)),
+        keep_transcripts: false,
+    };
+    let selector = SessionSelector::EveryNth(fault_every);
+    let plan = match fault_name {
+        "none" => FaultPlan::new(),
+        "slow" => FaultPlan::new().with(FaultSpec {
+            kind: FaultKind::SlowPlayer(Duration::from_millis(slow_ms)),
+            player: fault_player,
+            sessions: selector,
+        }),
+        "crash" => FaultPlan::new().with(FaultSpec {
+            kind: FaultKind::CrashedPlayer,
+            player: fault_player,
+            sessions: selector,
+        }),
+        "drop" => FaultPlan::new().with(FaultSpec {
+            kind: FaultKind::DroppedWakeup,
+            player: fault_player,
+            sessions: selector,
+        }),
+        other => return Err(format!("unknown fault '{other}'")),
+    };
+
+    println!(
+        "fabric: {sessions} sessions of {protocol_name} (n={n}, k={k}) on {workers} workers, \
+         {transport_name} transport, seed {seed}, fault {fault_name}\n"
+    );
+    match protocol_name {
+        "disj" => {
+            let proto = BroadcastDisj::new(n, k);
+            let sample = move |rng: &mut dyn RngCore| workload::random_sets(n, k, density, rng);
+            let report = run_fabric(
+                transport_name,
+                &proto,
+                &sample,
+                &|inputs: &[_]| disj_function(inputs),
+                sessions,
+                seed,
+                &plan,
+                &config,
+            )?;
+            print_fabric_report(&report);
+        }
+        "and" => {
+            let proto = SequentialAnd::new(k);
+            let sample = move |rng: &mut dyn RngCore| -> Vec<bool> {
+                (0..k).map(|_| rng.random_bool(0.9)).collect()
+            };
+            let report = run_fabric(
+                transport_name,
+                &proto,
+                &sample,
+                &|inputs: &[bool]| and_function(inputs),
+                sessions,
+                seed,
+                &plan,
+                &config,
+            )?;
+            print_fabric_report(&report);
+        }
+        other => return Err(format!("unknown protocol '{other}'")),
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fabric<P, S, F>(
+    transport: &str,
+    protocol: &P,
+    sample: &S,
+    reference: &F,
+    sessions: u64,
+    seed: u64,
+    plan: &FaultPlan,
+    config: &SchedulerConfig,
+) -> Result<FabricReport<P::Output>, String>
+where
+    P: bci_blackboard::protocol::Protocol + Sync,
+    P::Input: Sync,
+    P::Output: PartialEq + Send,
+    S: Fn(&mut dyn RngCore) -> Vec<P::Input> + Sync,
+    F: Fn(&[P::Input]) -> P::Output + Sync,
+{
+    match transport {
+        "channel" => Ok(monte_carlo_fabric(
+            &ChannelTransport,
+            protocol,
+            sample,
+            reference,
+            sessions,
+            seed,
+            plan,
+            config,
+        )),
+        "inprocess" => Ok(monte_carlo_fabric(
+            &InProcessTransport,
+            protocol,
+            sample,
+            reference,
+            sessions,
+            seed,
+            plan,
+            config,
+        )),
+        other => Err(format!("unknown transport '{other}'")),
+    }
+}
+
+fn print_fabric_report<O>(report: &FabricReport<O>) {
+    let m = &report.metrics;
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["sessions".to_owned(), m.sessions.to_string()]);
+    t.row(["completed".to_owned(), m.completed.to_string()]);
+    t.row(["timed out".to_owned(), m.timed_out.to_string()]);
+    t.row(["aborted".to_owned(), m.aborted.to_string()]);
+    t.row(["errors".to_owned(), report.report.errors.to_string()]);
+    t.row(["error rate".to_owned(), f(report.report.error_rate(), 4)]);
+    t.row(["bits/session mean".to_owned(), f(m.bits.mean(), 2)]);
+    t.row(["bits/session stddev".to_owned(), f(m.bits.stddev(), 2)]);
+    t.row(["latency p50".to_owned(), format!("{:?}", m.latency_p50)]);
+    t.row(["latency p99".to_owned(), format!("{:?}", m.latency_p99)]);
+    t.row(["latency max".to_owned(), format!("{:?}", m.latency_max)]);
+    t.row(["max queue depth".to_owned(), m.max_queue_depth.to_string()]);
+    t.row(["workers".to_owned(), m.workers.to_string()]);
+    t.row(["elapsed".to_owned(), format!("{:?}", m.elapsed)]);
+    t.row(["sessions/sec".to_owned(), f(m.sessions_per_sec(), 1)]);
+    println!("{}", t.render());
 }

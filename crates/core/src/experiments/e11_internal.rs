@@ -3,7 +3,7 @@
 //!
 //! For two players the paper remarks that external information dominates
 //! internal, so its amortized-compression result doesn't improve on
-//! Braverman–Rao [7] at `k = 2`. This experiment quantifies the
+//! Braverman–Rao \[7\] at `k = 2`. This experiment quantifies the
 //! relationship exactly:
 //!
 //! * under **product** priors the two coincide for every broadcast protocol

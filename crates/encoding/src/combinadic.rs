@@ -9,7 +9,7 @@
 //! The index of a subset `{c₀ < c₁ < … < c_{b−1}}` is the standard combinadic
 //! rank `Σ_j C(c_j, j+1)`; ranking and unranking walk Pascal's triangle with
 //! the O(1)-per-step moves of
-//! [`BinomialWalker`](crate::binomial::BinomialWalker), so both directions
+//! [`BinomialWalker`], so both directions
 //! run in `O(z)` big-integer operations.
 
 use crate::bignum::BigUint;

@@ -1,0 +1,148 @@
+//! Aggregate telemetry for a fabric run.
+
+use std::time::Duration;
+
+use bci_blackboard::stats::CommStats;
+
+use crate::scheduler::{SchedulerRun, SessionRecord};
+use crate::session::SessionOutcome;
+
+/// Latency, throughput, and queue telemetry for one fabric run.
+#[derive(Debug, Clone)]
+pub struct FabricMetrics {
+    /// Total sessions scheduled.
+    pub sessions: u64,
+    /// Sessions that completed normally.
+    pub completed: u64,
+    /// Sessions that hit their deadline.
+    pub timed_out: u64,
+    /// Sessions aborted (crash, panic, runaway).
+    pub aborted: u64,
+    /// Median session latency.
+    pub latency_p50: Duration,
+    /// 99th-percentile session latency.
+    pub latency_p99: Duration,
+    /// Worst session latency.
+    pub latency_max: Duration,
+    /// Bits-per-session statistics over completed sessions, pooled from
+    /// the per-worker shards via
+    /// [`CommStats::merge`](bci_blackboard::stats::CommStats).
+    pub bits: CommStats,
+    /// Highest queue depth (batches) observed.
+    pub max_queue_depth: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl FabricMetrics {
+    /// Computes the metrics for a finished [`SchedulerRun`].
+    pub fn collect<O>(run: &SchedulerRun<O>, workers: usize) -> Self {
+        let mut completed = 0u64;
+        let mut timed_out = 0u64;
+        let mut aborted = 0u64;
+        for rec in &run.records {
+            match rec.outcome {
+                SessionOutcome::Completed => completed += 1,
+                SessionOutcome::TimedOut => timed_out += 1,
+                SessionOutcome::Aborted(_) => aborted += 1,
+            }
+        }
+        let mut latencies: Vec<Duration> = run.records.iter().map(|r| r.latency).collect();
+        latencies.sort_unstable();
+        let mut bits = CommStats::new();
+        for shard in &run.shards {
+            bits.merge(shard);
+        }
+        FabricMetrics {
+            sessions: run.records.len() as u64,
+            completed,
+            timed_out,
+            aborted,
+            latency_p50: percentile(&latencies, 50.0),
+            latency_p99: percentile(&latencies, 99.0),
+            latency_max: latencies.last().copied().unwrap_or(Duration::ZERO),
+            bits,
+            max_queue_depth: run.max_queue_depth,
+            elapsed: run.elapsed,
+            workers,
+        }
+    }
+
+    /// Sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.sessions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of sessions that did not complete.
+    pub fn failure_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            (self.timed_out + self.aborted) as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// The `p`-th percentile (nearest-rank) of an ascending-sorted slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Convenience: counts outcomes in a record slice (used by tests and the
+/// driver's report assembly).
+pub fn outcome_counts<O>(records: &[SessionRecord<O>]) -> (u64, u64, u64) {
+    let mut c = (0u64, 0u64, 0u64);
+    for rec in records {
+        match rec.outcome {
+            SessionOutcome::Completed => c.0 += 1,
+            SessionOutcome::TimedOut => c.1 += 1,
+            SessionOutcome::Aborted(_) => c.2 += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(percentile(&sorted, 100.0), ms(100));
+        assert_eq!(percentile(&sorted, 1.0), ms(1));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 99.0), ms(7));
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let run: SchedulerRun<bool> = SchedulerRun {
+            records: Vec::new(),
+            shards: Vec::new(),
+            max_queue_depth: 0,
+            elapsed: Duration::ZERO,
+        };
+        let m = FabricMetrics::collect(&run, 4);
+        assert_eq!(m.sessions, 0);
+        assert_eq!(m.sessions_per_sec(), 0.0);
+        assert_eq!(m.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,609 @@
+//! How a session's board writes are published and observed.
+//!
+//! A [`Transport`] executes one protocol session and decides *where* each
+//! player's `message` computation runs:
+//!
+//! * [`InProcessTransport`] — the whole session runs on the calling worker
+//!   thread, like [`bci_blackboard::protocol::run`] plus deadlines and
+//!   fault emulation. Zero synchronization overhead; the baseline.
+//! * [`ChannelTransport`] — each player runs on its own thread and a
+//!   *sequencer* (the calling thread) owns the board. Turns round-trip
+//!   through channels: the sequencer ships the current board and the
+//!   session RNG to the speaking player, the player computes its message
+//!   and ships bits and RNG back, and the sequencer appends the write.
+//!   Serializing writes through the sequencer keeps the board append order
+//!   — and, because the RNG itself makes the round trip, the randomness
+//!   stream — identical to the serial executor, so transcripts are
+//!   bit-for-bit reproducible across transports.
+//!
+//! Both transports honor per-session deadlines and the fault kinds in
+//! [`FaultKind`], and both contain failures:
+//! a crashed or panicking player aborts *its* session with a structured
+//! [`SessionOutcome`], never the worker.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::{Protocol, MAX_STEPS};
+use bci_encoding::bitio::BitVec;
+use rand_chacha::ChaCha8Rng;
+
+use crate::session::{FaultKind, FaultSpec, SessionOutcome, SessionResult};
+
+/// Hard cap on how long a session may stall waiting for a player when no
+/// deadline was configured. Keeps a dropped wakeup from hanging a worker
+/// forever.
+pub const DEFAULT_STALL_CAP: Duration = Duration::from_secs(60);
+
+/// Per-session execution parameters handed to a transport.
+#[derive(Debug, Clone)]
+pub struct SessionContext<'a> {
+    /// The session's id (used only for reporting).
+    pub session_id: u64,
+    /// Wall-clock budget for the whole session, if any.
+    pub deadline: Option<Duration>,
+    /// Faults to inject, already filtered down to this session.
+    pub faults: &'a [FaultSpec],
+}
+
+impl SessionContext<'_> {
+    fn fault_for(&self, player: usize, kind_matches: impl Fn(&FaultKind) -> bool) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.player == player && kind_matches(&f.kind))
+    }
+
+    fn slow_delay(&self, player: usize) -> Option<Duration> {
+        self.faults.iter().find_map(|f| match f.kind {
+            FaultKind::SlowPlayer(d) if f.player == player => Some(d),
+            _ => None,
+        })
+    }
+}
+
+/// Executes one session of a protocol.
+pub trait Transport: Sync {
+    /// Runs `protocol` on `inputs` with the session RNG `rng`, honoring the
+    /// deadline and faults in `ctx`. Never panics on injected faults: the
+    /// failure mode is encoded in the returned
+    /// [`SessionOutcome`].
+    fn run_session<P>(
+        &self,
+        protocol: &P,
+        inputs: &[P::Input],
+        rng: ChaCha8Rng,
+        ctx: &SessionContext<'_>,
+    ) -> SessionResult<P::Output>
+    where
+        P: Protocol + Sync,
+        P::Input: Sync;
+}
+
+fn finish<O>(
+    outcome: SessionOutcome,
+    output: Option<O>,
+    board: Board,
+    start: Instant,
+) -> SessionResult<O> {
+    let bits_written = board.total_bits();
+    SessionResult {
+        outcome,
+        output,
+        board,
+        bits_written,
+        latency: start.elapsed(),
+    }
+}
+
+/// Runs the whole session on the calling thread.
+///
+/// Faults are emulated: a crashed player aborts the session the moment it
+/// is scheduled to speak; a dropped wakeup stalls the session (sleeping
+/// out the remaining deadline) exactly as the channel transport would
+/// observe it; a slow player sleeps before each message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InProcessTransport;
+
+impl Transport for InProcessTransport {
+    fn run_session<P>(
+        &self,
+        protocol: &P,
+        inputs: &[P::Input],
+        mut rng: ChaCha8Rng,
+        ctx: &SessionContext<'_>,
+    ) -> SessionResult<P::Output>
+    where
+        P: Protocol + Sync,
+        P::Input: Sync,
+    {
+        assert_eq!(inputs.len(), protocol.num_players(), "input count");
+        let start = Instant::now();
+        let mut board = Board::new();
+        let mut steps = 0usize;
+        loop {
+            if let Some(deadline) = ctx.deadline {
+                if start.elapsed() >= deadline {
+                    return finish(SessionOutcome::TimedOut, None, board, start);
+                }
+            }
+            let Some(speaker) = protocol.next_speaker(&board) else {
+                break;
+            };
+            if speaker >= protocol.num_players() {
+                return finish(
+                    SessionOutcome::Aborted(format!("protocol named speaker {speaker}")),
+                    None,
+                    board,
+                    start,
+                );
+            }
+            if ctx.fault_for(speaker, |k| matches!(k, FaultKind::CrashedPlayer)) {
+                return finish(
+                    SessionOutcome::Aborted(format!("player {speaker} crashed")),
+                    None,
+                    board,
+                    start,
+                );
+            }
+            if ctx.fault_for(speaker, |k| matches!(k, FaultKind::DroppedWakeup)) {
+                // The wakeup is lost: nothing happens until the deadline.
+                let stall = ctx
+                    .deadline
+                    .map(|d| d.saturating_sub(start.elapsed()))
+                    .unwrap_or(DEFAULT_STALL_CAP);
+                std::thread::sleep(stall);
+                return finish(SessionOutcome::TimedOut, None, board, start);
+            }
+            if let Some(delay) = ctx.slow_delay(speaker) {
+                std::thread::sleep(delay);
+            }
+            let msg = match catch_unwind(AssertUnwindSafe(|| {
+                protocol.message(speaker, &inputs[speaker], &board, &mut rng)
+            })) {
+                Ok(m) => m,
+                Err(_) => {
+                    return finish(
+                        SessionOutcome::Aborted(format!("player {speaker} panicked")),
+                        None,
+                        board,
+                        start,
+                    )
+                }
+            };
+            board.write(speaker, msg);
+            steps += 1;
+            if steps > MAX_STEPS {
+                return finish(
+                    SessionOutcome::Aborted(format!("exceeded {MAX_STEPS} turns")),
+                    None,
+                    board,
+                    start,
+                );
+            }
+        }
+        let output = protocol.output(&board);
+        finish(SessionOutcome::Completed, Some(output), board, start)
+    }
+}
+
+/// A turn shipped from the sequencer to the speaking player.
+struct TurnMsg {
+    board: Board,
+    rng: ChaCha8Rng,
+}
+
+/// The player's answer: the bits to write and the RNG handed back.
+struct Reply {
+    bits: BitVec,
+    rng: ChaCha8Rng,
+}
+
+/// Runs each player on its own thread, writes serialized by a sequencer.
+///
+/// The calling thread acts as the sequencer: it owns the board, asks the
+/// protocol whose turn it is, and round-trips `(board, rng)` through the
+/// speaking player's channel. Player threads only ever see the board
+/// snapshots the sequencer publishes, so the transcript order is exactly
+/// the serial one, and since the session RNG travels with the turn, the
+/// randomness stream is consumed in the same order too — the foundation of
+/// the fabric's determinism guarantee.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelTransport;
+
+impl Transport for ChannelTransport {
+    fn run_session<P>(
+        &self,
+        protocol: &P,
+        inputs: &[P::Input],
+        rng: ChaCha8Rng,
+        ctx: &SessionContext<'_>,
+    ) -> SessionResult<P::Output>
+    where
+        P: Protocol + Sync,
+        P::Input: Sync,
+    {
+        let k = protocol.num_players();
+        assert_eq!(inputs.len(), k, "input count");
+        let start = Instant::now();
+
+        std::thread::scope(|scope| {
+            let mut turn_txs = Vec::with_capacity(k);
+            let mut reply_rxs = Vec::with_capacity(k);
+            for (player, input) in inputs.iter().enumerate() {
+                let (turn_tx, turn_rx) = mpsc::channel::<TurnMsg>();
+                let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+                turn_txs.push(turn_tx);
+                reply_rxs.push(reply_rx);
+                let crashed = ctx.fault_for(player, |f| matches!(f, FaultKind::CrashedPlayer));
+                let mut drop_next =
+                    ctx.fault_for(player, |f| matches!(f, FaultKind::DroppedWakeup));
+                let slow = ctx.slow_delay(player);
+                scope.spawn(move || {
+                    while let Ok(TurnMsg { board, mut rng }) = turn_rx.recv() {
+                        if crashed {
+                            // Die without replying; the dropped reply
+                            // channel tells the sequencer we hung up.
+                            return;
+                        }
+                        if drop_next {
+                            // The wakeup is lost: stay alive, never answer
+                            // this turn.
+                            drop_next = false;
+                            continue;
+                        }
+                        if let Some(delay) = slow {
+                            std::thread::sleep(delay);
+                        }
+                        let bits = match catch_unwind(AssertUnwindSafe(|| {
+                            protocol.message(player, input, &board, &mut rng)
+                        })) {
+                            Ok(bits) => bits,
+                            Err(_) => return, // hangup ⇒ sequencer aborts
+                        };
+                        if reply_tx.send(Reply { bits, rng }).is_err() {
+                            return; // session ended while we worked
+                        }
+                    }
+                });
+            }
+
+            let mut board = Board::new();
+            let mut rng = Some(rng);
+            let mut steps = 0usize;
+            loop {
+                if let Some(deadline) = ctx.deadline {
+                    if start.elapsed() >= deadline {
+                        return finish(SessionOutcome::TimedOut, None, board, start);
+                    }
+                }
+                let Some(speaker) = protocol.next_speaker(&board) else {
+                    break;
+                };
+                if speaker >= k {
+                    return finish(
+                        SessionOutcome::Aborted(format!("protocol named speaker {speaker}")),
+                        None,
+                        board,
+                        start,
+                    );
+                }
+                let turn = TurnMsg {
+                    board: board.clone(),
+                    rng: rng.take().expect("rng is home between turns"),
+                };
+                if turn_txs[speaker].send(turn).is_err() {
+                    return finish(
+                        SessionOutcome::Aborted(format!("player {speaker} crashed")),
+                        None,
+                        board,
+                        start,
+                    );
+                }
+                let wait = ctx
+                    .deadline
+                    .map(|d| d.saturating_sub(start.elapsed()))
+                    .unwrap_or(DEFAULT_STALL_CAP);
+                match reply_rxs[speaker].recv_timeout(wait) {
+                    Ok(Reply { bits, rng: r }) => {
+                        board.write(speaker, bits);
+                        rng = Some(r);
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        return finish(SessionOutcome::TimedOut, None, board, start);
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return finish(
+                            SessionOutcome::Aborted(format!("player {speaker} crashed")),
+                            None,
+                            board,
+                            start,
+                        );
+                    }
+                }
+                steps += 1;
+                if steps > MAX_STEPS {
+                    return finish(
+                        SessionOutcome::Aborted(format!("exceeded {MAX_STEPS} turns")),
+                        None,
+                        board,
+                        start,
+                    );
+                }
+            }
+            let output = protocol.output(&board);
+            finish(SessionOutcome::Completed, Some(output), board, start)
+            // `turn_txs` drop here: player loops see the hangup and exit,
+            // and the scope joins them before returning.
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bci_blackboard::runner::derive_trial_rng;
+    use bci_blackboard::PlayerId;
+    use bci_protocols::and::SequentialAnd;
+    use bci_protocols::disj::broadcast::BroadcastDisj;
+    use bci_protocols::workload;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    fn no_faults(id: u64) -> SessionContext<'static> {
+        SessionContext {
+            session_id: id,
+            deadline: Some(Duration::from_secs(10)),
+            faults: &[],
+        }
+    }
+
+    #[test]
+    fn both_transports_match_the_serial_executor() {
+        let proto = BroadcastDisj::new(120, 5);
+        for trial in 0..10u64 {
+            let mut sample_rng: ChaCha8Rng = derive_trial_rng(3, trial);
+            let inputs = workload::random_sets(120, 5, 0.7, &mut sample_rng);
+
+            let serial = {
+                let mut rng = sample_rng.clone();
+                bci_blackboard::protocol::run(&proto, &inputs, &mut rng)
+            };
+            let inproc = InProcessTransport.run_session(
+                &proto,
+                &inputs,
+                sample_rng.clone(),
+                &no_faults(trial),
+            );
+            let chan = ChannelTransport.run_session(
+                &proto,
+                &inputs,
+                sample_rng.clone(),
+                &no_faults(trial),
+            );
+
+            assert_eq!(inproc.outcome, SessionOutcome::Completed);
+            assert_eq!(chan.outcome, SessionOutcome::Completed);
+            assert_eq!(inproc.board, serial.board, "trial {trial}");
+            assert_eq!(chan.board, serial.board, "trial {trial}");
+            assert_eq!(inproc.output, Some(serial.output));
+            assert_eq!(chan.output, Some(serial.output));
+            assert_eq!(chan.bits_written, serial.bits_written);
+        }
+    }
+
+    /// A protocol that consumes randomness in every message, to prove the
+    /// RNG round trip preserves the stream exactly.
+    struct NoisyEcho {
+        k: usize,
+    }
+
+    impl Protocol for NoisyEcho {
+        type Input = bool;
+        type Output = usize;
+
+        fn num_players(&self) -> usize {
+            self.k
+        }
+
+        fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+            (board.messages().len() < 2 * self.k).then_some(board.messages().len() % self.k)
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            input: &bool,
+            _board: &Board,
+            rng: &mut dyn RngCore,
+        ) -> BitVec {
+            let coin = rng.random_bool(0.5);
+            BitVec::from_bools(&[*input ^ coin, coin])
+        }
+
+        fn output(&self, board: &Board) -> usize {
+            board
+                .messages()
+                .iter()
+                .filter(|m| m.bits.get(0) == Some(true))
+                .count()
+        }
+    }
+
+    #[test]
+    fn channel_transport_preserves_the_randomness_stream() {
+        let proto = NoisyEcho { k: 4 };
+        let inputs = vec![true, false, true, true];
+        for seed in 0..20u64 {
+            let serial = {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                bci_blackboard::protocol::run(&proto, &inputs, &mut rng)
+            };
+            let chan = ChannelTransport.run_session(
+                &proto,
+                &inputs,
+                ChaCha8Rng::seed_from_u64(seed),
+                &no_faults(seed),
+            );
+            assert_eq!(chan.board, serial.board, "seed {seed}");
+            assert_eq!(chan.output, Some(serial.output));
+        }
+    }
+
+    #[test]
+    fn crashed_player_aborts_gracefully() {
+        let faults = [FaultSpec {
+            kind: FaultKind::CrashedPlayer,
+            player: 2,
+            sessions: crate::session::SessionSelector::All,
+        }];
+        let ctx = SessionContext {
+            session_id: 0,
+            deadline: Some(Duration::from_secs(5)),
+            faults: &faults,
+        };
+        let proto = SequentialAnd::new(4);
+        let inputs = vec![true; 4];
+        for result in [
+            ChannelTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(0), &ctx),
+            InProcessTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(0), &ctx),
+        ] {
+            match &result.outcome {
+                SessionOutcome::Aborted(reason) => {
+                    assert!(reason.contains("player 2"), "reason: {reason}")
+                }
+                other => panic!("expected abort, got {other:?}"),
+            }
+            assert!(result.output.is_none());
+            // Players 0 and 1 got their writes in before the crash.
+            assert_eq!(result.board.messages().len(), 2);
+        }
+    }
+
+    #[test]
+    fn dropped_wakeup_times_out_within_the_deadline() {
+        let faults = [FaultSpec {
+            kind: FaultKind::DroppedWakeup,
+            player: 0,
+            sessions: crate::session::SessionSelector::All,
+        }];
+        let deadline = Duration::from_millis(50);
+        let ctx = SessionContext {
+            session_id: 0,
+            deadline: Some(deadline),
+            faults: &faults,
+        };
+        let proto = SequentialAnd::new(3);
+        let inputs = vec![true; 3];
+        let started = Instant::now();
+        let result =
+            ChannelTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(1), &ctx);
+        assert_eq!(result.outcome, SessionOutcome::TimedOut);
+        assert!(result.output.is_none());
+        assert!(
+            started.elapsed() < deadline + Duration::from_secs(2),
+            "timeout honored promptly"
+        );
+    }
+
+    #[test]
+    fn slow_player_exceeds_a_tight_deadline() {
+        // Player 1 naps longer than the whole session budget: the sequencer
+        // gives up waiting for its reply at the deadline.
+        let faults = [FaultSpec {
+            kind: FaultKind::SlowPlayer(Duration::from_millis(80)),
+            player: 1,
+            sessions: crate::session::SessionSelector::All,
+        }];
+        let ctx = SessionContext {
+            session_id: 0,
+            deadline: Some(Duration::from_millis(30)),
+            faults: &faults,
+        };
+        let proto = SequentialAnd::new(4);
+        let inputs = vec![true; 4];
+        for result in [
+            ChannelTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(2), &ctx),
+            InProcessTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(2), &ctx),
+        ] {
+            assert_eq!(result.outcome, SessionOutcome::TimedOut);
+            assert!(result.output.is_none());
+        }
+    }
+
+    #[test]
+    fn slow_player_completes_under_a_generous_deadline() {
+        let faults = [FaultSpec {
+            kind: FaultKind::SlowPlayer(Duration::from_millis(5)),
+            player: 0,
+            sessions: crate::session::SessionSelector::All,
+        }];
+        let ctx = SessionContext {
+            session_id: 0,
+            deadline: Some(Duration::from_secs(10)),
+            faults: &faults,
+        };
+        let proto = SequentialAnd::new(3);
+        let inputs = vec![true; 3];
+        let result =
+            ChannelTransport.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(3), &ctx);
+        assert_eq!(result.outcome, SessionOutcome::Completed);
+        assert_eq!(result.output, Some(true));
+        assert!(result.latency >= Duration::from_millis(5));
+    }
+
+    /// A protocol whose player 1 panics when asked to speak.
+    struct PanickyPlayer;
+
+    impl Protocol for PanickyPlayer {
+        type Input = ();
+        type Output = ();
+
+        fn num_players(&self) -> usize {
+            2
+        }
+
+        fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+            (board.messages().len() < 2).then_some(board.messages().len())
+        }
+
+        fn message(
+            &self,
+            player: PlayerId,
+            _input: &(),
+            _board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            assert!(player != 1, "player 1 always fails");
+            BitVec::from_bools(&[true])
+        }
+
+        fn output(&self, _board: &Board) {}
+    }
+
+    #[test]
+    fn player_panic_is_contained_as_abort() {
+        let ctx = no_faults(0);
+        for result in [
+            ChannelTransport.run_session(
+                &PanickyPlayer,
+                &[(), ()],
+                ChaCha8Rng::seed_from_u64(0),
+                &ctx,
+            ),
+            InProcessTransport.run_session(
+                &PanickyPlayer,
+                &[(), ()],
+                ChaCha8Rng::seed_from_u64(0),
+                &ctx,
+            ),
+        ] {
+            match &result.outcome {
+                SessionOutcome::Aborted(reason) => {
+                    assert!(reason.contains("player 1"), "reason: {reason}")
+                }
+                other => panic!("expected abort, got {other:?}"),
+            }
+        }
+    }
+}

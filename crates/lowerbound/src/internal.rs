@@ -3,9 +3,9 @@
 //!
 //! For two parties, `IC^int(Π) = I(Π; X | Y) + I(Π; Y | X)` measures what
 //! the players learn *about each other's inputs*; the amortized-compression
-//! result of Braverman–Rao [7] compresses to this quantity. The paper notes
+//! result of Braverman–Rao \[7\] compresses to this quantity. The paper notes
 //! that (a) for two players external information dominates internal
-//! (`IC^int ≤ IC^ext`), so its Theorem 3 does not improve on [7] at `k = 2`,
+//! (`IC^int ≤ IC^ext`), so its Theorem 3 does not improve on \[7\] at `k = 2`,
 //! and (b) the internal notion "does not extend to the multiparty broadcast
 //! model for `k > 2`" — every player sees the whole board, so there is no
 //! single canonical "what player i didn't already know" decomposition.

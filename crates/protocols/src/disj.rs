@@ -441,6 +441,112 @@ pub mod batched {
     }
 }
 
+/// The naive protocol as a [`Protocol`](bci_blackboard::protocol::Protocol)
+/// implementation, so disjointness can run under the generic executors
+/// (`bci_blackboard::protocol::run`, the Monte-Carlo harness, and the
+/// execution fabric).
+///
+/// Identical schedule and encoding to [`naive`]: players speak in order,
+/// each publishing its not-yet-covered zero coordinates as
+/// `1`+`⌈log₂ n⌉`-bit records, terminated by a `0` bit; the protocol halts
+/// early once all `n` coordinates are covered. `next_speaker` and `output`
+/// recover the covered set by replaying the board — they are functions of
+/// the board alone, as the model requires.
+pub mod broadcast {
+    use super::*;
+    use bci_blackboard::protocol::Protocol;
+    use bci_encoding::bitio::{BitReader, BitVec, BitWriter};
+    use rand::RngCore;
+
+    /// `DISJ_{n,k}` as an executable [`Protocol`]. Input: one [`BitSet`]
+    /// over `[n]` per player; output: `true` iff the sets are disjoint.
+    #[derive(Debug, Clone)]
+    pub struct BroadcastDisj {
+        n: usize,
+        k: usize,
+    }
+
+    impl BroadcastDisj {
+        /// A protocol instance for `k` players over universe `[n]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `k == 0`.
+        pub fn new(n: usize, k: usize) -> Self {
+            assert!(k > 0, "DISJ needs at least one player");
+            BroadcastDisj { n, k }
+        }
+
+        /// Universe size `n`.
+        pub fn universe(&self) -> usize {
+            self.n
+        }
+
+        fn coord_width(&self) -> u32 {
+            if self.n <= 1 {
+                0
+            } else {
+                usize::BITS - (self.n - 1).leading_zeros()
+            }
+        }
+
+        /// Replays the board, returning the covered set.
+        fn covered(&self, board: &Board) -> BitSet {
+            let width = self.coord_width();
+            let mut covered = BitSet::new(self.n);
+            for msg in board.messages() {
+                let mut r = BitReader::new(&msg.bits);
+                while r.read_bit().expect("truncated turn") {
+                    let j = r.read_bits(width).expect("truncated coordinate") as usize;
+                    covered.insert(j);
+                }
+            }
+            covered
+        }
+    }
+
+    impl Protocol for BroadcastDisj {
+        type Input = BitSet;
+        type Output = bool;
+
+        fn num_players(&self) -> usize {
+            self.k
+        }
+
+        fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+            let turns = board.messages().len();
+            if turns >= self.k || self.covered(board).len() == self.n {
+                None // everyone spoke, or full coverage ended the protocol
+            } else {
+                Some(turns)
+            }
+        }
+
+        fn message(
+            &self,
+            _player: PlayerId,
+            input: &BitSet,
+            board: &Board,
+            _rng: &mut dyn RngCore,
+        ) -> BitVec {
+            assert_eq!(input.capacity(), self.n, "input universe mismatch");
+            let width = self.coord_width();
+            let covered = self.covered(board);
+            let mut w = BitWriter::new();
+            for j in input.complement().difference(&covered).iter() {
+                w.write_bit(true);
+                w.write_bits(j as u64, width);
+            }
+            w.write_bit(false);
+            w.into_bits()
+        }
+
+        fn output(&self, board: &Board) -> bool {
+            self.covered(board).len() == self.n
+        }
+    }
+}
+
 /// The coordinate-wise protocol: run sequential `AND_k` on every coordinate.
 ///
 /// This is the protocol the Lemma 1 direct sum actually decomposes —
@@ -813,6 +919,39 @@ mod tests {
             bt.bits,
             cw.bits
         );
+    }
+
+    #[test]
+    fn broadcast_disj_reproduces_the_naive_transcript() {
+        use bci_blackboard::protocol::run as run_protocol;
+        let mut r = rng(41);
+        for trial in 0..20 {
+            let n = 30 + trial * 11;
+            let k = 2 + trial % 5;
+            let inputs = workload::random_sets(n, k, 0.7, &mut r);
+            let reference = naive::run(&inputs);
+            let proto = broadcast::BroadcastDisj::new(n, k);
+            let exec = run_protocol(&proto, &inputs, &mut r);
+            assert_eq!(exec.output, reference.output, "trial {trial}");
+            assert_eq!(exec.board, reference.board, "trial {trial}");
+            assert_eq!(exec.bits_written, reference.bits);
+            assert_eq!(exec.output, disj_function(&inputs));
+        }
+    }
+
+    #[test]
+    fn broadcast_disj_halts_early_on_full_coverage() {
+        use bci_blackboard::protocol::run as run_protocol;
+        let mut r = rng(43);
+        // Player 0 holds the empty set: it covers everything alone and the
+        // remaining players never speak.
+        let n = 50;
+        let mut inputs = workload::random_sets(n, 4, 0.5, &mut r);
+        inputs[0] = BitSet::new(n);
+        let proto = broadcast::BroadcastDisj::new(n, 4);
+        let exec = run_protocol(&proto, &inputs, &mut r);
+        assert!(exec.output);
+        assert_eq!(exec.board.messages().len(), 1);
     }
 
     #[test]

@@ -162,7 +162,7 @@ pub struct IntersectRun {
 }
 
 /// Computes the **exact intersection** `X ∩ Y` in `O(s)` expected bits —
-/// the stronger primitive of Brody et al. [8] that the paper's introduction
+/// the stronger primitive of Brody et al. \[8\] that the paper's introduction
 /// mentions ("two players can even compute the exact intersection … using
 /// `O(s)` bits").
 ///

@@ -106,7 +106,7 @@ pub fn planted_intersection<R: Rng + ?Sized>(
 /// `set_size` elements, all `k` sets share exactly one common coordinate,
 /// and apart from it they are pairwise disjoint. This is the promise version
 /// of disjointness the paper's related-work section connects to streaming
-/// lower bounds ([2, 17] and Alon–Matias–Szegedy [1]).
+/// lower bounds (\[2, 17\] and Alon–Matias–Szegedy \[1\]).
 ///
 /// Returns the instance and the planted common coordinate.
 ///

@@ -22,6 +22,9 @@
 //!   conditional information cost.
 //! * [`compression`] — the Lemma-7 sampling protocol and Theorem-3 amortized
 //!   compression.
+//! * [`fabric`] — the concurrent execution fabric: transports, session
+//!   scheduling with backpressure, fault injection, and a deterministic
+//!   parallel Monte-Carlo driver.
 //! * [`core`] — high-level facade and the experiment drivers behind every
 //!   table in `EXPERIMENTS.md`.
 
@@ -29,6 +32,7 @@ pub use bci_blackboard as blackboard;
 pub use bci_compression as compression;
 pub use bci_core as core;
 pub use bci_encoding as encoding;
+pub use bci_fabric as fabric;
 pub use bci_info as info;
 pub use bci_lowerbound as lowerbound;
 pub use bci_protocols as protocols;

@@ -1,0 +1,162 @@
+//! Collection strategies: [`vec()`] and [`btree_set`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A size specification for collection strategies: an exact size, a
+/// half-open range, or an inclusive range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` aiming for a size drawn from `size`.
+///
+/// Like upstream, the requested size is an upper target: if the element
+/// strategy's support is too small to produce enough distinct values, the
+/// set is returned with as many elements as were found.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.draw(rng);
+        let mut set = BTreeSet::new();
+        // Bounded attempts so tiny supports cannot loop forever.
+        let mut budget = target * 8 + 16;
+        while set.len() < target && budget > 0 {
+            set.insert(self.element.generate(rng));
+            budget -= 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(7, 0)
+    }
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut r = rng();
+        let s = vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut r = rng();
+        let s = vec(0u32..10, 3);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut r).len(), 3);
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_and_bounded() {
+        let mut r = rng();
+        let s = btree_set(0u64..50, 0..=20);
+        for _ in 0..100 {
+            let set = s.generate(&mut r);
+            assert!(set.len() <= 20);
+            assert!(set.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn btree_set_small_support_terminates() {
+        let mut r = rng();
+        // Only 3 possible values but size up to 10: must terminate.
+        let s = btree_set(0u64..3, 10..=10);
+        let set = s.generate(&mut r);
+        assert!(set.len() <= 3);
+    }
+}

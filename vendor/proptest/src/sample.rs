@@ -1,0 +1,45 @@
+//! [`Index`] — an arbitrary index scaled into any collection's bounds.
+
+/// An index usable with collections whose size is unknown at generation
+/// time; obtain one with `any::<prop::sample::Index>()` and scale it with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Wraps a raw value.
+    pub fn new(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Scales the index into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.raw % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_scales_into_bounds() {
+        let i = Index::new(usize::MAX);
+        for len in 1..100 {
+            assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn zero_len_panics() {
+        Index::new(3).index(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The [`Strategy`] trait and the primitive strategies: ranges, tuples,
+//! [`Just`], and `any::<T>()`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of type `Value`.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// simply draws a value from the RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value, then draws from
+    /// it — the standard way to make dependent strategies.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix full-width values with small ones so boundary-heavy
+                // code sees both regimes.
+                match rng.random_range(0u32..4) {
+                    0 => rng.random_range(0..=16) as $t,
+                    _ => {
+                        let full = rng.random::<u64>() as u128
+                            | ((rng.random::<u64>() as u128) << 64);
+                        full as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.random::<f64>() * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.random::<u64>() as usize)
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Creates a strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(42, 0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0.5f64..2.0).generate(&mut r);
+            assert!((0.5..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+        let dep = (1usize..4).prop_flat_map(|n| (Just(n), 0usize..n));
+        for _ in 0..50 {
+            let (n, i) = dep.generate(&mut r);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn tuples_and_just() {
+        let mut r = rng();
+        let (a, b, c) = (Just(7u8), 0u32..4, any::<bool>()).generate(&mut r);
+        assert_eq!(a, 7);
+        assert!(b < 4);
+        let _ = c;
+    }
+
+    #[test]
+    fn arbitrary_uints_hit_small_and_large() {
+        let mut r = rng();
+        let vals: Vec<u64> = (0..300).map(|_| u64::arbitrary(&mut r)).collect();
+        assert!(vals.iter().any(|&v| v <= 16));
+        assert!(vals.iter().any(|&v| v > u32::MAX as u64));
+    }
+}

@@ -1,0 +1,111 @@
+//! The minimal runner machinery behind the [`proptest!`](crate::proptest)
+//! macro: configuration, per-case RNGs, and the case-level error type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-block configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw a fresh case instead.
+    Reject(String),
+    /// A `prop_assert*` failed — the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A falsified-property error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected-case (failed assumption) error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies: a seedable [`StdRng`] derived from the test
+/// name and case number.
+pub type TestRng = StdRngCase;
+
+/// Wrapper constructing per-case [`StdRng`] streams.
+#[derive(Debug)]
+pub struct StdRngCase {
+    inner: StdRng,
+}
+
+impl StdRngCase {
+    /// Derives the RNG for `(test seed, case index)`.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        StdRngCase {
+            inner: StdRng::seed_from_u64(
+                seed ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+        }
+    }
+}
+
+impl rand::RngCore for StdRngCase {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+/// FNV-1a over `bytes` — stable test-name hashing for seed derivation.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(fnv1a(b"alpha"), fnv1a(b"beta"));
+    }
+
+    #[test]
+    fn case_rngs_are_deterministic() {
+        use rand::RngCore;
+        let mut a = TestRng::for_case(1, 2);
+        let mut b = TestRng::for_case(1, 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case(1, 3);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
