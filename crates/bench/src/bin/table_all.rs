@@ -1,80 +1,8 @@
 //! Prints every experiment table in `EXPERIMENTS.md` order.
-
-use bci_core::experiments::*;
+//!
+//! Accepts `--json <path>`; the JSON document aggregates every
+//! per-experiment report into one combined suite report.
 
 fn main() {
-    println!("=== E1 — Theorem 2: DISJ upper bound ===\n");
-    let rows = e1_disj_upper::run(&e1_disj_upper::default_grid(), 0xE1);
-    println!("{}", e1_disj_upper::render(&rows));
-
-    println!("=== E2 — Theorem 1: CIC(AND_k) = Theta(log k) ===\n");
-    let rows = e2_and_cic::run(&e2_and_cic::default_ks());
-    println!("{}", e2_and_cic::render(&rows));
-
-    println!("=== E3 — Lemma 5: good transcripts point ===\n");
-    let rows = e3_pointing::run(&e3_pointing::default_grid());
-    println!("{}", e3_pointing::render(&rows));
-
-    println!("=== E4 — Lemma 6: Omega(k) ===\n");
-    let p4 = e4_omega_k::Params::default();
-    let rows = e4_omega_k::run(&p4, &e4_omega_k::default_fracs());
-    println!("{}", e4_omega_k::render(&p4, &rows));
-
-    println!("=== E5 — Section 6: Omega(k/log k) gap ===\n");
-    let rows = e5_gap::run(&e5_gap::default_ks());
-    println!("{}", e5_gap::render(&rows));
-
-    println!("=== E6 — Lemma 7: sampling protocol ===\n");
-    let rows = e6_sampling::run(&e6_sampling::default_grid(), 400, 0xE6);
-    println!("{}", e6_sampling::render(&rows));
-
-    println!("=== E7 — Theorem 3: amortized compression ===\n");
-    let p7 = e7_amortized::Params::default();
-    let rows = e7_amortized::run(&p7, &e7_amortized::default_ns());
-    println!("{}", e7_amortized::render(&p7, &rows));
-
-    println!("=== E8 — Lemma 1 / Theorem 4: direct sum ===\n");
-    let rows = e8_direct_sum::run();
-    println!("{}", e8_direct_sum::render(&rows));
-
-    println!("=== E9 — Eq. (3)-(4): divergence bound ===\n");
-    let rows = e9_divergence::run(&e9_divergence::default_grid());
-    println!("{}", e9_divergence::render(&rows));
-
-    println!("=== E10 — pointwise-OR / union (extension) ===\n");
-    let rows = e10_union::run(&e10_union::default_grid(), 0xE10);
-    println!("{}", e10_union::render(&rows));
-
-    println!("=== E11 — internal vs external information (extension) ===\n");
-    let rows = e11_internal::run(&e11_internal::default_rhos());
-    println!("{}", e11_internal::render(&rows));
-
-    println!("=== E12 — Hastad-Wigderson sparse disjointness (extension) ===\n");
-    let rows = e12_sparse::run(&e12_sparse::default_grid(), 40, 0xE12);
-    println!("{}", e12_sparse::render(&rows));
-
-    println!("=== E13 — one-way Huffman baseline (extension) ===\n");
-    let rows = e13_huffman::run(&e13_huffman::default_ks());
-    println!("{}", e13_huffman::render(&rows));
-
-    println!("=== E14 — the one-shot round tax (extension) ===\n");
-    let rows = e14_one_shot::run(&e14_one_shot::default_ks(), 40, 0xE14);
-    println!("{}", e14_one_shot::render(&rows));
-
-    println!("=== E15 — Shannon block coding of transcripts (extension) ===\n");
-    let p15 = e15_block_coding::Params::default();
-    let rows = e15_block_coding::run(&p15, &e15_block_coding::default_ms());
-    println!("{}", e15_block_coding::render(&p15, &rows));
-
-    println!("=== E16 — per-round information profile (extension) ===\n");
-    let profile = e16_profile::run(128);
-    println!("{}", e16_profile::render(&profile, 10));
-
-    println!("=== E17 — error vs information tradeoff (extension) ===\n");
-    let rows = e17_error_tradeoff::run(14, &e17_error_tradeoff::default_epsilons());
-    println!("{}", e17_error_tradeoff::render(14, &rows));
-
-    println!("=== E18 — promise disjointness instances (extension) ===\n");
-    let rows = e18_promise::run(&e18_promise::default_grid(), 0xE18);
-    println!("{}", e18_promise::render(&rows));
+    bci_bench::report::emit_all(&bci_bench::suite::all());
 }

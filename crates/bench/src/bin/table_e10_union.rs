@@ -1,10 +1,7 @@
 //! Prints the E10 table (extension: pointwise-OR / set union).
-
-use bci_core::experiments::e10_union as e10;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E10 — pointwise-OR (set union): naive vs batched member publishing");
-    println!("(iid 50%-density sets; union ≈ [n])\n");
-    let rows = e10::run(&e10::default_grid(), 0xE10);
-    print!("{}", e10::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e10());
 }

@@ -1,10 +1,7 @@
 //! Prints the E11 table (extension: internal vs external information).
-
-use bci_core::experiments::e11_internal as e11;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E11 — internal vs external information cost, two players");
-    println!("(joint Pr[X=Y] = 1/2 + 2*rho; rho = 0 is the product case)\n");
-    let rows = e11::run(&e11::default_rhos());
-    print!("{}", e11::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e11());
 }

@@ -1,10 +1,7 @@
 //! Prints the E12 table (extension: Håstad–Wigderson sparse disjointness).
-
-use bci_core::experiments::e12_sparse as e12;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E12 — Hastad-Wigderson O(s) sparse set disjointness (2 players)");
-    println!("(disjoint pairs; 40 trials per point)\n");
-    let rows = e12::run(&e12::default_grid(), 40, 0xE12);
-    print!("{}", e12::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e12());
 }

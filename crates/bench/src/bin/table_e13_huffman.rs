@@ -1,10 +1,7 @@
 //! Prints the E13 table (extension: the one-way Huffman baseline).
-
-use bci_core::experiments::e13_huffman as e13;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E13 — one-way vs interactive compression of AND_k transcripts");
-    println!("(Huffman recoding reaches H+1; no protocol can go below Omega(k))\n");
-    let rows = e13::run(&e13::default_ks());
-    print!("{}", e13::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e13());
 }

@@ -1,10 +1,7 @@
 //! Prints the E14 table (extension: the one-shot round tax).
-
-use bci_core::experiments::e14_one_shot as e14;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E14 — single-shot round-by-round compression pays Theta(k), not IC");
-    println!("(sequential AND_k; 40 trials per point)\n");
-    let rows = e14::run(&e14::default_ks(), 40, 0xE14);
-    print!("{}", e14::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e14());
 }

@@ -1,11 +1,7 @@
 //! Prints the E15 table (extension: Shannon block-coding of transcripts).
-
-use bci_core::experiments::e15_block_coding as e15;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E15 — block coding transcript streams to the Shannon limit");
-    println!("(arithmetic coder vs per-symbol Huffman vs H)\n");
-    let params = e15::Params::default();
-    let rows = e15::run(&params, &e15::default_ms());
-    print!("{}", e15::render(&params, &rows));
+    bci_bench::report::emit(&bci_bench::suite::e15());
 }

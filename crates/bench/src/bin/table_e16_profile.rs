@@ -1,12 +1,7 @@
 //! Prints the E16 table (extension: the per-round information profile).
-
-use bci_core::experiments::e16_profile as e16;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E16 — chain-rule information profile of sequential AND_k");
-    println!("(exact, under the hard distribution; Section 6's decomposition)\n");
-    for k in [16usize, 128] {
-        let profile = e16::run(k);
-        println!("{}", e16::render(&profile, 10));
-    }
+    bci_bench::report::emit(&bci_bench::suite::e16());
 }

@@ -1,11 +1,7 @@
 //! Prints the E17 table (extension: the error–information tradeoff).
-
-use bci_core::experiments::e17_error_tradeoff as e17;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E17 — error vs information vs pointing for noisy AND_k");
-    println!("(exact worst-case error, exact CIC, Lemma 5 pointing mass)\n");
-    let k = 14;
-    let rows = e17::run(k, &e17::default_epsilons());
-    print!("{}", e17::render(k, &rows));
+    bci_bench::report::emit(&bci_bench::suite::e17());
 }

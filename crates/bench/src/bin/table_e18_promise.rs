@@ -1,10 +1,7 @@
 //! Prints the E18 table (extension: promise disjointness instances).
-
-use bci_core::experiments::e18_promise as e18;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E18 — promise (unique-intersection vs pairwise-disjoint) instances");
-    println!("(the streaming-hard promise from [1,2,17]; Theorem 2 protocol)\n");
-    let rows = e18::run(&e18::default_grid(), 0xE18);
-    print!("{}", e18::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e18());
 }

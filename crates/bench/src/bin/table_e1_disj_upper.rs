@@ -1,10 +1,7 @@
 //! Prints the E1 table (Theorem 2: `DISJ_{n,k}` upper bound sweep).
-
-use bci_core::experiments::e1_disj_upper as e1;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E1 — Theorem 2: set disjointness communication, naive vs batched");
-    println!("(hard disjoint instances: one zero holder per coordinate)\n");
-    let rows = e1::run(&e1::default_grid(), 0xE1);
-    print!("{}", e1::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e1());
 }

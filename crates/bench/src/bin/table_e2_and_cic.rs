@@ -1,10 +1,7 @@
 //! Prints the E2 table (Theorem 1: exact `CIC_μ(AND_k)` scaling).
-
-use bci_core::experiments::e2_and_cic as e2;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E2 — Theorem 1: exact CIC of the sequential AND_k witness");
-    println!("(hard distribution; CIC/log2(k) flat <=> Theta(log k))\n");
-    let rows = e2::run(&e2::default_ks());
-    print!("{}", e2::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e2());
 }

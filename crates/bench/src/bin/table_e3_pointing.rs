@@ -1,14 +1,7 @@
 //! Prints the E3 table (Lemma 5: good-transcript masses and pointing).
-
-use bci_core::experiments::e3_pointing as e3;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E3 — Lemma 5: pi_2 masses of L, L', B0, B1 and the pointing mass");
-    println!(
-        "(noisy sequential AND with per-player flip delta/k; C = {}, alpha >= {}k)\n",
-        e3::BIG_C,
-        e3::ALPHA_FACTOR
-    );
-    let rows = e3::run(&e3::default_grid());
-    print!("{}", e3::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e3());
 }

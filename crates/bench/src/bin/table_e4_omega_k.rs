@@ -1,11 +1,7 @@
 //! Prints the E4 table (Lemma 6: the Ω(k) communication bound).
-
-use bci_core::experiments::e4_omega_k as e4;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E4 — Lemma 6: error of truncated deterministic AND_k under mu'");
-    println!("(error crosses eps exactly at the lemma's speaker threshold)\n");
-    let params = e4::Params::default();
-    let rows = e4::run(&params, &e4::default_fracs());
-    print!("{}", e4::render(&params, &rows));
+    bci_bench::report::emit(&bci_bench::suite::e4());
 }

@@ -1,14 +1,7 @@
 //! Prints the E5 table (Section 6: the Ω(k/log k) IC-vs-CC gap).
-
-use bci_core::experiments::e5_gap as e5;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E5 — Section 6: information vs communication for AND_k");
-    println!(
-        "(eps = {}, eps' = {}; gap should track k/log2 k)\n",
-        e5::EPS,
-        e5::EPS_PRIME
-    );
-    let rows = e5::run(&e5::default_ks());
-    print!("{}", e5::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e5());
 }

@@ -1,10 +1,7 @@
 //! Prints the E6 table (Lemma 7 / Figure 1: the sampling protocol).
-
-use bci_core::experiments::e6_sampling as e6;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E6 — Lemma 7: literal one-round sampling protocol");
-    println!("(mean bits vs D(eta||nu) + O(log D); 400 trials per point)\n");
-    let rows = e6::run(&e6::default_grid(), 400, 0xE6);
-    print!("{}", e6::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e6());
 }

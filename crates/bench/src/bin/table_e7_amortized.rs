@@ -1,11 +1,7 @@
 //! Prints the E7 table (Theorem 3: amortized compression → IC).
-
-use bci_core::experiments::e7_amortized as e7;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E7 — Theorem 3: per-copy cost of the compressed n-fold protocol");
-    println!("(sequential AND_k under the natural prior; converges to IC)\n");
-    let params = e7::Params::default();
-    let rows = e7::run(&params, &e7::default_ns());
-    print!("{}", e7::render(&params, &rows));
+    bci_bench::report::emit(&bci_bench::suite::e7());
 }

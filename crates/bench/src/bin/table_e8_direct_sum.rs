@@ -1,10 +1,7 @@
 //! Prints the E8 table (Lemma 1 / Theorem 4: direct sum by enumeration).
-
-use bci_core::experiments::e8_direct_sum as e8;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E8 — Lemma 1 / Theorem 4: information is additive across copies");
-    println!("(full joint enumeration; no additivity assumption)\n");
-    let rows = e8::run();
-    print!("{}", e8::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e8());
 }

@@ -1,10 +1,7 @@
 //! Prints the E9 table (Equations (3)–(4): the divergence bound chain).
-
-use bci_core::experiments::e9_divergence as e9;
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!("E9 — Eq. (3)-(4): exact KL vs p*log k - H(p) vs p*log k - 1");
-    println!("(posterior Bern with Pr[0]=p against the 1/k prior)\n");
-    let rows = e9::run(&e9::default_grid());
-    print!("{}", e9::render(&rows));
+    bci_bench::report::emit(&bci_bench::suite::e9());
 }

@@ -3,82 +3,9 @@
 //! `DISJ_{n,k}` Monte-Carlo workload. The bits/session column is identical
 //! on every row — the fabric's determinism guarantee — and is printed so a
 //! regression is visible at a glance.
-
-use std::time::Duration;
-
-use bci_core::table::{f, Table};
-use bci_fabric::driver::monte_carlo_fabric;
-use bci_fabric::scheduler::SchedulerConfig;
-use bci_fabric::session::FaultPlan;
-use bci_fabric::transport::{ChannelTransport, InProcessTransport, Transport};
-use bci_protocols::disj::broadcast::BroadcastDisj;
-use bci_protocols::disj::disj_function;
-use bci_protocols::workload;
-use rand::RngCore;
-
-const N: usize = 256;
-const K: usize = 4;
-const SESSIONS: u64 = 512;
-const SEED: u64 = 0xFAB;
-
-fn measure<T: Transport>(transport: &T, workers: usize) -> [String; 6] {
-    let proto = BroadcastDisj::new(N, K);
-    let config = SchedulerConfig {
-        workers,
-        batch_size: 32,
-        queue_capacity: 8,
-        deadline: Some(Duration::from_secs(30)),
-        keep_transcripts: false,
-    };
-    let report = monte_carlo_fabric(
-        transport,
-        &proto,
-        &|rng: &mut dyn RngCore| workload::random_sets(N, K, 0.7, rng),
-        &|inputs: &[_]| disj_function(inputs),
-        SESSIONS,
-        SEED,
-        &FaultPlan::new(),
-        &config,
-    );
-    assert_eq!(report.report.trials, SESSIONS);
-    let m = &report.metrics;
-    [
-        workers.to_string(),
-        f(m.sessions_per_sec(), 1),
-        format!("{:?}", m.latency_p50),
-        format!("{:?}", m.latency_p99),
-        f(m.bits.mean(), 2),
-        m.max_queue_depth.to_string(),
-    ]
-}
+//!
+//! Accepts `--json <path>` for a machine-readable report.
 
 fn main() {
-    println!(
-        "Fabric — DISJ_{{n={N}, k={K}}}, {SESSIONS} sessions per row, seed {SEED:#x}\n\
-         (bits/session is identical on every row: scheduling never changes transcripts)\n"
-    );
-    for (name, rows) in [
-        (
-            "in-process transport",
-            [1usize, 2, 4, 8].map(|w| measure(&InProcessTransport, w)),
-        ),
-        (
-            "channel transport (one thread per player + sequencer)",
-            [1usize, 2, 4, 8].map(|w| measure(&ChannelTransport, w)),
-        ),
-    ] {
-        println!("{name}:");
-        let mut t = Table::new([
-            "workers",
-            "sessions/sec",
-            "p50",
-            "p99",
-            "bits/session",
-            "max queue",
-        ]);
-        for row in rows {
-            t.row(row);
-        }
-        println!("{}", t.render());
-    }
+    bci_bench::report::emit(&bci_bench::suite::fabric());
 }

@@ -3,7 +3,16 @@
 //! * `src/bin/table_e*.rs` — one binary per experiment in `EXPERIMENTS.md`;
 //!   each prints the corresponding table (`cargo run -p bci-bench --release
 //!   --bin table_e1_disj_upper`, etc.). `table_all` prints every table.
+//!   Every binary accepts `--json <path>` and writes a schema-stable JSON
+//!   report next to the text output (see [`report`]).
+//! * [`suite`] — one [`report::Report`] constructor per experiment, shared
+//!   by the binaries so the canonical parameters live in one place.
 //! * `benches/*.rs` — criterion micro/meso-benchmarks: protocol throughput,
 //!   exact information-cost computation, the sampling protocol, the
 //!   factorized-vs-brute-force and exact-vs-approximate-codec ablations, and
 //!   the encoding substrate.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod suite;

@@ -81,7 +81,7 @@ pub mod tree;
 pub mod tree_protocol;
 
 pub use board::{Board, Message};
-pub use protocol::{run, Execution, Protocol};
+pub use protocol::{run, run_traced, Execution, Protocol};
 pub use stats::CommStats;
 pub use tree::ProtocolTree;
 

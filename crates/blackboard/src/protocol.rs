@@ -10,6 +10,7 @@
 //!   external observer) can compute it for free.
 
 use bci_encoding::bitio::BitVec;
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::RngCore;
 
 use crate::board::Board;
@@ -68,6 +69,22 @@ pub fn run<P: Protocol>(
     inputs: &[P::Input],
     rng: &mut dyn RngCore,
 ) -> Execution<P::Output> {
+    run_traced(protocol, inputs, rng, &Recorder::disabled())
+}
+
+/// Like [`run`], but reports per-round telemetry to `recorder`: a `round`
+/// point event per message (speaker, message bits, bits on the board) and
+/// the `runner.bits_per_round` histogram.
+///
+/// The recorder only *observes* — it never touches `rng` or influences
+/// control flow — so for any protocol the execution is bit-identical to
+/// [`run`]'s. With a disabled recorder the overhead is one branch per turn.
+pub fn run_traced<P: Protocol>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: &mut dyn RngCore,
+    recorder: &Recorder,
+) -> Execution<P::Output> {
     assert_eq!(
         inputs.len(),
         protocol.num_players(),
@@ -84,7 +101,26 @@ pub fn run<P: Protocol>(
             protocol.num_players()
         );
         let msg = protocol.message(speaker, &inputs[speaker], &board, rng);
+        let msg_bits = msg.len();
         board.write(speaker, msg);
+        if recorder.enabled() {
+            recorder.hist_record(
+                "runner.bits_per_round",
+                msg_bits as u64,
+                bci_telemetry::hist::BITS_BOUNDS,
+            );
+            if recorder.events_enabled() {
+                recorder.point(
+                    SpanKind::Round,
+                    steps as u64,
+                    vec![
+                        ("speaker", Json::UInt(speaker as u64)),
+                        ("msg_bits", Json::UInt(msg_bits as u64)),
+                        ("board_bits", Json::UInt(board.total_bits() as u64)),
+                    ],
+                );
+            }
+        }
         steps += 1;
         assert!(steps <= MAX_STEPS, "protocol exceeded {MAX_STEPS} turns");
     }

@@ -2,9 +2,10 @@
 //! error rates, and transcript frequency tables.
 
 use bci_info::estimate::FreqTable;
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::{RngCore, SeedableRng};
 
-use crate::protocol::{run, Protocol};
+use crate::protocol::{run, run_traced, Protocol};
 use crate::stats::CommStats;
 
 /// Aggregate result of a Monte-Carlo run.
@@ -101,7 +102,7 @@ pub fn derive_trial_rng<R: SeedableRng>(master_seed: u64, trial: u64) -> R {
 /// `master_seed` alone.
 pub fn monte_carlo_seeded<P, S, F, R>(
     protocol: &P,
-    mut sample_inputs: S,
+    sample_inputs: S,
     reference: F,
     trials: u64,
     master_seed: u64,
@@ -113,16 +114,70 @@ where
     F: Fn(&[P::Input]) -> P::Output,
     R: RngCore + SeedableRng,
 {
+    monte_carlo_seeded_traced::<P, S, F, R>(
+        protocol,
+        sample_inputs,
+        reference,
+        trials,
+        master_seed,
+        &Recorder::disabled(),
+    )
+}
+
+/// Like [`monte_carlo_seeded`], but reports telemetry to `recorder`: a
+/// `trial` span per trial (bits written, error flag), `runner.trials` /
+/// `runner.errors` counters, and a `runner.bits_per_trial` histogram.
+///
+/// The recorder never touches the trial RNGs, so the returned [`RunReport`]
+/// is bit-identical to [`monte_carlo_seeded`]'s for every `(protocol,
+/// master_seed)` — recording is free to enable on a verification run.
+pub fn monte_carlo_seeded_traced<P, S, F, R>(
+    protocol: &P,
+    mut sample_inputs: S,
+    reference: F,
+    trials: u64,
+    master_seed: u64,
+    recorder: &Recorder,
+) -> RunReport
+where
+    P: Protocol,
+    P::Output: PartialEq,
+    S: FnMut(&mut dyn RngCore) -> Vec<P::Input>,
+    F: Fn(&[P::Input]) -> P::Output,
+    R: RngCore + SeedableRng,
+{
     let mut comm = CommStats::new();
     let mut errors = 0u64;
     for trial in 0..trials {
+        let token = recorder.span_start(SpanKind::Trial, trial, vec![]);
         let mut rng: R = derive_trial_rng(master_seed, trial);
         let inputs = sample_inputs(&mut rng);
         let expected = reference(&inputs);
-        let exec = run(protocol, &inputs, &mut rng);
+        let exec = run_traced(protocol, &inputs, &mut rng, recorder);
         comm.record(exec.bits_written as f64);
-        if exec.output != expected {
+        let wrong = exec.output != expected;
+        if wrong {
             errors += 1;
+        }
+        if recorder.enabled() {
+            recorder.counter_add("runner.trials", 1);
+            if wrong {
+                recorder.counter_add("runner.errors", 1);
+            }
+            recorder.hist_record(
+                "runner.bits_per_trial",
+                exec.bits_written as u64,
+                bci_telemetry::hist::BITS_BOUNDS,
+            );
+            recorder.span_end(
+                SpanKind::Trial,
+                trial,
+                token,
+                vec![
+                    ("bits", Json::UInt(exec.bits_written as u64)),
+                    ("error", Json::Bool(wrong)),
+                ],
+            );
         }
     }
     RunReport {

@@ -46,4 +46,4 @@ pub mod sampling;
 
 pub use amortized::{compress_nfold, AmortizedReport};
 pub use gap::{and_gap, GapReport};
-pub use sampling::{exchange, SamplerConfig};
+pub use sampling::{exchange, exchange_traced, SamplerConfig};

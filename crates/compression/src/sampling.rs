@@ -30,6 +30,7 @@
 use bci_encoding::bitio::{BitReader, BitVec, BitWriter};
 use bci_encoding::elias;
 use bci_info::dist::Dist;
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -98,6 +99,25 @@ fn next_point<R: Rng + ?Sized>(universe: usize, rng: &mut R) -> (usize, f64) {
 ///
 /// Panics if `η` and `ν` have different supports or the config is invalid.
 pub fn exchange(eta: &Dist, nu: &Dist, config: &SamplerConfig, seed: u64) -> Exchange {
+    exchange_traced(eta, nu, config, seed, &Recorder::disabled())
+}
+
+/// Like [`exchange`], but reports telemetry to `recorder`: accept/reject
+/// counters (`sampling.points_accepted` / `sampling.points_rejected`),
+/// truncation counts, histograms of rejection-sampling attempts, transmitted
+/// bits, and the log-ratio `s`, and — when event capture is on — a per-run
+/// point event comparing the actual cost against the predicted
+/// `D(η‖ν)`-based budget from [`lemma7_bound`].
+///
+/// The recorder only observes: for any `(η, ν, config, seed)` the returned
+/// [`Exchange`] is identical to [`exchange`]'s.
+pub fn exchange_traced(
+    eta: &Dist,
+    nu: &Dist,
+    config: &SamplerConfig,
+    seed: u64,
+    recorder: &Recorder,
+) -> Exchange {
     assert_eq!(eta.len(), nu.len(), "η and ν must share a support");
     assert!(config.max_blocks >= 1, "need at least one block");
     assert!(
@@ -168,6 +188,48 @@ pub fn exchange(eta: &Dist, nu: &Dist, config: &SamplerConfig, seed: u64) -> Exc
 
     // ---------------- Receivers ----------------
     let receiver_sample = receive(u, nu, config, seed, &bits);
+
+    if recorder.enabled() {
+        // Points the sender examined: t + 1 on acceptance, the whole
+        // truncation budget otherwise.
+        let attempts = accepted.map(|(t, _)| t + 1).unwrap_or(limit);
+        recorder.counter_add("sampling.runs", 1);
+        recorder.counter_add("sampling.points_accepted", u64::from(accepted.is_some()));
+        recorder.counter_add(
+            "sampling.points_rejected",
+            attempts - u64::from(accepted.is_some()),
+        );
+        if truncated {
+            recorder.counter_add("sampling.truncated", 1);
+        }
+        recorder.hist_record(
+            "sampling.attempts",
+            attempts,
+            bci_telemetry::hist::ATTEMPTS_BOUNDS,
+        );
+        recorder.hist_record(
+            "sampling.bits",
+            bits.len() as u64,
+            bci_telemetry::hist::BITS_BOUNDS,
+        );
+        recorder.hist_record("sampling.s", s, bci_telemetry::hist::BITS_BOUNDS);
+        if recorder.events_enabled() {
+            // Actual cost vs. the D(η‖ν) budget the Lemma 7 analysis
+            // predicts (computed only here — it is O(|U|)).
+            let budget = lemma7_bound(bci_info::divergence::kl(eta, nu));
+            recorder.point(
+                SpanKind::Trial,
+                seed,
+                vec![
+                    ("attempts", Json::UInt(attempts)),
+                    ("bits", Json::UInt(bits.len() as u64)),
+                    ("s", Json::UInt(s)),
+                    ("truncated", Json::Bool(truncated)),
+                    ("budget_bits", Json::Num(budget)),
+                ],
+            );
+        }
+    }
 
     Exchange {
         sender_sample,
@@ -358,6 +420,28 @@ mod tests {
         assert_eq!(bits_for_count(3), 2);
         assert_eq!(bits_for_count(4), 2);
         assert_eq!(bits_for_count(5), 3);
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        let eta = Dist::new(vec![0.05, 0.15, 0.5, 0.3]).unwrap();
+        let nu = Dist::uniform(4);
+        let recorder = Recorder::new();
+        for seed in 0..50 {
+            let quiet = exchange(&eta, &nu, &cfg(), seed * 7919);
+            let traced = exchange_traced(&eta, &nu, &cfg(), seed * 7919, &recorder);
+            assert_eq!(quiet.sender_sample, traced.sender_sample);
+            assert_eq!(quiet.receiver_sample, traced.receiver_sample);
+            assert_eq!(quiet.bits, traced.bits);
+            assert_eq!(quiet.s, traced.s);
+            assert_eq!(quiet.truncated, traced.truncated);
+        }
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("sampling.runs"), 50);
+        assert_eq!(snap.counter("sampling.points_accepted"), 50);
+        assert_eq!(snap.hist("sampling.attempts").map(|h| h.count()), Some(50));
+        assert_eq!(snap.hist("sampling.bits").map(|h| h.count()), Some(50));
+        assert_eq!(recorder.events().len(), 50, "one point event per run");
     }
 
     #[test]

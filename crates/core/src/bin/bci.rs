@@ -9,11 +9,13 @@
 //! bci sparse --n 1048576 --s 128 --trials 20 [--seed 1]
 //! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
 //! bci fabric --sessions 1024 --workers 4 --seed 1 [--protocol disj|and] [--n 256] [--k 4]
+//! bci trace  --engine fabric|serial [--sessions 8] [--out events.jsonl]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use bci_blackboard::runner::monte_carlo_seeded_traced;
 use bci_compression::amortized::compress_nfold;
 use bci_compression::gap::and_gap;
 use bci_compression::sampling::{exchange, lemma7_bound, SamplerConfig};
@@ -30,18 +32,26 @@ use bci_protocols::and_trees::sequential_and;
 use bci_protocols::disj::broadcast::BroadcastDisj;
 use bci_protocols::disj::{batched, coordinatewise, disj_function, naive};
 use bci_protocols::{sparse, union, workload};
+use bci_telemetry::Recorder;
 use rand::{Rng, RngCore, SeedableRng};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("{USAGE}");
+        Diag::default().error(USAGE);
         return ExitCode::FAILURE;
     };
     let opts = match parse_opts(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            Diag::default().error(&format!("error: {e}\n\n{USAGE}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let diag = match Diag::from_opts(&opts) {
+        Ok(d) => d,
+        Err(e) => {
+            Diag::default().error(&format!("error: {e}\n\n{USAGE}"));
             return ExitCode::FAILURE;
         }
     };
@@ -53,7 +63,8 @@ fn main() -> ExitCode {
         "sample" => cmd_sample(&opts),
         "sparse" => cmd_sparse(&opts),
         "amortize" => cmd_amortize(&opts),
-        "fabric" => cmd_fabric(&opts),
+        "fabric" => cmd_fabric(&opts, &diag),
+        "trace" => cmd_trace(&opts, &diag),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -63,7 +74,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            diag.error(&format!("error: {e}\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -81,7 +92,22 @@ USAGE:
   bci amortize --k <K> --copies <N> [--trials T] [--seed S]
   bci fabric   --sessions <N> --workers <W> [--protocol disj|and] [--n N] [--k K] [--seed S]
                [--transport channel|inprocess] [--deadline-ms MS] [--batch B] [--queue Q]
-               [--fault none|slow|crash|drop] [--fault-player P] [--fault-every N] [--slow-ms MS]";
+               [--fault none|slow|crash|drop] [--fault-player P] [--fault-every N] [--slow-ms MS]
+               [--trace PATH]
+  bci trace    [--engine fabric|serial] [--sessions N] [--n N] [--k K] [--seed S] [--workers W]
+               [--transport channel|inprocess] [--out PATH]
+
+GLOBAL FLAGS:
+  --quiet      suppress informational diagnostics on stderr
+  --verbose    add debug diagnostics on stderr
+
+REPORTS:
+  bci fabric --trace PATH writes the run's telemetry event stream as JSON lines;
+  bci trace dumps the event stream of one run to stdout (or --out PATH).
+  Every table_* bench binary accepts --json <path> for a machine-readable report.";
+
+/// Option keys that are boolean flags: present means on, they take no value.
+const FLAGS: [&str; 2] = ["quiet", "verbose"];
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -90,10 +116,67 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got '{key}'"))?;
+        if FLAGS.contains(&key) {
+            map.insert(key.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         map.insert(key.to_owned(), value.clone());
     }
     Ok(map)
+}
+
+/// Diagnostic verbosity, controlled by `--quiet` / `--verbose`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Verbosity {
+    Quiet,
+    #[default]
+    Normal,
+    Verbose,
+}
+
+/// The single funnel for stderr diagnostics: errors always print,
+/// informational notes respect `--quiet`, debug detail needs `--verbose`.
+#[derive(Debug, Default)]
+struct Diag {
+    level: Verbosity,
+}
+
+impl Diag {
+    fn from_opts(opts: &HashMap<String, String>) -> Result<Self, String> {
+        let quiet = opts.contains_key("quiet");
+        let verbose = opts.contains_key("verbose");
+        if quiet && verbose {
+            return Err("--quiet and --verbose are mutually exclusive".into());
+        }
+        let level = if quiet {
+            Verbosity::Quiet
+        } else if verbose {
+            Verbosity::Verbose
+        } else {
+            Verbosity::Normal
+        };
+        Ok(Diag { level })
+    }
+
+    /// Unconditional: errors and usage always reach stderr.
+    fn error(&self, msg: &str) {
+        eprintln!("{msg}");
+    }
+
+    /// Informational progress notes; suppressed by `--quiet`.
+    fn info(&self, msg: &str) {
+        if self.level != Verbosity::Quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Debug detail; printed only with `--verbose`.
+    fn debug(&self, msg: &str) {
+        if self.level == Verbosity::Verbose {
+            eprintln!("{msg}");
+        }
+    }
 }
 
 fn get<T: std::str::FromStr>(
@@ -306,7 +389,7 @@ fn cmd_amortize(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fabric(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_fabric(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
     use std::time::Duration;
 
     let sessions: u64 = get(opts, "sessions", Some(1024u64))?;
@@ -336,12 +419,19 @@ fn cmd_fabric(opts: &HashMap<String, String>) -> Result<(), String> {
         ));
     }
 
+    let trace_path = opts.get("trace").cloned();
+    let recorder = if trace_path.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
     let config = SchedulerConfig {
         workers,
         batch_size: batch,
         queue_capacity: queue,
         deadline: Some(Duration::from_millis(deadline_ms)),
         keep_transcripts: false,
+        recorder: recorder.clone(),
     };
     let selector = SessionSelector::EveryNth(fault_every);
     let plan = match fault_name {
@@ -382,7 +472,7 @@ fn cmd_fabric(opts: &HashMap<String, String>) -> Result<(), String> {
                 &plan,
                 &config,
             )?;
-            print_fabric_report(&report);
+            print_fabric_report(&report, &recorder);
         }
         "and" => {
             let proto = SequentialAnd::new(k);
@@ -399,9 +489,86 @@ fn cmd_fabric(opts: &HashMap<String, String>) -> Result<(), String> {
                 &plan,
                 &config,
             )?;
-            print_fabric_report(&report);
+            print_fabric_report(&report, &recorder);
         }
         other => return Err(format!("unknown protocol '{other}'")),
+    }
+    if let Some(path) = trace_path {
+        let events = recorder.events();
+        diag.debug(&format!("captured {} telemetry events", events.len()));
+        std::fs::write(&path, recorder.events_jsonl())
+            .map_err(|e| format!("cannot write trace to '{path}': {e}"))?;
+        diag.info(&format!("wrote {} events to {path}", events.len()));
+    }
+    Ok(())
+}
+
+/// `bci trace` — run one workload with event recording on and dump the
+/// JSON-lines event stream to stdout (or `--out PATH`).
+fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
+    use std::time::Duration;
+
+    let engine = opts.get("engine").map_or("fabric", String::as_str);
+    let sessions: u64 = get(opts, "sessions", Some(8u64))?;
+    let n: usize = get(opts, "n", Some(64usize))?;
+    let k: usize = get(opts, "k", Some(4usize))?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    let workers: usize = get(opts, "workers", Some(2usize))?;
+    let transport_name = opts.get("transport").map_or("channel", String::as_str);
+    if workers == 0 || k == 0 {
+        return Err("--workers and --k must be positive".into());
+    }
+
+    let recorder = Recorder::new();
+    let proto = BroadcastDisj::new(n, k);
+    let sample = move |rng: &mut dyn RngCore| workload::random_sets(n, k, 0.7, rng);
+    match engine {
+        "fabric" => {
+            let config = SchedulerConfig {
+                workers,
+                deadline: Some(Duration::from_millis(5000)),
+                recorder: recorder.clone(),
+                ..SchedulerConfig::default()
+            };
+            run_fabric(
+                transport_name,
+                &proto,
+                &sample,
+                &|inputs: &[_]| disj_function(inputs),
+                sessions,
+                seed,
+                &FaultPlan::new(),
+                &config,
+            )?;
+        }
+        "serial" => {
+            monte_carlo_seeded_traced::<_, _, _, rand_chacha::ChaCha8Rng>(
+                &proto,
+                sample,
+                |inputs: &[_]| disj_function(inputs),
+                sessions,
+                seed,
+                &recorder,
+            );
+        }
+        other => return Err(format!("unknown engine '{other}'")),
+    }
+
+    let events = recorder.events();
+    diag.info(&format!(
+        "trace: {engine} engine, {sessions} sessions of disj (n={n}, k={k}), {} events",
+        events.len()
+    ));
+    let snap = recorder.snapshot();
+    diag.debug(&format!("telemetry snapshot: {}", snap.to_json()));
+    let jsonl = recorder.events_jsonl();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl)
+                .map_err(|e| format!("cannot write trace to '{path}': {e}"))?;
+            diag.info(&format!("wrote {} events to {path}", events.len()));
+        }
+        None => print!("{jsonl}"),
     }
     Ok(())
 }
@@ -449,7 +616,7 @@ where
     }
 }
 
-fn print_fabric_report<O>(report: &FabricReport<O>) {
+fn print_fabric_report<O>(report: &FabricReport<O>, recorder: &Recorder) {
     let m = &report.metrics;
     let mut t = Table::new(["metric", "value"]);
     t.row(["sessions".to_owned(), m.sessions.to_string()]);
@@ -460,12 +627,32 @@ fn print_fabric_report<O>(report: &FabricReport<O>) {
     t.row(["error rate".to_owned(), f(report.report.error_rate(), 4)]);
     t.row(["bits/session mean".to_owned(), f(m.bits.mean(), 2)]);
     t.row(["bits/session stddev".to_owned(), f(m.bits.stddev(), 2)]);
-    t.row(["latency p50".to_owned(), format!("{:?}", m.latency_p50)]);
-    t.row(["latency p99".to_owned(), format!("{:?}", m.latency_p99)]);
+    t.row(["latency p50".to_owned(), format!("{:?}", m.latency_p50())]);
+    t.row(["latency p95".to_owned(), format!("{:?}", m.latency_p95())]);
+    t.row(["latency p99".to_owned(), format!("{:?}", m.latency_p99())]);
     t.row(["latency max".to_owned(), format!("{:?}", m.latency_max)]);
+    t.row([
+        "queue depth p50".to_owned(),
+        m.queue_depth.percentile(50.0).to_string(),
+    ]);
+    t.row([
+        "queue depth p95".to_owned(),
+        m.queue_depth.percentile(95.0).to_string(),
+    ]);
     t.row(["max queue depth".to_owned(), m.max_queue_depth.to_string()]);
     t.row(["workers".to_owned(), m.workers.to_string()]);
     t.row(["elapsed".to_owned(), format!("{:?}", m.elapsed)]);
     t.row(["sessions/sec".to_owned(), f(m.sessions_per_sec(), 1)]);
+    if recorder.enabled() {
+        let snap = recorder.snapshot();
+        t.row([
+            "backpressure stalls".to_owned(),
+            snap.counter("fabric.backpressure_stalls").to_string(),
+        ]);
+        t.row([
+            "telemetry events".to_owned(),
+            recorder.events().len().to_string(),
+        ]);
+    }
     println!("{}", t.render());
 }

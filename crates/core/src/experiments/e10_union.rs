@@ -75,8 +75,8 @@ pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E10 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E10 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "n",
         "k",
@@ -99,7 +99,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.bound, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E10 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

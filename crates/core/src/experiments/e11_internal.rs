@@ -64,8 +64,8 @@ pub fn run(rhos: &[f64]) -> Vec<Row> {
     rows
 }
 
-/// Renders the E11 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E11 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(["protocol", "rho", "internal IC", "external IC", "gap"]);
     for r in rows {
         t.row([
@@ -76,7 +76,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.gap(), 4),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E11 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

@@ -83,8 +83,8 @@ pub fn default_grid() -> Vec<(usize, usize)> {
     g
 }
 
-/// Renders the E12 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E12 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "n",
         "s",
@@ -103,7 +103,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.fallback_rate, 3),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E12 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

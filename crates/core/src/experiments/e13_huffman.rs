@@ -76,8 +76,8 @@ pub fn run(ks: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E13 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E13 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "k",
         "H(transcript)",
@@ -96,7 +96,12 @@ pub fn render(rows: &[Row]) -> String {
             r.cc.to_string(),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E13 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

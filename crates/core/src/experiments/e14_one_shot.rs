@@ -56,8 +56,8 @@ pub fn run(ks: &[usize], trials: usize, seed: u64) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E14 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E14 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "k",
         "IC",
@@ -76,7 +76,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.one_shot_bits / r.k as f64, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E14 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

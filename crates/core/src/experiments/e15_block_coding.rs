@@ -102,8 +102,16 @@ pub fn run(params: &Params, ms: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E15 table.
-pub fn render(params: &Params, rows: &[Row]) -> String {
+/// The parameter line printed above the E15 table.
+pub fn preamble(params: &Params) -> String {
+    format!(
+        "k = {}, Pr[X_i = 1] = {} (skewed transcripts)",
+        params.k, params.prior
+    )
+}
+
+/// Builds the E15 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "block m",
         "arithmetic b/transcript",
@@ -118,12 +126,12 @@ pub fn render(params: &Params, rows: &[Row]) -> String {
             f(r.entropy, 3),
         ]);
     }
-    format!(
-        "k = {}, Pr[X_i = 1] = {} (skewed transcripts)\n{}",
-        params.k,
-        params.prior,
-        t.render()
-    )
+    t
+}
+
+/// Renders the E15 table with its parameter preamble.
+pub fn render(params: &Params, rows: &[Row]) -> String {
+    format!("{}\n{}", preamble(params), table(rows).render())
 }
 
 #[cfg(test)]

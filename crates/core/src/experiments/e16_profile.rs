@@ -51,8 +51,17 @@ pub fn run(k: usize) -> Profile {
     }
 }
 
-/// Renders the E16 table (first `max_rounds` rounds plus a tail line).
-pub fn render(profile: &Profile, max_rounds: usize) -> String {
+/// The parameter/tail line printed above the E16 table.
+pub fn preamble(profile: &Profile, max_rounds: usize) -> String {
+    let tail: f64 = profile.per_round.iter().skip(max_rounds).sum();
+    format!(
+        "k = {}, exact CIC = {:.4} bits; rounds beyond {}: {:.4} bits",
+        profile.k, profile.total, max_rounds, tail,
+    )
+}
+
+/// Builds the E16 table (first `max_rounds` rounds).
+pub fn table(profile: &Profile, max_rounds: usize) -> Table {
     let mut t = Table::new(["round", "bits revealed", "cumulative", "share"]);
     let mut cum = 0.0;
     for (d, &c) in profile.per_round.iter().enumerate().take(max_rounds) {
@@ -64,14 +73,15 @@ pub fn render(profile: &Profile, max_rounds: usize) -> String {
             format!("{:.1}%", 100.0 * cum / profile.total),
         ]);
     }
-    let tail: f64 = profile.per_round.iter().skip(max_rounds).sum();
+    t
+}
+
+/// Renders the E16 table (first `max_rounds` rounds plus a tail line).
+pub fn render(profile: &Profile, max_rounds: usize) -> String {
     format!(
-        "k = {}, exact CIC = {:.4} bits; rounds beyond {}: {:.4} bits\n{}",
-        profile.k,
-        profile.total,
-        max_rounds,
-        tail,
-        t.render()
+        "{}\n{}",
+        preamble(profile, max_rounds),
+        table(profile, max_rounds).render()
     )
 }
 

@@ -53,8 +53,8 @@ pub fn run(k: usize, epsilons: &[f64]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E17 table.
-pub fn render(k: usize, rows: &[Row]) -> String {
+/// Builds the E17 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(["eps", "worst-case error", "CIC", "pointing mass"]);
     for r in rows {
         t.row([
@@ -64,7 +64,12 @@ pub fn render(k: usize, rows: &[Row]) -> String {
             f(r.pointing_mass, 4),
         ]);
     }
-    format!("k = {k}\n{}", t.render())
+    t
+}
+
+/// Renders the E17 table with its parameter preamble.
+pub fn render(k: usize, rows: &[Row]) -> String {
+    format!("k = {k}\n{}", table(rows).render())
 }
 
 #[cfg(test)]

@@ -79,8 +79,8 @@ pub fn default_grid() -> Vec<(usize, usize, usize)> {
     ]
 }
 
-/// Renders the E18 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E18 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "n",
         "k",
@@ -106,12 +106,18 @@ pub fn render(rows: &[Row]) -> String {
             if r.output { "disjoint" } else { "non-disjoint" }.to_owned(),
         ]);
     }
-    format!(
-        "{}\n(batched/naive costs are dominated by certifying the n \
-         coordinates;\nthe promise changes the answer, not the certification \
-         work)\n",
-        t.render()
-    )
+    t
+}
+
+/// The interpretive note printed under the E18 table.
+pub fn note() -> &'static str {
+    "(batched/naive costs are dominated by certifying the n coordinates;\n\
+     the promise changes the answer, not the certification work)"
+}
+
+/// Renders the E18 table as text, with the trailing note.
+pub fn render(rows: &[Row]) -> String {
+    format!("{}\n{}\n", table(rows).render(), note())
 }
 
 #[cfg(test)]

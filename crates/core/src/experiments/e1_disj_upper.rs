@@ -78,8 +78,8 @@ pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E1 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E1 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "n",
         "k",
@@ -104,7 +104,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.naive_per_coord, 2),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E1 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

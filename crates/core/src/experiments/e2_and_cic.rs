@@ -49,8 +49,8 @@ pub fn run(ks: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E2 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E2 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(["k", "CIC(seq AND)", "CIC/log2 k", "(1/4)log2 k", "CC"]);
     for r in rows {
         t.row([
@@ -61,7 +61,12 @@ pub fn render(rows: &[Row]) -> String {
             r.cc.to_string(),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E2 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

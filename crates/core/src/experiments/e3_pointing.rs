@@ -63,8 +63,8 @@ pub fn run(grid: &[(usize, f64)]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E3 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E3 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "k",
         "delta",
@@ -89,7 +89,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.report.pointing_mass, 4),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E3 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

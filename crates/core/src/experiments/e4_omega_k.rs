@@ -96,9 +96,20 @@ pub fn default_fracs() -> Vec<f64> {
     vec![0.0, 0.25, 0.5, 0.75, 0.85, 0.9, 0.95, 1.0]
 }
 
-/// Renders the E4 table.
-pub fn render(params: &Params, rows: &[Row]) -> String {
+/// The parameter line printed above the E4 table.
+pub fn preamble(params: &Params) -> String {
     let d = FoolingDist::new(params.k, params.eps_prime);
+    format!(
+        "k = {}, eps = {}, eps' = {}, Lemma 6 threshold = {:.1} speakers",
+        params.k,
+        params.eps,
+        params.eps_prime,
+        d.speaker_threshold(params.eps),
+    )
+}
+
+/// Builds the E4 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "speakers",
         "closed form",
@@ -115,14 +126,12 @@ pub fn render(params: &Params, rows: &[Row]) -> String {
             if r.below_threshold { "yes" } else { "no" }.to_string(),
         ]);
     }
-    format!(
-        "k = {}, eps = {}, eps' = {}, Lemma 6 threshold = {:.1} speakers\n{}",
-        params.k,
-        params.eps,
-        params.eps_prime,
-        d.speaker_threshold(params.eps),
-        t.render()
-    )
+    t
+}
+
+/// Renders the E4 table with its parameter preamble.
+pub fn render(params: &Params, rows: &[Row]) -> String {
+    format!("{}\n{}", preamble(params), table(rows).render())
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@ pub fn run(ks: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E5 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E5 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "k",
         "IC (bits)",
@@ -58,7 +58,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.report.ratio() / r.reference, 3),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E5 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

@@ -87,8 +87,8 @@ pub fn default_grid() -> Vec<(usize, f64)> {
     g
 }
 
-/// Renders the E6 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E6 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "|U|",
         "D(eta||nu)",
@@ -107,7 +107,12 @@ pub fn render(rows: &[Row]) -> String {
             f(r.agreement, 4),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E6 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

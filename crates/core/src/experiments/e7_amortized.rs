@@ -62,8 +62,13 @@ pub fn run(params: &Params, ns: &[usize]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E7 table.
-pub fn render(params: &Params, rows: &[Row]) -> String {
+/// The parameter line printed above the E7 table.
+pub fn preamble(params: &Params) -> String {
+    format!("k = {}, trials = {}", params.k, params.trials)
+}
+
+/// Builds the E7 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "n copies",
         "per-copy compressed",
@@ -80,12 +85,12 @@ pub fn render(params: &Params, rows: &[Row]) -> String {
             f(r.report.per_copy_raw(), 3),
         ]);
     }
-    format!(
-        "k = {}, trials = {}\n{}",
-        params.k,
-        params.trials,
-        t.render()
-    )
+    t
+}
+
+/// Renders the E7 table with its parameter preamble.
+pub fn render(params: &Params, rows: &[Row]) -> String {
+    format!("{}\n{}", preamble(params), table(rows).render())
 }
 
 #[cfg(test)]

@@ -96,8 +96,8 @@ pub fn run() -> Vec<Row> {
     rows
 }
 
-/// Renders the E8 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E8 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "protocol",
         "quantity",
@@ -116,7 +116,12 @@ pub fn render(rows: &[Row]) -> String {
             format!("{:.1e}", r.rel_error()),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E8 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

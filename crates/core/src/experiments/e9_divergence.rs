@@ -58,8 +58,8 @@ pub fn run(grid: &[(usize, f64)]) -> Vec<Row> {
         .collect()
 }
 
-/// Renders the E9 table.
-pub fn render(rows: &[Row]) -> String {
+/// Builds the E9 table.
+pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new([
         "k",
         "p",
@@ -78,7 +78,12 @@ pub fn render(rows: &[Row]) -> String {
             r.bound_eq8.map_or("n/a".to_owned(), |b| f(b, 3)),
         ]);
     }
-    t.render()
+    t
+}
+
+/// Renders the E9 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
 }
 
 #[cfg(test)]

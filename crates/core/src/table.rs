@@ -57,6 +57,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table with padded columns and a header rule.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -122,5 +132,13 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(-0.5, 3), "-0.500");
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.headers(), ["a", "b"]);
+        assert_eq!(t.rows(), [["1", "2"]]);
     }
 }

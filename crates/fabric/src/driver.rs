@@ -135,7 +135,7 @@ mod tests {
             batch_size: 16,
             queue_capacity: 4,
             deadline: Some(Duration::from_secs(10)),
-            keep_transcripts: false,
+            ..SchedulerConfig::default()
         }
     }
 
@@ -217,10 +217,56 @@ mod tests {
         let m = &fabric.metrics;
         assert_eq!(m.sessions, 64);
         assert!(m.sessions_per_sec() > 0.0);
-        assert!(m.latency_p50 <= m.latency_p99);
-        assert!(m.latency_p99 <= m.latency_max);
+        assert!(m.latency_p50() <= m.latency_p99());
+        assert!(m.latency_p99() <= m.latency_max + Duration::from_micros(1));
         assert_eq!(m.bits.count(), 64);
+        assert_eq!(m.latency.count(), 64);
+        assert!(m.queue_depth.count() >= 1, "one sample per batch enqueued");
         assert!(m.max_queue_depth >= 1);
         assert_eq!(m.workers, 4);
+    }
+
+    #[test]
+    fn recording_does_not_change_the_report_and_populates_telemetry() {
+        let proto = BroadcastDisj::new(48, 4);
+        let sample = |rng: &mut dyn RngCore| workload::random_sets(48, 4, 0.6, rng);
+        let reference = |inputs: &[_]| disj_function(inputs);
+        let quiet = monte_carlo_fabric(
+            &InProcessTransport,
+            &proto,
+            &sample,
+            &reference,
+            80,
+            29,
+            &FaultPlan::new(),
+            &cfg(3),
+        );
+        let recorder = bci_telemetry::Recorder::new();
+        let mut traced_cfg = cfg(3);
+        traced_cfg.recorder = recorder.clone();
+        let traced = monte_carlo_fabric(
+            &InProcessTransport,
+            &proto,
+            &sample,
+            &reference,
+            80,
+            29,
+            &FaultPlan::new(),
+            &traced_cfg,
+        );
+        assert_eq!(
+            quiet.report.comm.mean().to_bits(),
+            traced.report.comm.mean().to_bits()
+        );
+        assert_eq!(
+            quiet.report.comm.variance().to_bits(),
+            traced.report.comm.variance().to_bits()
+        );
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("fabric.sessions"), 80);
+        assert_eq!(snap.counter("fabric.completed"), 80);
+        assert_eq!(snap.hist("fabric.latency_us").map(|h| h.count()), Some(80));
+        // Session spans: one start + one end event per session, at least.
+        assert!(recorder.events().len() >= 160);
     }
 }

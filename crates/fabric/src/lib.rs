@@ -72,4 +72,4 @@ pub use driver::{monte_carlo_fabric, FabricReport};
 pub use metrics::FabricMetrics;
 pub use scheduler::{SchedulerConfig, SessionRecord};
 pub use session::{FaultKind, FaultPlan, FaultSpec, SessionOutcome, SessionSelector};
-pub use transport::{ChannelTransport, InProcessTransport, Transport};
+pub use transport::{ChannelTransport, InProcessTransport, Transport, DISABLED_RECORDER};

@@ -28,6 +28,8 @@ use bci_blackboard::board::Board;
 use bci_blackboard::protocol::Protocol;
 use bci_blackboard::runner::derive_trial_rng;
 use bci_blackboard::stats::CommStats;
+use bci_telemetry::hist::{Histogram, BITS_BOUNDS, LATENCY_US_BOUNDS, QUEUE_DEPTH_BOUNDS};
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
 
@@ -51,6 +53,13 @@ pub struct SchedulerConfig {
     /// proportional to total transcript size; enable for tests and
     /// replay, disable for large sweeps.
     pub keep_transcripts: bool,
+    /// Telemetry sink for the run: session spans, outcome counters,
+    /// latency/bits/queue-depth histograms, backpressure stalls. The
+    /// default ([`Recorder::disabled`]) records nothing and costs one
+    /// branch per instrumentation site. The recorder only observes — with
+    /// recording on or off, per-session transcripts and the downstream
+    /// [`RunReport`](bci_blackboard::runner::RunReport) are bit-identical.
+    pub recorder: Recorder,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +70,7 @@ impl Default for SchedulerConfig {
             queue_capacity: 8,
             deadline: Some(Duration::from_secs(5)),
             keep_transcripts: false,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -101,6 +111,10 @@ pub struct SchedulerRun<O> {
     /// capacity by up to `workers + 1` (one batch per mid-pop worker plus
     /// the batch a blocked producer is holding).
     pub max_queue_depth: usize,
+    /// Queue-depth histogram: one sample per enqueued batch, taken at
+    /// enqueue time. Feeds the `queue p50/p95/p99` columns of
+    /// [`FabricMetrics`](crate::metrics::FabricMetrics).
+    pub queue_depth_hist: Histogram,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
 }
@@ -149,6 +163,9 @@ where
     let mut records: Vec<SessionRecord<P::Output>> = Vec::with_capacity(sessions as usize);
     let mut shards: Vec<CommStats> = Vec::with_capacity(config.workers);
 
+    let recorder = &config.recorder;
+    let mut queue_depth_hist = Histogram::new(QUEUE_DEPTH_BOUNDS);
+
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
@@ -166,6 +183,7 @@ where
                     };
                     queue_depth.fetch_sub(1, Ordering::Relaxed);
                     for session_id in batch {
+                        let token = recorder.span_start(SpanKind::Session, session_id, vec![]);
                         let mut rng: ChaCha8Rng = derive_trial_rng(master_seed, session_id);
                         let inputs = sample_inputs(&mut rng);
                         let expected = reference(&inputs);
@@ -174,10 +192,41 @@ where
                             session_id,
                             deadline: config.deadline,
                             faults: &faults,
+                            recorder,
                         };
                         let result = transport.run_session(protocol, &inputs, rng, &ctx);
                         if result.outcome.is_completed() {
                             shard.record(result.bits_written as f64);
+                        }
+                        if recorder.enabled() {
+                            recorder.counter_add("fabric.sessions", 1);
+                            recorder.counter_add(
+                                match result.outcome {
+                                    SessionOutcome::Completed => "fabric.completed",
+                                    SessionOutcome::TimedOut => "fabric.timed_out",
+                                    SessionOutcome::Aborted(_) => "fabric.aborted",
+                                },
+                                1,
+                            );
+                            recorder.hist_record(
+                                "fabric.latency_us",
+                                result.latency.as_micros() as u64,
+                                LATENCY_US_BOUNDS,
+                            );
+                            recorder.hist_record(
+                                "fabric.bits_per_session",
+                                result.bits_written as u64,
+                                BITS_BOUNDS,
+                            );
+                            recorder.span_end(
+                                SpanKind::Session,
+                                session_id,
+                                token,
+                                vec![
+                                    ("outcome", Json::str(result.outcome.label())),
+                                    ("bits", Json::UInt(result.bits_written as u64)),
+                                ],
+                            );
                         }
                         let correct = result.output.as_ref().map(|o| *o == expected);
                         let record = SessionRecord {
@@ -201,14 +250,52 @@ where
 
         // Producer: enumerate batches, blocking on the bounded queue.
         let mut next = 0u64;
+        let mut batch_index = 0u64;
         while next < sessions {
             let end = (next + config.batch_size as u64).min(sessions);
             let batch: Vec<u64> = (next..end).collect();
             next = end;
             let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
             max_queue_depth.fetch_max(depth, Ordering::Relaxed);
-            if batch_tx.send(batch).is_err() {
-                break; // all workers died (only possible via panic)
+            queue_depth_hist.record(depth as u64);
+            if recorder.enabled() {
+                recorder.hist_record("fabric.queue_depth", depth as u64, QUEUE_DEPTH_BOUNDS);
+                if recorder.events_enabled() {
+                    recorder.point(
+                        SpanKind::Batch,
+                        batch_index,
+                        vec![
+                            ("first", Json::UInt(batch[0])),
+                            ("len", Json::UInt(batch.len() as u64)),
+                            ("depth", Json::UInt(depth as u64)),
+                        ],
+                    );
+                }
+            }
+            batch_index += 1;
+            // Distinguish an immediate hand-off from a backpressure stall:
+            // try first, and only if the queue is full count the stall and
+            // fall back to the blocking send.
+            match batch_tx.try_send(batch) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(batch)) => {
+                    let stalled = Instant::now();
+                    let failed = batch_tx.send(batch).is_err();
+                    if recorder.enabled() {
+                        recorder.counter_add("fabric.backpressure_stalls", 1);
+                        recorder.hist_record(
+                            "fabric.stall_us",
+                            stalled.elapsed().as_micros() as u64,
+                            LATENCY_US_BOUNDS,
+                        );
+                    }
+                    if failed {
+                        break; // all workers died (only possible via panic)
+                    }
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    break; // all workers died (only possible via panic)
+                }
             }
         }
         drop(batch_tx); // workers drain the queue and exit
@@ -224,6 +311,7 @@ where
         records,
         shards,
         max_queue_depth: max_queue_depth.load(Ordering::Relaxed),
+        queue_depth_hist,
         elapsed: start.elapsed(),
     }
 }
@@ -244,7 +332,7 @@ mod tests {
             batch_size: 8,
             queue_capacity: 4,
             deadline: Some(Duration::from_secs(10)),
-            keep_transcripts: false,
+            ..SchedulerConfig::default()
         }
     }
 
@@ -373,7 +461,7 @@ mod tests {
             batch_size: 2,
             queue_capacity: 3,
             deadline: Some(Duration::from_secs(10)),
-            keep_transcripts: false,
+            ..SchedulerConfig::default()
         };
         let run = run_sessions(
             &InProcessTransport,

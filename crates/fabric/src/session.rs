@@ -28,6 +28,16 @@ impl SessionOutcome {
     pub fn is_completed(&self) -> bool {
         matches!(self, SessionOutcome::Completed)
     }
+
+    /// A stable snake_case label, used as a telemetry attribute and in
+    /// counter names (`fabric.completed` etc.).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionOutcome::Completed => "completed",
+            SessionOutcome::TimedOut => "timed_out",
+            SessionOutcome::Aborted(_) => "aborted",
+        }
+    }
 }
 
 /// Everything a transport reports about one finished session.

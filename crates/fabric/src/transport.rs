@@ -28,9 +28,13 @@ use std::time::{Duration, Instant};
 use bci_blackboard::board::Board;
 use bci_blackboard::protocol::{Protocol, MAX_STEPS};
 use bci_encoding::bitio::BitVec;
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand_chacha::ChaCha8Rng;
 
 use crate::session::{FaultKind, FaultSpec, SessionOutcome, SessionResult};
+
+/// A recorder that is always off; the default for contexts built by hand.
+pub static DISABLED_RECORDER: Recorder = Recorder::disabled();
 
 /// Hard cap on how long a session may stall waiting for a player when no
 /// deadline was configured. Keeps a dropped wakeup from hanging a worker
@@ -46,9 +50,27 @@ pub struct SessionContext<'a> {
     pub deadline: Option<Duration>,
     /// Faults to inject, already filtered down to this session.
     pub faults: &'a [FaultSpec],
+    /// Telemetry sink for hop events. Use [`DISABLED_RECORDER`] when not
+    /// tracing; the recorder observes only and never perturbs execution.
+    pub recorder: &'a Recorder,
 }
 
 impl SessionContext<'_> {
+    /// Emits one `hop` point event (board write) when event capture is on.
+    fn record_hop(&self, hop: usize, speaker: usize, msg_bits: usize, board: &Board) {
+        if self.recorder.events_enabled() {
+            self.recorder.point(
+                SpanKind::Hop,
+                self.session_id,
+                vec![
+                    ("hop", Json::UInt(hop as u64)),
+                    ("speaker", Json::UInt(speaker as u64)),
+                    ("msg_bits", Json::UInt(msg_bits as u64)),
+                    ("board_bits", Json::UInt(board.total_bits() as u64)),
+                ],
+            );
+        }
+    }
     fn fault_for(&self, player: usize, kind_matches: impl Fn(&FaultKind) -> bool) -> bool {
         self.faults
             .iter()
@@ -172,7 +194,9 @@ impl Transport for InProcessTransport {
                     )
                 }
             };
+            let msg_bits = msg.len();
             board.write(speaker, msg);
+            ctx.record_hop(steps, speaker, msg_bits, &board);
             steps += 1;
             if steps > MAX_STEPS {
                 return finish(
@@ -307,7 +331,9 @@ impl Transport for ChannelTransport {
                     .unwrap_or(DEFAULT_STALL_CAP);
                 match reply_rxs[speaker].recv_timeout(wait) {
                     Ok(Reply { bits, rng: r }) => {
+                        let msg_bits = bits.len();
                         board.write(speaker, bits);
+                        ctx.record_hop(steps, speaker, msg_bits, &board);
                         rng = Some(r);
                     }
                     Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -355,6 +381,7 @@ mod tests {
             session_id: id,
             deadline: Some(Duration::from_secs(10)),
             faults: &[],
+            recorder: &DISABLED_RECORDER,
         }
     }
 
@@ -461,6 +488,7 @@ mod tests {
             session_id: 0,
             deadline: Some(Duration::from_secs(5)),
             faults: &faults,
+            recorder: &DISABLED_RECORDER,
         };
         let proto = SequentialAnd::new(4);
         let inputs = vec![true; 4];
@@ -492,6 +520,7 @@ mod tests {
             session_id: 0,
             deadline: Some(deadline),
             faults: &faults,
+            recorder: &DISABLED_RECORDER,
         };
         let proto = SequentialAnd::new(3);
         let inputs = vec![true; 3];
@@ -519,6 +548,7 @@ mod tests {
             session_id: 0,
             deadline: Some(Duration::from_millis(30)),
             faults: &faults,
+            recorder: &DISABLED_RECORDER,
         };
         let proto = SequentialAnd::new(4);
         let inputs = vec![true; 4];
@@ -542,6 +572,7 @@ mod tests {
             session_id: 0,
             deadline: Some(Duration::from_secs(10)),
             faults: &faults,
+            recorder: &DISABLED_RECORDER,
         };
         let proto = SequentialAnd::new(3);
         let inputs = vec![true; 3];

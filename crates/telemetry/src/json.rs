@@ -1,0 +1,235 @@
+//! A minimal JSON value model and writer.
+//!
+//! The workspace is hermetic (no serde), so telemetry events and bench
+//! reports serialize through this module instead. Objects keep insertion
+//! order, numbers can be emitted as pre-formatted literals (so a table cell
+//! that already reads `3.24` round-trips unchanged), and non-finite floats
+//! degrade to `null` — the JSON spec has no NaN.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float, written with Rust's shortest-roundtrip formatting;
+    /// non-finite values are written as `null`.
+    Num(f64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A pre-validated numeric literal, written verbatim. Construct only
+    /// through [`Json::raw_number`], which checks the JSON number grammar.
+    Raw(String),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Wraps `s` as a verbatim numeric literal iff it matches the JSON
+    /// number grammar (so `3.24`, `-1`, `2e6` qualify; `01`, `+1`, `.5`,
+    /// `1.`, `NaN` do not). Returns `None` otherwise.
+    pub fn raw_number(s: &str) -> Option<Json> {
+        is_json_number(s).then(|| Json::Raw(s.to_owned()))
+    }
+
+    /// Converts a rendered table cell: a verbatim number when the cell is
+    /// one, a string otherwise.
+    pub fn cell(s: &str) -> Json {
+        Json::raw_number(s).unwrap_or_else(|| Json::Str(s.to_owned()))
+    }
+
+    fn write(&self, out: &mut String) {
+        use fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                    // `{}` never prints an exponent or trailing dot, but an
+                    // integral float like 2.0 prints as "2": still valid JSON.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Raw(s) => out.push_str(s),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serialization entry point: `to_string()` yields compact JSON.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Builds an object from `(key, value)` pairs, preserving order.
+pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Checks the RFC 8259 number grammar:
+/// `-? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?`.
+pub fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    if i < b.len() && b[i] == b'-' {
+        i += 1;
+    }
+    // Integer part: 0, or nonzero digit followed by digits.
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    // Fraction.
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == start {
+            return false;
+        }
+    }
+    // Exponent.
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == start {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::UInt(42).to_string(), "42");
+        assert_eq!(Json::Int(-7).to_string(), "-7");
+        assert_eq!(Json::Num(3.25).to_string(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").to_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = obj([
+            ("b", Json::UInt(1)),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(v.to_string(), "{\"b\":1,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn number_grammar() {
+        for ok in [
+            "0", "-0", "1", "42", "3.24", "-0.5", "2e6", "1E-9", "1.5e+3",
+        ] {
+            assert!(is_json_number(ok), "{ok}");
+        }
+        for bad in [
+            "", "+1", "01", ".5", "1.", "1e", "1e+", "NaN", "inf", "1 ", "0x1", "1,2",
+        ] {
+            assert!(!is_json_number(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn cell_picks_the_representation() {
+        assert_eq!(Json::cell("3.24").to_string(), "3.24");
+        assert_eq!(Json::cell("yes").to_string(), "\"yes\"");
+        assert_eq!(Json::cell("1.0e-12").to_string(), "1.0e-12");
+        assert_eq!(Json::cell("12.5%").to_string(), "\"12.5%\"");
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Structured telemetry for the broadcast-ic workspace.
+//!
+//! The paper's claims are quantitative — `Θ(n log k + k)` bits for DISJ,
+//! `Ω(log k)` per-coordinate information cost, `D(η‖ν) + O(log D)` sampling
+//! cost — so the instrument panel has to account for *where* bits and
+//! wall-clock go, per round, per player, per session. This crate is that
+//! panel's substrate, kept dependency-free in line with the workspace's
+//! vendored-offline policy:
+//!
+//! * [`json`] — a minimal JSON value model and writer (escaping, stable key
+//!   order), shared by the event stream and the bench report emitters.
+//! * [`hist`] — fixed-bucket [`Histogram`]s with an overflow bucket,
+//!   mergeable across runs and workers, with nearest-rank percentiles.
+//! * [`recorder`] — the thread-safe [`Recorder`]: span events (session,
+//!   round, transport hop), monotone counters, and named histograms. A
+//!   disabled recorder is a single `Option` check per call site — no
+//!   allocation, no locking — so instrumented hot paths cost nearly
+//!   nothing when telemetry is off.
+//!
+//! # Determinism contract
+//!
+//! A [`Recorder`] observes executions; it never participates in them. No
+//! instrumented code path consults the recorder to make a decision and no
+//! recorder method touches an RNG, so enabling telemetry cannot perturb
+//! transcripts or statistics. `tests/telemetry_determinism.rs` in the
+//! workspace root enforces this bit-for-bit against the fabric.
+//!
+//! # Example
+//!
+//! ```
+//! use bci_telemetry::{Recorder, SpanKind};
+//!
+//! let rec = Recorder::new();
+//! rec.counter_add("sessions", 1);
+//! rec.hist_record("latency_us", 420, bci_telemetry::hist::LATENCY_US_BOUNDS);
+//! let span = rec.span_start(SpanKind::Session, 0, vec![]);
+//! rec.span_end(SpanKind::Session, 0, span, vec![]);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("sessions"), 1);
+//! assert_eq!(rec.events().len(), 2);
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+
+pub use hist::Histogram;
+pub use json::{obj, Json};
+pub use recorder::{Event, EventKind, Recorder, Snapshot, SpanKind};

@@ -1,0 +1,474 @@
+//! The thread-safe telemetry recorder.
+//!
+//! A [`Recorder`] is a cheap cloneable handle. Disabled (the default) it
+//! holds nothing and every call is a single branch on an `Option` — the
+//! instrumented hot paths in the runner, fabric, and sampler pay near-zero
+//! cost. Enabled, it accumulates three kinds of telemetry behind mutexes:
+//!
+//! * **events** — a timestamped stream of span start/end and point events
+//!   ([`SpanKind`]: run, session, round, transport hop, trial), dumped as
+//!   JSON lines by `bci trace`;
+//! * **counters** — named monotone `u64` counters (they only ever
+//!   increase, so merging snapshots is addition);
+//! * **histograms** — named fixed-bucket [`Histogram`]s (latencies, queue
+//!   depths, bits per round, sampling attempts).
+//!
+//! Timestamps are microseconds since the recorder was created, so an event
+//! stream is self-contained and machine-diffable without wall-clock
+//! context.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::Histogram;
+use crate::json::{obj, Json};
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Start,
+    /// A span closed.
+    End,
+    /// An instantaneous observation inside a span.
+    Point,
+}
+
+impl EventKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Start => "start",
+            EventKind::End => "end",
+            EventKind::Point => "point",
+        }
+    }
+}
+
+/// The unit of work an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole Monte-Carlo run.
+    Run,
+    /// One scheduled fabric session.
+    Session,
+    /// One protocol round (a message appended to the board).
+    Round,
+    /// One transport hop (a turn shipped to a player and back).
+    Hop,
+    /// One serial Monte-Carlo trial.
+    Trial,
+    /// One batch moving through the scheduler queue.
+    Batch,
+}
+
+impl SpanKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::Session => "session",
+            SpanKind::Round => "round",
+            SpanKind::Hop => "hop",
+            SpanKind::Trial => "trial",
+            SpanKind::Batch => "batch",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Start / end / point.
+    pub kind: EventKind,
+    /// The span this event belongs to.
+    pub span: SpanKind,
+    /// Span instance id (session id, trial id, round index, ...).
+    pub id: u64,
+    /// Free-form attributes.
+    pub attrs: Vec<(&'static str, Json)>,
+}
+
+impl Event {
+    /// Serializes as one JSON object (one line of the trace stream).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("ts_us".to_owned(), Json::UInt(self.ts_us)),
+            ("ev".to_owned(), Json::str(self.kind.name())),
+            ("span".to_owned(), Json::str(self.span.name())),
+            ("id".to_owned(), Json::UInt(self.id)),
+        ];
+        if !self.attrs.is_empty() {
+            fields.push((
+                "attrs".to_owned(),
+                Json::Obj(
+                    self.attrs
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    t0: Instant,
+    capture_events: bool,
+    events: Mutex<Vec<Event>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    hists: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+/// Opaque token returned by [`Recorder::span_start`]; hand it back to
+/// [`Recorder::span_end`] so the end event carries the span's duration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken(Option<Instant>);
+
+/// A cloneable telemetry handle; see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder: every method is one branch and returns.
+    pub const fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A recorder capturing events, counters, and histograms.
+    pub fn new() -> Self {
+        Recorder::with_capture(true)
+    }
+
+    /// A recorder capturing counters and histograms only. Use for long
+    /// sweeps where an event per round would cost unbounded memory.
+    pub fn metrics_only() -> Self {
+        Recorder::with_capture(false)
+    }
+
+    fn with_capture(capture_events: bool) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                t0: Instant::now(),
+                capture_events,
+                events: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether any telemetry is being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether the event stream is being captured. Check before building
+    /// per-event attribute vectors on hot paths.
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.capture_events)
+    }
+
+    fn push_event(
+        &self,
+        kind: EventKind,
+        span: SpanKind,
+        id: u64,
+        attrs: Vec<(&'static str, Json)>,
+    ) {
+        if let Some(inner) = self.inner.as_ref().filter(|i| i.capture_events) {
+            let ts_us = inner.t0.elapsed().as_micros() as u64;
+            inner.events.lock().expect("events lock").push(Event {
+                ts_us,
+                kind,
+                span,
+                id,
+                attrs,
+            });
+        }
+    }
+
+    /// Opens a span: emits a start event and returns a token carrying the
+    /// start time for [`span_end`](Recorder::span_end).
+    pub fn span_start(
+        &self,
+        span: SpanKind,
+        id: u64,
+        attrs: Vec<(&'static str, Json)>,
+    ) -> SpanToken {
+        if !self.enabled() {
+            return SpanToken(None);
+        }
+        self.push_event(EventKind::Start, span, id, attrs);
+        SpanToken(Some(Instant::now()))
+    }
+
+    /// Closes a span: emits an end event with a `dur_us` attribute.
+    pub fn span_end(
+        &self,
+        span: SpanKind,
+        id: u64,
+        token: SpanToken,
+        mut attrs: Vec<(&'static str, Json)>,
+    ) {
+        let Some(started) = token.0 else { return };
+        attrs.push(("dur_us", Json::UInt(started.elapsed().as_micros() as u64)));
+        self.push_event(EventKind::End, span, id, attrs);
+    }
+
+    /// Emits an instantaneous point event.
+    pub fn point(&self, span: SpanKind, id: u64, attrs: Vec<(&'static str, Json)>) {
+        self.push_event(EventKind::Point, span, id, attrs);
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .counters
+                .lock()
+                .expect("counters lock")
+                .entry(name)
+                .or_insert(0) += delta;
+        }
+    }
+
+    /// Records `value` into the named histogram, created over `bounds` on
+    /// first use (see the presets in [`crate::hist`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name was first used with a different bucket ladder.
+    #[inline]
+    pub fn hist_record(&self, name: &'static str, value: u64, bounds: &[u64]) {
+        if let Some(inner) = &self.inner {
+            let mut hists = inner.hists.lock().expect("hists lock");
+            let hist = hists.entry(name).or_insert_with(|| Histogram::new(bounds));
+            assert_eq!(hist.bounds(), bounds, "histogram '{name}' bucket ladder");
+            hist.record(value);
+        }
+    }
+
+    /// A copy of the captured event stream, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.events.lock().expect("events lock").clone())
+            .unwrap_or_default()
+    }
+
+    /// The event stream as JSON lines (one event per line).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&event.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A point-in-time copy of all counters and histograms.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(inner) => Snapshot {
+                counters: inner
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .iter()
+                    .map(|(&k, &v)| (k.to_owned(), v))
+                    .collect(),
+                hists: inner
+                    .hists
+                    .lock()
+                    .expect("hists lock")
+                    .iter()
+                    .map(|(&k, v)| (k.to_owned(), v.clone()))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// A mergeable copy of a recorder's counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram, if recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Merges `other` in: counters add (both streams' increments count),
+    /// histograms merge bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shared histogram name has a different bucket ladder.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.hists {
+            match self.hists.get_mut(name) {
+                Some(existing) => existing.merge(hist),
+                None => {
+                    self.hists.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes as `{counters: {...}, histograms: {...}}`.
+    pub fn to_json(&self) -> Json {
+        obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LATENCY_US_BOUNDS;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        assert!(!rec.events_enabled());
+        rec.counter_add("x", 3);
+        rec.hist_record("h", 9, LATENCY_US_BOUNDS);
+        rec.point(SpanKind::Round, 0, vec![]);
+        let token = rec.span_start(SpanKind::Session, 1, vec![]);
+        rec.span_end(SpanKind::Session, 1, token, vec![]);
+        assert!(rec.events().is_empty());
+        let snap = rec.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_are_monotone_and_summed() {
+        let rec = Recorder::new();
+        rec.counter_add("sessions", 2);
+        rec.counter_add("sessions", 3);
+        assert_eq!(rec.snapshot().counter("sessions"), 5);
+        assert_eq!(rec.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn span_events_carry_duration() {
+        let rec = Recorder::new();
+        let token = rec.span_start(SpanKind::Session, 7, vec![("w", Json::UInt(4))]);
+        rec.span_end(SpanKind::Session, 7, token, vec![]);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Start);
+        assert_eq!(events[1].kind, EventKind::End);
+        assert_eq!(events[1].id, 7);
+        assert!(events[1].attrs.iter().any(|(k, _)| *k == "dur_us"));
+        assert!(events[0].ts_us <= events[1].ts_us);
+    }
+
+    #[test]
+    fn metrics_only_drops_events_but_keeps_metrics() {
+        let rec = Recorder::metrics_only();
+        assert!(rec.enabled());
+        assert!(!rec.events_enabled());
+        rec.point(SpanKind::Round, 0, vec![]);
+        rec.counter_add("c", 1);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.snapshot().counter("c"), 1);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let rec = Recorder::new();
+        rec.point(SpanKind::Hop, 3, vec![("speaker", Json::UInt(1))]);
+        rec.point(SpanKind::Hop, 4, vec![]);
+        let out = rec.events_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_us\":"));
+        assert!(lines[0].contains("\"span\":\"hop\""));
+        assert!(lines[0].contains("\"attrs\":{\"speaker\":1}"));
+        assert!(lines[1].ends_with('}'));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_merges_hists() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.counter_add("n", 1);
+        b.counter_add("n", 2);
+        b.counter_add("only_b", 7);
+        a.hist_record("lat", 10, LATENCY_US_BOUNDS);
+        b.hist_record("lat", 20, LATENCY_US_BOUNDS);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("n"), 3);
+        assert_eq!(snap.counter("only_b"), 7);
+        assert_eq!(snap.hist("lat").expect("merged").count(), 2);
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        rec.counter_add("ticks", 1);
+                        rec.hist_record("v", 5, &[1, 10]);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("ticks"), 400);
+        assert_eq!(snap.hist("v").expect("hist").count(), 400);
+    }
+}

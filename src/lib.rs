@@ -25,6 +25,9 @@
 //! * [`fabric`] — the concurrent execution fabric: transports, session
 //!   scheduling with backpressure, fault injection, and a deterministic
 //!   parallel Monte-Carlo driver.
+//! * [`telemetry`] — structured tracing and metrics: spans, counters,
+//!   fixed-bucket histograms, and a dependency-free JSON writer; recording
+//!   never perturbs results (see `docs/telemetry.md`).
 //! * [`core`] — high-level facade and the experiment drivers behind every
 //!   table in `EXPERIMENTS.md`.
 
@@ -36,3 +39,4 @@ pub use bci_fabric as fabric;
 pub use bci_info as info;
 pub use bci_lowerbound as lowerbound;
 pub use bci_protocols as protocols;
+pub use bci_telemetry as telemetry;

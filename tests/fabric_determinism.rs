@@ -35,6 +35,7 @@ fn config(workers: usize, keep: bool) -> SchedulerConfig {
         queue_capacity: 4,
         deadline: Some(Duration::from_secs(30)),
         keep_transcripts: keep,
+        ..SchedulerConfig::default()
     }
 }
 
@@ -214,7 +215,7 @@ fn crashed_player_sessions_abort_and_others_complete() {
         batch_size: 4,
         queue_capacity: 4,
         deadline: Some(deadline),
-        keep_transcripts: false,
+        ..SchedulerConfig::default()
     };
     let started = Instant::now();
     let fabric = monte_carlo_fabric(
@@ -293,7 +294,7 @@ fn dropped_wakeup_sessions_time_out_within_deadline() {
         batch_size: 2,
         queue_capacity: 2,
         deadline: Some(deadline),
-        keep_transcripts: false,
+        ..SchedulerConfig::default()
     };
     let fabric = monte_carlo_fabric(
         &ChannelTransport,
