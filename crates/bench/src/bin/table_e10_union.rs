@@ -1,7 +1,5 @@
-//! Prints the E10 table (extension: pointwise-OR / set union).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E10 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e10());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e10", 1).expect("e10 is registered"));
 }

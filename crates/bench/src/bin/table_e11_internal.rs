@@ -1,7 +1,5 @@
-//! Prints the E11 table (extension: internal vs external information).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E11 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e11());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e11", 1).expect("e11 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E12 table (extension: Håstad–Wigderson sparse disjointness).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E12 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e12());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e12", 1).expect("e12 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E13 table (extension: the one-way Huffman baseline).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E13 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e13());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e13", 1).expect("e13 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E14 table (extension: the one-shot round tax).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E14 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e14());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e14", 1).expect("e14 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E15 table (extension: Shannon block-coding of transcripts).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E15 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e15());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e15", 1).expect("e15 is registered"));
 }

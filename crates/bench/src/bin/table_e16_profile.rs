@@ -1,7 +1,5 @@
-//! Prints the E16 table (extension: the per-round information profile).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E16 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e16());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e16", 1).expect("e16 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E17 table (extension: the error–information tradeoff).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E17 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e17());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e17", 1).expect("e17 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E18 table (extension: promise disjointness instances).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E18 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e18());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e18", 1).expect("e18 is registered"));
 }

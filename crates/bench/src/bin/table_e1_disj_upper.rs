@@ -1,7 +1,5 @@
-//! Prints the E1 table (Theorem 2: `DISJ_{n,k}` upper bound sweep).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E1 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e1());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e1", 1).expect("e1 is registered"));
 }

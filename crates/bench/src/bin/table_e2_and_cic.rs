@@ -1,7 +1,5 @@
-//! Prints the E2 table (Theorem 1: exact `CIC_μ(AND_k)` scaling).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E2 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e2());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e2", 1).expect("e2 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E3 table (Lemma 5: good-transcript masses and pointing).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E3 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e3());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e3", 1).expect("e3 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E4 table (Lemma 6: the Ω(k) communication bound).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E4 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e4());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e4", 1).expect("e4 is registered"));
 }

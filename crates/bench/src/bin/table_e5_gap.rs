@@ -1,7 +1,5 @@
-//! Prints the E5 table (Section 6: the Ω(k/log k) IC-vs-CC gap).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E5 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e5());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e5", 1).expect("e5 is registered"));
 }

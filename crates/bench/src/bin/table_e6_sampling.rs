@@ -1,7 +1,5 @@
-//! Prints the E6 table (Lemma 7 / Figure 1: the sampling protocol).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E6 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e6());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e6", 1).expect("e6 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E7 table (Theorem 3: amortized compression → IC).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E7 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e7());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e7", 1).expect("e7 is registered"));
 }

@@ -1,7 +1,5 @@
-//! Prints the E8 table (Lemma 1 / Theorem 4: direct sum by enumeration).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E8 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e8());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e8", 1).expect("e8 is registered"));
 }

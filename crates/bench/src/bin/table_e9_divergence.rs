@@ -1,7 +1,5 @@
-//! Prints the E9 table (Equations (3)–(4): the divergence bound chain).
-//!
-//! Accepts `--json <path>` for a machine-readable report.
+//! Prints the E9 table (thin registry lookup; see `EXPERIMENTS.md`).
 
 fn main() {
-    bci_bench::report::emit(&bci_bench::suite::e9());
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e9", 1).expect("e9 is registered"));
 }

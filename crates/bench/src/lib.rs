@@ -1,12 +1,18 @@
 //! Benchmark harness for the broadcast-ic workspace.
 //!
 //! * `src/bin/table_e*.rs` — one binary per experiment in `EXPERIMENTS.md`;
-//!   each prints the corresponding table (`cargo run -p bci-bench --release
-//!   --bin table_e1_disj_upper`, etc.). `table_all` prints every table.
-//!   Every binary accepts `--json <path>` and writes a schema-stable JSON
-//!   report next to the text output (see [`report`]).
-//! * [`suite`] — one [`report::Report`] constructor per experiment, shared
-//!   by the binaries so the canonical parameters live in one place.
+//!   each is a thin registry lookup (`cargo run -p bci-bench --release
+//!   --bin table_e1_disj_upper`, etc.). `table_all` prints every table and
+//!   additionally accepts `--workers N` (run grid points on an `N`-wide
+//!   fabric job pool; output is byte-identical for every `N`) and
+//!   `--experiment <id>` (restrict to one experiment). Every binary accepts
+//!   `--json <path>` and writes a schema-stable JSON report next to the
+//!   text output (see [`report`]).
+//! * [`suite`] — the generic [`suite::report_for`] bridge from the
+//!   experiment registry in `bci-core` to [`report::Report`]; canonical
+//!   parameters live on the registry entries themselves.
+//! * [`fabric_table`] — the scheduler-scaling table behind `table_fabric`
+//!   (not a paper experiment, so it is not in the registry).
 //! * `benches/*.rs` — criterion micro/meso-benchmarks: protocol throughput,
 //!   exact information-cost computation, the sampling protocol, the
 //!   factorized-vs-brute-force and exact-vs-approximate-codec ablations, and
@@ -14,5 +20,6 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric_table;
 pub mod report;
 pub mod suite;

@@ -5,8 +5,14 @@
 //! which prints the familiar text rendering to stdout and, when the binary
 //! was invoked with `--json <path>`, also writes the same content as a JSON
 //! document with schema id [`SCHEMA`]. `table_all` aggregates every report
-//! into one combined document with schema id [`SUITE_SCHEMA`] via
-//! [`emit_all`].
+//! into one combined document with schema id [`SUITE_SCHEMA`]; it parses a
+//! richer command line (`--workers`, `--experiment`) itself and hands the
+//! already-parsed path to [`emit_all_to`].
+//!
+//! Reports deliberately contain no timing or host-specific fields, so the
+//! same sweep always serializes to the same bytes — CI diffs the
+//! `--workers 4` suite output against `--workers 1` with a plain byte
+//! comparison.
 //!
 //! The JSON shape (stable; validated in CI):
 //!
@@ -217,34 +223,49 @@ fn parse_json_arg(args: impl IntoIterator<Item = String>) -> Result<Option<Strin
 /// document to `path`. Exits the process with an error message on a bad
 /// command line or an unwritable path.
 pub fn emit(report: &Report) {
-    emit_doc(&report.render_text(), &report.to_json());
+    emit_to(report, json_arg_or_exit().as_deref());
+}
+
+/// Like [`emit`], but with an already-parsed JSON path instead of reading
+/// the process arguments (for callers with their own command line).
+pub fn emit_to(report: &Report, json_path: Option<&str>) {
+    write_doc(&report.render_text(), &report.to_json(), json_path);
 }
 
 /// Prints every report as text (separated by `=== <id> ===` headers) and,
 /// with `--json <path>`, writes the combined suite document to `path`.
 pub fn emit_all(reports: &[Report]) {
+    emit_all_to(reports, json_arg_or_exit().as_deref());
+}
+
+/// Like [`emit_all`], but with an already-parsed JSON path instead of
+/// reading the process arguments (for callers with their own command line).
+pub fn emit_all_to(reports: &[Report], json_path: Option<&str>) {
     let mut text = String::new();
     for report in reports {
         text.push_str(&format!("=== {} ===\n\n", report.experiment.to_uppercase()));
         text.push_str(&report.render_text());
         text.push('\n');
     }
-    emit_doc(&text, &suite_json(reports));
+    write_doc(&text, &suite_json(reports), json_path);
 }
 
-fn emit_doc(text: &str, json: &Json) {
-    let path = match json_arg() {
+fn json_arg_or_exit() -> Option<String> {
+    match json_arg() {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
-    };
+    }
+}
+
+fn write_doc(text: &str, json: &Json, path: Option<&str>) {
     print!("{text}");
     if let Some(path) = path {
         let mut doc = json.to_string();
         doc.push('\n');
-        if let Err(e) = std::fs::write(&path, doc) {
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: cannot write JSON report to '{path}': {e}");
             std::process::exit(1);
         }

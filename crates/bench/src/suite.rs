@@ -1,364 +1,78 @@
-//! One [`Report`] constructor per experiment.
+//! Registry-driven [`Report`] generation.
 //!
-//! Each `table_*` binary is a thin wrapper around the function here with the
-//! same name, so the canonical parameters (seeds, trial counts, grids) live
-//! in exactly one place and `table_all` is guaranteed to agree with the
-//! individual binaries.
+//! Every experiment lives in `bci-core`'s
+//! [`registry`](bci_core::experiments::registry): identity, notes,
+//! parameter metadata, sweep grid, and per-point computation. This module
+//! turns any registry entry into a [`Report`] with [`report_for`], running
+//! the sweep on a [`JobPool`] — one job per grid point, each under its own
+//! derived seed — so `table_all --workers N` produces byte-identical
+//! reports for every `N`. The `table_*` binaries are thin
+//! [`report_by_id`] lookups; there are no per-experiment constructors here.
 
-use std::time::Duration;
-
-use bci_core::experiments::*;
-use bci_core::table::{f, Table};
-use bci_fabric::driver::monte_carlo_fabric;
-use bci_fabric::scheduler::SchedulerConfig;
-use bci_fabric::session::FaultPlan;
-use bci_fabric::transport::{ChannelTransport, InProcessTransport, Transport};
-use bci_protocols::disj::broadcast::BroadcastDisj;
-use bci_protocols::disj::disj_function;
-use bci_protocols::workload;
-use bci_telemetry::Json;
-use rand::RngCore;
+use bci_core::experiments::registry::{find, registry, Experiment, LabeledTable};
+use bci_fabric::pool::{JobPool, PoolConfig};
+use bci_telemetry::Recorder;
 
 use crate::report::Report;
 
-/// E1 — Theorem 2: `DISJ_{n,k}` upper bound sweep.
-pub fn e1() -> Report {
-    let rows = e1_disj_upper::run(&e1_disj_upper::default_grid(), 0xE1);
-    Report::new(
-        "e1",
-        "E1 — Theorem 2: set disjointness communication, naive vs batched",
-    )
-    .note("(hard disjoint instances: one zero holder per coordinate)")
-    .meta("seed", Json::UInt(0xE1))
-    .with_table("", &e1_disj_upper::table(&rows))
-}
-
-/// E2 — Theorem 1: exact `CIC_μ(AND_k)` scaling.
-pub fn e2() -> Report {
-    let rows = e2_and_cic::run(&e2_and_cic::default_ks());
-    Report::new(
-        "e2",
-        "E2 — Theorem 1: exact CIC of the sequential AND_k witness",
-    )
-    .note("(hard distribution; CIC/log2(k) flat <=> Theta(log k))")
-    .with_table("", &e2_and_cic::table(&rows))
-}
-
-/// E3 — Lemma 5: good-transcript masses and pointing.
-pub fn e3() -> Report {
-    let rows = e3_pointing::run(&e3_pointing::default_grid());
-    Report::new(
-        "e3",
-        "E3 — Lemma 5: pi_2 masses of L, L', B0, B1 and the pointing mass",
-    )
-    .note(format!(
-        "(noisy sequential AND with per-player flip delta/k; C = {}, alpha >= {}k)",
-        e3_pointing::BIG_C,
-        e3_pointing::ALPHA_FACTOR
-    ))
-    .with_table("", &e3_pointing::table(&rows))
-}
-
-/// E4 — Lemma 6: the Ω(k) communication bound.
-pub fn e4() -> Report {
-    let params = e4_omega_k::Params::default();
-    let rows = e4_omega_k::run(&params, &e4_omega_k::default_fracs());
-    Report::new(
-        "e4",
-        "E4 — Lemma 6: error of truncated deterministic AND_k under mu'",
-    )
-    .note("(error crosses eps exactly at the lemma's speaker threshold)")
-    .meta("k", Json::UInt(params.k as u64))
-    .with_table(e4_omega_k::preamble(&params), &e4_omega_k::table(&rows))
-}
-
-/// E5 — Section 6: the Ω(k/log k) IC-vs-CC gap.
-pub fn e5() -> Report {
-    let rows = e5_gap::run(&e5_gap::default_ks());
-    Report::new(
-        "e5",
-        "E5 — Section 6: information vs communication for AND_k",
-    )
-    .note(format!(
-        "(eps = {}, eps' = {}; gap should track k/log2 k)",
-        e5_gap::EPS,
-        e5_gap::EPS_PRIME
-    ))
-    .with_table("", &e5_gap::table(&rows))
-}
-
-/// E6 — Lemma 7 / Figure 1: the sampling protocol.
-pub fn e6() -> Report {
-    let rows = e6_sampling::run(&e6_sampling::default_grid(), 400, 0xE6);
-    Report::new("e6", "E6 — Lemma 7: literal one-round sampling protocol")
-        .note("(mean bits vs D(eta||nu) + O(log D); 400 trials per point)")
-        .meta("trials", Json::UInt(400))
-        .meta("seed", Json::UInt(0xE6))
-        .with_table("", &e6_sampling::table(&rows))
-}
-
-/// E7 — Theorem 3: amortized compression → IC.
-pub fn e7() -> Report {
-    let params = e7_amortized::Params::default();
-    let rows = e7_amortized::run(&params, &e7_amortized::default_ns());
-    Report::new(
-        "e7",
-        "E7 — Theorem 3: per-copy cost of the compressed n-fold protocol",
-    )
-    .note("(sequential AND_k under the natural prior; converges to IC)")
-    .meta("k", Json::UInt(params.k as u64))
-    .meta("trials", Json::UInt(params.trials as u64))
-    .meta("seed", Json::UInt(params.seed))
-    .with_table(e7_amortized::preamble(&params), &e7_amortized::table(&rows))
-}
-
-/// E8 — Lemma 1 / Theorem 4: direct sum by enumeration.
-pub fn e8() -> Report {
-    let rows = e8_direct_sum::run();
-    Report::new(
-        "e8",
-        "E8 — Lemma 1 / Theorem 4: information is additive across copies",
-    )
-    .note("(full joint enumeration; no additivity assumption)")
-    .with_table("", &e8_direct_sum::table(&rows))
-}
-
-/// E9 — Equations (3)–(4): the divergence bound chain.
-pub fn e9() -> Report {
-    let rows = e9_divergence::run(&e9_divergence::default_grid());
-    Report::new(
-        "e9",
-        "E9 — Eq. (3)-(4): exact KL vs p*log k - H(p) vs p*log k - 1",
-    )
-    .note("(posterior Bern with Pr[0]=p against the 1/k prior)")
-    .with_table("", &e9_divergence::table(&rows))
-}
-
-/// E10 — extension: pointwise-OR / set union.
-pub fn e10() -> Report {
-    let rows = e10_union::run(&e10_union::default_grid(), 0xE10);
-    Report::new(
-        "e10",
-        "E10 — pointwise-OR (set union): naive vs batched member publishing",
-    )
-    .note("(iid 50%-density sets; union ≈ [n])")
-    .meta("seed", Json::UInt(0xE10))
-    .with_table("", &e10_union::table(&rows))
-}
-
-/// E11 — extension: internal vs external information.
-pub fn e11() -> Report {
-    let rows = e11_internal::run(&e11_internal::default_rhos());
-    Report::new(
-        "e11",
-        "E11 — internal vs external information cost, two players",
-    )
-    .note("(joint Pr[X=Y] = 1/2 + 2*rho; rho = 0 is the product case)")
-    .with_table("", &e11_internal::table(&rows))
-}
-
-/// E12 — extension: Håstad–Wigderson sparse disjointness.
-pub fn e12() -> Report {
-    let rows = e12_sparse::run(&e12_sparse::default_grid(), 40, 0xE12);
-    Report::new(
-        "e12",
-        "E12 — Hastad-Wigderson O(s) sparse set disjointness (2 players)",
-    )
-    .note("(disjoint pairs; 40 trials per point)")
-    .meta("trials", Json::UInt(40))
-    .meta("seed", Json::UInt(0xE12))
-    .with_table("", &e12_sparse::table(&rows))
-}
-
-/// E13 — extension: the one-way Huffman baseline.
-pub fn e13() -> Report {
-    let rows = e13_huffman::run(&e13_huffman::default_ks());
-    Report::new(
-        "e13",
-        "E13 — one-way vs interactive compression of AND_k transcripts",
-    )
-    .note("(Huffman recoding reaches H+1; no protocol can go below Omega(k))")
-    .with_table("", &e13_huffman::table(&rows))
-}
-
-/// E14 — extension: the one-shot round tax.
-pub fn e14() -> Report {
-    let rows = e14_one_shot::run(&e14_one_shot::default_ks(), 40, 0xE14);
-    Report::new(
-        "e14",
-        "E14 — single-shot round-by-round compression pays Theta(k), not IC",
-    )
-    .note("(sequential AND_k; 40 trials per point)")
-    .meta("trials", Json::UInt(40))
-    .meta("seed", Json::UInt(0xE14))
-    .with_table("", &e14_one_shot::table(&rows))
-}
-
-/// E15 — extension: Shannon block-coding of transcripts.
-pub fn e15() -> Report {
-    let params = e15_block_coding::Params::default();
-    let rows = e15_block_coding::run(&params, &e15_block_coding::default_ms());
-    Report::new(
-        "e15",
-        "E15 — block coding transcript streams to the Shannon limit",
-    )
-    .note("(arithmetic coder vs per-symbol Huffman vs H)")
-    .meta("k", Json::UInt(params.k as u64))
-    .meta("trials", Json::UInt(params.trials as u64))
-    .meta("seed", Json::UInt(params.seed))
-    .with_table(
-        e15_block_coding::preamble(&params),
-        &e15_block_coding::table(&rows),
-    )
-}
-
-/// E16 — extension: the per-round information profile (k = 16 and 128).
-pub fn e16() -> Report {
-    let mut report = Report::new(
-        "e16",
-        "E16 — chain-rule information profile of sequential AND_k",
-    )
-    .note("(exact, under the hard distribution; Section 6's decomposition)")
-    .meta("max_rounds", Json::UInt(10));
-    for k in [16usize, 128] {
-        let profile = e16_profile::run(k);
-        report.push_table(
-            e16_profile::preamble(&profile, 10),
-            &e16_profile::table(&profile, 10),
-        );
-    }
-    report
-}
-
-/// E17 — extension: the error–information tradeoff.
-pub fn e17() -> Report {
-    let k = 14;
-    let rows = e17_error_tradeoff::run(k, &e17_error_tradeoff::default_epsilons());
-    Report::new(
-        "e17",
-        "E17 — error vs information vs pointing for noisy AND_k",
-    )
-    .note("(exact worst-case error, exact CIC, Lemma 5 pointing mass)")
-    .meta("k", Json::UInt(k as u64))
-    .with_table(format!("k = {k}"), &e17_error_tradeoff::table(&rows))
-}
-
-/// E18 — extension: promise disjointness instances.
-pub fn e18() -> Report {
-    let rows = e18_promise::run(&e18_promise::default_grid(), 0xE18);
-    Report::new(
-        "e18",
-        "E18 — promise (unique-intersection vs pairwise-disjoint) instances",
-    )
-    .note("(the streaming-hard promise from [1,2,17]; Theorem 2 protocol)")
-    .note(e18_promise::note())
-    .meta("seed", Json::UInt(0xE18))
-    .with_table("", &e18_promise::table(&rows))
-}
-
-const FABRIC_N: usize = 256;
-const FABRIC_K: usize = 4;
-const FABRIC_SESSIONS: u64 = 512;
-const FABRIC_SEED: u64 = 0xFAB;
-
-fn fabric_row<T: Transport>(transport: &T, workers: usize) -> [String; 7] {
-    let proto = BroadcastDisj::new(FABRIC_N, FABRIC_K);
-    let config = SchedulerConfig {
+/// Builds the report for one experiment, running its default grid on a
+/// `workers`-wide [`JobPool`].
+///
+/// Point `i` computes under `derive_trial_seed(exp.seed(), i)` and results
+/// are assembled in point order, so the report — text and JSON — is
+/// byte-identical for any worker count, including the serial `workers = 1`.
+pub fn report_for(exp: &dyn Experiment, workers: usize) -> Report {
+    let grid = exp.grid();
+    let pool = JobPool::new(PoolConfig {
         workers,
-        batch_size: 32,
+        // Grid points are few and individually heavy; schedule one per
+        // queue entry so a slow point never strands cheap ones behind it.
+        batch_size: 1,
         queue_capacity: 8,
-        deadline: Some(Duration::from_secs(30)),
-        ..SchedulerConfig::default()
-    };
-    let report = monte_carlo_fabric(
-        transport,
-        &proto,
-        &|rng: &mut dyn RngCore| workload::random_sets(FABRIC_N, FABRIC_K, 0.7, rng),
-        &|inputs: &[_]| disj_function(inputs),
-        FABRIC_SESSIONS,
-        FABRIC_SEED,
-        &FaultPlan::new(),
-        &config,
-    );
-    assert_eq!(report.report.trials, FABRIC_SESSIONS);
-    let m = &report.metrics;
-    [
-        workers.to_string(),
-        f(m.sessions_per_sec(), 1),
-        format!("{:?}", m.latency_p50()),
-        format!("{:?}", m.latency_p95()),
-        format!("{:?}", m.latency_p99()),
-        f(m.bits.mean(), 2),
-        m.max_queue_depth.to_string(),
-    ]
+        metric_prefix: "experiments",
+        job_spans: true,
+        recorder: Recorder::disabled(),
+    });
+    let run = pool.run(&grid, exp.seed(), &|seed, point| exp.run_point(point, seed));
+    let tables = exp.tables(&run.outputs);
+    report_from_tables(exp, &tables)
 }
 
-/// The execution-fabric scaling table: sessions/sec and latency percentiles
-/// for both transports across worker counts, on a fixed `DISJ_{n,k}`
-/// Monte-Carlo workload.
-pub fn fabric() -> Report {
-    let mut report = Report::new(
-        "fabric",
-        format!(
-            "Fabric — DISJ_{{n={FABRIC_N}, k={FABRIC_K}}}, {FABRIC_SESSIONS} sessions per row, \
-         seed {FABRIC_SEED:#x}"
-        ),
-    )
-    .note("(bits/session is identical on every row: scheduling never changes transcripts)")
-    .meta("n", Json::UInt(FABRIC_N as u64))
-    .meta("k", Json::UInt(FABRIC_K as u64))
-    .meta("sessions", Json::UInt(FABRIC_SESSIONS))
-    .meta("seed", Json::UInt(FABRIC_SEED));
-    for (name, rows) in [
-        (
-            "in-process transport:",
-            [1usize, 2, 4, 8].map(|w| fabric_row(&InProcessTransport, w)),
-        ),
-        (
-            "channel transport (one thread per player + sequencer):",
-            [1usize, 2, 4, 8].map(|w| fabric_row(&ChannelTransport, w)),
-        ),
-    ] {
-        let mut t = Table::new([
-            "workers",
-            "sessions/sec",
-            "p50",
-            "p95",
-            "p99",
-            "bits/session",
-            "max queue",
-        ]);
-        for row in rows {
-            t.row(row);
-        }
-        report.push_table(name, &t);
+/// Assembles a [`Report`] from an experiment's identity plus already-built
+/// tables (shared by [`report_for`] and the `bci experiments` CLI path).
+pub fn report_from_tables(exp: &dyn Experiment, tables: &[LabeledTable]) -> Report {
+    let mut report = Report::new(exp.id(), exp.title());
+    for note in exp.notes() {
+        report = report.note(note);
+    }
+    for (key, value) in exp.meta() {
+        report = report.meta(key, value);
+    }
+    for (label, table) in tables {
+        report.push_table(label.clone(), table);
     }
     report
+}
+
+/// Builds the report for a registry id (`"e7"`), or `None` if no experiment
+/// has that id.
+pub fn report_by_id(id: &str, workers: usize) -> Option<Report> {
+    find(id).map(|exp| report_for(exp, workers))
+}
+
+/// The experiment ids [`all`] emits, in order (= registry order).
+pub fn suite_ids() -> Vec<&'static str> {
+    registry().iter().map(|e| e.id()).collect()
 }
 
 /// Every experiment report in `EXPERIMENTS.md` order (without the fabric
-/// scaling table, which is not an experiment in the paper's sense).
-pub fn all() -> Vec<Report> {
-    vec![
-        e1(),
-        e2(),
-        e3(),
-        e4(),
-        e5(),
-        e6(),
-        e7(),
-        e8(),
-        e9(),
-        e10(),
-        e11(),
-        e12(),
-        e13(),
-        e14(),
-        e15(),
-        e16(),
-        e17(),
-        e18(),
-    ]
+/// scaling table, which is not an experiment in the paper's sense — see
+/// [`crate::fabric_table`]).
+pub fn all(workers: usize) -> Vec<Report> {
+    registry()
+        .iter()
+        .map(|exp| report_for(*exp, workers))
+        .collect()
 }
 
 #[cfg(test)]
@@ -368,7 +82,9 @@ mod tests {
 
     #[test]
     fn cheap_reports_have_stable_identity_and_tables() {
-        for (report, tables) in [(e2(), 1), (e8(), 1), (e16(), 2), (e17(), 1)] {
+        for (id, tables) in [("e2", 1), ("e8", 1), ("e16", 2), ("e17", 1)] {
+            let report = report_by_id(id, 1).expect("registered");
+            assert_eq!(report.experiment, id);
             assert!(!report.title.is_empty());
             assert_eq!(report.tables.len(), tables, "{}", report.experiment);
             for t in &report.tables {
@@ -381,5 +97,28 @@ mod tests {
             let json = report.to_json().to_string();
             assert!(json.contains(SCHEMA), "{}", report.experiment);
         }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        // e2 and e8 are cheap and exercise both the plain-table and the
+        // per-point-result shapes; the full-suite equivalence is checked in
+        // CI by diffing `table_all --workers 1` against `--workers 4`.
+        for id in ["e2", "e8"] {
+            let serial = report_by_id(id, 1).expect("registered");
+            let parallel = report_by_id(id, 4).expect("registered");
+            assert_eq!(serial.render_text(), parallel.render_text(), "{id}");
+            assert_eq!(
+                serial.to_json().to_string(),
+                parallel.to_json().to_string(),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        assert!(report_by_id("e19", 1).is_none());
+        assert!(report_by_id("fabric", 1).is_none());
     }
 }

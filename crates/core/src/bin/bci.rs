@@ -10,6 +10,8 @@
 //! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
 //! bci fabric --sessions 1024 --workers 4 --seed 1 [--protocol disj|and] [--n 256] [--k 4]
 //! bci trace  --engine fabric|serial [--sessions 8] [--out events.jsonl]
+//! bci experiments list
+//! bci experiments run e7 [--workers 4] [--seed 5]
 //! ```
 
 use std::collections::HashMap;
@@ -41,6 +43,17 @@ fn main() -> ExitCode {
         Diag::default().error(USAGE);
         return ExitCode::FAILURE;
     };
+    if cmd == "experiments" {
+        // Takes positional subcommands (`list`, `run <id>`), so it parses
+        // its own argument tail instead of going through `parse_opts`.
+        return match cmd_experiments(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                Diag::default().error(&format!("error: {e}\n\n{USAGE}"));
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_opts(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -96,6 +109,8 @@ USAGE:
                [--trace PATH]
   bci trace    [--engine fabric|serial] [--sessions N] [--n N] [--k K] [--seed S] [--workers W]
                [--transport channel|inprocess] [--out PATH]
+  bci experiments list
+  bci experiments run <id> [--workers W] [--seed S]
 
 GLOBAL FLAGS:
   --quiet      suppress informational diagnostics on stderr
@@ -571,6 +586,79 @@ fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
         None => print!("{jsonl}"),
     }
     Ok(())
+}
+
+/// `bci experiments list | run <id>` — front end to the experiment
+/// registry. `run` executes the sweep on a fabric [`JobPool`]
+/// (`--workers`, default 1) and prints the same text the `table_*` bench
+/// binaries emit; `--seed` overrides the experiment's canonical master
+/// seed.
+///
+/// [`JobPool`]: bci_fabric::pool::JobPool
+fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    use bci_core::experiments::registry::{find, registry, render_report};
+    use bci_fabric::pool::{JobPool, PoolConfig};
+
+    let Some(sub) = args.first() else {
+        return Err("experiments needs a subcommand: list | run <id>".into());
+    };
+    match sub.as_str() {
+        "list" => {
+            if let Some(extra) = args.get(1) {
+                return Err(format!(
+                    "experiments list takes no arguments, got '{extra}'"
+                ));
+            }
+            let mut t = Table::new(["id", "points", "seed", "title"]);
+            for exp in registry() {
+                t.row([
+                    exp.id().to_owned(),
+                    exp.grid().len().to_string(),
+                    exp.seed().to_string(),
+                    exp.title().to_owned(),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        "run" => {
+            let id = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("experiments run needs an id (try 'bci experiments list')")?;
+            let exp = find(id).ok_or_else(|| {
+                format!(
+                    "unknown experiment '{id}' (known: {})",
+                    registry()
+                        .iter()
+                        .map(|e| e.id())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            let opts = parse_opts(&args[2..])?;
+            let workers: usize = get(&opts, "workers", Some(1usize))?;
+            if workers == 0 {
+                return Err("--workers must be positive".into());
+            }
+            let seed: u64 = get(&opts, "seed", Some(exp.seed()))?;
+            let grid = exp.grid();
+            let pool = JobPool::new(PoolConfig {
+                workers,
+                batch_size: 1,
+                queue_capacity: 8,
+                metric_prefix: "experiments",
+                job_spans: true,
+                recorder: Recorder::disabled(),
+            });
+            let run = pool.run(&grid, seed, &|s, point| exp.run_point(point, s));
+            print!("{}", render_report(exp, &exp.tables(&run.outputs)));
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown experiments subcommand '{other}' (expected list | run)"
+        )),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

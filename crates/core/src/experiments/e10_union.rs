@@ -8,9 +8,14 @@
 
 use bci_protocols::union::{batched, naive, union_function};
 use bci_protocols::workload;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE10;
 
 /// One `(n, k)` sweep point.
 #[derive(Debug, Clone)]
@@ -44,34 +49,40 @@ pub fn default_grid() -> Vec<(usize, usize)> {
     g
 }
 
-/// Runs the sweep on 50 %-density iid sets (union ≈ `[n]`, members well
-/// replicated — the batching-friendly regime).
-pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
+/// Runs one `(n, k)` point under its own RNG, on a 50 %-density iid
+/// instance (union ≈ `[n]`, members well replicated — the batching-friendly
+/// regime).
+pub fn run_point(&(n, k): &(usize, usize), seed: u64) -> Row {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let inputs = workload::random_sets(n, k, 0.5, &mut rng);
+    let expect = union_function(&inputs);
+    let nv = naive::run(&inputs);
+    let bt = if n <= 4096 {
+        let r = batched::run(&inputs);
+        assert_eq!(r.output, expect);
+        r.bits
+    } else {
+        batched::cost(&inputs)
+    };
+    assert_eq!(nv.output, expect);
+    Row {
+        n,
+        k,
+        union_size: expect.len(),
+        naive_bits: nv.bits,
+        batched_bits: bt,
+        ratio: nv.bits as f64 / bt as f64,
+        per_member: bt as f64 / expect.len().max(1) as f64,
+        bound: batched::per_member_bound(k),
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
+/// wrapper over [`run_point`]).
+pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
     grid.iter()
-        .map(|&(n, k)| {
-            let inputs = workload::random_sets(n, k, 0.5, &mut rng);
-            let expect = union_function(&inputs);
-            let nv = naive::run(&inputs);
-            let bt = if n <= 4096 {
-                let r = batched::run(&inputs);
-                assert_eq!(r.output, expect);
-                r.bits
-            } else {
-                batched::cost(&inputs)
-            };
-            assert_eq!(nv.output, expect);
-            Row {
-                n,
-                k,
-                union_size: expect.len(),
-                naive_bits: nv.bits,
-                batched_bits: bt,
-                ratio: nv.bits as f64 / bt as f64,
-                per_member: bt as f64 / expect.len().max(1) as f64,
-                bound: batched::per_member_bound(k),
-            }
-        })
+        .enumerate()
+        .map(|(i, p)| run_point(p, point_seed(seed, i)))
         .collect()
 }
 
@@ -105,6 +116,51 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E10 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E10 as a registry [`Experiment`].
+pub struct E10;
+
+impl Experiment for E10 {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+
+    fn title(&self) -> &'static str {
+        "E10 — pointwise-OR (set union): naive vs batched member publishing"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(iid 50%-density sets; union ≈ [n])".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("seed", Json::UInt(SEED))]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, k))| Point::new(i, format!("n={n}, k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 use bci_lowerbound::internal::{external_ic_two_party_joint, internal_ic_two_party_joint};
 use bci_protocols::and_trees::{noisy_sequential_and, sequential_and};
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One correlation sweep point.
@@ -43,25 +44,41 @@ pub fn default_rhos() -> Vec<f64> {
     vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.25]
 }
 
-/// Runs the sweep (exact; no randomness).
-pub fn run(rhos: &[f64]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    let protocols: [(&'static str, _); 2] = [
-        ("sequential AND_2", sequential_and(2)),
-        ("noisy AND_2 (eps=0.1)", noisy_sequential_and(2, 0.1)),
-    ];
-    for (name, tree) in &protocols {
-        for &rho in rhos {
-            let joint = [[0.25 + rho, 0.25 - rho], [0.25 - rho, 0.25 + rho]];
-            rows.push(Row {
-                protocol: name,
-                rho,
-                internal: internal_ic_two_party_joint(tree, &joint),
-                external: external_ic_two_party_joint(tree, &joint),
-            });
+/// The two witness protocols of the sweep, in table order.
+pub const PROTOCOL_NAMES: [&str; 2] = ["sequential AND_2", "noisy AND_2 (eps=0.1)"];
+
+/// Computes one `(protocol index, ρ)` point (exact; no randomness).
+pub fn run_point(&(protocol, rho): &(usize, f64)) -> Row {
+    let tree = match protocol {
+        0 => sequential_and(2),
+        1 => noisy_sequential_and(2, 0.1),
+        _ => panic!("E11 has exactly two witness protocols"),
+    };
+    let joint = [[0.25 + rho, 0.25 - rho], [0.25 - rho, 0.25 + rho]];
+    Row {
+        protocol: PROTOCOL_NAMES[protocol],
+        rho,
+        internal: internal_ic_two_party_joint(&tree, &joint),
+        external: external_ic_two_party_joint(&tree, &joint),
+    }
+}
+
+/// The full `(protocol, ρ)` cross product, protocol-major.
+pub fn default_grid() -> Vec<(usize, f64)> {
+    let mut g = Vec::new();
+    for protocol in 0..PROTOCOL_NAMES.len() {
+        for &rho in &default_rhos() {
+            g.push((protocol, rho));
         }
     }
-    rows
+    g
+}
+
+/// Runs the sweep over both protocols (thin wrapper over [`run_point`]).
+pub fn run(rhos: &[f64]) -> Vec<Row> {
+    (0..PROTOCOL_NAMES.len())
+        .flat_map(|protocol| rhos.iter().map(move |&rho| run_point(&(protocol, rho))))
+        .collect()
 }
 
 /// Builds the E11 table.
@@ -82,6 +99,45 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E11 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E11 as a registry [`Experiment`].
+pub struct E11;
+
+impl Experiment for E11 {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn title(&self) -> &'static str {
+        "E11 — internal vs external information cost, two players"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(joint Pr[X=Y] = 1/2 + 2*rho; rho = 0 is the product case)".into()]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(protocol, rho))| {
+                Point::new(i, format!("{}, rho={rho}", PROTOCOL_NAMES[protocol]))
+            })
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

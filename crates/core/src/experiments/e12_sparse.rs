@@ -8,9 +8,16 @@
 
 use bci_encoding::bitset::BitSet;
 use bci_protocols::sparse::{naive_bits, run as hw_run};
+use bci_telemetry::Json;
 use rand::{Rng, SeedableRng};
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// Canonical trials per point (`EXPERIMENTS.md` parameters).
+pub const TRIALS: u64 = 40;
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE12;
 
 /// One sweep point.
 #[derive(Debug, Clone)]
@@ -44,31 +51,36 @@ fn disjoint_pair<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> (BitSet, B
     (x, y)
 }
 
-/// Runs the sweep on disjoint pairs (the expensive case — intersecting
-/// pairs terminate early).
-pub fn run(grid: &[(usize, usize)], trials: u64, seed: u64) -> Vec<Row> {
+/// Runs one `(n, s)` point under its own RNG, on disjoint pairs (the
+/// expensive case — intersecting pairs terminate early).
+pub fn run_point(&(n, s): &(usize, usize), trials: u64, seed: u64) -> Row {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut bits = 0.0;
+    let mut fallbacks = 0u64;
+    for _ in 0..trials {
+        let (x, y) = disjoint_pair(n, s, &mut rng);
+        let out = hw_run(&x, &y, &mut rng);
+        assert!(out.output, "disjoint instances");
+        bits += out.bits;
+        fallbacks += u64::from(out.fallback);
+    }
+    let hw = bits / trials as f64;
+    Row {
+        n,
+        s,
+        hw_bits: hw,
+        per_element: hw / s as f64,
+        naive: naive_bits(n, s),
+        fallback_rate: fallbacks as f64 / trials as f64,
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
+/// wrapper over [`run_point`]).
+pub fn run(grid: &[(usize, usize)], trials: u64, seed: u64) -> Vec<Row> {
     grid.iter()
-        .map(|&(n, s)| {
-            let mut bits = 0.0;
-            let mut fallbacks = 0u64;
-            for _ in 0..trials {
-                let (x, y) = disjoint_pair(n, s, &mut rng);
-                let out = hw_run(&x, &y, &mut rng);
-                assert!(out.output, "disjoint instances");
-                bits += out.bits;
-                fallbacks += u64::from(out.fallback);
-            }
-            let hw = bits / trials as f64;
-            Row {
-                n,
-                s,
-                hw_bits: hw,
-                per_element: hw / s as f64,
-                naive: naive_bits(n, s),
-                fallback_rate: fallbacks as f64 / trials as f64,
-            }
-        })
+        .enumerate()
+        .map(|(i, p)| run_point(p, trials, point_seed(seed, i)))
         .collect()
 }
 
@@ -109,6 +121,51 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E12 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E12 as a registry [`Experiment`].
+pub struct E12;
+
+impl Experiment for E12 {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn title(&self) -> &'static str {
+        "E12 — Hastad-Wigderson O(s) sparse set disjointness (2 players)"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![format!("(disjoint pairs; {TRIALS} trials per point)")]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("trials", Json::UInt(TRIALS)), ("seed", Json::UInt(SEED))]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, s))| Point::new(i, format!("n=2^{}, s={s}", n.ilog2())))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], TRIALS, seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

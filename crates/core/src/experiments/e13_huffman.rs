@@ -13,6 +13,7 @@ use bci_encoding::huffman::HuffmanCode;
 use bci_lowerbound::counting::FoolingDist;
 use bci_protocols::and_trees::sequential_and;
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `k` sweep point.
@@ -40,40 +41,41 @@ pub const EPS: f64 = 0.05;
 /// See [`EPS`].
 pub const EPS_PRIME: f64 = 0.1;
 
-/// Runs the sweep (exact; no randomness).
+/// Computes one `k` point (exact; no randomness).
+pub fn run_point(&k: &usize) -> Row {
+    let tree = sequential_and(k);
+    let mu = FoolingDist::new(k, EPS_PRIME);
+    // Transcript distribution under μ′: the support is k+1 inputs,
+    // each deterministically reaching one leaf.
+    let mut leaf_probs = vec![0.0f64; tree.leaves().len()];
+    let all_ones = vec![true; k];
+    let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &_| {
+        let d = bci_blackboard::ProtocolTree::transcript_dist_given_input(tree, x);
+        for (acc, p) in probs.iter_mut().zip(d) {
+            *acc += w * p;
+        }
+    };
+    add(&mut leaf_probs, &all_ones, EPS_PRIME, &tree);
+    let w = (1.0 - EPS_PRIME) / k as f64;
+    for z in 0..k {
+        let mut x = all_ones.clone();
+        x[z] = false;
+        add(&mut leaf_probs, &x, w, &tree);
+    }
+    let entropy = bci_info::entropy::entropy(&leaf_probs);
+    let code = HuffmanCode::from_probs(&leaf_probs);
+    Row {
+        k,
+        entropy,
+        huffman: code.expected_len(&leaf_probs),
+        interactive_lb: mu.speaker_threshold(EPS),
+        cc: k,
+    }
+}
+
+/// Runs the sweep (thin wrapper over [`run_point`]).
 pub fn run(ks: &[usize]) -> Vec<Row> {
-    ks.iter()
-        .map(|&k| {
-            let tree = sequential_and(k);
-            let mu = FoolingDist::new(k, EPS_PRIME);
-            // Transcript distribution under μ′: the support is k+1 inputs,
-            // each deterministically reaching one leaf.
-            let mut leaf_probs = vec![0.0f64; tree.leaves().len()];
-            let all_ones = vec![true; k];
-            let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &_| {
-                let d = bci_blackboard::ProtocolTree::transcript_dist_given_input(tree, x);
-                for (acc, p) in probs.iter_mut().zip(d) {
-                    *acc += w * p;
-                }
-            };
-            add(&mut leaf_probs, &all_ones, EPS_PRIME, &tree);
-            let w = (1.0 - EPS_PRIME) / k as f64;
-            for z in 0..k {
-                let mut x = all_ones.clone();
-                x[z] = false;
-                add(&mut leaf_probs, &x, w, &tree);
-            }
-            let entropy = bci_info::entropy::entropy(&leaf_probs);
-            let code = HuffmanCode::from_probs(&leaf_probs);
-            Row {
-                k,
-                entropy,
-                huffman: code.expected_len(&leaf_probs),
-                interactive_lb: mu.speaker_threshold(EPS),
-                cc: k,
-            }
-        })
-        .collect()
+    ks.iter().map(run_point).collect()
 }
 
 /// Builds the E13 table.
@@ -102,6 +104,43 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E13 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E13 as a registry [`Experiment`].
+pub struct E13;
+
+impl Experiment for E13 {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+
+    fn title(&self) -> &'static str {
+        "E13 — one-way vs interactive compression of AND_k transcripts"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(Huffman recoding reaches H+1; no protocol can go below Omega(k))".into()]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_ks()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,16 @@
 
 use bci_compression::amortized::compress_nfold;
 use bci_protocols::and_trees::sequential_and;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// Canonical trials per point (`EXPERIMENTS.md` parameters).
+pub const TRIALS: usize = 40;
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE14;
 
 /// One `k` sweep point.
 #[derive(Debug, Clone)]
@@ -36,23 +43,28 @@ pub fn default_ks() -> Vec<usize> {
     vec![4, 8, 16, 32, 64]
 }
 
-/// Runs the sweep.
-pub fn run(ks: &[usize], trials: usize, seed: u64) -> Vec<Row> {
+/// Runs one `k` point under its own RNG.
+pub fn run_point(&k: &usize, trials: usize, seed: u64) -> Row {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let tree = sequential_and(k);
+    let priors = vec![1.0 - 1.0 / k as f64; k];
+    let single = compress_nfold(&tree, &priors, 1, trials, &mut rng);
+    let many = compress_nfold(&tree, &priors, 256, trials.div_ceil(4), &mut rng);
+    Row {
+        k,
+        ic: single.ic_per_copy,
+        one_shot_bits: single.mean_compressed_bits,
+        raw_bits: single.mean_raw_bits,
+        amortized_per_copy: many.per_copy_compressed(),
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
+/// wrapper over [`run_point`]).
+pub fn run(ks: &[usize], trials: usize, seed: u64) -> Vec<Row> {
     ks.iter()
-        .map(|&k| {
-            let tree = sequential_and(k);
-            let priors = vec![1.0 - 1.0 / k as f64; k];
-            let single = compress_nfold(&tree, &priors, 1, trials, &mut rng);
-            let many = compress_nfold(&tree, &priors, 256, trials.div_ceil(4), &mut rng);
-            Row {
-                k,
-                ic: single.ic_per_copy,
-                one_shot_bits: single.mean_compressed_bits,
-                raw_bits: single.mean_raw_bits,
-                amortized_per_copy: many.per_copy_compressed(),
-            }
-        })
+        .enumerate()
+        .map(|(i, k)| run_point(k, trials, point_seed(seed, i)))
         .collect()
 }
 
@@ -82,6 +94,54 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E14 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E14 as a registry [`Experiment`].
+pub struct E14;
+
+impl Experiment for E14 {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+
+    fn title(&self) -> &'static str {
+        "E14 — single-shot round-by-round compression pays Theta(k), not IC"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![format!("(sequential AND_k; {TRIALS} trials per point)")]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("trials", Json::UInt(TRIALS as u64)),
+            ("seed", Json::UInt(SEED)),
+        ]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_ks()[point.index()], TRIALS, seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

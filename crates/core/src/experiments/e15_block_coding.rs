@@ -12,8 +12,10 @@
 use bci_encoding::arithmetic::{decode_sequence, encode_sequence, ArithmeticModel};
 use bci_encoding::huffman::HuffmanCode;
 use bci_protocols::and_trees::sequential_and;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One block-size sweep point.
@@ -58,8 +60,8 @@ pub fn default_ms() -> Vec<usize> {
     vec![1, 4, 16, 64, 256, 2048]
 }
 
-/// Runs the sweep.
-pub fn run(params: &Params, ms: &[usize]) -> Vec<Row> {
+/// Runs one block-size point under its own RNG.
+pub fn run_point(params: &Params, &m: &usize, seed: u64) -> Row {
     let tree = sequential_and(params.k);
     let priors = vec![params.prior; params.k];
     // Exact transcript distribution over leaves.
@@ -71,34 +73,39 @@ pub fn run(params: &Params, ms: &[usize]) -> Vec<Row> {
     let entropy = bci_info::entropy::entropy(&leaf_probs);
     let model = ArithmeticModel::from_probs(&leaf_probs);
     let huffman = HuffmanCode::from_probs(&leaf_probs);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
-    ms.iter()
-        .map(|&m| {
-            let mut arith_bits = 0usize;
-            let mut huff_bits = 0usize;
-            for _ in 0..params.trials {
-                let symbols: Vec<usize> = (0..m)
-                    .map(|_| {
-                        let x: Vec<bool> = priors
-                            .iter()
-                            .map(|&p| rand::Rng::random_bool(&mut rng, p))
-                            .collect();
-                        tree.simulate(&x, &mut rng).0
-                    })
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut arith_bits = 0usize;
+    let mut huff_bits = 0usize;
+    for _ in 0..params.trials {
+        let symbols: Vec<usize> = (0..m)
+            .map(|_| {
+                let x: Vec<bool> = priors
+                    .iter()
+                    .map(|&p| rand::Rng::random_bool(&mut rng, p))
                     .collect();
-                let bits = encode_sequence(&model, &symbols);
-                debug_assert_eq!(decode_sequence(&model, &bits, symbols.len()), symbols);
-                arith_bits += bits.len();
-                huff_bits += symbols.iter().map(|&s| huffman.code_len(s)).sum::<usize>();
-            }
-            let denom = (m * params.trials) as f64;
-            Row {
-                m,
-                arithmetic_per_symbol: arith_bits as f64 / denom,
-                huffman_per_symbol: huff_bits as f64 / denom,
-                entropy,
-            }
-        })
+                tree.simulate(&x, &mut rng).0
+            })
+            .collect();
+        let bits = encode_sequence(&model, &symbols);
+        debug_assert_eq!(decode_sequence(&model, &bits, symbols.len()), symbols);
+        arith_bits += bits.len();
+        huff_bits += symbols.iter().map(|&s| huffman.code_len(s)).sum::<usize>();
+    }
+    let denom = (m * params.trials) as f64;
+    Row {
+        m,
+        arithmetic_per_symbol: arith_bits as f64 / denom,
+        huffman_per_symbol: huff_bits as f64 / denom,
+        entropy,
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(params.seed, i)`
+/// (thin wrapper over [`run_point`]).
+pub fn run(params: &Params, ms: &[usize]) -> Vec<Row> {
+    ms.iter()
+        .enumerate()
+        .map(|(i, m)| run_point(params, m, point_seed(params.seed, i)))
         .collect()
 }
 
@@ -132,6 +139,57 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E15 table with its parameter preamble.
 pub fn render(params: &Params, rows: &[Row]) -> String {
     format!("{}\n{}", preamble(params), table(rows).render())
+}
+
+/// E15 as a registry [`Experiment`].
+pub struct E15;
+
+impl Experiment for E15 {
+    fn id(&self) -> &'static str {
+        "e15"
+    }
+
+    fn title(&self) -> &'static str {
+        "E15 — block coding transcript streams to the Shannon limit"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(arithmetic coder vs per-symbol Huffman vs H)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        let params = Params::default();
+        vec![
+            ("k", Json::UInt(params.k as u64)),
+            ("trials", Json::UInt(params.trials as u64)),
+            ("seed", Json::UInt(params.seed)),
+        ]
+    }
+
+    fn seed(&self) -> u64 {
+        Params::default().seed
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ms()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| Point::new(i, format!("m={m}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        let params = Params::default();
+        PointResult::new(run_point(&params, &default_ms()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(preamble(&Params::default()), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -13,8 +13,18 @@
 
 use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::and_trees::sequential_and;
+use bci_telemetry::Json;
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// Rounds shown per table (`EXPERIMENTS.md` parameters).
+pub const MAX_ROUNDS: usize = 10;
+
+/// The player counts profiled in `EXPERIMENTS.md`.
+pub fn default_ks() -> Vec<usize> {
+    vec![16, 128]
+}
 
 /// The exact per-round information profile of a protocol under the hard
 /// distribution (averaged over `Z`).
@@ -83,6 +93,50 @@ pub fn render(profile: &Profile, max_rounds: usize) -> String {
         preamble(profile, max_rounds),
         table(profile, max_rounds).render()
     )
+}
+
+/// E16 as a registry [`Experiment`]. One point per `k`; each point's
+/// profile renders as its own labeled table.
+pub struct E16;
+
+impl Experiment for E16 {
+    fn id(&self) -> &'static str {
+        "e16"
+    }
+
+    fn title(&self) -> &'static str {
+        "E16 — chain-rule information profile of sequential AND_k"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(exact, under the hard distribution; Section 6's decomposition)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("max_rounds", Json::UInt(MAX_ROUNDS as u64))]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run(default_ks()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        results
+            .iter()
+            .map(|r| {
+                let profile = r.downcast::<Profile>();
+                (preamble(profile, MAX_ROUNDS), table(profile, MAX_ROUNDS))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -13,8 +13,13 @@ use bci_lowerbound::good_transcripts::analyze;
 use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::and::and_function;
 use bci_protocols::and_trees::noisy_sequential_and;
+use bci_telemetry::Json;
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// The player count used in `EXPERIMENTS.md` (enumeration is `2ᵏ`).
+pub const K: usize = 14;
 
 /// One noise-level sweep point.
 #[derive(Debug, Clone)]
@@ -34,23 +39,23 @@ pub fn default_epsilons() -> Vec<f64> {
     vec![0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5]
 }
 
-/// Runs the sweep at fixed `k` (exact; no randomness). `k ≤ 20` because
-/// the worst-case-error enumeration is `2ᵏ`.
-pub fn run(k: usize, epsilons: &[f64]) -> Vec<Row> {
+/// Computes one noise level at fixed `k` (exact; no randomness). `k ≤ 20`
+/// because the worst-case-error enumeration is `2ᵏ`.
+pub fn run_point(k: usize, &eps: &f64) -> Row {
     assert!(k <= 20, "worst-case error enumeration limited to k ≤ 20");
     let mu = HardDist::new(k);
-    epsilons
-        .iter()
-        .map(|&eps| {
-            let tree = noisy_sequential_and(k, eps);
-            Row {
-                eps,
-                error: tree.worst_case_error(|x| usize::from(and_function(x))),
-                cic: cic_hard(&tree, &mu),
-                pointing_mass: analyze(&tree, 20.0, 0.5).pointing_mass,
-            }
-        })
-        .collect()
+    let tree = noisy_sequential_and(k, eps);
+    Row {
+        eps,
+        error: tree.worst_case_error(|x| usize::from(and_function(x))),
+        cic: cic_hard(&tree, &mu),
+        pointing_mass: analyze(&tree, 20.0, 0.5).pointing_mass,
+    }
+}
+
+/// Runs the sweep at fixed `k` (thin wrapper over [`run_point`]).
+pub fn run(k: usize, epsilons: &[f64]) -> Vec<Row> {
+    epsilons.iter().map(|eps| run_point(k, eps)).collect()
 }
 
 /// Builds the E17 table.
@@ -70,6 +75,47 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E17 table with its parameter preamble.
 pub fn render(k: usize, rows: &[Row]) -> String {
     format!("k = {k}\n{}", table(rows).render())
+}
+
+/// E17 as a registry [`Experiment`].
+pub struct E17;
+
+impl Experiment for E17 {
+    fn id(&self) -> &'static str {
+        "e17"
+    }
+
+    fn title(&self) -> &'static str {
+        "E17 — error vs information vs pointing for noisy AND_k"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(exact worst-case error, exact CIC, Lemma 5 pointing mass)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("k", Json::UInt(K as u64))]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_epsilons()
+            .iter()
+            .enumerate()
+            .map(|(i, eps)| Point::new(i, format!("eps={eps:.0e}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(K, &default_epsilons()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(format!("k = {K}"), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,14 @@
 
 use bci_protocols::disj::{batched, naive};
 use bci_protocols::workload;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::Table;
+
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE18;
 
 /// One promise-instance sweep point.
 #[derive(Debug, Clone)]
@@ -34,39 +39,47 @@ pub struct Row {
     pub output: bool,
 }
 
-/// Runs the sweep: for each `(n, k, set_size)` both promise cases.
-pub fn run(grid: &[(usize, usize, usize)], seed: u64) -> Vec<Row> {
+/// Runs one `(n, k, set_size)` point under its own RNG, producing both
+/// promise cases (two rows).
+pub fn run_point(&(n, k, set_size): &(usize, usize, usize), seed: u64) -> Vec<Row> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let mut rows = Vec::new();
-    for &(n, k, set_size) in grid {
-        let (with, _) = workload::unique_intersection(n, k, set_size, &mut rng);
-        let b = batched::run(&with);
-        let nv = naive::run(&with);
-        assert!(!b.output && !nv.output);
-        rows.push(Row {
-            n,
-            k,
-            set_size,
-            intersecting: true,
-            batched_bits: b.bits,
-            naive_bits: nv.bits,
-            output: b.output,
-        });
-        let without = workload::pairwise_disjoint(n, k, set_size, &mut rng);
-        let b = batched::run(&without);
-        let nv = naive::run(&without);
-        assert!(b.output && nv.output);
-        rows.push(Row {
-            n,
-            k,
-            set_size,
-            intersecting: false,
-            batched_bits: b.bits,
-            naive_bits: nv.bits,
-            output: b.output,
-        });
-    }
+    let (with, _) = workload::unique_intersection(n, k, set_size, &mut rng);
+    let b = batched::run(&with);
+    let nv = naive::run(&with);
+    assert!(!b.output && !nv.output);
+    rows.push(Row {
+        n,
+        k,
+        set_size,
+        intersecting: true,
+        batched_bits: b.bits,
+        naive_bits: nv.bits,
+        output: b.output,
+    });
+    let without = workload::pairwise_disjoint(n, k, set_size, &mut rng);
+    let b = batched::run(&without);
+    let nv = naive::run(&without);
+    assert!(b.output && nv.output);
+    rows.push(Row {
+        n,
+        k,
+        set_size,
+        intersecting: false,
+        batched_bits: b.bits,
+        naive_bits: nv.bits,
+        output: b.output,
+    });
     rows
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
+/// wrapper over [`run_point`]).
+pub fn run(grid: &[(usize, usize, usize)], seed: u64) -> Vec<Row> {
+    grid.iter()
+        .enumerate()
+        .flat_map(|(i, p)| run_point(p, point_seed(seed, i)))
+        .collect()
 }
 
 /// The grid used in `EXPERIMENTS.md`.
@@ -118,6 +131,55 @@ pub fn note() -> &'static str {
 /// Renders the E18 table as text, with the trailing note.
 pub fn render(rows: &[Row]) -> String {
     format!("{}\n{}\n", table(rows).render(), note())
+}
+
+/// E18 as a registry [`Experiment`]. Each point yields two rows (both
+/// promise cases).
+pub struct E18;
+
+impl Experiment for E18 {
+    fn id(&self) -> &'static str {
+        "e18"
+    }
+
+    fn title(&self) -> &'static str {
+        "E18 — promise (unique-intersection vs pairwise-disjoint) instances"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![
+            "(the streaming-hard promise from [1,2,17]; Theorem 2 protocol)".into(),
+            note().into(),
+        ]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("seed", Json::UInt(SEED))]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, k, s))| Point::new(i, format!("n={n}, k={k}, set size={s}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .flat_map(|r| r.downcast::<Vec<Row>>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -9,9 +9,14 @@
 
 use bci_protocols::disj::{batched, naive};
 use bci_protocols::workload;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE1;
 
 /// One `(n, k)` sweep point.
 #[derive(Debug, Clone)]
@@ -47,34 +52,39 @@ pub fn default_grid() -> Vec<(usize, usize)> {
     grid
 }
 
-/// Runs the sweep. Instances are `planted_zero_cover(·, ·, 0.0)` — disjoint
-/// with exactly one zero per coordinate. Uses the real bit-producing
-/// protocol up to `n ≤ 4096` and the (bit-identical, validated) cost model
-/// beyond.
-pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
+/// Runs one `(n, k)` point under its own RNG. Instances are
+/// `planted_zero_cover(·, ·, 0.0)` — disjoint with exactly one zero per
+/// coordinate. Uses the real bit-producing protocol up to `n ≤ 4096` and
+/// the (bit-identical, validated) cost model beyond.
+pub fn run_point(&(n, k): &(usize, usize), seed: u64) -> Row {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
+    let b = if n <= 4096 {
+        batched::run(&inputs)
+    } else {
+        batched::cost(&inputs)
+    };
+    let nv = naive::run(&inputs);
+    assert!(b.output && nv.output, "instances are disjoint");
+    Row {
+        n,
+        k,
+        naive_bits: nv.bits,
+        batched_bits: b.bits,
+        cycles: b.cycles,
+        ratio: nv.bits as f64 / b.bits as f64,
+        batched_per_coord: b.bits as f64 / n as f64,
+        per_coord_bound: batched::per_coordinate_bound(k),
+        naive_per_coord: nv.bits as f64 / n as f64,
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)`, so rows
+/// are independent of grid order (thin wrapper over [`run_point`]).
+pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
     grid.iter()
-        .map(|&(n, k)| {
-            let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
-            let b = if n <= 4096 {
-                batched::run(&inputs)
-            } else {
-                batched::cost(&inputs)
-            };
-            let nv = naive::run(&inputs);
-            assert!(b.output && nv.output, "instances are disjoint");
-            Row {
-                n,
-                k,
-                naive_bits: nv.bits,
-                batched_bits: b.bits,
-                cycles: b.cycles,
-                ratio: nv.bits as f64 / b.bits as f64,
-                batched_per_coord: b.bits as f64 / n as f64,
-                per_coord_bound: batched::per_coordinate_bound(k),
-                naive_per_coord: nv.bits as f64 / n as f64,
-            }
-        })
+        .enumerate()
+        .map(|(i, p)| run_point(p, point_seed(seed, i)))
         .collect()
 }
 
@@ -110,6 +120,51 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E1 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E1 as a registry [`Experiment`].
+pub struct E1;
+
+impl Experiment for E1 {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn title(&self) -> &'static str {
+        "E1 — Theorem 2: set disjointness communication, naive vs batched"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(hard disjoint instances: one zero holder per coordinate)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("seed", Json::UInt(SEED))]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, k))| Point::new(i, format!("n={n}, k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

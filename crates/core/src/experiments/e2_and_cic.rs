@@ -11,6 +11,7 @@ use bci_lowerbound::cic::{cic_hard, theorem1_bound};
 use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::and_trees::sequential_and;
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `k` sweep point.
@@ -33,20 +34,21 @@ pub fn default_ks() -> Vec<usize> {
     vec![2, 4, 8, 16, 32, 64, 128, 256, 512]
 }
 
-/// Runs the sweep (fully deterministic — everything is exact).
+/// Computes one `k` point (fully deterministic — everything is exact).
+pub fn run_point(&k: &usize) -> Row {
+    let cic = cic_hard(&sequential_and(k), &HardDist::new(k));
+    Row {
+        k,
+        cic,
+        cic_over_log_k: cic / (k as f64).log2().max(1e-9),
+        theorem1: theorem1_bound(k, 0.5),
+        cc: k,
+    }
+}
+
+/// Runs the sweep (thin wrapper over [`run_point`]).
 pub fn run(ks: &[usize]) -> Vec<Row> {
-    ks.iter()
-        .map(|&k| {
-            let cic = cic_hard(&sequential_and(k), &HardDist::new(k));
-            Row {
-                k,
-                cic,
-                cic_over_log_k: cic / (k as f64).log2().max(1e-9),
-                theorem1: theorem1_bound(k, 0.5),
-                cc: k,
-            }
-        })
-        .collect()
+    ks.iter().map(run_point).collect()
 }
 
 /// Builds the E2 table.
@@ -67,6 +69,43 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E2 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E2 as a registry [`Experiment`].
+pub struct E2;
+
+impl Experiment for E2 {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+
+    fn title(&self) -> &'static str {
+        "E2 — Theorem 1: exact CIC of the sequential AND_k witness"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(hard distribution; CIC/log2(k) flat <=> Theta(log k))".into()]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_ks()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

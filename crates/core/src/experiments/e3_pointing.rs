@@ -10,6 +10,7 @@ use bci_lowerbound::good_transcripts::{analyze, PointingReport};
 use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::and_trees::noisy_sequential_and;
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `(k, δ)` sweep point.
@@ -45,22 +46,23 @@ pub const BIG_C: f64 = 20.0;
 /// `max α ≥ ALPHA_FACTOR · k`.
 pub const ALPHA_FACTOR: f64 = 0.5;
 
-/// Runs the sweep (exact; no randomness).
+/// Computes one `(k, δ)` point (exact; no randomness).
+pub fn run_point(&(k, delta): &(usize, f64)) -> Row {
+    let tree = noisy_sequential_and(k, delta / k as f64);
+    let report = analyze(&tree, BIG_C, ALPHA_FACTOR);
+    let mu = HardDist::new(k);
+    Row {
+        k,
+        delta,
+        b1_bound: delta / mu.mass_zero_count(2),
+        b0_bound: BIG_C * delta,
+        report,
+    }
+}
+
+/// Runs the sweep (thin wrapper over [`run_point`]).
 pub fn run(grid: &[(usize, f64)]) -> Vec<Row> {
-    grid.iter()
-        .map(|&(k, delta)| {
-            let tree = noisy_sequential_and(k, delta / k as f64);
-            let report = analyze(&tree, BIG_C, ALPHA_FACTOR);
-            let mu = HardDist::new(k);
-            Row {
-                k,
-                delta,
-                b1_bound: delta / mu.mass_zero_count(2),
-                b0_bound: BIG_C * delta,
-                report,
-            }
-        })
-        .collect()
+    grid.iter().map(run_point).collect()
 }
 
 /// Builds the E3 table.
@@ -95,6 +97,45 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E3 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E3 as a registry [`Experiment`].
+pub struct E3;
+
+impl Experiment for E3 {
+    fn id(&self) -> &'static str {
+        "e3"
+    }
+
+    fn title(&self) -> &'static str {
+        "E3 — Lemma 5: pi_2 masses of L, L', B0, B1 and the pointing mass"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![format!(
+            "(noisy sequential AND with per-player flip delta/k; C = {BIG_C}, alpha >= {ALPHA_FACTOR}k)"
+        )]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, d))| Point::new(i, format!("k={k}, delta={d:.0e}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

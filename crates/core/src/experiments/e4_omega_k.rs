@@ -10,8 +10,10 @@ use bci_blackboard::runner::monte_carlo;
 use bci_lowerbound::counting::FoolingDist;
 use bci_protocols::and::{and_function, TruncatedAnd};
 use bci_protocols::and_trees::truncated_and;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One speaker-count sweep point.
@@ -58,36 +60,41 @@ impl Default for Params {
     }
 }
 
-/// Runs the sweep over `speaker_fracs · k` speakers.
-pub fn run(params: &Params, speaker_fracs: &[f64]) -> Vec<Row> {
+/// Runs one speaker-fraction point under its own Monte-Carlo RNG.
+pub fn run_point(params: &Params, &frac: &f64, seed: u64) -> Row {
     let d = FoolingDist::new(params.k, params.eps_prime);
     let threshold = d.speaker_threshold(params.eps);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let speakers = ((params.k as f64 * frac).round() as usize).min(params.k);
+    let closed_form = d.truncated_error(speakers);
+    // error_of_tree enumerates the μ′ support of k+1 inputs
+    // directly — no 2^k blowup — so it is exact at any k.
+    let exact = d.error_of_tree(&truncated_and(params.k, speakers));
+    let protocol = TruncatedAnd::new(params.k, speakers);
+    let report = monte_carlo(
+        &protocol,
+        |rng| d.sample(rng),
+        and_function,
+        params.trials,
+        &mut rng,
+    );
+    Row {
+        k: params.k,
+        speakers,
+        closed_form,
+        exact,
+        monte_carlo: report.error_rate(),
+        below_threshold: (speakers as f64) < threshold,
+    }
+}
+
+/// Runs the sweep over `speaker_fracs · k` speakers: point `i` computes
+/// under `point_seed(params.seed, i)` (thin wrapper over [`run_point`]).
+pub fn run(params: &Params, speaker_fracs: &[f64]) -> Vec<Row> {
     speaker_fracs
         .iter()
-        .map(|&frac| {
-            let speakers = ((params.k as f64 * frac).round() as usize).min(params.k);
-            let closed_form = d.truncated_error(speakers);
-            // error_of_tree enumerates the μ′ support of k+1 inputs
-            // directly — no 2^k blowup — so it is exact at any k.
-            let exact = d.error_of_tree(&truncated_and(params.k, speakers));
-            let protocol = TruncatedAnd::new(params.k, speakers);
-            let report = monte_carlo(
-                &protocol,
-                |rng| d.sample(rng),
-                and_function,
-                params.trials,
-                &mut rng,
-            );
-            Row {
-                k: params.k,
-                speakers,
-                closed_form,
-                exact,
-                monte_carlo: report.error_rate(),
-                below_threshold: (speakers as f64) < threshold,
-            }
-        })
+        .enumerate()
+        .map(|(i, frac)| run_point(params, frac, point_seed(params.seed, i)))
         .collect()
 }
 
@@ -132,6 +139,52 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E4 table with its parameter preamble.
 pub fn render(params: &Params, rows: &[Row]) -> String {
     format!("{}\n{}", preamble(params), table(rows).render())
+}
+
+/// E4 as a registry [`Experiment`].
+pub struct E4;
+
+impl Experiment for E4 {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+
+    fn title(&self) -> &'static str {
+        "E4 — Lemma 6: error of truncated deterministic AND_k under mu'"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(error crosses eps exactly at the lemma's speaker threshold)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("k", Json::UInt(Params::default().k as u64))]
+    }
+
+    fn seed(&self) -> u64 {
+        Params::default().seed
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_fracs()
+            .iter()
+            .enumerate()
+            .map(|(i, frac)| Point::new(i, format!("speaker frac={frac}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        let params = Params::default();
+        PointResult::new(run_point(&params, &default_fracs()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(preamble(&Params::default()), table(&rows))]
+    }
 }
 
 #[cfg(test)]

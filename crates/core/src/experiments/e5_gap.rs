@@ -7,6 +7,7 @@
 
 use bci_compression::gap::{and_gap, GapReport};
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `k` sweep point.
@@ -28,14 +29,17 @@ pub const EPS: f64 = 0.05;
 /// See [`EPS`].
 pub const EPS_PRIME: f64 = 0.1;
 
-/// Runs the sweep (exact; no randomness).
+/// Computes one `k` point (exact; no randomness).
+pub fn run_point(&k: &usize) -> Row {
+    Row {
+        report: and_gap(k, EPS, EPS_PRIME),
+        reference: k as f64 / (k as f64).log2(),
+    }
+}
+
+/// Runs the sweep (thin wrapper over [`run_point`]).
 pub fn run(ks: &[usize]) -> Vec<Row> {
-    ks.iter()
-        .map(|&k| Row {
-            report: and_gap(k, EPS, EPS_PRIME),
-            reference: k as f64 / (k as f64).log2(),
-        })
-        .collect()
+    ks.iter().map(run_point).collect()
 }
 
 /// Builds the E5 table.
@@ -64,6 +68,45 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E5 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E5 as a registry [`Experiment`].
+pub struct E5;
+
+impl Experiment for E5 {
+    fn id(&self) -> &'static str {
+        "e5"
+    }
+
+    fn title(&self) -> &'static str {
+        "E5 — Section 6: information vs communication for AND_k"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![format!(
+            "(eps = {EPS}, eps' = {EPS_PRIME}; gap should track k/log2 k)"
+        )]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_ks()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -9,8 +9,15 @@
 use bci_compression::sampling::{exchange, lemma7_bound, SamplerConfig};
 use bci_info::dist::Dist;
 use bci_info::divergence::kl;
+use bci_telemetry::Json;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
+
+/// Canonical trials per point (`EXPERIMENTS.md` parameters).
+pub const TRIALS: u64 = 400;
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE6;
 
 /// One `(universe, sharpness)` sweep point.
 #[derive(Debug, Clone)]
@@ -44,35 +51,40 @@ pub fn controlled_pair(universe: usize, sharpness: f64) -> (Dist, Dist) {
     )
 }
 
-/// Runs the sweep: for each `(universe, sharpness)`, `trials` independent
-/// protocol executions with distinct public seeds.
-pub fn run(grid: &[(usize, f64)], trials: u64, seed: u64) -> Vec<Row> {
+/// Runs one `(universe, sharpness)` point: `trials` independent protocol
+/// executions with distinct public seeds derived from `seed`.
+pub fn run_point(&(universe, sharpness): &(usize, f64), trials: u64, seed: u64) -> Row {
     let config = SamplerConfig::default();
+    let (eta, nu) = controlled_pair(universe, sharpness);
+    let d = kl(&eta, &nu);
+    let mut bits = 0u64;
+    let mut agreed = 0u64;
+    for t in 0..trials {
+        let e = exchange(
+            &eta,
+            &nu,
+            &config,
+            seed.wrapping_add(t).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        bits += e.bits as u64;
+        agreed += u64::from(e.agreed());
+    }
+    Row {
+        universe,
+        divergence: d,
+        mean_bits: bits as f64 / trials as f64,
+        agreement: agreed as f64 / trials as f64,
+        bound: lemma7_bound(d),
+        naive_bits: (universe as f64).log2(),
+    }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
+/// wrapper over [`run_point`]).
+pub fn run(grid: &[(usize, f64)], trials: u64, seed: u64) -> Vec<Row> {
     grid.iter()
-        .map(|&(universe, sharpness)| {
-            let (eta, nu) = controlled_pair(universe, sharpness);
-            let d = kl(&eta, &nu);
-            let mut bits = 0u64;
-            let mut agreed = 0u64;
-            for t in 0..trials {
-                let e = exchange(
-                    &eta,
-                    &nu,
-                    &config,
-                    seed.wrapping_add(t).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                bits += e.bits as u64;
-                agreed += u64::from(e.agreed());
-            }
-            Row {
-                universe,
-                divergence: d,
-                mean_bits: bits as f64 / trials as f64,
-                agreement: agreed as f64 / trials as f64,
-                bound: lemma7_bound(d),
-                naive_bits: (universe as f64).log2(),
-            }
-        })
+        .enumerate()
+        .map(|(i, p)| run_point(p, trials, point_seed(seed, i)))
         .collect()
 }
 
@@ -113,6 +125,53 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E6 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E6 as a registry [`Experiment`].
+pub struct E6;
+
+impl Experiment for E6 {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+
+    fn title(&self) -> &'static str {
+        "E6 — Lemma 7: literal one-round sampling protocol"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec![format!(
+            "(mean bits vs D(eta||nu) + O(log D); {TRIALS} trials per point)"
+        )]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("trials", Json::UInt(TRIALS)), ("seed", Json::UInt(SEED))]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, s))| Point::new(i, format!("|U|={u}, sharpness={s:.4}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], TRIALS, seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

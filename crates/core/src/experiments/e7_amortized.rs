@@ -8,8 +8,10 @@
 
 use bci_compression::amortized::{compress_nfold, AmortizedReport};
 use bci_protocols::and_trees::sequential_and;
+use bci_telemetry::Json;
 use rand::SeedableRng;
 
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `n` sweep point.
@@ -47,18 +49,23 @@ pub fn default_ns() -> Vec<usize> {
     vec![1, 4, 16, 64, 256, 1024]
 }
 
-/// Runs the sweep under the natural prior `Pr[Xᵢ = 1] = 1 − 1/k` (the hard
-/// distribution's non-special marginal).
-pub fn run(params: &Params, ns: &[usize]) -> Vec<Row> {
+/// Runs one `n` point under its own RNG, under the natural prior
+/// `Pr[Xᵢ = 1] = 1 − 1/k` (the hard distribution's non-special marginal).
+pub fn run_point(params: &Params, &n: &usize, seed: u64) -> Row {
     let tree = sequential_and(params.k);
     let priors = vec![1.0 - 1.0 / params.k as f64; params.k];
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(params.seed);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let report = compress_nfold(&tree, &priors, n, params.trials, &mut rng);
+    let overhead = report.per_copy_compressed() - report.ic_per_copy;
+    Row { report, overhead }
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(params.seed, i)`
+/// (thin wrapper over [`run_point`]).
+pub fn run(params: &Params, ns: &[usize]) -> Vec<Row> {
     ns.iter()
-        .map(|&n| {
-            let report = compress_nfold(&tree, &priors, n, params.trials, &mut rng);
-            let overhead = report.per_copy_compressed() - report.ic_per_copy;
-            Row { report, overhead }
-        })
+        .enumerate()
+        .map(|(i, n)| run_point(params, n, point_seed(params.seed, i)))
         .collect()
 }
 
@@ -91,6 +98,57 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E7 table with its parameter preamble.
 pub fn render(params: &Params, rows: &[Row]) -> String {
     format!("{}\n{}", preamble(params), table(rows).render())
+}
+
+/// E7 as a registry [`Experiment`].
+pub struct E7;
+
+impl Experiment for E7 {
+    fn id(&self) -> &'static str {
+        "e7"
+    }
+
+    fn title(&self) -> &'static str {
+        "E7 — Theorem 3: per-copy cost of the compressed n-fold protocol"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(sequential AND_k under the natural prior; converges to IC)".into()]
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        let params = Params::default();
+        vec![
+            ("k", Json::UInt(params.k as u64)),
+            ("trials", Json::UInt(params.trials as u64)),
+            ("seed", Json::UInt(params.seed)),
+        ]
+    }
+
+    fn seed(&self) -> u64 {
+        Params::default().seed
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ns()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Point::new(i, format!("n={n}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        let params = Params::default();
+        PointResult::new(run_point(&params, &default_ns()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(preamble(&Params::default()), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@ use bci_lowerbound::cic::cic_hard;
 use bci_lowerbound::direct_sum::{nfold_cic_bruteforce, nfold_ic_bruteforce};
 use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::and_trees::{noisy_sequential_and, sequential_and};
+use bci_protocols::disj_trees::{and_cic_exact, disj_cic_exact};
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One verification row.
@@ -36,64 +38,118 @@ impl Row {
     }
 }
 
-/// Runs the full verification suite (deterministic).
-pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
+/// One independent verification case of the fixed E8 suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// Theorem 4 equality: `IC` of n-fold sequential `AND_k` on product μ.
+    SeqIc {
+        /// Players per copy.
+        k: usize,
+        /// Copies.
+        n: usize,
+    },
+    /// Theorem 4 equality on the noisy `AND_2` (flip 0.15) witness.
+    NoisyIc {
+        /// Copies.
+        n: usize,
+    },
+    /// Lemma 1 equality: `CIC` of n-fold sequential `AND_k` under hard μ.
+    SeqCic {
+        /// Players per copy.
+        k: usize,
+        /// Copies.
+        n: usize,
+    },
+    /// The same equality on the full `DISJ_{n,k}` tree over set-valued
+    /// inputs (general-alphabet machinery; an entirely separate code path
+    /// from the joint enumeration).
+    Disj {
+        /// Coordinates (copies).
+        n: usize,
+        /// Players.
+        k: usize,
+    },
+}
 
-    // Theorem 4 equality on product distributions.
-    let k = 3;
-    let tree = sequential_and(k);
-    let priors = vec![1.0 - 1.0 / k as f64; k];
-    let single = tree.information_cost_product(&priors);
+impl Case {
+    /// Human-readable case description (also the sweep-point label).
+    pub fn label(&self) -> String {
+        match *self {
+            Case::SeqIc { k, n } => format!("IC(product mu), sequential AND_{k}, n={n}"),
+            Case::NoisyIc { n } => format!("IC(product mu), noisy AND_2, n={n}"),
+            Case::SeqCic { k, n } => format!("CIC(hard mu), sequential AND_{k}, n={n}"),
+            Case::Disj { n, k } => format!("CIC(hard mu^n), DISJ_{{n={n},k={k}}}"),
+        }
+    }
+}
+
+/// The verification cases, in table order.
+pub fn default_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
     for n in [1usize, 2, 3, 4] {
-        rows.push(Row {
-            protocol: format!("sequential AND_{k}"),
-            quantity: "IC (product mu)",
-            n,
-            nfold: nfold_ic_bruteforce(&tree, &priors, n),
-            n_times_single: n as f64 * single,
-        });
+        cases.push(Case::SeqIc { k: 3, n });
     }
-    let noisy = noisy_sequential_and(2, 0.15);
-    let priors2 = vec![0.75; 2];
-    let single2 = noisy.information_cost_product(&priors2);
     for n in [2usize, 3] {
-        rows.push(Row {
-            protocol: "noisy AND_2 (eps=0.15)".to_owned(),
-            quantity: "IC (product mu)",
-            n,
-            nfold: nfold_ic_bruteforce(&noisy, &priors2, n),
-            n_times_single: n as f64 * single2,
-        });
+        cases.push(Case::NoisyIc { n });
     }
-
-    // Lemma 1 equality case under the hard distribution.
-    let mu = HardDist::new(k);
-    let single_cic = cic_hard(&tree, &mu);
     for n in [1usize, 2, 3] {
-        rows.push(Row {
-            protocol: format!("sequential AND_{k}"),
-            quantity: "CIC (hard mu)",
-            n,
-            nfold: nfold_cic_bruteforce(&tree, &mu, n),
-            n_times_single: n as f64 * single_cic,
-        });
+        cases.push(Case::SeqCic { k: 3, n });
     }
-
-    // The same equality on the *full* DISJ_{n,k} protocol tree over
-    // set-valued inputs (general-alphabet machinery; an entirely separate
-    // code path from the joint enumeration above).
-    use bci_protocols::disj_trees::{and_cic_exact, disj_cic_exact};
     for (n, k) in [(2usize, 3usize), (3, 3), (2, 4)] {
-        rows.push(Row {
+        cases.push(Case::Disj { n, k });
+    }
+    cases
+}
+
+/// Runs one verification case (deterministic; exact to float precision).
+pub fn run_case(&case: &Case) -> Row {
+    match case {
+        Case::SeqIc { k, n } => {
+            let tree = sequential_and(k);
+            let priors = vec![1.0 - 1.0 / k as f64; k];
+            Row {
+                protocol: format!("sequential AND_{k}"),
+                quantity: "IC (product mu)",
+                n,
+                nfold: nfold_ic_bruteforce(&tree, &priors, n),
+                n_times_single: n as f64 * tree.information_cost_product(&priors),
+            }
+        }
+        Case::NoisyIc { n } => {
+            let noisy = noisy_sequential_and(2, 0.15);
+            let priors = vec![0.75; 2];
+            Row {
+                protocol: "noisy AND_2 (eps=0.15)".to_owned(),
+                quantity: "IC (product mu)",
+                n,
+                nfold: nfold_ic_bruteforce(&noisy, &priors, n),
+                n_times_single: n as f64 * noisy.information_cost_product(&priors),
+            }
+        }
+        Case::SeqCic { k, n } => {
+            let tree = sequential_and(k);
+            let mu = HardDist::new(k);
+            Row {
+                protocol: format!("sequential AND_{k}"),
+                quantity: "CIC (hard mu)",
+                n,
+                nfold: nfold_cic_bruteforce(&tree, &mu, n),
+                n_times_single: n as f64 * cic_hard(&tree, &mu),
+            }
+        }
+        Case::Disj { n, k } => Row {
             protocol: format!("coordinate-wise DISJ_{{n={n},k={k}}}"),
             quantity: "CIC (hard mu^n)",
             n,
             nfold: disj_cic_exact(n, k),
             n_times_single: n as f64 * and_cic_exact(k),
-        });
+        },
     }
-    rows
+}
+
+/// Runs the full verification suite (thin wrapper over [`run_case`]).
+pub fn run() -> Vec<Row> {
+    default_cases().iter().map(run_case).collect()
 }
 
 /// Builds the E8 table.
@@ -122,6 +178,43 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E8 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E8 as a registry [`Experiment`].
+pub struct E8;
+
+impl Experiment for E8 {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+
+    fn title(&self) -> &'static str {
+        "E8 — Lemma 1 / Theorem 4: information is additive across copies"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(full joint enumeration; no additivity assumption)".into()]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_cases()
+            .iter()
+            .enumerate()
+            .map(|(i, case)| Point::new(i, case.label()))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_case(&default_cases()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use bci_info::dist::Dist;
 use bci_info::divergence::{kl, pointing_divergence_bound};
 
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
 use crate::table::{f, Table};
 
 /// One `(k, p)` grid point.
@@ -39,23 +40,32 @@ pub fn default_grid() -> Vec<(usize, f64)> {
     g
 }
 
-/// Runs the grid (exact; no randomness).
+/// Computes one `(k, p)` point (exact; no randomness).
+///
+/// # Panics
+///
+/// If `k < 1` or `p` is outside `[0, 1]` — the point must describe a real
+/// posterior probability.
+pub fn run_point(&(k, p): &(usize, f64)) -> Row {
+    assert!(k >= 1, "k = {k} must be at least 1");
+    assert!((0.0..=1.0).contains(&p), "p = {p} must be a probability");
+    // Infallible after the asserts: both arguments are now in [0, 1].
+    let prior = Dist::bernoulli(1.0 - 1.0 / k as f64).expect("valid prior");
+    let posterior = Dist::bernoulli(1.0 - p).expect("valid posterior");
+    let eq8_valid = (k as f64) >= 2f64.powf(2.0 / p);
+    Row {
+        k,
+        p,
+        exact: kl(&posterior, &prior),
+        bound_mid: pointing_divergence_bound(p, k),
+        bound_final: p * (k as f64).log2() - 1.0,
+        bound_eq8: eq8_valid.then(|| 0.5 * p * (k as f64).log2()),
+    }
+}
+
+/// Runs the grid (thin wrapper over [`run_point`]).
 pub fn run(grid: &[(usize, f64)]) -> Vec<Row> {
-    grid.iter()
-        .map(|&(k, p)| {
-            let prior = Dist::bernoulli(1.0 - 1.0 / k as f64).expect("valid prior");
-            let posterior = Dist::bernoulli(1.0 - p).expect("valid posterior");
-            let eq8_valid = (k as f64) >= 2f64.powf(2.0 / p);
-            Row {
-                k,
-                p,
-                exact: kl(&posterior, &prior),
-                bound_mid: pointing_divergence_bound(p, k),
-                bound_final: p * (k as f64).log2() - 1.0,
-                bound_eq8: eq8_valid.then(|| 0.5 * p * (k as f64).log2()),
-            }
-        })
-        .collect()
+    grid.iter().map(run_point).collect()
 }
 
 /// Builds the E9 table.
@@ -84,6 +94,43 @@ pub fn table(rows: &[Row]) -> Table {
 /// Renders the E9 table as text.
 pub fn render(rows: &[Row]) -> String {
     table(rows).render()
+}
+
+/// E9 as a registry [`Experiment`].
+pub struct E9;
+
+impl Experiment for E9 {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn title(&self) -> &'static str {
+        "E9 — Eq. (3)-(4): exact KL vs p*log k - H(p) vs p*log k - 1"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        vec!["(posterior Bern with Pr[0]=p against the 1/k prior)".into()]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, p))| Point::new(i, format!("k={k}, p={p}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table(&rows))]
+    }
 }
 
 #[cfg(test)]

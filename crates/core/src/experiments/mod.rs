@@ -1,9 +1,16 @@
 //! One driver per paper result; see `EXPERIMENTS.md` for the index.
 //!
-//! Every module follows the same shape: a `Row` struct, `run(params) ->
-//! Vec<Row>` producing the numbers, `render(&[Row]) -> String` producing the
-//! table, and `default_*` helpers with the parameters used in
-//! `EXPERIMENTS.md`. The `bci-bench` binaries are one-line wrappers.
+//! Every module follows the same shape: a `Row` struct, a pure per-point
+//! driver (`run_point`-style), `run(params) -> Vec<Row>` as a thin wrapper
+//! over it, `table`/`render` producing the output, and `default_*` helpers
+//! with the parameters used in `EXPERIMENTS.md`. Each module also exposes a
+//! unit struct (`E1` … `E18`) implementing [`registry::Experiment`], the
+//! uniform interface the `bci-bench` report generator, the parallel sweep
+//! pool, and the `bci experiments` CLI all dispatch through; see
+//! [`registry`] for the contract and `docs/experiments.md` for how to add
+//! E19+.
+
+pub mod registry;
 
 pub mod e10_union;
 pub mod e11_internal;

@@ -1,0 +1,244 @@
+//! The [`Experiment`] trait and the registry of all 18 paper experiments.
+//!
+//! Every `e*_*` module implements [`Experiment`]: a stable id, a title and
+//! context notes, a grid of opaque sweep [`Point`]s, a pure
+//! [`run_point`](Experiment::run_point) producing one type-erased
+//! [`PointResult`] per point, and a [`tables`](Experiment::tables) step
+//! assembling the rendered tables from the results. Because points are
+//! independent and each receives its own derived seed
+//! ([`point_seed`]), a sweep can run on any executor — the serial loop in
+//! [`run_grid`], the parallel `JobPool` in `bci-fabric`, or anything else —
+//! and produce byte-identical tables as long as results are assembled in
+//! point order.
+//!
+//! The seed scheme mirrors the fabric's session-seed derivation
+//! (`derive_trial_seed`-style splitting): point `i` of an experiment with
+//! master seed `s` computes with `point_seed(s, i)`, so no point's
+//! randomness depends on how many points ran before it. Deterministic
+//! experiments simply ignore the seed.
+//!
+//! Consumers: `bci-bench`'s `report_for` builds one machine-readable
+//! report per experiment from this interface, and the `bci experiments`
+//! CLI lists and runs registry entries directly.
+
+use std::any::Any;
+
+use bci_blackboard::runner::derive_trial_seed;
+use bci_telemetry::Json;
+
+use crate::table::Table;
+
+use super::*;
+
+/// One opaque sweep point: its position in the experiment's grid plus a
+/// human-readable label (`"n=1024, k=16"`). The experiment itself maps the
+/// index back to its typed parameters, so executors never need to know
+/// what a point means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Point {
+    index: usize,
+    label: String,
+}
+
+impl Point {
+    /// Creates a point at `index` with a display `label`.
+    pub fn new(index: usize, label: impl Into<String>) -> Point {
+        Point {
+            index,
+            label: label.into(),
+        }
+    }
+
+    /// The point's position in the experiment's grid.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The human-readable parameter description.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The type-erased output of one sweep point (one `Row`, a `Vec<Row>`, a
+/// `Profile`, ... — whatever the experiment's typed driver produces).
+#[derive(Debug)]
+pub struct PointResult(Box<dyn Any + Send>);
+
+impl PointResult {
+    /// Wraps a typed per-point output.
+    pub fn new<T: Any + Send>(value: T) -> PointResult {
+        PointResult(Box::new(value))
+    }
+
+    /// Borrows the typed output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result holds a different type — that is a bug in the
+    /// experiment implementation (its `tables` must match its `run_point`),
+    /// never a data-dependent condition.
+    pub fn downcast<T: Any>(&self) -> &T {
+        self.0
+            .downcast_ref::<T>()
+            .expect("PointResult type mismatch between run_point and tables")
+    }
+}
+
+/// A rendered table with the preamble line printed above it (empty label =
+/// no preamble).
+pub type LabeledTable = (String, Table);
+
+/// One paper experiment: identity, sweep grid, per-point computation, and
+/// table assembly.
+///
+/// Implementations must keep `run_point` **pure per point**: the output may
+/// depend only on the point and the seed handed in, never on which other
+/// points ran or in what order. That property is what lets the suite run
+/// grids in parallel with output byte-identical to the serial order.
+pub trait Experiment: Sync {
+    /// Short stable id (`"e1"` … `"e18"`), also the registry key.
+    fn id(&self) -> &'static str;
+
+    /// The headline printed above the tables.
+    fn title(&self) -> &'static str;
+
+    /// Free-form context lines printed under the title.
+    fn notes(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Parameter metadata (seeds, trial counts, …), insertion-ordered.
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        Vec::new()
+    }
+
+    /// The experiment's canonical master seed (`EXPERIMENTS.md`
+    /// parameters). Deterministic experiments keep the default.
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    /// The default sweep grid as opaque points.
+    fn grid(&self) -> Vec<Point>;
+
+    /// Computes one point. `seed` is already split per point (see
+    /// [`point_seed`]); deterministic experiments ignore it.
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult;
+
+    /// Assembles the rendered tables from the per-point results, in point
+    /// order.
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable>;
+}
+
+/// The seed for point `index` of a sweep with master seed `master_seed` —
+/// the same SplitMix-style derivation the fabric uses for session seeds,
+/// so points are independent of execution order.
+pub fn point_seed(master_seed: u64, index: usize) -> u64 {
+    derive_trial_seed(master_seed, index as u64)
+}
+
+/// Runs an experiment's full default grid serially and assembles its
+/// tables. The reference executor: any parallel executor must produce
+/// byte-identical tables.
+pub fn run_grid(exp: &dyn Experiment) -> Vec<LabeledTable> {
+    let master = exp.seed();
+    let results: Vec<PointResult> = exp
+        .grid()
+        .iter()
+        .enumerate()
+        .map(|(i, point)| exp.run_point(point, point_seed(master, i)))
+        .collect();
+    exp.tables(&results)
+}
+
+/// Renders an experiment's header (title + notes) and every table from
+/// [`run_grid`]-shaped output as plain text.
+pub fn render_report(exp: &dyn Experiment, tables: &[LabeledTable]) -> String {
+    let mut out = String::new();
+    out.push_str(exp.title());
+    out.push('\n');
+    for note in exp.notes() {
+        out.push_str(&note);
+        out.push('\n');
+    }
+    for (label, table) in tables {
+        out.push('\n');
+        if !label.is_empty() {
+            out.push_str(label);
+            out.push('\n');
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Every experiment, in `EXPERIMENTS.md` order.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static REGISTRY: [&dyn Experiment; 18] = [
+        &e1_disj_upper::E1,
+        &e2_and_cic::E2,
+        &e3_pointing::E3,
+        &e4_omega_k::E4,
+        &e5_gap::E5,
+        &e6_sampling::E6,
+        &e7_amortized::E7,
+        &e8_direct_sum::E8,
+        &e9_divergence::E9,
+        &e10_union::E10,
+        &e11_internal::E11,
+        &e12_sparse::E12,
+        &e13_huffman::E13,
+        &e14_one_shot::E14,
+        &e15_block_coding::E15,
+        &e16_profile::E16,
+        &e17_error_tradeoff::E17,
+        &e18_promise::E18,
+    ];
+    &REGISTRY
+}
+
+/// Looks an experiment up by id (`"e7"`).
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    registry().iter().copied().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_in_experiments_order() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        let expected: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn find_resolves_every_id_and_rejects_unknowns() {
+        for exp in registry() {
+            assert_eq!(find(exp.id()).map(|e| e.id()), Some(exp.id()));
+        }
+        assert!(find("e19").is_none());
+        assert!(find("fabric").is_none());
+    }
+
+    #[test]
+    fn every_grid_is_nonempty_with_dense_indices() {
+        for exp in registry() {
+            let grid = exp.grid();
+            assert!(!grid.is_empty(), "{}", exp.id());
+            for (i, p) in grid.iter().enumerate() {
+                assert_eq!(p.index(), i, "{}", exp.id());
+                assert!(!p.label().is_empty(), "{}", exp.id());
+            }
+        }
+    }
+
+    #[test]
+    fn point_seeds_split_like_fabric_sessions() {
+        assert_eq!(point_seed(7, 0), derive_trial_seed(7, 0));
+        assert_ne!(point_seed(7, 0), point_seed(7, 1));
+        assert_ne!(point_seed(7, 0), point_seed(8, 0));
+    }
+}

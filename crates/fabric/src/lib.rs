@@ -25,8 +25,11 @@
 //!   and injectable faults ([`FaultPlan`]): slow
 //!   players, crashed players, dropped wakeups. Faulty sessions abort
 //!   gracefully; they never take a worker down.
-//! * [`scheduler`] — shards sessions across a fixed worker pool through a
-//!   bounded batch queue with producer backpressure.
+//! * [`pool`] — the generic deterministic [`JobPool`]: the bounded batch
+//!   queue, producer backpressure, and in-order result collection, usable
+//!   for any `Fn(seed, &point) -> T` job (experiment sweeps run on it).
+//! * [`scheduler`] — the protocol-aware layer over the pool: one job per
+//!   session, per-session fault injection and telemetry.
 //! * [`driver`] — [`monte_carlo_fabric`], the
 //!   parallel Monte-Carlo entry point whose
 //!   [`RunReport`](bci_blackboard::runner::RunReport) is bit-identical to
@@ -64,12 +67,14 @@
 
 pub mod driver;
 pub mod metrics;
+pub mod pool;
 pub mod scheduler;
 pub mod session;
 pub mod transport;
 
 pub use driver::{monte_carlo_fabric, FabricReport};
 pub use metrics::FabricMetrics;
+pub use pool::{JobPool, PoolConfig, PoolRun};
 pub use scheduler::{SchedulerConfig, SessionRecord};
 pub use session::{FaultKind, FaultPlan, FaultSpec, SessionOutcome, SessionSelector};
 pub use transport::{ChannelTransport, InProcessTransport, Transport, DISABLED_RECORDER};

@@ -1,38 +1,35 @@
 //! Sharding many sessions across a fixed worker pool.
 //!
-//! The scheduler is a classic bounded pipeline: the calling thread
-//! enumerates session ids, groups them into batches, and pushes the
-//! batches into a bounded queue ([`std::sync::mpsc::sync_channel`]) — when
-//! the queue is full the producer blocks, which is the backpressure that
-//! keeps a fast producer from buffering millions of sessions ahead of slow
-//! workers. A fixed pool of worker threads drains the queue; each worker
-//! runs its sessions through the shared [`Transport`] and streams
-//! [`SessionRecord`]s back over an unbounded result channel (records are
-//! small and one is in flight per completed session, so the result side
-//! needs no bound).
+//! The scheduler is a thin protocol-aware layer over the generic
+//! [`crate::pool::JobPool`]: it submits one job per session id,
+//! and the pool supplies the bounded batch queue, producer backpressure,
+//! worker threads, and in-order result collection. Each job derives the
+//! session RNG from the pool-provided seed, samples inputs, runs the
+//! session through the shared [`Transport`], and emits the per-session
+//! telemetry (spans, outcome counters, latency/bits histograms). Per-worker
+//! [`CommStats`] shards ride the pool's worker-local accumulators, so
+//! pooled statistics are recovered by merging without any cross-worker
+//! locking during the run.
 //!
 //! Determinism does not depend on the schedule: session `i`'s RNG is
 //! derived from `(master_seed, i)` via
 //! [`derive_trial_seed`](bci_blackboard::runner::derive_trial_seed), so
 //! whichever worker runs it — and in whatever order — the transcript is
-//! the one the serial runner would produce. Records are sorted by session
-//! id before they are returned, which also makes downstream statistics
+//! the one the serial runner would produce. The pool returns records in
+//! session-id order, which also makes downstream statistics
 //! order-independent.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bci_blackboard::board::Board;
 use bci_blackboard::protocol::Protocol;
-use bci_blackboard::runner::derive_trial_rng;
 use bci_blackboard::stats::CommStats;
-use bci_telemetry::hist::{Histogram, BITS_BOUNDS, LATENCY_US_BOUNDS, QUEUE_DEPTH_BOUNDS};
+use bci_telemetry::hist::{Histogram, BITS_BOUNDS, LATENCY_US_BOUNDS};
 use bci_telemetry::{Json, Recorder, SpanKind};
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::pool::{JobPool, PoolConfig};
 use crate::session::{FaultPlan, SessionOutcome};
 use crate::transport::{SessionContext, Transport};
 
@@ -149,170 +146,87 @@ where
     S: Fn(&mut dyn RngCore) -> Vec<P::Input> + Sync,
     F: Fn(&[P::Input]) -> P::Output + Sync,
 {
-    assert!(config.workers > 0, "need at least one worker");
-    assert!(config.batch_size > 0, "batches hold at least one session");
-    assert!(config.queue_capacity > 0, "queue needs capacity");
-
-    let start = Instant::now();
-    let (batch_tx, batch_rx) = mpsc::sync_channel::<Vec<u64>>(config.queue_capacity);
-    let batch_rx = Mutex::new(batch_rx);
-    let (record_tx, record_rx) = mpsc::channel::<SessionRecord<P::Output>>();
-    let queue_depth = AtomicUsize::new(0);
-    let max_queue_depth = AtomicUsize::new(0);
-
-    let mut records: Vec<SessionRecord<P::Output>> = Vec::with_capacity(sessions as usize);
-    let mut shards: Vec<CommStats> = Vec::with_capacity(config.workers);
-
-    let recorder = &config.recorder;
-    let mut queue_depth_hist = Histogram::new(QUEUE_DEPTH_BOUNDS);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let record_tx = record_tx.clone();
-            let batch_rx = &batch_rx;
-            let queue_depth = &queue_depth;
-            handles.push(scope.spawn(move || {
-                let mut shard = CommStats::new();
-                loop {
-                    // Take the receiver lock only long enough to pop one
-                    // batch; the batch itself is processed lock-free.
-                    let batch = match batch_rx.lock().expect("queue lock").recv() {
-                        Ok(batch) => batch,
-                        Err(_) => break, // producer done and queue drained
-                    };
-                    queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    for session_id in batch {
-                        let token = recorder.span_start(SpanKind::Session, session_id, vec![]);
-                        let mut rng: ChaCha8Rng = derive_trial_rng(master_seed, session_id);
-                        let inputs = sample_inputs(&mut rng);
-                        let expected = reference(&inputs);
-                        let faults = plan.for_session(session_id);
-                        let ctx = SessionContext {
-                            session_id,
-                            deadline: config.deadline,
-                            faults: &faults,
-                            recorder,
-                        };
-                        let result = transport.run_session(protocol, &inputs, rng, &ctx);
-                        if result.outcome.is_completed() {
-                            shard.record(result.bits_written as f64);
-                        }
-                        if recorder.enabled() {
-                            recorder.counter_add("fabric.sessions", 1);
-                            recorder.counter_add(
-                                match result.outcome {
-                                    SessionOutcome::Completed => "fabric.completed",
-                                    SessionOutcome::TimedOut => "fabric.timed_out",
-                                    SessionOutcome::Aborted(_) => "fabric.aborted",
-                                },
-                                1,
-                            );
-                            recorder.hist_record(
-                                "fabric.latency_us",
-                                result.latency.as_micros() as u64,
-                                LATENCY_US_BOUNDS,
-                            );
-                            recorder.hist_record(
-                                "fabric.bits_per_session",
-                                result.bits_written as u64,
-                                BITS_BOUNDS,
-                            );
-                            recorder.span_end(
-                                SpanKind::Session,
-                                session_id,
-                                token,
-                                vec![
-                                    ("outcome", Json::str(result.outcome.label())),
-                                    ("bits", Json::UInt(result.bits_written as u64)),
-                                ],
-                            );
-                        }
-                        let correct = result.output.as_ref().map(|o| *o == expected);
-                        let record = SessionRecord {
-                            session_id,
-                            outcome: result.outcome,
-                            output: result.output,
-                            correct,
-                            bits_written: result.bits_written,
-                            latency: result.latency,
-                            board: config.keep_transcripts.then_some(result.board),
-                        };
-                        if record_tx.send(record).is_err() {
-                            return shard; // collector went away
-                        }
-                    }
-                }
-                shard
-            }));
-        }
-        drop(record_tx); // collectors detect completion by hangup
-
-        // Producer: enumerate batches, blocking on the bounded queue.
-        let mut next = 0u64;
-        let mut batch_index = 0u64;
-        while next < sessions {
-            let end = (next + config.batch_size as u64).min(sessions);
-            let batch: Vec<u64> = (next..end).collect();
-            next = end;
-            let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-            max_queue_depth.fetch_max(depth, Ordering::Relaxed);
-            queue_depth_hist.record(depth as u64);
-            if recorder.enabled() {
-                recorder.hist_record("fabric.queue_depth", depth as u64, QUEUE_DEPTH_BOUNDS);
-                if recorder.events_enabled() {
-                    recorder.point(
-                        SpanKind::Batch,
-                        batch_index,
-                        vec![
-                            ("first", Json::UInt(batch[0])),
-                            ("len", Json::UInt(batch.len() as u64)),
-                            ("depth", Json::UInt(depth as u64)),
-                        ],
-                    );
-                }
-            }
-            batch_index += 1;
-            // Distinguish an immediate hand-off from a backpressure stall:
-            // try first, and only if the queue is full count the stall and
-            // fall back to the blocking send.
-            match batch_tx.try_send(batch) {
-                Ok(()) => {}
-                Err(mpsc::TrySendError::Full(batch)) => {
-                    let stalled = Instant::now();
-                    let failed = batch_tx.send(batch).is_err();
-                    if recorder.enabled() {
-                        recorder.counter_add("fabric.backpressure_stalls", 1);
-                        recorder.hist_record(
-                            "fabric.stall_us",
-                            stalled.elapsed().as_micros() as u64,
-                            LATENCY_US_BOUNDS,
-                        );
-                    }
-                    if failed {
-                        break; // all workers died (only possible via panic)
-                    }
-                }
-                Err(mpsc::TrySendError::Disconnected(_)) => {
-                    break; // all workers died (only possible via panic)
-                }
-            }
-        }
-        drop(batch_tx); // workers drain the queue and exit
-
-        records.extend(record_rx.iter());
-        for handle in handles {
-            shards.push(handle.join().expect("worker panicked"));
-        }
+    let pool = JobPool::new(PoolConfig {
+        workers: config.workers,
+        batch_size: config.batch_size,
+        queue_capacity: config.queue_capacity,
+        // Historical metric names: the scheduler predates the generic pool.
+        metric_prefix: "fabric",
+        // The job closure emits its own Session spans; pool-level Job spans
+        // would double every session in the event stream.
+        job_spans: false,
+        recorder: config.recorder.clone(),
     });
-
-    records.sort_by_key(|r| r.session_id);
+    let recorder = &config.recorder;
+    let session_ids: Vec<u64> = (0..sessions).collect();
+    let run = pool.run_with(
+        &session_ids,
+        master_seed,
+        &CommStats::new,
+        &|seed, &session_id, shard: &mut CommStats| {
+            let token = recorder.span_start(SpanKind::Session, session_id, vec![]);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let inputs = sample_inputs(&mut rng);
+            let expected = reference(&inputs);
+            let faults = plan.for_session(session_id);
+            let ctx = SessionContext {
+                session_id,
+                deadline: config.deadline,
+                faults: &faults,
+                recorder,
+            };
+            let result = transport.run_session(protocol, &inputs, rng, &ctx);
+            if result.outcome.is_completed() {
+                shard.record(result.bits_written as f64);
+            }
+            if recorder.enabled() {
+                recorder.counter_add("fabric.sessions", 1);
+                recorder.counter_add(
+                    match result.outcome {
+                        SessionOutcome::Completed => "fabric.completed",
+                        SessionOutcome::TimedOut => "fabric.timed_out",
+                        SessionOutcome::Aborted(_) => "fabric.aborted",
+                    },
+                    1,
+                );
+                recorder.hist_record(
+                    "fabric.latency_us",
+                    result.latency.as_micros() as u64,
+                    LATENCY_US_BOUNDS,
+                );
+                recorder.hist_record(
+                    "fabric.bits_per_session",
+                    result.bits_written as u64,
+                    BITS_BOUNDS,
+                );
+                recorder.span_end(
+                    SpanKind::Session,
+                    session_id,
+                    token,
+                    vec![
+                        ("outcome", Json::str(result.outcome.label())),
+                        ("bits", Json::UInt(result.bits_written as u64)),
+                    ],
+                );
+            }
+            let correct = result.output.as_ref().map(|o| *o == expected);
+            SessionRecord {
+                session_id,
+                outcome: result.outcome,
+                output: result.output,
+                correct,
+                bits_written: result.bits_written,
+                latency: result.latency,
+                board: config.keep_transcripts.then_some(result.board),
+            }
+        },
+    );
     SchedulerRun {
-        records,
-        shards,
-        max_queue_depth: max_queue_depth.load(Ordering::Relaxed),
-        queue_depth_hist,
-        elapsed: start.elapsed(),
+        records: run.outputs,
+        shards: run.shards,
+        max_queue_depth: run.max_queue_depth,
+        queue_depth_hist: run.queue_depth_hist,
+        elapsed: run.elapsed,
     }
 }
 

@@ -315,6 +315,9 @@ impl Transport for ChannelTransport {
                 }
                 let turn = TurnMsg {
                     board: board.clone(),
+                    // Invariant: the RNG travels with the turn message and
+                    // every reply hands it back before the next speaker is
+                    // chosen, so it is always home at this point.
                     rng: rng.take().expect("rng is home between turns"),
                 };
                 if turn_txs[speaker].send(turn).is_err() {

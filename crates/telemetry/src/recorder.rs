@@ -61,6 +61,9 @@ pub enum SpanKind {
     Trial,
     /// One batch moving through the scheduler queue.
     Batch,
+    /// One generic job executed by a fabric job pool (e.g. an experiment
+    /// sweep point).
+    Job,
 }
 
 impl SpanKind {
@@ -73,6 +76,7 @@ impl SpanKind {
             SpanKind::Hop => "hop",
             SpanKind::Trial => "trial",
             SpanKind::Batch => "batch",
+            SpanKind::Job => "job",
         }
     }
 }
