@@ -1,0 +1,62 @@
+//! Criterion bench: the two kernels behind the suite's critical path.
+//!
+//! * `tree_transcript`: dense all-leaves evaluation
+//!   (`transcript_dist_given_input`) vs the sparse O(depth) walk
+//!   (`transcript_support_given_input`) on `sequential_and(2048)` — the
+//!   exact computation E13 folds over its support inputs.
+//! * `hw_round`: one full Håstad–Wigderson run at `n = 2²⁴, s = 128` on
+//!   the dense `BitSet` lane (`O(n)` per pruning round) vs the sparse
+//!   lane (`O(s)` per round) — the exact computation behind E12's
+//!   heaviest grid point.
+
+use bci_encoding::bitset::{BitSet, SparseBitSet};
+use bci_protocols::{and_trees::sequential_and, sparse};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_tree_transcript(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_transcript");
+    group.sample_size(10);
+    let k = 2048;
+    let tree = sequential_and(k);
+    let mut x = vec![true; k];
+    x[k / 2] = false;
+    group.bench_function("dense_all_leaves_k2048", |b| {
+        b.iter(|| black_box(tree.transcript_dist_given_input(&x)))
+    });
+    group.bench_function("sparse_walk_k2048", |b| {
+        b.iter(|| black_box(tree.transcript_support_given_input(&x)))
+    });
+    group.finish();
+}
+
+fn bench_hw_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_round");
+    group.sample_size(10);
+    let (n, s) = (1usize << 24, 128usize);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut xs = SparseBitSet::new(n);
+    let mut ys = SparseBitSet::new(n);
+    while xs.len() < s {
+        xs.insert(rng.random_range(0..n));
+    }
+    while ys.len() < s {
+        let e = rng.random_range(0..n);
+        if !xs.contains(e) {
+            ys.insert(e);
+        }
+    }
+    let xd = BitSet::from_elements(n, xs.iter());
+    let yd = BitSet::from_elements(n, ys.iter());
+    group.bench_function("dense_n2e24_s128", |b| {
+        b.iter(|| black_box(sparse::run(&xd, &yd, &mut rng).bits))
+    });
+    group.bench_function("sparse_n2e24_s128", |b| {
+        b.iter(|| black_box(sparse::run_sparse(&xs, &ys, &mut rng).bits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_transcript, bench_hw_round);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! reports for every `N`. The `table_*` binaries are thin
 //! [`report_by_id`] lookups; there are no per-experiment constructors here.
 
-use bci_core::experiments::registry::{find, registry, Experiment, LabeledTable};
+use bci_core::experiments::registry::{find, registry, run_grid_pooled, Experiment, LabeledTable};
 use bci_fabric::pool::{JobPool, PoolConfig};
 use bci_telemetry::Recorder;
 
@@ -18,23 +18,26 @@ use crate::report::Report;
 /// Builds the report for one experiment, running its default grid on a
 /// `workers`-wide [`JobPool`].
 ///
-/// Point `i` computes under `derive_trial_seed(exp.seed(), i)` and results
-/// are assembled in point order, so the report — text and JSON — is
-/// byte-identical for any worker count, including the serial `workers = 1`.
+/// Point `i` computes under `derive_trial_seed(exp.seed(), i)`; Monte-Carlo
+/// experiments exposing the registry's `TrialSplit` hook additionally split
+/// each point into fixed-size trial chunks so one heavy point spreads
+/// across workers. Either way results are assembled in point (and trial)
+/// order, so the report — text and JSON — is byte-identical for any worker
+/// count, including the serial `workers = 1`.
 pub fn report_for(exp: &dyn Experiment, workers: usize) -> Report {
-    let grid = exp.grid();
     let pool = JobPool::new(PoolConfig {
         workers,
-        // Grid points are few and individually heavy; schedule one per
-        // queue entry so a slow point never strands cheap ones behind it.
+        // Grid points (and trial chunks) are few and individually heavy;
+        // schedule one per queue entry so a slow point never strands cheap
+        // ones behind it.
         batch_size: 1,
         queue_capacity: 8,
         metric_prefix: "experiments",
         job_spans: true,
         recorder: Recorder::disabled(),
     });
-    let run = pool.run(&grid, exp.seed(), &|seed, point| exp.run_point(point, seed));
-    let tables = exp.tables(&run.outputs);
+    let results = run_grid_pooled(exp, &pool, exp.seed());
+    let tables = exp.tables(&results);
     report_from_tables(exp, &tables)
 }
 

@@ -321,9 +321,69 @@ impl ProtocolTree {
     }
 
     /// The exact transcript distribution (over leaf indices) on input `x`.
+    ///
+    /// This is the dense generic path: every leaf is evaluated through its
+    /// Lemma-3 `q`-product, at cost `O(#leaves · k)`. When only the
+    /// *reachable* leaves are needed — in particular on deterministic trees,
+    /// where each input reaches exactly one leaf — use the sparse
+    /// [`transcript_support_given_input`](Self::transcript_support_given_input)
+    /// fast lane instead; the two agree exactly (cross-checked in tests).
     pub fn transcript_dist_given_input(&self, x: &[bool]) -> Vec<f64> {
         assert_eq!(x.len(), self.k, "input length mismatch");
         self.leaves.iter().map(|l| l.prob_given_input(x)).collect()
+    }
+
+    /// The support of the transcript distribution on input `x`: the leaves
+    /// reachable with positive probability, as `(leaf, Pr[Π(x) = leaf])`
+    /// pairs in DFS order.
+    ///
+    /// Walks the tree from the root and prunes every zero-probability
+    /// branch, so the cost is `O(reachable subtree)` rather than
+    /// `O(#leaves · k)`. On a *deterministic* tree (see
+    /// [`is_deterministic`](Self::is_deterministic)) exactly one branch
+    /// survives at every node, so this is a single `O(depth)` root-to-leaf
+    /// walk — the fast lane that makes E13's exact transcript analysis of
+    /// `sequential_and(k)` quadratic-in-`k` overall instead of cubic.
+    ///
+    /// The probabilities are products of the same edge probabilities the
+    /// dense path multiplies (grouped per player there, along the path
+    /// here); on deterministic trees both are exactly `1.0`, and tests
+    /// cross-check the two representations on randomized trees.
+    pub fn transcript_support_given_input(&self, x: &[bool]) -> Vec<(LeafId, f64)> {
+        assert_eq!(x.len(), self.k, "input length mismatch");
+        let mut out = Vec::new();
+        let mut stack = vec![(self.root, 1.0f64)];
+        while let Some((id, p)) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => {
+                    let leaf = self.leaf_of_node[id].expect("leaf node is registered");
+                    out.push((leaf, p));
+                }
+                Node::Internal { speaker, edges } => {
+                    let b = usize::from(x[*speaker]);
+                    for e in edges {
+                        if e.prob[b] > 0.0 {
+                            stack.push((e.child, p * e.prob[b]));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every move is determined by the speaker's input bit (all edge
+    /// probabilities are 0 or 1). For such trees each input reaches exactly
+    /// one leaf, so
+    /// [`transcript_support_given_input`](Self::transcript_support_given_input)
+    /// returns a single `(leaf, 1.0)` pair in `O(depth)`.
+    pub fn is_deterministic(&self) -> bool {
+        self.nodes.iter().all(|n| match n {
+            Node::Leaf { .. } => true,
+            Node::Internal { edges, .. } => edges
+                .iter()
+                .all(|e| e.prob.iter().all(|&p| p == 0.0 || p == 1.0)),
+        })
     }
 
     /// Exact external information cost `I(Π; X)` in bits, for independent
@@ -475,7 +535,10 @@ impl ProtocolTree {
     /// Unlike [`information_cost_product`](Self::information_cost_product)
     /// this handles *correlated* player inputs (e.g. the two-point Lemma 6
     /// distribution `μ′`, where exactly one player holds 0), at cost
-    /// `O(|support| · #leaves)`.
+    /// `O(|support| · reachable leaves)` — for deterministic trees each
+    /// support input contributes a single `O(depth)` walk (see
+    /// [`transcript_support_given_input`](Self::transcript_support_given_input)),
+    /// not a dense `O(#leaves · k)` evaluation.
     ///
     /// # Panics
     ///
@@ -488,14 +551,18 @@ impl ProtocolTree {
             support.iter().all(|(_, x)| x.len() == self.k),
             "input length mismatch"
         );
-        // Marginal transcript distribution.
+        // Marginal transcript distribution, accumulated sparsely. Sorting
+        // each conditional by leaf id keeps every f64 accumulation in the
+        // order the dense path used (zero terms contribute exactly 0.0
+        // there), so this is bit-identical to the dense evaluation.
         let mut marginal = vec![0.0f64; self.leaves.len()];
-        let conditionals: Vec<Vec<f64>> = support
+        let conditionals: Vec<Vec<(LeafId, f64)>> = support
             .iter()
             .map(|(w, x)| {
-                let d = self.transcript_dist_given_input(x);
-                for (m, &p) in marginal.iter_mut().zip(&d) {
-                    *m += w * p;
+                let mut d = self.transcript_support_given_input(x);
+                d.sort_unstable_by_key(|&(leaf, _)| leaf);
+                for &(leaf, p) in &d {
+                    marginal[leaf] += w * p;
                 }
                 d
             })
@@ -505,8 +572,8 @@ impl ProtocolTree {
             if *w == 0.0 {
                 continue;
             }
-            for (&p, &m) in cond.iter().zip(&marginal) {
-                mi += w * xlog2_ratio(p, m);
+            for &(leaf, p) in cond {
+                mi += w * xlog2_ratio(p, marginal[leaf]);
             }
         }
         clamp_nonneg(mi, 1e-9)
@@ -658,6 +725,77 @@ mod tests {
             let sum: f64 = d.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "input {x:?}");
         }
+    }
+
+    #[test]
+    fn sparse_support_matches_dense_distribution() {
+        // Deterministic tree: one leaf, probability exactly 1.
+        let t = and2();
+        assert!(t.is_deterministic());
+        for x in [[false, false], [false, true], [true, false], [true, true]] {
+            let dense = t.transcript_dist_given_input(&x);
+            let sparse = t.transcript_support_given_input(&x);
+            assert_eq!(sparse.len(), 1, "input {x:?}");
+            let (leaf, p) = sparse[0];
+            assert_eq!(p, 1.0);
+            let mut scattered = vec![0.0; dense.len()];
+            scattered[leaf] = p;
+            assert_eq!(scattered, dense, "input {x:?}");
+        }
+        // Randomized tree: the sparse walk must scatter back to the dense
+        // distribution exactly (the products multiply the same factors).
+        let mut b = TreeBuilder::new(2);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let l2 = b.leaf(0);
+        let inner = b.internal(
+            1,
+            vec![
+                (BitVec::from_bools(&[false]), [0.7, 0.2], l0),
+                (BitVec::from_bools(&[true]), [0.3, 0.8], l1),
+            ],
+        );
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [0.6, 0.25], l2),
+                (BitVec::from_bools(&[true]), [0.4, 0.75], inner),
+            ],
+        );
+        let t = b.finish(root);
+        assert!(!t.is_deterministic());
+        for x in [[false, false], [false, true], [true, false], [true, true]] {
+            let dense = t.transcript_dist_given_input(&x);
+            let mut scattered = vec![0.0; dense.len()];
+            for (leaf, p) in t.transcript_support_given_input(&x) {
+                assert!(p > 0.0);
+                scattered[leaf] += p;
+            }
+            for (s, d) in scattered.iter().zip(&dense) {
+                assert!((s - d).abs() < 1e-15, "input {x:?}: {s} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_support_prunes_zero_probability_branches() {
+        // A degenerate randomized node (probability-0 edge) must not appear
+        // in the support even though the leaf exists.
+        let mut b = TreeBuilder::new(1);
+        let l0 = b.leaf(0);
+        let l1 = b.leaf(1);
+        let root = b.internal(
+            0,
+            vec![
+                (BitVec::from_bools(&[false]), [1.0, 0.3], l0),
+                (BitVec::from_bools(&[true]), [0.0, 0.7], l1),
+            ],
+        );
+        let t = b.finish(root);
+        let support = t.transcript_support_given_input(&[false]);
+        assert_eq!(support.len(), 1);
+        assert_eq!(support[0].1, 1.0);
+        assert_eq!(t.transcript_support_given_input(&[true]).len(), 2);
     }
 
     #[test]

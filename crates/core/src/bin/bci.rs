@@ -596,7 +596,7 @@ fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
 ///
 /// [`JobPool`]: bci_fabric::pool::JobPool
 fn cmd_experiments(args: &[String]) -> Result<(), String> {
-    use bci_core::experiments::registry::{find, registry, render_report};
+    use bci_core::experiments::registry::{find, registry, render_report, run_grid_pooled};
     use bci_fabric::pool::{JobPool, PoolConfig};
 
     let Some(sub) = args.first() else {
@@ -642,7 +642,6 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
                 return Err("--workers must be positive".into());
             }
             let seed: u64 = get(&opts, "seed", Some(exp.seed()))?;
-            let grid = exp.grid();
             let pool = JobPool::new(PoolConfig {
                 workers,
                 batch_size: 1,
@@ -651,8 +650,8 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
                 job_spans: true,
                 recorder: Recorder::disabled(),
             });
-            let run = pool.run(&grid, seed, &|s, point| exp.run_point(point, s));
-            print!("{}", render_report(exp, &exp.tables(&run.outputs)));
+            let results = run_grid_pooled(exp, &pool, seed);
+            print!("{}", render_report(exp, &exp.tables(&results)));
             Ok(())
         }
         other => Err(format!(

@@ -5,13 +5,28 @@
 //! This experiment sweeps `s` at fixed `n` (cost should grow linearly in
 //! `s`) and sweeps `n` at fixed `s` (cost should not move), against the
 //! naive send-the-set baseline.
+//!
+//! Two performance properties of this module matter to the whole suite:
+//!
+//! * every trial runs on the **sparse** protocol lane
+//!   ([`bci_protocols::sparse::run_sparse`]): each pruning round costs
+//!   `O(s)` instead of `O(n)`, which is what makes the `n = 2²⁴` point
+//!   cheap;
+//! * trial `t` of a point computes under `derive_trial_seed(point_seed, t)`
+//!   **alone**, so the registry's [`TrialSplit`] hook can scatter one
+//!   point's trials across pool workers and merge them back
+//!   byte-identically (the merge concatenates per-trial outcomes in trial
+//!   order before folding with [`fold_trials`], so no floating-point sum
+//!   depends on the chunking).
 
-use bci_encoding::bitset::BitSet;
-use bci_protocols::sparse::{naive_bits, run as hw_run};
+use bci_blackboard::runner::derive_trial_seed;
+use bci_encoding::bitset::SparseBitSet;
+use bci_protocols::sparse::{naive_bits, run_sparse};
 use bci_telemetry::Json;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
-use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
+use super::registry::{Experiment, LabeledTable, Point, PointResult, TrialSplit};
 use crate::table::{f, Table};
 
 /// Canonical trials per point (`EXPERIMENTS.md` parameters).
@@ -36,9 +51,35 @@ pub struct Row {
     pub fallback_rate: f64,
 }
 
-fn disjoint_pair<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> (BitSet, BitSet) {
-    let mut x = BitSet::new(n);
-    let mut y = BitSet::new(n);
+/// The outcome of one trial — kept individually (not pre-summed) so that
+/// partial results merge into exactly the same `f64` fold regardless of
+/// how trials were chunked across workers.
+#[derive(Debug, Clone, Copy)]
+pub struct Trial {
+    /// Communication of this run.
+    pub bits: f64,
+    /// Whether the explicit fallback fired.
+    pub fallback: bool,
+}
+
+/// Per-trial outcomes for a contiguous trial range: the mergeable partial
+/// behind the registry's [`TrialSplit`] hook.
+pub type Partial = Vec<Trial>;
+
+/// Two random disjoint `s`-subsets of `[n]`, sparse-represented.
+///
+/// # Panics
+///
+/// Panics if `2·s > n`: two disjoint `s`-subsets cannot fit in `[n]`, and
+/// the rejection loop below would never terminate.
+fn disjoint_pair<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> (SparseBitSet, SparseBitSet) {
+    assert!(
+        2 * s <= n,
+        "disjoint_pair needs 2*s <= n (got s = {s}, n = {n}): \
+         two disjoint s-subsets cannot fit in the universe"
+    );
+    let mut x = SparseBitSet::new(n);
+    let mut y = SparseBitSet::new(n);
     while x.len() < s {
         x.insert(rng.random_range(0..n));
     }
@@ -51,28 +92,48 @@ fn disjoint_pair<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> (BitSet, B
     (x, y)
 }
 
-/// Runs one `(n, s)` point under its own RNG, on disjoint pairs (the
-/// expensive case — intersecting pairs terminate early).
-pub fn run_point(&(n, s): &(usize, usize), trials: u64, seed: u64) -> Row {
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let mut bits = 0.0;
-    let mut fallbacks = 0u64;
-    for _ in 0..trials {
-        let (x, y) = disjoint_pair(n, s, &mut rng);
-        let out = hw_run(&x, &y, &mut rng);
-        assert!(out.output, "disjoint instances");
-        bits += out.bits;
-        fallbacks += u64::from(out.fallback);
+/// Runs one trial under its own seed, on a disjoint pair (the expensive
+/// case — intersecting pairs terminate early).
+fn run_trial(n: usize, s: usize, trial_seed: u64) -> Trial {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(trial_seed);
+    let (x, y) = disjoint_pair(n, s, &mut rng);
+    let out = run_sparse(&x, &y, &mut rng);
+    assert!(out.output, "disjoint instances");
+    Trial {
+        bits: out.bits,
+        fallback: out.fallback,
     }
-    let hw = bits / trials as f64;
+}
+
+/// Runs trials `range` of one `(n, s)` point; trial `t` computes under
+/// `derive_trial_seed(seed, t)`, so any partition of `0..trials` covers
+/// the same work.
+pub fn run_trial_range(&(n, s): &(usize, usize), seed: u64, range: Range<u64>) -> Partial {
+    range
+        .map(|t| run_trial(n, s, derive_trial_seed(seed, t)))
+        .collect()
+}
+
+/// Folds per-trial outcomes (all trials of the point, in trial order)
+/// into the point's row.
+pub fn fold_trials(&(n, s): &(usize, usize), trials: &[Trial]) -> Row {
+    let bits: f64 = trials.iter().map(|t| t.bits).sum();
+    let fallbacks = trials.iter().filter(|t| t.fallback).count();
+    let hw = bits / trials.len() as f64;
     Row {
         n,
         s,
         hw_bits: hw,
         per_element: hw / s as f64,
         naive: naive_bits(n, s),
-        fallback_rate: fallbacks as f64 / trials as f64,
+        fallback_rate: fallbacks as f64 / trials.len() as f64,
     }
+}
+
+/// Runs one `(n, s)` point: `trials` independent trials under per-trial
+/// derived seeds, folded into the row.
+pub fn run_point(p: &(usize, usize), trials: u64, seed: u64) -> Row {
+    fold_trials(p, &run_trial_range(p, seed, 0..trials))
 }
 
 /// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
@@ -80,7 +141,7 @@ pub fn run_point(&(n, s): &(usize, usize), trials: u64, seed: u64) -> Row {
 pub fn run(grid: &[(usize, usize)], trials: u64, seed: u64) -> Vec<Row> {
     grid.iter()
         .enumerate()
-        .map(|(i, p)| run_point(p, trials, point_seed(seed, i)))
+        .map(|(i, p)| run_point(p, trials, super::registry::point_seed(seed, i)))
         .collect()
 }
 
@@ -136,7 +197,9 @@ impl Experiment for E12 {
     }
 
     fn notes(&self) -> Vec<String> {
-        vec![format!("(disjoint pairs; {TRIALS} trials per point)")]
+        vec![format!(
+            "(disjoint pairs; {TRIALS} trials per point, one derived seed per trial)"
+        )]
     }
 
     fn meta(&self) -> Vec<(&'static str, Json)> {
@@ -166,11 +229,38 @@ impl Experiment for E12 {
             .collect();
         vec![(String::new(), table(&rows))]
     }
+
+    fn splitter(&self) -> Option<&dyn TrialSplit> {
+        Some(self)
+    }
+}
+
+impl TrialSplit for E12 {
+    fn trials(&self, _point: &Point) -> u64 {
+        TRIALS
+    }
+
+    fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult {
+        PointResult::new(run_trial_range(
+            &default_grid()[point.index()],
+            point_seed,
+            range,
+        ))
+    }
+
+    fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult {
+        let trials: Vec<Trial> = parts
+            .iter()
+            .flat_map(|p| p.downcast::<Partial>().iter().copied())
+            .collect();
+        PointResult::new(fold_trials(&default_grid()[point.index()], &trials))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::registry::point_seed;
 
     #[test]
     fn linear_in_s_flat_in_n() {
@@ -183,5 +273,38 @@ mod tests {
         assert!(drift < 0.25, "drift {drift}");
         // Beats naive at these sizes.
         assert!(rows[1].hw_bits < rows[1].naive);
+    }
+
+    #[test]
+    fn split_trials_merge_back_to_the_whole_point() {
+        // Any partition of the trial range must reproduce run_point exactly
+        // (bit-for-bit): per-trial outcomes are concatenated before the
+        // fold, so the f64 sums are identical.
+        let exp = E12;
+        let point = &exp.grid()[1];
+        let seed = point_seed(SEED, 1);
+        let whole = exp.run_point(point, seed);
+        for chunk in [1u64, 7, 8, 40] {
+            let mut parts = Vec::new();
+            let mut lo = 0;
+            while lo < TRIALS {
+                let hi = (lo + chunk).min(TRIALS);
+                parts.push(exp.run_range(point, seed, lo..hi));
+                lo = hi;
+            }
+            let merged = exp.merge(point, parts);
+            let (w, m) = (whole.downcast::<Row>(), merged.downcast::<Row>());
+            assert!(w.hw_bits == m.hw_bits, "chunk {chunk}");
+            assert!(w.fallback_rate == m.fallback_rate, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2*s <= n")]
+    fn disjoint_pair_rejects_overfull_universe() {
+        // 2s > n would make the rejection loop spin forever; it must panic
+        // with a clear message instead.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let _ = disjoint_pair(100, 51, &mut rng);
     }
 }

@@ -45,14 +45,17 @@ pub const EPS_PRIME: f64 = 0.1;
 pub fn run_point(&k: &usize) -> Row {
     let tree = sequential_and(k);
     let mu = FoolingDist::new(k, EPS_PRIME);
-    // Transcript distribution under μ′: the support is k+1 inputs,
-    // each deterministically reaching one leaf.
+    // Transcript distribution under μ′: the support is k+1 inputs, each
+    // deterministically reaching one leaf, so the sparse O(depth) walk
+    // (`transcript_support_given_input`) replaces the dense all-leaves
+    // evaluation that made this point cubic in k. On this deterministic
+    // tree every walk returns a single (leaf, 1.0) pair, so the
+    // accumulated leaf_probs are bit-identical to the dense path's.
     let mut leaf_probs = vec![0.0f64; tree.leaves().len()];
     let all_ones = vec![true; k];
-    let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &_| {
-        let d = bci_blackboard::ProtocolTree::transcript_dist_given_input(tree, x);
-        for (acc, p) in probs.iter_mut().zip(d) {
-            *acc += w * p;
+    let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &bci_blackboard::ProtocolTree| {
+        for (leaf, p) in tree.transcript_support_given_input(x) {
+            probs[leaf] += w * p;
         }
     };
     add(&mut leaf_probs, &all_ones, EPS_PRIME, &tree);

@@ -22,8 +22,10 @@
 //! CLI lists and runs registry entries directly.
 
 use std::any::Any;
+use std::ops::Range;
 
 use bci_blackboard::runner::derive_trial_seed;
+use bci_fabric::pool::JobPool;
 use bci_telemetry::Json;
 
 use crate::table::Table;
@@ -129,7 +131,49 @@ pub trait Experiment: Sync {
     /// Assembles the rendered tables from the per-point results, in point
     /// order.
     fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable>;
+
+    /// The trial-splitting hook: experiments whose points are Monte-Carlo
+    /// aggregates over independent trials return `Some(self)` so executors
+    /// can split a single heavy point across workers (see [`TrialSplit`]
+    /// and [`run_grid_pooled`]). The default — indivisible points — is
+    /// right for deterministic experiments and for randomized ones whose
+    /// trials share one RNG stream.
+    fn splitter(&self) -> Option<&dyn TrialSplit> {
+        None
+    }
 }
+
+/// Trial-level splitting for Monte-Carlo experiments: the contract that
+/// lets one grid point's trials run on several workers without the output
+/// depending on the split.
+///
+/// Implementations must derive trial `t`'s randomness from
+/// `derive_trial_seed(point_seed, t)` **alone** — never from which other
+/// trials ran in the same chunk — and [`merge`](TrialSplit::merge) must
+/// reassemble partial results in trial order into exactly the
+/// [`PointResult`] that a whole-point
+/// [`run_point`](Experiment::run_point) produces. Under that contract
+/// every partition of `0..trials` yields byte-identical tables, so
+/// executors are free to pick any fixed chunking (see [`TRIAL_CHUNK`]).
+pub trait TrialSplit: Sync {
+    /// The number of independent trials at `point`.
+    fn trials(&self, point: &Point) -> u64;
+
+    /// Runs trials `range` of `point`. Trial `t` computes under
+    /// `derive_trial_seed(point_seed, t)`.
+    fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult;
+
+    /// Merges [`run_range`](TrialSplit::run_range) partials — handed in
+    /// covering `0..trials` in order, without gaps — into the point's
+    /// result.
+    fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult;
+}
+
+/// Trials per sub-job when an executor splits a point via
+/// [`TrialSplit`]. Fixed — never derived from the worker count — so the
+/// chunking, and therefore the merged output, is identical for every pool
+/// shape (CI byte-diffs `--workers 4` against `--workers 1`).
+pub const TRIAL_CHUNK: u64 = 8;
 
 /// The seed for point `index` of a sweep with master seed `master_seed` —
 /// the same SplitMix-style derivation the fabric uses for session seeds,
@@ -150,6 +194,44 @@ pub fn run_grid(exp: &dyn Experiment) -> Vec<LabeledTable> {
         .map(|(i, point)| exp.run_point(point, point_seed(master, i)))
         .collect();
     exp.tables(&results)
+}
+
+/// Runs an experiment's full default grid on a fabric [`JobPool`] and
+/// returns the per-point results in point order.
+///
+/// Indivisible points run one job each (exactly what
+/// [`report_for`]-style executors did before); experiments exposing a
+/// [`TrialSplit`] hook additionally split every point into
+/// [`TRIAL_CHUNK`]-trial sub-jobs, so the suite's largest single point no
+/// longer bounds the achievable speedup. Either way the assembled results
+/// are byte-identical to the serial [`run_grid`] for any worker count.
+///
+/// [`report_for`]: ../../../bci_bench/suite/fn.report_for.html
+pub fn run_grid_pooled(exp: &dyn Experiment, pool: &JobPool, master_seed: u64) -> Vec<PointResult> {
+    let grid = exp.grid();
+    match exp.splitter() {
+        None => {
+            pool.run(&grid, master_seed, &|seed, point| {
+                exp.run_point(point, seed)
+            })
+            .outputs
+        }
+        Some(split) => {
+            pool.run_chunked(
+                &grid,
+                master_seed,
+                &|_, point| split.trials(point).div_ceil(TRIAL_CHUNK).max(1) as usize,
+                &|point_seed, point, chunk| {
+                    let trials = split.trials(point);
+                    let lo = chunk as u64 * TRIAL_CHUNK;
+                    let hi = (lo + TRIAL_CHUNK).min(trials);
+                    split.run_range(point, point_seed, lo..hi)
+                },
+                &|_, point, parts| split.merge(point, parts),
+            )
+            .outputs
+        }
+    }
 }
 
 /// Renders an experiment's header (title + notes) and every table from
@@ -231,6 +313,29 @@ mod tests {
             for (i, p) in grid.iter().enumerate() {
                 assert_eq!(p.index(), i, "{}", exp.id());
                 assert!(!p.label().is_empty(), "{}", exp.id());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_grid_matches_serial_including_trial_splits() {
+        use bci_fabric::pool::PoolConfig;
+        // e12 exposes the TrialSplit hook (points fan out into
+        // TRIAL_CHUNK-trial sub-jobs); e16 does not (one job per point).
+        // Both must render byte-identically to the serial reference for
+        // any worker count.
+        for id in ["e12", "e16"] {
+            let exp = find(id).expect("registered");
+            let serial = render_report(exp, &run_grid(exp));
+            for workers in [1usize, 3] {
+                let pool = JobPool::new(PoolConfig {
+                    workers,
+                    batch_size: 1,
+                    ..PoolConfig::default()
+                });
+                let results = run_grid_pooled(exp, &pool, exp.seed());
+                let pooled = render_report(exp, &exp.tables(&results));
+                assert_eq!(serial, pooled, "{id} with {workers} workers");
             }
         }
     }

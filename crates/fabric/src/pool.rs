@@ -142,6 +142,87 @@ impl JobPool {
         })
     }
 
+    /// Runs points whose work splits into independently-seeded *chunks* —
+    /// the intra-point parallelism lane for Monte-Carlo sweeps whose
+    /// critical path is one heavy grid point.
+    ///
+    /// `chunks(i, &point)` names the number of sub-jobs for point `i`
+    /// (must be ≥ 1 and must not depend on the worker count);
+    /// `job(point_seed, &point, chunk)` runs one sub-job, where
+    /// `point_seed = derive_trial_seed(master_seed, i)` is the *point's*
+    /// seed — the job derives its own per-trial seeds from it, so chunk
+    /// outputs are independent of how trials are grouped;
+    /// `merge(i, &point, parts)` folds the chunk outputs (always in chunk
+    /// order) into the point output on the caller's thread.
+    ///
+    /// Because chunking is part of the call rather than the schedule, the
+    /// merged outputs are byte-identical for any worker count; with one
+    /// chunk everywhere this degenerates to [`run`](JobPool::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` returns 0 for any point.
+    pub fn run_chunked<P, T, C, J, M>(
+        &self,
+        points: &[P],
+        master_seed: u64,
+        chunks: &C,
+        job: &J,
+        merge: &M,
+    ) -> PoolRun<T>
+    where
+        P: Sync,
+        T: Send,
+        C: Fn(usize, &P) -> usize,
+        J: Fn(u64, &P, usize) -> T + Sync,
+        M: Fn(usize, &P, Vec<T>) -> T,
+    {
+        // Flatten to (point, chunk) sub-jobs; the flat list is what the
+        // queue schedules, so a 40-trial point occupies many workers at
+        // once instead of bounding the whole run.
+        let counts: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let c = chunks(i, p);
+                assert!(c > 0, "point {i} must have at least one chunk");
+                c
+            })
+            .collect();
+        let subjobs: Vec<(usize, usize)> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| (0..c).map(move |chunk| (i, chunk)))
+            .collect();
+        let run = self.run(&subjobs, master_seed, &|_, &(i, chunk)| {
+            job(derive_trial_seed(master_seed, i as u64), &points[i], chunk)
+        });
+        let PoolRun {
+            outputs,
+            shards,
+            max_queue_depth,
+            queue_depth_hist,
+            job_latency_hist,
+            elapsed,
+        } = run;
+        // Sub-job outputs come back in sub-job order (= point-major), so
+        // each point's chunk outputs are a contiguous run.
+        let mut outputs = outputs.into_iter();
+        let merged = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| merge(i, &points[i], outputs.by_ref().take(c).collect()))
+            .collect();
+        PoolRun {
+            outputs: merged,
+            shards,
+            max_queue_depth,
+            queue_depth_hist,
+            job_latency_hist,
+            elapsed,
+        }
+    }
+
     /// Like [`run`](JobPool::run), but threads a worker-local accumulator
     /// through every job a worker executes. `init` builds one accumulator
     /// per worker; the per-worker final values come back as
@@ -376,6 +457,55 @@ mod tests {
         for (i, &seed) in run.outputs.iter().enumerate() {
             assert_eq!(seed, derive_trial_seed(77, i as u64));
         }
+    }
+
+    #[test]
+    fn chunked_outputs_merge_in_order_for_any_worker_count() {
+        // Each point's output is the list of (chunk, per-trial seed) pairs
+        // its chunks produced, so the test detects both reordered chunks
+        // and wrong seed derivation.
+        let points: Vec<u64> = (0..9).map(|i| 3 + (i % 4)).collect(); // trials per point
+        let job = |point_seed: u64, &_trials: &u64, chunk: usize| {
+            vec![(chunk, derive_trial_seed(point_seed, chunk as u64))]
+        };
+        let merge = |_: usize, _: &u64, parts: Vec<Vec<(usize, u64)>>| {
+            parts.into_iter().flatten().collect::<Vec<_>>()
+        };
+        let reference: Vec<Vec<(usize, u64)>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &trials)| {
+                let point_seed = derive_trial_seed(5, i as u64);
+                (0..trials as usize)
+                    .map(|c| (c, derive_trial_seed(point_seed, c as u64)))
+                    .collect()
+            })
+            .collect();
+        for workers in [1usize, 2, 4, 7] {
+            let run =
+                pool(workers).run_chunked(&points, 5, &|_, &trials| trials as usize, &job, &merge);
+            assert_eq!(run.outputs, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn chunked_with_one_chunk_everywhere_degenerates_to_run() {
+        let points: Vec<u32> = (0..37).collect();
+        let plain = pool(3).run(&points, 8, &|seed, &p| seed ^ u64::from(p));
+        let chunked = pool(3).run_chunked(
+            &points,
+            8,
+            &|_, _| 1,
+            &|seed, &p, _| seed ^ u64::from(p),
+            &|_, _, mut parts: Vec<u64>| parts.pop().expect("one chunk"),
+        );
+        assert_eq!(plain.outputs, chunked.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn chunked_rejects_zero_chunks() {
+        pool(2).run_chunked(&[1u8], 0, &|_, _| 0, &|_, _, _| 0u8, &|_, _, _| 0u8);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! distribution (`R ⊇ A`, rest iid fair). Behaviour and cost are
 //! distribution-exact; only the unenumerable scan is elided.
 
-use bci_encoding::bitset::BitSet;
+use bci_encoding::bitset::{BitSet, SparseBitSet};
 use rand::Rng;
 
 /// Result of one run of the sparse-disjointness protocol.
@@ -60,16 +60,18 @@ fn delta_len_from_log2(log2_i: f64) -> f64 {
 /// in Bernoulli(`2^{-a}`) trials.
 fn sample_log2_index<R: Rng + ?Sized>(a: usize, rng: &mut R) -> f64 {
     if a <= 12 {
-        // Exact geometric sampling (expected 2^a ≤ 4096 trials).
+        // Exact geometric sampling by inverse CDF from a single uniform
+        // draw: Pr[I > i] = (1−p)^i, so I = ⌊ln U / ln(1−p)⌋ + 1 follows
+        // the geometric law exactly — where the old loop burned an
+        // expected 2^a ≤ 4096 `random_bool` calls per round, this is one
+        // `f64` draw regardless of `a`.
         let p = 2f64.powi(-(a as i32));
-        let mut i = 1u64;
-        while !rng.random_bool(p) {
-            i += 1;
-            if i > 1 << 40 {
-                break; // numerically impossible at a ≤ 12
-            }
+        if p >= 1.0 {
+            return 0.0; // a = 0: the first set always works, I = 1
         }
-        (i as f64).log2()
+        let u: f64 = rng.random::<f64>().max(1e-300);
+        let i = (u.ln() / (1.0 - p).ln()).floor() + 1.0;
+        i.log2()
     } else {
         // I ≈ Exp(mean 2^a): I = −ln(U)·2^a, so log₂I = a + log₂(−ln U).
         let u: f64 = rng.random::<f64>().max(1e-300);
@@ -145,6 +147,77 @@ pub fn run<R: Rng + ?Sized>(x: &BitSet, y: &BitSet, rng: &mut R) -> SparseRun {
             stall = 0;
         }
         b = pruned;
+        rounds += 1;
+        std::mem::swap(&mut a, &mut b);
+    }
+}
+
+/// Runs the protocol on sparse-set inputs — the `O(s)`-per-round fast
+/// lane.
+///
+/// Behaviorally this is [`run`]: same alternating pruning, stall counter,
+/// explicit fallback, cost accounting, and zero-error guarantee. The
+/// difference is purely computational. The dense path materializes the
+/// shared random set on all `n` coordinates (`n/64` random words) and
+/// intersects full `n`-bit sets every round, even though only the ≤ `s`
+/// surviving elements of the listener's candidate set matter; here the
+/// random set is sampled *lazily on exactly the words the listener's set
+/// occupies* (`R`'s word at index `i` is `a.word(i) | random`), so one
+/// round costs `O(occupied words)` — independent of the universe size.
+///
+/// The RNG stream therefore differs from [`run`]'s (far fewer words are
+/// drawn), so seeded runs are not reproductions of the dense path's runs;
+/// the *distribution* of `(output, bits, rounds, fallback)` is identical,
+/// which the tests check statistically. Zero error holds exactly as for
+/// [`run`]: pruning only removes elements provably outside the other
+/// side's candidate set.
+///
+/// # Panics
+///
+/// Panics if the sets' capacities differ.
+pub fn run_sparse<R: Rng + ?Sized>(x: &SparseBitSet, y: &SparseBitSet, rng: &mut R) -> SparseRun {
+    assert_eq!(x.capacity(), y.capacity(), "universe mismatch");
+    let n = x.capacity();
+    let coord_bits = if n <= 1 {
+        1.0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as f64
+    };
+    let mut a = x.clone();
+    let mut b = y.clone();
+    let mut bits = 0.0f64;
+    let mut rounds = 0usize;
+    let mut stall = 0usize;
+    loop {
+        if a.is_empty() {
+            bits += 1.0; // "my set is empty" flag
+            return SparseRun {
+                bits,
+                output: true,
+                rounds,
+                fallback: false,
+            };
+        }
+        if stall >= STALL_LIMIT {
+            bits += 1.0 + coord_bits + a.len() as f64 * coord_bits;
+            let disjoint = a.intersection(&b).is_empty();
+            return SparseRun {
+                bits,
+                output: disjoint,
+                rounds,
+                fallback: true,
+            };
+        }
+        bits += 1.0 + delta_len_from_log2(sample_log2_index(a.len(), rng));
+        // Prune `b` against `R ⊇ a`, materializing `R` only on the words
+        // `b` occupies (in word order, one random u64 each).
+        let before = b.len();
+        b.retain_words(|idx, w| w & (a.word(idx) | rng.random::<u64>()));
+        if b.len() == before {
+            stall += 1;
+        } else {
+            stall = 0;
+        }
         rounds += 1;
         std::mem::swap(&mut a, &mut b);
     }
@@ -412,6 +485,88 @@ mod tests {
         assert!(out.output);
         assert_eq!(out.bits, 1.0);
         assert_eq!(out.rounds, 0);
+    }
+
+    fn to_sparse(s: &BitSet) -> SparseBitSet {
+        SparseBitSet::from_dense(s)
+    }
+
+    #[test]
+    fn sparse_lane_always_correct_on_disjoint_inputs() {
+        let mut r = rng(11);
+        for trial in 0..40 {
+            let s = 4 + trial % 30;
+            let (x, y) = disjoint_pair(1 << 20, s, &mut r);
+            let out = run_sparse(&to_sparse(&x), &to_sparse(&y), &mut r);
+            assert!(out.output, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn sparse_lane_always_correct_on_intersecting_inputs() {
+        let mut r = rng(12);
+        for trial in 0..40 {
+            let s = 6 + trial % 30;
+            let overlap = 1 + trial % 3;
+            let (x, y) = overlapping_pair(1 << 16, s, overlap, &mut r);
+            let out = run_sparse(&to_sparse(&x), &to_sparse(&y), &mut r);
+            assert!(!out.output, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn sparse_lane_cost_distribution_matches_dense_lane() {
+        // Same protocol, different RNG stream: mean bits and fallback
+        // behavior must agree statistically with the dense path.
+        let n = 1 << 18;
+        let s = 128;
+        let trials = 60;
+        let mut r = rng(13);
+        let mut dense_bits = 0.0;
+        let mut sparse_bits = 0.0;
+        for _ in 0..trials {
+            let (x, y) = disjoint_pair(n, s, &mut r);
+            dense_bits += run(&x, &y, &mut r).bits;
+            sparse_bits += run_sparse(&to_sparse(&x), &to_sparse(&y), &mut r).bits;
+        }
+        let (dense_mean, sparse_mean) = (dense_bits / trials as f64, sparse_bits / trials as f64);
+        assert!(
+            (dense_mean - sparse_mean).abs() < 0.1 * dense_mean,
+            "dense {dense_mean} vs sparse {sparse_mean}"
+        );
+    }
+
+    #[test]
+    fn sparse_lane_empty_sets_cost_one_bit() {
+        let mut r = rng(14);
+        let x = SparseBitSet::new(100);
+        let y = SparseBitSet::from_elements(100, [3, 7]);
+        let out = run_sparse(&x, &y, &mut r);
+        assert!(out.output);
+        assert_eq!(out.bits, 1.0);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn log_index_sampler_is_exact_at_small_a() {
+        // a = 1: I is geometric(1/2), so Pr[I = 1] = 1/2 and E[I] = 2.
+        let mut r = rng(15);
+        let trials = 4000;
+        let mut ones = 0usize;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let i = 2f64.powf(sample_log2_index(1, &mut r)).round();
+            assert!(i >= 1.0);
+            if i == 1.0 {
+                ones += 1;
+            }
+            sum += i;
+        }
+        let p1 = ones as f64 / trials as f64;
+        assert!((p1 - 0.5).abs() < 0.03, "Pr[I=1] = {p1}");
+        assert!((sum / trials as f64 - 2.0).abs() < 0.15, "E[I]");
+        // a = 0: the first set always contains the (empty) candidate set.
+        assert_eq!(sample_log2_index(0, &mut r), 0.0);
     }
 
     #[test]
