@@ -1,0 +1,10 @@
+//! Prints the TCP wire-overhead table: wire bytes vs transcript bits for
+//! loopback deployments of DISJ across `(n, k)` points, with every TCP
+//! transcript digest-checked against the in-process transport (the rows
+//! assert bit-identical transcripts before printing).
+//!
+//! Accepts `--json <path>` for a machine-readable report.
+
+fn main() {
+    bci_bench::report::emit(&bci_bench::net_table::net());
+}

@@ -13,6 +13,10 @@
 //!   parameters live on the registry entries themselves.
 //! * [`fabric_table`] — the scheduler-scaling table behind `table_fabric`
 //!   (not a paper experiment, so it is not in the registry).
+//! * [`net_table`] — the TCP wire-overhead table behind `table_net`: wire
+//!   bytes vs transcript bits for loopback `bci-net` deployments, with
+//!   transcript digests checked against the in-process transport (also
+//!   not a paper experiment).
 //! * `benches/*.rs` — criterion micro/meso-benchmarks: protocol throughput,
 //!   exact information-cost computation, the sampling protocol, the
 //!   factorized-vs-brute-force and exact-vs-approximate-codec ablations, and
@@ -21,5 +25,6 @@
 #![warn(missing_docs)]
 
 pub mod fabric_table;
+pub mod net_table;
 pub mod report;
 pub mod suite;

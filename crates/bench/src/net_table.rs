@@ -1,0 +1,103 @@
+//! The TCP wire-overhead table (the `table_net` binary).
+//!
+//! Not a paper experiment — this benchmarks the `bci-net` loopback
+//! deployment: for each `(n, k)` point it runs DISJ sessions over real
+//! TCP sockets and over the in-process transport from identical seeds,
+//! digest-compares the transcripts (they must be bit-identical), and
+//! reports how many wire bits the framing, RNG shipping, and broadcast
+//! fan-out cost per transcript bit.
+
+use bci_core::table::{f, Table};
+use bci_net::overhead::{overhead_sweep, OverheadPoint};
+use bci_net::NetConfig;
+use bci_telemetry::Json;
+
+use crate::report::Report;
+
+/// The `(n, k)` sweep points.
+pub const NET_POINTS: [(usize, usize); 4] = [(64, 4), (256, 4), (256, 8), (1024, 4)];
+
+/// Sessions per point.
+pub const NET_SESSIONS: usize = 3;
+
+/// Master seed of the sweep.
+pub const NET_SEED: u64 = 0x7C9;
+
+fn row(p: &OverheadPoint) -> [String; 8] {
+    [
+        p.n.to_string(),
+        p.k.to_string(),
+        p.sessions.to_string(),
+        p.wire.bytes_total().to_string(),
+        (p.wire.frames_tx + p.wire.frames_rx).to_string(),
+        p.wire.transcript_bits.to_string(),
+        f(p.wire.overhead_ratio(), 2),
+        if p.digests_match() {
+            "match".to_owned()
+        } else {
+            "MISMATCH".to_owned()
+        },
+    ]
+}
+
+/// The TCP wire-overhead table: wire bytes vs transcript bits across
+/// `(n, k)` points, with a transcript-digest check against the in-process
+/// transport on every row.
+///
+/// # Panics
+///
+/// Panics if any point's TCP transcript digest diverges from the
+/// in-process transport — that would mean the determinism contract broke.
+pub fn net() -> Report {
+    let results = overhead_sweep(&NET_POINTS, NET_SESSIONS, NET_SEED, &NetConfig::default());
+    let mut t = Table::new([
+        "n",
+        "k",
+        "sessions",
+        "wire bytes",
+        "frames",
+        "transcript bits",
+        "overhead x",
+        "digest",
+    ]);
+    for p in &results {
+        assert!(
+            p.digests_match(),
+            "TCP transcript diverged from in-process at n={}, k={}",
+            p.n,
+            p.k
+        );
+        t.row(row(p));
+    }
+    Report::new(
+        "net",
+        format!(
+            "Net — TCP wire overhead, DISJ, {NET_SESSIONS} sessions per point, seed {NET_SEED:#x}"
+        ),
+    )
+    .note(
+        "(every session runs over loopback TCP and in-process from the same seed; \
+         the digest column compares the transcripts byte for byte)",
+    )
+    .note("(overhead x = wire bits per transcript bit: framing + RNG shipping + k-fold fan-out)")
+    .meta("sessions", Json::UInt(NET_SESSIONS as u64))
+    .meta("seed", Json::UInt(NET_SEED))
+    .with_table("", &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_table_digests_match_and_shape_is_stable() {
+        let report = net();
+        assert_eq!(report.experiment, "net");
+        let table = &report.tables[0];
+        assert_eq!(table.rows.len(), NET_POINTS.len());
+        assert_eq!(table.columns.len(), 8);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap().to_string(), "\"match\"");
+        }
+    }
+}

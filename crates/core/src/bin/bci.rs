@@ -10,6 +10,9 @@
 //! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
 //! bci fabric --sessions 1024 --workers 4 --seed 1 [--protocol disj|and] [--n 256] [--k 4]
 //! bci trace  --engine fabric|serial [--sessions 8] [--out events.jsonl]
+//! bci serve  --port 7701 --players 4 [--protocol disj] [--n 256] [--sessions 1] [--seed 1]
+//! bci join   --addr 127.0.0.1:7701 --player 0 [--protocol disj]
+//! bci netrun [--points 64x4,256x4,256x8] [--sessions 3] [--seed 1] [--json report.json]
 //! bci experiments list
 //! bci experiments run e7 [--workers 4] [--seed 5]
 //! ```
@@ -78,6 +81,9 @@ fn main() -> ExitCode {
         "amortize" => cmd_amortize(&opts),
         "fabric" => cmd_fabric(&opts, &diag),
         "trace" => cmd_trace(&opts, &diag),
+        "serve" => cmd_serve(&opts, &diag),
+        "join" => cmd_join(&opts, &diag),
+        "netrun" => cmd_netrun(&opts, &diag),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -109,6 +115,10 @@ USAGE:
                [--trace PATH]
   bci trace    [--engine fabric|serial] [--sessions N] [--n N] [--k K] [--seed S] [--workers W]
                [--transport channel|inprocess] [--out PATH]
+  bci serve    --port <P> --players <K> [--protocol disj] [--n N] [--sessions N] [--seed S]
+               [--density D] [--deadline-ms MS] [--roster-timeout-s SECS]
+  bci join     --addr <HOST:PORT> --player <I> [--protocol disj] [--seed S]
+  bci netrun   [--points NxK,NxK,...] [--sessions N] [--seed S] [--json PATH]
   bci experiments list
   bci experiments run <id> [--workers W] [--seed S]
 
@@ -119,7 +129,14 @@ GLOBAL FLAGS:
 REPORTS:
   bci fabric --trace PATH writes the run's telemetry event stream as JSON lines;
   bci trace dumps the event stream of one run to stdout (or --out PATH).
-  Every table_* bench binary accepts --json <path> for a machine-readable report.";
+  bci netrun --json PATH writes a bci.bench.v1 wire-overhead report.
+  Every table_* bench binary accepts --json <path> for a machine-readable report.
+
+NETWORK:
+  bci serve binds a coordinator: it owns the blackboard, samples the inputs from
+  --seed, and sequences sessions over TCP. bci join connects one player client.
+  bci netrun runs coordinator + players over loopback in one process and checks
+  the TCP transcripts are bit-identical to the in-process transport.";
 
 /// Option keys that are boolean flags: present means on, they take no value.
 const FLAGS: [&str; 2] = ["quiet", "verbose"];
@@ -588,6 +605,284 @@ fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
     Ok(())
 }
 
+/// `bci serve` — run the coordinator daemon: bind a TCP port, accept
+/// player registrations until the roster is full, then sequence
+/// `--sessions` protocol sessions over the wire. The coordinator owns the
+/// blackboard and samples the inputs, so the whole run is reproducible
+/// from `--seed` alone.
+fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
+    use bci_blackboard::runner::derive_trial_seed;
+    use bci_fabric::transport::{SessionContext, DISABLED_RECORDER};
+    use bci_net::coordinator::{accept_roster, run_coordinator_session, SessionInfo};
+    use bci_net::NetConfig;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    let port: u16 = get(opts, "port", None)?;
+    let players: usize = get(opts, "players", None)?;
+    let n: usize = get(opts, "n", Some(256usize))?;
+    let sessions: u32 = get(opts, "sessions", Some(1u32))?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    let density: f64 = get(opts, "density", Some(0.7))?;
+    let deadline_ms: u64 = get(opts, "deadline-ms", Some(30_000u64))?;
+    let roster_secs: u64 = get(opts, "roster-timeout-s", Some(60u64))?;
+    let protocol_name = opts.get("protocol").map_or("disj", String::as_str);
+    if protocol_name != "disj" {
+        return Err(format!(
+            "unknown protocol '{protocol_name}' (serve supports: disj)"
+        ));
+    }
+    if players == 0 || sessions == 0 {
+        return Err("--players and --sessions must be positive".into());
+    }
+
+    let listener = TcpListener::bind(("0.0.0.0", port))
+        .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    diag.info(&format!(
+        "serving {protocol_name} (n={n}, k={players}) on {bound}: waiting for {players} players \
+         (up to {roster_secs}s)"
+    ));
+    let config = NetConfig::default();
+    let info = SessionInfo {
+        protocol_id: protocol_name.to_string(),
+        players: players as u32,
+        seed,
+        params: vec![n as u64],
+    };
+    let mut conns = accept_roster(
+        &listener,
+        &info,
+        &config,
+        Instant::now() + Duration::from_secs(roster_secs),
+    )
+    .map_err(|e| e.to_string())?;
+    diag.info(&format!("roster complete: {players} players registered"));
+
+    let proto = BroadcastDisj::new(n, players);
+    let mut t = Table::new(["session", "outcome", "output", "bits", "latency"]);
+    for s in 0..sessions {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(derive_trial_seed(seed, u64::from(s)));
+        let inputs = workload::random_sets(n, players, density, &mut rng);
+        let ctx = SessionContext {
+            session_id: u64::from(s),
+            deadline: Some(Duration::from_millis(deadline_ms)),
+            faults: &[],
+            recorder: &DISABLED_RECORDER,
+        };
+        let result = run_coordinator_session(
+            &proto,
+            &inputs,
+            rng,
+            &ctx,
+            &mut conns,
+            &config,
+            s,
+            sessions - 1 - s,
+        );
+        let done = !result.outcome.is_completed();
+        t.row([
+            s.to_string(),
+            result.outcome.label().to_owned(),
+            result
+                .output
+                .map_or_else(|| "-".to_owned(), |o| o.to_string()),
+            result.bits_written.to_string(),
+            format!("{:?}", result.latency),
+        ]);
+        if done {
+            diag.error(&format!("session {s} did not complete; stopping"));
+            break;
+        }
+    }
+    let (mut bytes_tx, mut bytes_rx) = (0u64, 0u64);
+    for pc in &conns {
+        bytes_tx += pc.conn.bytes_written;
+        bytes_rx += pc.conn.bytes_read();
+    }
+    println!("{}", t.render());
+    println!("wire: {bytes_tx} bytes sent, {bytes_rx} bytes received");
+    Ok(())
+}
+
+/// `bci join` — connect one player client to a coordinator started with
+/// `bci serve`. The protocol parameters (universe size, roster size)
+/// arrive in the handshake ack, so the client needs only the address and
+/// its player index.
+fn cmd_join(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
+    use bci_net::client::{connect_player, run_player, PlayerBehavior};
+    use bci_net::NetConfig;
+    use std::net::ToSocketAddrs;
+
+    let addr_str: String = get(opts, "addr", None)?;
+    let player: usize = get(opts, "player", None)?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    let protocol_name = opts.get("protocol").map_or("disj", String::as_str);
+    if protocol_name != "disj" {
+        return Err(format!(
+            "unknown protocol '{protocol_name}' (join supports: disj)"
+        ));
+    }
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve '{addr_str}': {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{addr_str}' resolved to no address"))?;
+
+    let config = NetConfig::default();
+    let (conn, ack, retries) =
+        connect_player(addr, player, protocol_name, &config, seed).map_err(|e| e.to_string())?;
+    let n = ack.params.first().copied().unwrap_or(0) as usize;
+    let k = ack.players as usize;
+    diag.info(&format!(
+        "joined {addr} as player {player}: {protocol_name} (n={n}, k={k}), seed {}, \
+         {retries} connect retries",
+        ack.seed
+    ));
+    let proto = BroadcastDisj::new(n, k);
+    let played = run_player(&proto, conn, player, PlayerBehavior::default(), &config)
+        .map_err(|e| e.to_string())?;
+    println!("player {player}: {played} session(s) finished");
+    Ok(())
+}
+
+/// Parses `--points` syntax: comma-separated `NxK` pairs.
+fn parse_points(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    spec.split(',')
+        .map(|p| {
+            let (n, k) = p
+                .split_once('x')
+                .ok_or_else(|| format!("bad point '{p}' (expected NxK, e.g. 256x4)"))?;
+            let n: usize = n.parse().map_err(|_| format!("bad n in '{p}'"))?;
+            let k: usize = k.parse().map_err(|_| format!("bad k in '{p}'"))?;
+            if n == 0 || k == 0 {
+                return Err(format!("point '{p}' must have positive n and k"));
+            }
+            Ok((n, k))
+        })
+        .collect()
+}
+
+/// `bci netrun` — run coordinator + players over loopback TCP in one
+/// process for a sweep of `(n, k)` points, measure wire bytes against
+/// transcript bits, and verify every TCP transcript digest against the
+/// in-process transport. `--json PATH` writes a `bci.bench.v1` report.
+fn cmd_netrun(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
+    use bci_net::overhead::overhead_sweep;
+    use bci_net::NetConfig;
+    use bci_telemetry::{obj, Json};
+
+    let sessions: usize = get(opts, "sessions", Some(3usize))?;
+    let seed: u64 = get(opts, "seed", Some(1u64))?;
+    let points_spec = opts
+        .get("points")
+        .map_or("64x4,256x4,256x8", String::as_str);
+    let points = parse_points(points_spec)?;
+    if sessions == 0 {
+        return Err("--sessions must be positive".into());
+    }
+    let json_path = opts.get("json").cloned();
+
+    diag.info(&format!(
+        "netrun: {} point(s) x {sessions} session(s) over loopback TCP, seed {seed}",
+        points.len()
+    ));
+    let config = NetConfig::default();
+    let results = overhead_sweep(&points, sessions, seed, &config);
+
+    let mut t = Table::new([
+        "n",
+        "k",
+        "sessions",
+        "wire bytes",
+        "frames",
+        "transcript bits",
+        "overhead x",
+        "digest",
+    ]);
+    let mut mismatched = Vec::new();
+    for p in &results {
+        if !p.digests_match() {
+            mismatched.push(format!("{}x{}", p.n, p.k));
+        }
+        t.row([
+            p.n.to_string(),
+            p.k.to_string(),
+            p.sessions.to_string(),
+            p.wire.bytes_total().to_string(),
+            (p.wire.frames_tx + p.wire.frames_rx).to_string(),
+            p.wire.transcript_bits.to_string(),
+            f(p.wire.overhead_ratio(), 2),
+            if p.digests_match() {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+            .to_owned(),
+        ]);
+    }
+    println!("netrun — TCP wire overhead vs in-process transcripts (seed {seed})\n");
+    println!("{}", t.render());
+
+    if let Some(path) = json_path {
+        let tables = Json::Arr(vec![obj([
+            ("label", Json::str("")),
+            (
+                "columns",
+                Json::Arr(t.headers().iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    t.rows()
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|cell| Json::cell(cell)).collect()))
+                        .collect(),
+                ),
+            ),
+        ])]);
+        let doc = obj([
+            ("schema", Json::str("bci.bench.v1")),
+            ("experiment", Json::str("netrun")),
+            (
+                "title",
+                Json::str("netrun — TCP wire overhead vs in-process transcripts"),
+            ),
+            (
+                "notes",
+                Json::Arr(vec![Json::str(
+                    "(each session runs twice from the same seed: loopback TCP and in-process; \
+                     digest column compares the transcripts byte for byte)",
+                )]),
+            ),
+            (
+                "meta",
+                Json::Obj(vec![
+                    ("seed".to_owned(), Json::UInt(seed)),
+                    ("sessions".to_owned(), Json::UInt(sessions as u64)),
+                    ("points".to_owned(), Json::str(points_spec)),
+                ]),
+            ),
+            ("tables", tables),
+        ]);
+        let mut text = doc.to_string();
+        text.push('\n');
+        std::fs::write(&path, text)
+            .map_err(|e| format!("cannot write JSON report to '{path}': {e}"))?;
+        diag.info(&format!("wrote JSON report to {path}"));
+    }
+
+    if !mismatched.is_empty() {
+        return Err(format!(
+            "transcript digests diverged from the in-process transport at: {}",
+            mismatched.join(", ")
+        ));
+    }
+    Ok(())
+}
+
 /// `bci experiments list | run <id>` — front end to the experiment
 /// registry. `run` executes the sweep on a fabric [`JobPool`]
 /// (`--workers`, default 1) and prints the same text the `table_*` bench
@@ -673,8 +968,8 @@ fn run_fabric<P, S, F>(
 ) -> Result<FabricReport<P::Output>, String>
 where
     P: bci_blackboard::protocol::Protocol + Sync,
-    P::Input: Sync,
-    P::Output: PartialEq + Send,
+    P::Input: Sync + bci_encoding::wire::Wire,
+    P::Output: PartialEq + Send + bci_encoding::wire::Wire,
     S: Fn(&mut dyn RngCore) -> Vec<P::Input> + Sync,
     F: Fn(&[P::Input]) -> P::Output + Sync,
 {

@@ -77,6 +77,62 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn zero_workers_is_rejected_with_a_clear_error() {
+    // `--workers 0` would deadlock a pool; both pooled entry points must
+    // refuse it up front instead of hanging.
+    for args in [
+        vec!["fabric", "--sessions", "4", "--workers", "0"],
+        vec!["experiments", "run", "e2", "--workers", "0"],
+        vec!["trace", "--workers", "0"],
+    ] {
+        let out = bci(&args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("--workers") && stderr.contains("positive"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn netrun_verifies_transcripts_and_writes_bench_json() {
+    let dir = std::env::temp_dir().join(format!("bci-netrun-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("netrun.json");
+    let json_path = json.to_str().expect("utf8 path");
+    let out = bci(&[
+        "netrun",
+        "--points",
+        "64x3,96x4",
+        "--sessions",
+        "2",
+        "--seed",
+        "9",
+        "--json",
+        json_path,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("overhead x"), "{stdout}");
+    assert!(stdout.contains("match"), "{stdout}");
+    assert!(!stdout.contains("MISMATCH"), "{stdout}");
+    let doc = std::fs::read_to_string(&json).expect("json written");
+    assert!(doc.contains("\"schema\":\"bci.bench.v1\""), "{doc}");
+    assert!(doc.contains("\"experiment\":\"netrun\""), "{doc}");
+    assert!(doc.contains("transcript bits"), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn netrun_rejects_bad_point_specs() {
+    for bad in ["64", "64x0", "0x4", "64xfour", "64x4,,"] {
+        let out = bci(&["netrun", "--points", bad]);
+        assert!(!out.status.success(), "--points {bad} should fail");
+    }
+}
+
+#[test]
 fn bad_invocations_fail_with_usage() {
     for args in [
         vec![],                                    // no command

@@ -14,7 +14,9 @@
 //! * the combinadic (combinatorial number system) subset codec
 //!   ([`combinadic`]),
 //! * compact set representations for player inputs ([`bitset`]),
-//! * and fast floating-point `log₂ C(z,b)` for cost-only sweeps ([`approx`]).
+//! * fast floating-point `log₂ C(z,b)` for cost-only sweeps ([`approx`]),
+//! * and a canonical binary codec for values crossing the network
+//!   ([`wire`]), used by the `bci-net` TCP transport's frames.
 //!
 //! Everything here is implemented from scratch; the crate has no runtime
 //! dependencies.
@@ -47,8 +49,10 @@ pub mod elias;
 pub mod golomb;
 pub mod huffman;
 pub mod unary;
+pub mod wire;
 
 pub use bignum::BigUint;
 pub use bitio::{BitReader, BitVec, BitWriter};
 pub use bitset::BitSet;
 pub use combinadic::SubsetCodec;
+pub use wire::{Wire, WireError};

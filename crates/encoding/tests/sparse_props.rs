@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) for [`SparseBitSet`]: every operation is
+//! checked against a naive `HashSet<usize>` model, with targeted coverage of
+//! the edge cases the dense-path tests miss — empty sets, `retain_words`
+//! pruning entries down to nothing, and the merge-join intersection on
+//! arbitrarily misaligned word lists.
+
+use std::collections::HashSet;
+
+use bci_encoding::bitset::{BitSet, SparseBitSet};
+use proptest::prelude::*;
+
+/// Universe size used throughout: large enough that elements span many
+/// 64-bit words (so the merge join actually has to skip entries on both
+/// sides), small enough that proptest finds collisions between the two
+/// operand sets.
+const CAP: usize = 1 << 10;
+
+fn elems() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..CAP, 0..80)
+}
+
+/// The invariant the representation promises: entries sorted strictly by
+/// word index, and no zero words ever stored.
+fn assert_well_formed(s: &SparseBitSet) {
+    for pair in s.entries().windows(2) {
+        assert!(pair[0].0 < pair[1].0, "entries out of order: {pair:?}");
+    }
+    assert!(
+        s.entries().iter().all(|&(_, w)| w != 0),
+        "zero word stored: {:?}",
+        s.entries()
+    );
+}
+
+proptest! {
+    #[test]
+    fn matches_a_hash_set_model(xs in elems()) {
+        let model: HashSet<usize> = xs.iter().copied().collect();
+        let s = SparseBitSet::from_elements(CAP, xs.iter().copied());
+        assert_well_formed(&s);
+        prop_assert_eq!(s.len(), model.len());
+        prop_assert_eq!(s.is_empty(), model.is_empty());
+        for e in 0..CAP {
+            prop_assert_eq!(s.contains(e), model.contains(&e));
+        }
+        let mut sorted: Vec<usize> = model.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn dense_round_trip_is_lossless(xs in elems()) {
+        let sparse = SparseBitSet::from_elements(CAP, xs.iter().copied());
+        let dense = sparse.to_dense();
+        prop_assert_eq!(dense.capacity(), CAP);
+        prop_assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            sparse.iter().collect::<Vec<_>>()
+        );
+        let back = SparseBitSet::from_dense(&dense);
+        assert_well_formed(&back);
+        prop_assert_eq!(back, sparse);
+    }
+
+    #[test]
+    fn insert_reports_novelty_like_the_model(xs in elems()) {
+        let mut model = HashSet::new();
+        let mut s = SparseBitSet::new(CAP);
+        for x in xs {
+            prop_assert_eq!(s.insert(x), model.insert(x), "insert({})", x);
+        }
+        assert_well_formed(&s);
+    }
+
+    #[test]
+    fn intersection_agrees_with_the_model(a in elems(), b in elems()) {
+        let ma: HashSet<usize> = a.iter().copied().collect();
+        let mb: HashSet<usize> = b.iter().copied().collect();
+        let sa = SparseBitSet::from_elements(CAP, a);
+        let sb = SparseBitSet::from_elements(CAP, b);
+
+        let both = sa.intersection(&sb);
+        assert_well_formed(&both);
+        let mut expect: Vec<usize> = ma.intersection(&mb).copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(both.iter().collect::<Vec<_>>(), expect);
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        // Symmetry: the merge join must not care which operand is denser.
+        prop_assert_eq!(sb.intersection(&sa), both);
+    }
+
+    #[test]
+    fn retain_words_masks_like_elementwise_removal(xs in elems(), mask in elems()) {
+        let keep: HashSet<usize> = mask.iter().copied().collect();
+        let mut s = SparseBitSet::from_elements(CAP, xs.iter().copied());
+        let dense_mask = BitSet::from_elements(CAP, mask);
+        s.retain_words(|idx, w| w & dense_mask.words()[idx]);
+        assert_well_formed(&s);
+        let mut expect: Vec<usize> = xs
+            .into_iter()
+            .filter(|e| keep.contains(e))
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn retain_words_to_zero_prunes_every_entry(xs in elems()) {
+        let mut s = SparseBitSet::from_elements(CAP, xs);
+        s.retain_words(|_, _| 0);
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(s.entries().len(), 0);
+        prop_assert_eq!(s.len(), 0);
+    }
+}
+
+#[test]
+fn empty_sets_behave() {
+    let e = SparseBitSet::new(CAP);
+    assert!(e.is_empty());
+    assert_eq!(e.len(), 0);
+    assert_eq!(e.entries().len(), 0);
+    assert_eq!(e.iter().count(), 0);
+    assert!(!e.contains(0));
+    assert_eq!(e.word(0), 0);
+
+    // Empty vs empty, empty vs occupied — both directions.
+    let full = SparseBitSet::from_elements(CAP, [0, 63, 64, CAP - 1]);
+    assert!(e.is_disjoint(&full));
+    assert!(full.is_disjoint(&e));
+    assert!(e.intersection(&full).is_empty());
+    assert!(full.intersection(&e).is_empty());
+    assert!(e.intersection(&e).is_empty());
+
+    // An empty set round-trips through the dense representation.
+    let dense = e.to_dense();
+    assert_eq!(dense.len(), 0);
+    assert_eq!(SparseBitSet::from_dense(&dense), e);
+
+    // Zero-capacity is a legal (vacuous) universe.
+    let zero = SparseBitSet::new(0);
+    assert!(zero.is_empty());
+    assert!(!zero.contains(0));
+    assert_eq!(zero.to_dense().capacity(), 0);
+}
+
+#[test]
+fn retain_words_can_rewrite_words_in_place() {
+    // retain_words may *change* surviving words, not just keep/drop them;
+    // check a mask that clears the low half of every word.
+    let mut s = SparseBitSet::from_elements(CAP, [1, 33, 40, 64, 100, 130]);
+    s.retain_words(|_, w| w & !0xFFFF_FFFF);
+    assert_eq!(s.iter().collect::<Vec<_>>(), vec![33, 40, 100]);
+    assert_eq!(s.entries().len(), 2);
+}

@@ -18,6 +18,7 @@
 use bci_blackboard::protocol::Protocol;
 use bci_blackboard::runner::RunReport;
 use bci_blackboard::stats::CommStats;
+use bci_encoding::wire::Wire;
 use rand::RngCore;
 
 use crate::metrics::FabricMetrics;
@@ -67,8 +68,8 @@ pub fn monte_carlo_fabric<T, P, S, F>(
 where
     T: Transport,
     P: Protocol + Sync,
-    P::Input: Sync,
-    P::Output: PartialEq + Send,
+    P::Input: Sync + Wire,
+    P::Output: PartialEq + Send + Wire,
     S: Fn(&mut dyn RngCore) -> Vec<P::Input> + Sync,
     F: Fn(&[P::Input]) -> P::Output + Sync,
 {

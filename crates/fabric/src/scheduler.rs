@@ -24,6 +24,7 @@ use std::time::Duration;
 use bci_blackboard::board::Board;
 use bci_blackboard::protocol::Protocol;
 use bci_blackboard::stats::CommStats;
+use bci_encoding::wire::Wire;
 use bci_telemetry::hist::{Histogram, BITS_BOUNDS, LATENCY_US_BOUNDS};
 use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::{RngCore, SeedableRng};
@@ -141,8 +142,8 @@ pub fn run_sessions<T, P, S, F>(
 where
     T: Transport,
     P: Protocol + Sync,
-    P::Input: Sync,
-    P::Output: PartialEq + Send,
+    P::Input: Sync + Wire,
+    P::Output: PartialEq + Send + Wire,
     S: Fn(&mut dyn RngCore) -> Vec<P::Input> + Sync,
     F: Fn(&[P::Input]) -> P::Output + Sync,
 {

@@ -15,6 +15,13 @@
 //!   — and, because the RNG itself makes the round trip, the randomness
 //!   stream — identical to the serial executor, so transcripts are
 //!   bit-for-bit reproducible across transports.
+//! * `TcpTransport` (in the `bci-net` crate) — the same sequencer wiring
+//!   over real TCP sockets: a coordinator owns the board and player
+//!   clients exchange length-prefixed frames. Supporting it is why
+//!   [`Transport::run_session`] requires `P::Input: Wire` and
+//!   `P::Output: Wire`: inputs, messages, and outputs must have a
+//!   canonical byte encoding to cross a socket. The in-process transports
+//!   never serialize anything; the bound only pins down *encodability*.
 //!
 //! Both transports honor per-session deadlines and the fault kinds in
 //! [`FaultKind`], and both contain failures:
@@ -28,6 +35,7 @@ use std::time::{Duration, Instant};
 use bci_blackboard::board::Board;
 use bci_blackboard::protocol::{Protocol, MAX_STEPS};
 use bci_encoding::bitio::BitVec;
+use bci_encoding::wire::Wire;
 use bci_telemetry::{Json, Recorder, SpanKind};
 use rand_chacha::ChaCha8Rng;
 
@@ -57,7 +65,9 @@ pub struct SessionContext<'a> {
 
 impl SessionContext<'_> {
     /// Emits one `hop` point event (board write) when event capture is on.
-    fn record_hop(&self, hop: usize, speaker: usize, msg_bits: usize, board: &Board) {
+    /// Public so out-of-crate transports (the `bci-net` TCP backend) emit
+    /// the same per-write event stream as the in-process transports.
+    pub fn record_hop(&self, hop: usize, speaker: usize, msg_bits: usize, board: &Board) {
         if self.recorder.events_enabled() {
             self.recorder.point(
                 SpanKind::Hop,
@@ -91,6 +101,10 @@ pub trait Transport: Sync {
     /// deadline and faults in `ctx`. Never panics on injected faults: the
     /// failure mode is encoded in the returned
     /// [`SessionOutcome`].
+    ///
+    /// The [`Wire`] bounds exist for transports that cross a process
+    /// boundary (the `bci-net` TCP backend ships inputs and outputs as
+    /// bytes); in-process transports never invoke them.
     fn run_session<P>(
         &self,
         protocol: &P,
@@ -100,7 +114,8 @@ pub trait Transport: Sync {
     ) -> SessionResult<P::Output>
     where
         P: Protocol + Sync,
-        P::Input: Sync;
+        P::Input: Sync + Wire,
+        P::Output: Wire;
 }
 
 fn finish<O>(
@@ -138,7 +153,8 @@ impl Transport for InProcessTransport {
     ) -> SessionResult<P::Output>
     where
         P: Protocol + Sync,
-        P::Input: Sync,
+        P::Input: Sync + Wire,
+        P::Output: Wire,
     {
         assert_eq!(inputs.len(), protocol.num_players(), "input count");
         let start = Instant::now();
@@ -246,7 +262,8 @@ impl Transport for ChannelTransport {
     ) -> SessionResult<P::Output>
     where
         P: Protocol + Sync,
-        P::Input: Sync,
+        P::Input: Sync + Wire,
+        P::Output: Wire,
     {
         let k = protocol.num_players();
         assert_eq!(inputs.len(), k, "input count");

@@ -1,0 +1,220 @@
+//! The player client: connects (with backoff), handshakes, and plays.
+//!
+//! A client keeps a local replica of the blackboard, built exclusively
+//! from the coordinator's authoritative `Broadcast` frames — it never
+//! applies its own write speculatively, so its replica can't diverge from
+//! the coordinator's board. When granted a turn it resumes the session
+//! RNG from the serialized state in the grant, computes its message, and
+//! ships bits plus post-message RNG state back.
+//!
+//! While idle (another player's turn, or waiting for the roster to fill)
+//! the client sends a `Heartbeat` whenever it hasn't written anything for
+//! one heartbeat interval — *even though it is actively receiving*.
+//! Receiving proves the coordinator is alive, not that this client is;
+//! only outbound traffic refreshes the coordinator's liveness clock.
+
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::Protocol;
+use bci_encoding::wire::Wire;
+use bci_fabric::session::{FaultKind, FaultSpec};
+use rand_chacha::{ChaCha8Rng, STATE_LEN};
+
+use crate::backoff::connect_with_backoff;
+use crate::conn::Conn;
+use crate::frame::{BroadcastFrame, Frame, Hello, NetError, NO_PLAYER, PROTOCOL_VERSION};
+use crate::NetConfig;
+
+/// How a player misbehaves, derived from the fabric's fault taxonomy.
+///
+/// The loopback harness uses this to *emulate* faults at the client —
+/// which is what makes the wire-level failure mapping testable: a crash
+/// really is a closed socket, a dropped wakeup really is a silent-but-
+/// heartbeating peer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlayerBehavior {
+    /// Close the connection the first time a turn is granted
+    /// ([`FaultKind::CrashedPlayer`]).
+    pub crash_on_speak: bool,
+    /// Ignore the first granted turn but keep heartbeating
+    /// ([`FaultKind::DroppedWakeup`]).
+    pub drop_first_wakeup: bool,
+    /// Sleep this long before every message ([`FaultKind::SlowPlayer`]).
+    pub slow: Option<Duration>,
+}
+
+impl PlayerBehavior {
+    /// The behavior `faults` prescribe for `player`.
+    pub fn from_faults(player: usize, faults: &[FaultSpec]) -> Self {
+        let mut behavior = PlayerBehavior::default();
+        for fault in faults.iter().filter(|f| f.player == player) {
+            match fault.kind {
+                FaultKind::CrashedPlayer => behavior.crash_on_speak = true,
+                FaultKind::DroppedWakeup => behavior.drop_first_wakeup = true,
+                FaultKind::SlowPlayer(d) => behavior.slow = Some(d),
+            }
+        }
+        behavior
+    }
+}
+
+/// Dials the coordinator with capped-exponential backoff, handshakes, and
+/// returns the registered connection, the coordinator's `Hello` ack
+/// (carrying roster size, seed, and protocol params), and how many
+/// connect retries were needed.
+pub fn connect_player(
+    addr: SocketAddr,
+    player: usize,
+    protocol_id: &str,
+    config: &NetConfig,
+    master_seed: u64,
+) -> Result<(Conn, Hello, u32), NetError> {
+    let (stream, retries) = connect_with_backoff(addr, config, master_seed, player as u64)?;
+    let mut conn = Conn::new(stream)?;
+    let hello = Frame::Hello(Hello {
+        version: PROTOCOL_VERSION,
+        protocol_id: protocol_id.to_string(),
+        player: player as u32,
+        players: 0,
+        seed: 0,
+        params: Vec::new(),
+    });
+    conn.send(&hello, config)?;
+    let ack_deadline = Instant::now() + config.io_timeout;
+    match conn.recv_deadline(ack_deadline, config)? {
+        Frame::Hello(ack) => Ok((conn, ack, retries)),
+        Frame::Error { message, .. } => Err(NetError::Protocol(message)),
+        other => Err(NetError::Protocol(format!(
+            "expected hello ack, got {} frame",
+            other.name()
+        ))),
+    }
+}
+
+/// State the client tracks to know when its own liveness is due.
+struct HeartbeatClock {
+    last_sent: Instant,
+    seq: u64,
+}
+
+impl HeartbeatClock {
+    fn tick(&mut self, conn: &mut Conn, config: &NetConfig) -> Result<(), NetError> {
+        if self.last_sent.elapsed() >= config.heartbeat_interval {
+            self.seq += 1;
+            conn.send(&Frame::Heartbeat { seq: self.seq }, config)?;
+            self.last_sent = Instant::now();
+        }
+        Ok(())
+    }
+}
+
+/// Runs the player's side of every session on `conn` until the
+/// coordinator's final `Outcome` frame (one with `remaining == 0`).
+///
+/// Returns `Ok(sessions_played)` on a clean end — including when the
+/// behavior says to crash (the caller closed the socket on purpose;
+/// the *coordinator* records the structured abort). Errors are real
+/// protocol or transport failures observed by this client.
+pub fn run_player<P>(
+    protocol: &P,
+    mut conn: Conn,
+    player: usize,
+    behavior: PlayerBehavior,
+    config: &NetConfig,
+) -> Result<u32, NetError>
+where
+    P: Protocol,
+    P::Input: Wire,
+{
+    let mut board = Board::new();
+    let mut input: Option<P::Input> = None;
+    let mut drop_pending = behavior.drop_first_wakeup;
+    let mut sessions = 0u32;
+    let mut clock = HeartbeatClock {
+        last_sent: Instant::now(),
+        seq: 0,
+    };
+    loop {
+        let frame = loop {
+            clock.tick(&mut conn, config)?;
+            if let Some(frame) = conn.poll()? {
+                break frame;
+            }
+            std::thread::sleep(config.poll_sleep);
+        };
+        match frame {
+            Frame::Input(inp) => {
+                if inp.player as usize != player {
+                    return Err(NetError::Protocol(format!(
+                        "input addressed to player {}, I am {player}",
+                        inp.player
+                    )));
+                }
+                input = Some(P::Input::from_wire_bytes(&inp.payload)?);
+            }
+            Frame::Broadcast(b) => {
+                // Apply the authoritative write to the replica first; the
+                // grant below must see the post-write board.
+                if b.speaker != NO_PLAYER {
+                    board.write(b.speaker as usize, b.bits);
+                }
+                if b.next == NO_PLAYER || b.next as usize != player {
+                    continue;
+                }
+                if behavior.crash_on_speak {
+                    return Ok(sessions); // close the socket mid-session
+                }
+                if drop_pending {
+                    drop_pending = false; // lost wakeup: stay silent, stay alive
+                    continue;
+                }
+                if let Some(delay) = behavior.slow {
+                    std::thread::sleep(delay);
+                }
+                let state: [u8; STATE_LEN] = b
+                    .rng
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| NetError::BadFrame("grant without RNG state"))?;
+                let mut rng = ChaCha8Rng::from_state_bytes(&state);
+                let my_input = input
+                    .as_ref()
+                    .ok_or(NetError::Protocol("granted a turn before input".into()))?;
+                let bits = match catch_unwind(AssertUnwindSafe(|| {
+                    protocol.message(player, my_input, &board, &mut rng)
+                })) {
+                    Ok(bits) => bits,
+                    // A panicking player hangs up; the coordinator maps the
+                    // EOF to a structured abort, same as the fabric.
+                    Err(_) => return Ok(sessions),
+                };
+                let reply = Frame::Broadcast(BroadcastFrame {
+                    turn: b.turn,
+                    speaker: player as u32,
+                    bits,
+                    next: NO_PLAYER,
+                    rng: rng.state_bytes().to_vec(),
+                });
+                conn.send(&reply, config)?;
+                clock.last_sent = Instant::now();
+            }
+            Frame::Outcome(outcome) => {
+                sessions += 1;
+                if outcome.remaining == 0 {
+                    return Ok(sessions);
+                }
+                board = Board::new();
+                input = None;
+                drop_pending = behavior.drop_first_wakeup;
+            }
+            Frame::Heartbeat { .. } => {}
+            Frame::Error { message, .. } => return Err(NetError::Protocol(message)),
+            Frame::Hello(_) => {
+                return Err(NetError::Protocol("unexpected mid-session hello".into()))
+            }
+        }
+    }
+}

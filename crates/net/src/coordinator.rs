@@ -1,0 +1,476 @@
+//! The coordinator daemon: owns the blackboard and plays sequencer.
+//!
+//! The coordinator accepts player connections until the roster is full
+//! ([`accept_roster`]), then drives sessions exactly like the fabric's
+//! in-process channel transport ([`run_coordinator_session`]): it asks
+//! the protocol whose turn it is, grants the turn over the wire together
+//! with the serialized session RNG, waits for the speaker's reply, and
+//! publishes the authoritative write to every player. Because writes are
+//! serialized through the coordinator and the RNG round-trips with each
+//! turn, transcripts are bit-identical to [`InProcessTransport`] and
+//! `ChannelTransport` for the same seeds.
+//!
+//! All sockets are non-blocking; the coordinator sweeps them from a
+//! single thread. This is deliberate: a broadcast session has exactly one
+//! granted speaker at a time, so sub-millisecond poll latency is
+//! irrelevant next to protocol computation, and a single-threaded
+//! sequencer cannot deadlock or reorder writes.
+//!
+//! [`InProcessTransport`]: bci_fabric::transport::InProcessTransport
+
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::{Protocol, MAX_STEPS};
+use bci_encoding::bitio::BitVec;
+use bci_encoding::wire::Wire;
+use bci_fabric::session::{SessionOutcome, SessionResult};
+use bci_fabric::transport::{SessionContext, DEFAULT_STALL_CAP};
+use bci_telemetry::hist::LATENCY_US_BOUNDS;
+use rand_chacha::{ChaCha8Rng, STATE_LEN};
+
+use crate::conn::Conn;
+use crate::frame::{
+    BroadcastFrame, Frame, Hello, InputFrame, NetError, OutcomeFrame, NO_PLAYER, PROTOCOL_VERSION,
+};
+use crate::NetConfig;
+
+/// The run parameters the coordinator advertises in its `Hello` ack.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Protocol identifier both sides must agree on (e.g. `"disj"`).
+    pub protocol_id: String,
+    /// Roster size `k`.
+    pub players: u32,
+    /// Master seed of the run (lets clients derive their backoff streams
+    /// and, in the CLI path, display what they joined).
+    pub seed: u64,
+    /// Protocol-specific parameters (for `disj`: `[n]`).
+    pub params: Vec<u64>,
+}
+
+/// A registered player connection.
+#[derive(Debug)]
+pub struct PlayerConn {
+    /// The framed socket.
+    pub conn: Conn,
+    /// When the peer last said anything (frame of any kind).
+    pub last_seen: Instant,
+}
+
+/// Sends a structured error frame and drops the connection (best effort —
+/// the peer may already be gone).
+fn reject(mut conn: Conn, config: &NetConfig, message: String) {
+    let _ = conn.send(&Frame::Error { code: 1, message }, config);
+}
+
+/// Accepts connections on `listener` until every player slot in
+/// `0..info.players` is registered via a valid `Hello`, or `deadline`
+/// passes. Connections with a bad version, wrong protocol id, or an
+/// out-of-range/duplicate player index get an `Error` frame and are
+/// dropped — the slot stays open for a retry (this is what makes client
+/// reconnect-with-backoff work: a connection that died before its `Hello`
+/// never claims a slot).
+pub fn accept_roster(
+    listener: &TcpListener,
+    info: &SessionInfo,
+    config: &NetConfig,
+    deadline: Instant,
+) -> Result<Vec<PlayerConn>, NetError> {
+    listener.set_nonblocking(true)?;
+    let k = info.players as usize;
+    let mut slots: Vec<Option<PlayerConn>> = (0..k).map(|_| None).collect();
+    let mut registered = 0usize;
+    while registered < k {
+        if Instant::now() >= deadline {
+            return Err(NetError::Protocol(format!(
+                "roster incomplete: {registered}/{k} players registered before deadline"
+            )));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut conn = Conn::new(stream)?;
+                let hello_deadline = Instant::now() + config.io_timeout;
+                let frame = match conn.recv_deadline(hello_deadline, config) {
+                    Ok(f) => f,
+                    Err(_) => continue, // died before saying hello
+                };
+                let hello = match frame {
+                    Frame::Hello(h) => h,
+                    other => {
+                        reject(
+                            conn,
+                            config,
+                            format!("expected hello, got {}", other.name()),
+                        );
+                        continue;
+                    }
+                };
+                if hello.version != PROTOCOL_VERSION {
+                    reject(
+                        conn,
+                        config,
+                        format!(
+                            "version mismatch: coordinator speaks {PROTOCOL_VERSION}, client {}",
+                            hello.version
+                        ),
+                    );
+                    continue;
+                }
+                if hello.protocol_id != info.protocol_id {
+                    reject(
+                        conn,
+                        config,
+                        format!(
+                            "protocol mismatch: serving {:?}, client asked for {:?}",
+                            info.protocol_id, hello.protocol_id
+                        ),
+                    );
+                    continue;
+                }
+                let player = hello.player as usize;
+                if player >= k {
+                    reject(
+                        conn,
+                        config,
+                        format!("player index {player} out of range (roster size {k})"),
+                    );
+                    continue;
+                }
+                if slots[player].is_some() {
+                    reject(conn, config, format!("player {player} already registered"));
+                    continue;
+                }
+                let ack = Frame::Hello(Hello {
+                    version: PROTOCOL_VERSION,
+                    protocol_id: info.protocol_id.clone(),
+                    player: hello.player,
+                    players: info.players,
+                    seed: info.seed,
+                    params: info.params.clone(),
+                });
+                if conn.send(&ack, config).is_err() {
+                    continue;
+                }
+                slots[player] = Some(PlayerConn {
+                    conn,
+                    last_seen: Instant::now(),
+                });
+                registered += 1;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(config.poll_sleep);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("all slots registered"))
+        .collect())
+}
+
+/// Broadcasts the outcome to every surviving player (best effort: a dead
+/// connection is exactly why some outcomes exist) and packages the
+/// session result.
+#[allow(clippy::too_many_arguments)]
+fn session_end<O: Wire>(
+    outcome: SessionOutcome,
+    output: Option<O>,
+    board: Board,
+    start: Instant,
+    conns: &mut [PlayerConn],
+    config: &NetConfig,
+    remaining: u32,
+) -> SessionResult<O> {
+    let kind = match &outcome {
+        SessionOutcome::Completed => 0,
+        SessionOutcome::TimedOut => 1,
+        SessionOutcome::Aborted(_) => 2,
+    };
+    let reason = match &outcome {
+        SessionOutcome::Aborted(r) => r.clone(),
+        _ => String::new(),
+    };
+    let frame = Frame::Outcome(OutcomeFrame {
+        kind,
+        reason,
+        output: output.as_ref().map(Wire::to_wire_bytes).unwrap_or_default(),
+        remaining,
+    });
+    for pc in conns.iter_mut() {
+        let _ = pc.conn.send(&frame, config);
+    }
+    let bits_written = board.total_bits();
+    SessionResult {
+        outcome,
+        output,
+        board,
+        bits_written,
+        latency: start.elapsed(),
+    }
+}
+
+/// What one sweep over the roster produced while waiting for a reply.
+enum SweepEvent {
+    Reply(BroadcastFrame),
+    Fail(String),
+}
+
+/// Drives one session over an already-registered roster.
+///
+/// Mirrors the channel transport's sequencer loop turn for turn; the
+/// failure mapping is the fabric's fault taxonomy expressed in wire
+/// terms:
+///
+/// * peer hangs up (EOF / reset) → `Aborted("player {i} disconnected")`;
+/// * granted speaker silent past the session deadline → `TimedOut`;
+/// * peer silent past `heartbeat_interval × miss_limit` →
+///   `Aborted("player {i} missed … heartbeats")`;
+/// * peer sends an `Error` frame or violates the protocol →
+///   `Aborted(reason)`.
+///
+/// `remaining` is how many more sessions will follow on these
+/// connections; it is forwarded in the outcome frame so clients know
+/// whether to stay.
+#[allow(clippy::too_many_arguments)]
+pub fn run_coordinator_session<P>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: ChaCha8Rng,
+    ctx: &SessionContext<'_>,
+    conns: &mut [PlayerConn],
+    config: &NetConfig,
+    session_idx: u32,
+    remaining: u32,
+) -> SessionResult<P::Output>
+where
+    P: Protocol,
+    P::Input: Wire,
+    P::Output: Wire,
+{
+    let k = protocol.num_players();
+    assert_eq!(inputs.len(), k, "input count");
+    assert_eq!(conns.len(), k, "roster size");
+    let start = Instant::now();
+    let stale_after = config.heartbeat_interval * config.miss_limit;
+    let abort = |reason: String, board: Board, conns: &mut [PlayerConn]| {
+        session_end(
+            SessionOutcome::Aborted(reason),
+            None,
+            board,
+            start,
+            conns,
+            config,
+            remaining,
+        )
+    };
+
+    // Ship each player its input share.
+    let mut failed: Option<String> = None;
+    for (player, (pc, input)) in conns.iter_mut().zip(inputs).enumerate() {
+        let frame = Frame::Input(InputFrame {
+            session: session_idx,
+            player: player as u32,
+            payload: input.to_wire_bytes(),
+        });
+        if pc.conn.send(&frame, config).is_err() {
+            failed = Some(format!("player {player} disconnected"));
+            break;
+        }
+    }
+    if let Some(reason) = failed {
+        return abort(reason, Board::new(), conns);
+    }
+
+    let mut board = Board::new();
+    let mut rng = Some(rng);
+    let mut steps = 0usize;
+    // The previous authoritative write, folded into the next grant frame.
+    let mut prev: Option<(u32, BitVec)> = None;
+
+    loop {
+        if let Some(deadline) = ctx.deadline {
+            if start.elapsed() >= deadline {
+                return session_end(
+                    SessionOutcome::TimedOut,
+                    None,
+                    board,
+                    start,
+                    conns,
+                    config,
+                    remaining,
+                );
+            }
+        }
+        let next = match protocol.next_speaker(&board) {
+            Some(s) if s >= k => {
+                return abort(format!("protocol named speaker {s}"), board, conns);
+            }
+            other => other,
+        };
+
+        // One frame carries the previous write and the next grant; every
+        // player applies the write to its board replica, and the granted
+        // player resumes the session RNG from the serialized state.
+        let (prev_speaker, prev_bits) = prev.take().unwrap_or((NO_PLAYER, BitVec::new()));
+        let rng_bytes = match next {
+            Some(_) => rng
+                .as_ref()
+                .expect("rng is home between turns")
+                .state_bytes()
+                .to_vec(),
+            None => Vec::new(),
+        };
+        let grant = Frame::Broadcast(BroadcastFrame {
+            turn: steps as u32,
+            speaker: prev_speaker,
+            bits: prev_bits,
+            next: next.map(|s| s as u32).unwrap_or(NO_PLAYER),
+            rng: rng_bytes,
+        });
+        let mut failed: Option<String> = None;
+        for (player, pc) in conns.iter_mut().enumerate() {
+            if pc.conn.send(&grant, config).is_err() {
+                failed = Some(format!("player {player} disconnected"));
+                break;
+            }
+        }
+        if let Some(reason) = failed {
+            return abort(reason, board, conns);
+        }
+
+        let Some(speaker) = next else {
+            break;
+        };
+
+        // Sweep all sockets until the speaker replies: heartbeats keep
+        // peers fresh, hangups and stale peers abort, the session deadline
+        // (or the stall cap) bounds the wait.
+        let hop_start = Instant::now();
+        let hop_deadline = match ctx.deadline {
+            Some(d) => start + d,
+            None => hop_start + DEFAULT_STALL_CAP,
+        };
+        let event = 'sweep: loop {
+            if Instant::now() >= hop_deadline {
+                return session_end(
+                    SessionOutcome::TimedOut,
+                    None,
+                    board,
+                    start,
+                    conns,
+                    config,
+                    remaining,
+                );
+            }
+            let mut progressed = false;
+            for (player, pc) in conns.iter_mut().enumerate() {
+                loop {
+                    match pc.conn.poll() {
+                        Ok(Some(frame)) => {
+                            pc.last_seen = Instant::now();
+                            progressed = true;
+                            match frame {
+                                Frame::Heartbeat { .. } => {}
+                                Frame::Broadcast(b) if player == speaker => {
+                                    break 'sweep SweepEvent::Reply(b);
+                                }
+                                Frame::Error { message, .. } => {
+                                    break 'sweep SweepEvent::Fail(format!(
+                                        "player {player} error: {message}"
+                                    ));
+                                }
+                                other => {
+                                    break 'sweep SweepEvent::Fail(format!(
+                                        "player {player} sent unexpected {} frame",
+                                        other.name()
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(NetError::Disconnected | NetError::Io(_)) => {
+                            break 'sweep SweepEvent::Fail(format!("player {player} disconnected"));
+                        }
+                        Err(e) => {
+                            break 'sweep SweepEvent::Fail(format!("player {player}: {e}"));
+                        }
+                    }
+                }
+            }
+            let stale = conns
+                .iter()
+                .position(|pc| pc.last_seen.elapsed() > stale_after);
+            if let Some(player) = stale {
+                break 'sweep SweepEvent::Fail(format!(
+                    "player {player} missed {} heartbeats",
+                    config.miss_limit
+                ));
+            }
+            if !progressed {
+                std::thread::sleep(config.poll_sleep);
+            }
+        };
+        let reply = match event {
+            SweepEvent::Reply(b) => b,
+            SweepEvent::Fail(reason) => return abort(reason, board, conns),
+        };
+
+        let rtt_us = hop_start.elapsed().as_micros() as u64;
+        ctx.recorder
+            .hist_record("net.hop_rtt_us", rtt_us, LATENCY_US_BOUNDS);
+
+        if reply.speaker as usize != speaker {
+            return abort(
+                format!("player {speaker} replied as player {}", reply.speaker),
+                board,
+                conns,
+            );
+        }
+        let state: [u8; STATE_LEN] = match reply.rng.as_slice().try_into() {
+            Ok(s) => s,
+            Err(_) => {
+                return abort(
+                    format!("player {speaker} returned a bad RNG state"),
+                    board,
+                    conns,
+                );
+            }
+        };
+        rng = Some(ChaCha8Rng::from_state_bytes(&state));
+        let msg_bits = reply.bits.len();
+        board.write(speaker, reply.bits.clone());
+        ctx.record_hop(steps, speaker, msg_bits, &board);
+        prev = Some((speaker as u32, reply.bits));
+        steps += 1;
+        if steps > MAX_STEPS {
+            return abort(format!("exceeded {MAX_STEPS} turns"), board, conns);
+        }
+    }
+
+    // Deciding the output is the protocol's job; the coordinator computes
+    // it from the final board and broadcasts it so every player ends the
+    // session knowing the same answer.
+    let output = match catch_unwind(AssertUnwindSafe(|| protocol.output(&board))) {
+        Ok(o) => o,
+        Err(_) => return abort("protocol output panicked".into(), board, conns),
+    };
+    session_end(
+        SessionOutcome::Completed,
+        Some(output),
+        board,
+        start,
+        conns,
+        config,
+        remaining,
+    )
+}

@@ -1,0 +1,526 @@
+//! Length-prefixed binary frames and the incremental frame reader.
+//!
+//! Every message on a `bci-net` socket is one frame:
+//!
+//! ```text
+//! ┌────────────────┬─────────┬────────────────────┐
+//! │ u32 LE length  │ u8 tag  │ payload (Wire-coded)│
+//! └────────────────┴─────────┴────────────────────┘
+//! ```
+//!
+//! The length counts the tag byte plus the payload, so a reader needs
+//! exactly two reads to know how much to buffer. Payloads are encoded with
+//! the dependency-free [`Wire`] codec from `bci-encoding`; see
+//! `docs/net.md` for the per-tag field tables.
+//!
+//! [`FrameReader`] is deliberately *incremental*: it consumes whatever
+//! bytes `read` returns and surfaces a frame only once one is complete, so
+//! a read timeout that fires mid-frame never corrupts the stream — the
+//! partial bytes stay buffered and the caller observes an idle tick.
+
+use std::fmt;
+use std::io::{self, Read};
+
+use bci_encoding::bitio::BitVec;
+use bci_encoding::wire::{Wire, WireError};
+
+/// Version carried in every `Hello`; peers with a different version
+/// refuse the handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Sentinel player id: "nobody" (initial grant has no prior speaker; a
+/// final broadcast grants no next turn).
+pub const NO_PLAYER: u32 = u32::MAX;
+
+/// Hard cap on a frame's length field. A peer announcing more is treated
+/// as malformed before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Everything that can go wrong on a connection.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer closed the connection (clean EOF).
+    Disconnected,
+    /// A frame payload failed to decode.
+    Decode(WireError),
+    /// A structurally invalid frame: unknown tag, zero or oversized
+    /// length, bad RNG-state length.
+    BadFrame(&'static str),
+    /// The peer violated the session protocol (bad handshake, unexpected
+    /// frame, duplicate registration, …).
+    Protocol(String),
+    /// The peer went silent: no frame for more than
+    /// `heartbeat_interval × miss_limit`.
+    HeartbeatsMissed(u32),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Disconnected => write!(f, "connection closed"),
+            NetError::Decode(e) => write!(f, "frame decode error: {e}"),
+            NetError::BadFrame(what) => write!(f, "malformed frame: {what}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::HeartbeatsMissed(n) => write!(f, "peer missed {n} heartbeats"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Decode(e)
+    }
+}
+
+/// The versioned handshake, sent client → coordinator on connect and
+/// echoed back (with the session parameters filled in) as the ack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// [`PROTOCOL_VERSION`] of the sender.
+    pub version: u16,
+    /// Protocol identifier both sides must agree on (e.g. `"disj"`).
+    pub protocol_id: String,
+    /// Requested player index (client) / confirmed index (ack).
+    pub player: u32,
+    /// Roster size `k`. Zero in the client hello; filled in by the ack.
+    pub players: u32,
+    /// Master seed of the run. Zero in the client hello.
+    pub seed: u64,
+    /// Protocol-specific parameters (for `disj`: `[n]`). Empty in the
+    /// client hello.
+    pub params: Vec<u64>,
+}
+
+impl Wire for Hello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.protocol_id.encode(out);
+        self.player.encode(out);
+        self.players.encode(out);
+        self.seed.encode(out);
+        self.params.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Hello {
+            version: u16::decode(input)?,
+            protocol_id: String::decode(input)?,
+            player: u32::decode(input)?,
+            players: u32::decode(input)?,
+            seed: u64::decode(input)?,
+            params: Vec::decode(input)?,
+        })
+    }
+}
+
+/// A player's input share, coordinator → player, once per session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputFrame {
+    /// Session index within the run (0-based).
+    pub session: u32,
+    /// The addressee (defense in depth; each socket belongs to one player).
+    pub player: u32,
+    /// The [`Wire`]-encoded `P::Input`.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for InputFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.session.encode(out);
+        self.player.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(InputFrame {
+            session: u32::decode(input)?,
+            player: u32::decode(input)?,
+            payload: Vec::decode(input)?,
+        })
+    }
+}
+
+/// A board write and/or turn grant.
+///
+/// Coordinator → players: "`speaker` wrote `bits` (apply it to your board
+/// replica); `next` speaks now, seeded with `rng`". The initial grant has
+/// `speaker == NO_PLAYER` and empty `bits`; the final publish has
+/// `next == NO_PLAYER` and empty `rng`.
+///
+/// Player → coordinator: the granted player's reply — `speaker` is the
+/// sender, `bits` its message, `rng` the session RNG state *after*
+/// computing it (the RNG round-trips exactly as in the in-process channel
+/// transport, which is what keeps transcripts bit-identical).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastFrame {
+    /// Turn index (number of board writes before this one).
+    pub turn: u32,
+    /// Who wrote `bits`; [`NO_PLAYER`] on the initial grant.
+    pub speaker: u32,
+    /// The written message bits.
+    pub bits: BitVec,
+    /// Who speaks next; [`NO_PLAYER`] when no turn is granted.
+    pub next: u32,
+    /// Serialized ChaCha8 session RNG state
+    /// ([`rand_chacha::STATE_LEN`] bytes) when a turn is granted or a
+    /// reply hands the RNG back; empty otherwise.
+    pub rng: Vec<u8>,
+}
+
+impl Wire for BroadcastFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.turn.encode(out);
+        self.speaker.encode(out);
+        self.bits.encode(out);
+        self.next.encode(out);
+        self.rng.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BroadcastFrame {
+            turn: u32::decode(input)?,
+            speaker: u32::decode(input)?,
+            bits: BitVec::decode(input)?,
+            next: u32::decode(input)?,
+            rng: Vec::decode(input)?,
+        })
+    }
+}
+
+/// How a session ended, coordinator → players.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeFrame {
+    /// 0 = completed, 1 = timed out, 2 = aborted (the
+    /// `SessionOutcome` variants, in declaration order).
+    pub kind: u8,
+    /// The abort reason; empty otherwise.
+    pub reason: String,
+    /// The [`Wire`]-encoded `P::Output` when completed; empty otherwise.
+    pub output: Vec<u8>,
+    /// Sessions still to come on this connection. Non-zero means "stay
+    /// connected, the next `Input` frame is on its way".
+    pub remaining: u32,
+}
+
+impl Wire for OutcomeFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.reason.encode(out);
+        self.output.encode(out);
+        self.remaining.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(OutcomeFrame {
+            kind: u8::decode(input)?,
+            reason: String::decode(input)?,
+            output: Vec::decode(input)?,
+            remaining: u32::decode(input)?,
+        })
+    }
+}
+
+/// One frame on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake (tag 0).
+    Hello(Hello),
+    /// Input share delivery (tag 1).
+    Input(InputFrame),
+    /// Board write / turn grant / reply (tag 2).
+    Broadcast(BroadcastFrame),
+    /// Liveness ping with a monotone sequence number (tag 3).
+    Heartbeat {
+        /// Sender-local monotone counter.
+        seq: u64,
+    },
+    /// Session end (tag 4).
+    Outcome(OutcomeFrame),
+    /// Fatal structured error (tag 5). The sender closes after this.
+    Error {
+        /// Machine-readable error class (currently informational).
+        code: u8,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_INPUT: u8 = 1;
+const TAG_BROADCAST: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_OUTCOME: u8 = 4;
+const TAG_ERROR: u8 = 5;
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => TAG_HELLO,
+            Frame::Input(_) => TAG_INPUT,
+            Frame::Broadcast(_) => TAG_BROADCAST,
+            Frame::Heartbeat { .. } => TAG_HEARTBEAT,
+            Frame::Outcome(_) => TAG_OUTCOME,
+            Frame::Error { .. } => TAG_ERROR,
+        }
+    }
+
+    /// A short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "hello",
+            Frame::Input(_) => "input",
+            Frame::Broadcast(_) => "broadcast",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::Outcome(_) => "outcome",
+            Frame::Error { .. } => "error",
+        }
+    }
+
+    /// Serializes tag + payload + length prefix into a write-ready buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = vec![self.tag()];
+        match self {
+            Frame::Hello(h) => h.encode(&mut body),
+            Frame::Input(i) => i.encode(&mut body),
+            Frame::Broadcast(b) => b.encode(&mut body),
+            Frame::Heartbeat { seq } => seq.encode(&mut body),
+            Frame::Outcome(o) => o.encode(&mut body),
+            Frame::Error { code, message } => {
+                code.encode(&mut body);
+                message.encode(&mut body);
+            }
+        }
+        let len = u32::try_from(body.len()).expect("frame fits u32");
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame body (tag byte + payload, no length prefix).
+    pub fn from_body(body: &[u8]) -> Result<Frame, NetError> {
+        let (&tag, payload) = body.split_first().ok_or(NetError::BadFrame("empty body"))?;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello(Hello::from_wire_bytes(payload)?),
+            TAG_INPUT => Frame::Input(InputFrame::from_wire_bytes(payload)?),
+            TAG_BROADCAST => Frame::Broadcast(BroadcastFrame::from_wire_bytes(payload)?),
+            TAG_HEARTBEAT => Frame::Heartbeat {
+                seq: u64::from_wire_bytes(payload)?,
+            },
+            TAG_OUTCOME => Frame::Outcome(OutcomeFrame::from_wire_bytes(payload)?),
+            TAG_ERROR => {
+                let mut input = payload;
+                let code = u8::decode(&mut input)?;
+                let message = String::decode(&mut input)?;
+                if !input.is_empty() {
+                    return Err(NetError::Decode(WireError::TrailingBytes));
+                }
+                Frame::Error { code, message }
+            }
+            _ => return Err(NetError::BadFrame("unknown tag")),
+        };
+        Ok(frame)
+    }
+}
+
+/// Incremental frame decoder over any [`Read`].
+///
+/// `poll` returns `Ok(Some(frame))` when a complete frame is buffered,
+/// `Ok(None)` on an idle tick (the read timed out / would block with no
+/// complete frame available), and errors on EOF, I/O failure, or a
+/// malformed frame. Partial frames persist in the buffer across polls.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Total raw bytes consumed from the stream.
+    pub bytes_read: u64,
+    /// Total complete frames produced.
+    pub frames_read: u64,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    fn take_buffered(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 {
+            return Err(NetError::BadFrame("zero-length frame"));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::BadFrame("oversized frame"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::from_body(&self.buf[4..4 + len])?;
+        self.buf.drain(..4 + len);
+        self.frames_read += 1;
+        Ok(Some(frame))
+    }
+
+    /// Makes progress on `stream`: drains buffered frames first, then
+    /// reads. See the type docs for the return contract.
+    pub fn poll(&mut self, stream: &mut impl Read) -> Result<Option<Frame>, NetError> {
+        loop {
+            if let Some(frame) = self.take_buffered()? {
+                return Ok(Some(frame));
+            }
+            let mut tmp = [0u8; 4096];
+            match stream.read(&mut tmp) {
+                Ok(0) => return Err(NetError::Disconnected),
+                Ok(n) => {
+                    self.bytes_read += n as u64;
+                    self.buf.extend_from_slice(&tmp[..n]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                version: PROTOCOL_VERSION,
+                protocol_id: "disj".into(),
+                player: 2,
+                players: 4,
+                seed: 0xFEED,
+                params: vec![256],
+            }),
+            Frame::Input(InputFrame {
+                session: 1,
+                player: 2,
+                payload: vec![1, 2, 3],
+            }),
+            Frame::Broadcast(BroadcastFrame {
+                turn: 7,
+                speaker: 1,
+                bits: BitVec::from_bools(&[true, false, true]),
+                next: 2,
+                rng: vec![0; 41],
+            }),
+            Frame::Heartbeat { seq: 99 },
+            Frame::Outcome(OutcomeFrame {
+                kind: 2,
+                reason: "player 1 crashed".into(),
+                output: vec![],
+                remaining: 0,
+            }),
+            Frame::Error {
+                code: 1,
+                message: "bad hello".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_through_bytes() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, bytes.len() - 4);
+            assert_eq!(Frame::from_body(&bytes[4..]).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn reader_reassembles_frames_from_dribbled_bytes() {
+        // Concatenate all sample frames, then feed the stream one byte at
+        // a time: every frame must come out intact and in order.
+        let frames = sample_frames();
+        let stream: Vec<u8> = frames.iter().flat_map(Frame::to_bytes).collect();
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for &byte in &stream {
+            let mut one = &[byte][..];
+            // A one-byte Read yields the byte then "WouldBlock" (empty
+            // slice read returns Ok(0) = EOF, so stop before that).
+            if let Some(frame) = reader.take_buffered().unwrap() {
+                out.push(frame);
+            }
+            let mut tmp = [0u8; 1];
+            let n = std::io::Read::read(&mut one, &mut tmp).unwrap();
+            assert_eq!(n, 1);
+            reader.buf.extend_from_slice(&tmp[..1]);
+            reader.bytes_read += 1;
+        }
+        while let Some(frame) = reader.take_buffered().unwrap() {
+            out.push(frame);
+        }
+        assert_eq!(out, frames);
+        assert_eq!(reader.bytes_read, stream.len() as u64);
+    }
+
+    #[test]
+    fn oversized_and_zero_length_frames_are_rejected() {
+        let mut reader = FrameReader::new();
+        reader.buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            reader.take_buffered(),
+            Err(NetError::BadFrame("zero-length frame"))
+        ));
+
+        let mut reader = FrameReader::new();
+        reader
+            .buf
+            .extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            reader.take_buffered(),
+            Err(NetError::BadFrame("oversized frame"))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            Frame::from_body(&[0xEE, 0, 0]),
+            Err(NetError::BadFrame("unknown tag"))
+        ));
+        assert!(matches!(
+            Frame::from_body(&[]),
+            Err(NetError::BadFrame("empty body"))
+        ));
+    }
+
+    #[test]
+    fn eof_is_disconnected() {
+        let mut reader = FrameReader::new();
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            reader.poll(&mut empty),
+            Err(NetError::Disconnected)
+        ));
+    }
+}

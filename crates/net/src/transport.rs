@@ -1,0 +1,203 @@
+//! [`TcpTransport`]: the fabric [`Transport`] backend over real sockets,
+//! and the loopback harness that powers it.
+//!
+//! [`loopback_session`] binds an ephemeral listener on `127.0.0.1`, runs
+//! the coordinator on the calling thread, and spawns one OS thread per
+//! player, each of which dials in through the full client path —
+//! backoff, handshake, framing, heartbeats. Everything a distributed
+//! deployment does, minus the speed of light.
+//!
+//! [`TcpTransport`] wraps that harness behind the `Transport` trait, so
+//! the whole experiment stack (scheduler, fault plans, telemetry,
+//! benches) can run over TCP by swapping one value — and the transcripts
+//! stay bit-identical to the in-process transports for the same seeds.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bci_blackboard::protocol::Protocol;
+use bci_encoding::wire::Wire;
+use bci_fabric::session::{SessionOutcome, SessionResult};
+use bci_fabric::transport::{SessionContext, Transport};
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::{connect_player, run_player, PlayerBehavior};
+use crate::coordinator::{accept_roster, run_coordinator_session, SessionInfo};
+use crate::NetConfig;
+
+/// Wire-level accounting for one loopback session, measured at the
+/// coordinator (whose tx+rx sees every byte on every connection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes the coordinator wrote across all player connections.
+    pub bytes_tx: u64,
+    /// Bytes the coordinator read across all player connections.
+    pub bytes_rx: u64,
+    /// Frames the coordinator wrote.
+    pub frames_tx: u64,
+    /// Frames the coordinator read.
+    pub frames_rx: u64,
+    /// Bits on the final board (the quantity the paper's communication
+    /// measures count).
+    pub transcript_bits: u64,
+    /// Total connect retries across all players.
+    pub reconnects: u64,
+}
+
+impl WireStats {
+    /// Total bytes on the wire in both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_tx + self.bytes_rx
+    }
+
+    /// Wire bits per transcript bit: `8 × bytes_total / transcript_bits`
+    /// (`∞`-avoiding: 0.0 when the transcript is empty).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.transcript_bits == 0 {
+            return 0.0;
+        }
+        (self.bytes_total() * 8) as f64 / self.transcript_bits as f64
+    }
+}
+
+/// Runs one full coordinator-plus-`k`-players session over loopback TCP.
+///
+/// The coordinator runs on the calling thread; players run on scoped
+/// threads and derive their fault behavior from `ctx.faults` (so the
+/// fabric's fault plans inject *real* wire failures: a crashed player is
+/// a closed socket, a dropped wakeup is a silent heartbeating peer).
+///
+/// `protocol_id` is the handshake identity; both sides here share one
+/// protocol value, so any stable string works — the check earns its keep
+/// in the split `bci serve` / `bci join` deployment.
+pub fn loopback_session<P>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: ChaCha8Rng,
+    ctx: &SessionContext<'_>,
+    config: &NetConfig,
+    protocol_id: &str,
+    seed: u64,
+) -> (SessionResult<P::Output>, WireStats)
+where
+    P: Protocol + Sync,
+    P::Input: Sync + Wire,
+    P::Output: Wire,
+{
+    let k = protocol.num_players();
+    assert_eq!(inputs.len(), k, "input count");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let reconnects = AtomicU64::new(0);
+
+    let (result, stats) = std::thread::scope(|scope| {
+        for player in 0..k {
+            let behavior = PlayerBehavior::from_faults(player, ctx.faults);
+            let reconnects = &reconnects;
+            scope.spawn(move || {
+                let (conn, _ack, retries) =
+                    match connect_player(addr, player, protocol_id, config, seed) {
+                        Ok(ok) => ok,
+                        // Roster may have timed out and the listener closed;
+                        // nothing to report — the coordinator side already
+                        // returned the failure.
+                        Err(_) => return,
+                    };
+                reconnects.fetch_add(retries as u64, Ordering::Relaxed);
+                let _ = run_player(protocol, conn, player, behavior, config);
+            });
+        }
+
+        let roster_deadline = Instant::now() + config.io_timeout;
+        let info = SessionInfo {
+            protocol_id: protocol_id.to_string(),
+            players: k as u32,
+            seed,
+            params: Vec::new(),
+        };
+        let mut conns = match accept_roster(&listener, &info, config, roster_deadline) {
+            Ok(conns) => conns,
+            Err(e) => {
+                let result = SessionResult {
+                    outcome: SessionOutcome::Aborted(format!("roster failed: {e}")),
+                    output: None,
+                    board: bci_blackboard::board::Board::new(),
+                    bits_written: 0,
+                    latency: std::time::Duration::ZERO,
+                };
+                return (result, WireStats::default());
+            }
+        };
+        let result = run_coordinator_session(protocol, inputs, rng, ctx, &mut conns, config, 0, 0);
+        let mut stats = WireStats {
+            transcript_bits: result.board.total_bits() as u64,
+            ..WireStats::default()
+        };
+        for pc in &conns {
+            stats.bytes_tx += pc.conn.bytes_written;
+            stats.bytes_rx += pc.conn.bytes_read();
+            stats.frames_tx += pc.conn.frames_written;
+            stats.frames_rx += pc.conn.frames_read();
+        }
+        (result, stats)
+        // Dropping `conns` here closes every socket, which unblocks any
+        // player thread still waiting on a frame; the scope then joins
+        // them before returning.
+    });
+
+    let stats = WireStats {
+        reconnects: reconnects.load(Ordering::Relaxed),
+        ..stats
+    };
+    (result, stats)
+}
+
+/// A [`Transport`] that runs every session as a loopback TCP deployment:
+/// coordinator plus `k` player clients exchanging length-prefixed frames
+/// over real sockets.
+#[derive(Debug, Clone, Default)]
+pub struct TcpTransport {
+    /// Timeouts, heartbeat cadence, and backoff schedule.
+    pub config: NetConfig,
+}
+
+impl TcpTransport {
+    /// A transport with the given configuration.
+    pub fn new(config: NetConfig) -> Self {
+        TcpTransport { config }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn run_session<P>(
+        &self,
+        protocol: &P,
+        inputs: &[P::Input],
+        rng: ChaCha8Rng,
+        ctx: &SessionContext<'_>,
+    ) -> SessionResult<P::Output>
+    where
+        P: Protocol + Sync,
+        P::Input: Sync + Wire,
+        P::Output: Wire,
+    {
+        let (result, stats) = loopback_session(
+            protocol,
+            inputs,
+            rng,
+            ctx,
+            &self.config,
+            "session",
+            ctx.session_id,
+        );
+        if ctx.recorder.enabled() {
+            ctx.recorder.counter_add("net.bytes_tx", stats.bytes_tx);
+            ctx.recorder.counter_add("net.bytes_rx", stats.bytes_rx);
+            ctx.recorder.counter_add("net.frames_tx", stats.frames_tx);
+            ctx.recorder.counter_add("net.frames_rx", stats.frames_rx);
+            ctx.recorder.counter_add("net.reconnects", stats.reconnects);
+        }
+        result
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end guarantees of the TCP transport: transcripts bit-identical
+//! to the in-process transports for the same seeds, and the fabric's
+//! fault taxonomy surfacing as structured outcomes instead of hangs.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::Protocol;
+use bci_blackboard::runner::derive_trial_rng;
+use bci_blackboard::PlayerId;
+use bci_encoding::bitio::BitVec;
+use bci_fabric::session::{FaultKind, FaultSpec, SessionOutcome, SessionSelector};
+use bci_fabric::transport::{InProcessTransport, SessionContext, Transport, DISABLED_RECORDER};
+use bci_net::transport::loopback_session;
+use bci_net::{NetConfig, TcpTransport};
+use bci_protocols::disj::broadcast::BroadcastDisj;
+use bci_protocols::workload;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A config tuned for fast tests: quick heartbeats, short dial timeouts.
+fn fast_config() -> NetConfig {
+    NetConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        io_timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(200),
+        ..NetConfig::default()
+    }
+}
+
+fn ctx(id: u64) -> SessionContext<'static> {
+    SessionContext {
+        session_id: id,
+        deadline: Some(Duration::from_secs(10)),
+        faults: &[],
+        recorder: &DISABLED_RECORDER,
+    }
+}
+
+#[test]
+fn tcp_transcripts_are_bit_identical_to_in_process() {
+    let proto = BroadcastDisj::new(96, 4);
+    let tcp = TcpTransport::new(fast_config());
+    for trial in 0..4u64 {
+        let mut sample_rng: ChaCha8Rng = derive_trial_rng(11, trial);
+        let inputs = workload::random_sets(96, 4, 0.7, &mut sample_rng);
+
+        let inproc =
+            InProcessTransport.run_session(&proto, &inputs, sample_rng.clone(), &ctx(trial));
+        let net = tcp.run_session(&proto, &inputs, sample_rng.clone(), &ctx(trial));
+
+        assert_eq!(net.outcome, SessionOutcome::Completed, "trial {trial}");
+        assert_eq!(net.board, inproc.board, "trial {trial}: transcripts differ");
+        assert_eq!(net.output, inproc.output);
+        assert_eq!(net.bits_written, inproc.bits_written);
+    }
+}
+
+/// A protocol that consumes randomness in every message: proves the RNG
+/// state survives serialization into grant frames and back, preserving
+/// the stream exactly.
+struct NoisyEcho {
+    k: usize,
+}
+
+impl Protocol for NoisyEcho {
+    type Input = bool;
+    type Output = usize;
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        (board.messages().len() < 3 * self.k).then_some(board.messages().len() % self.k)
+    }
+
+    fn message(
+        &self,
+        _player: PlayerId,
+        input: &bool,
+        _board: &Board,
+        rng: &mut dyn RngCore,
+    ) -> BitVec {
+        let coin = rng.random_bool(0.5);
+        let extra = rng.random_range(0usize..4);
+        let mut bits = vec![*input ^ coin, coin];
+        bits.extend(std::iter::repeat_n(true, extra));
+        BitVec::from_bools(&bits)
+    }
+
+    fn output(&self, board: &Board) -> usize {
+        board.total_bits()
+    }
+}
+
+#[test]
+fn rng_state_survives_the_wire_round_trip() {
+    let proto = NoisyEcho { k: 3 };
+    let inputs = vec![true, false, true];
+    let tcp = TcpTransport::new(fast_config());
+    for seed in 0..6u64 {
+        let serial = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            bci_blackboard::protocol::run(&proto, &inputs, &mut rng)
+        };
+        let net = tcp.run_session(&proto, &inputs, ChaCha8Rng::seed_from_u64(seed), &ctx(seed));
+        assert_eq!(net.outcome, SessionOutcome::Completed, "seed {seed}");
+        assert_eq!(net.board, serial.board, "seed {seed}: RNG stream diverged");
+        assert_eq!(net.output, Some(serial.output));
+    }
+}
+
+#[test]
+fn crashed_player_is_a_structured_abort_not_a_hang() {
+    let faults = [FaultSpec {
+        kind: FaultKind::CrashedPlayer,
+        player: 2,
+        sessions: SessionSelector::All,
+    }];
+    let ctx = SessionContext {
+        session_id: 0,
+        deadline: Some(Duration::from_secs(5)),
+        faults: &faults,
+        recorder: &DISABLED_RECORDER,
+    };
+    let proto = BroadcastDisj::new(64, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let inputs = workload::random_sets(64, 4, 0.7, &mut rng);
+    let started = Instant::now();
+    let result = TcpTransport::new(fast_config()).run_session(&proto, &inputs, rng.clone(), &ctx);
+    match &result.outcome {
+        SessionOutcome::Aborted(reason) => {
+            assert!(reason.contains("player 2"), "reason: {reason}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+    assert!(result.output.is_none());
+    assert!(started.elapsed() < Duration::from_secs(5), "no hang");
+}
+
+#[test]
+fn dropped_wakeup_times_out_at_the_deadline() {
+    let faults = [FaultSpec {
+        kind: FaultKind::DroppedWakeup,
+        player: 0,
+        sessions: SessionSelector::All,
+    }];
+    let deadline = Duration::from_millis(400);
+    let ctx = SessionContext {
+        session_id: 0,
+        deadline: Some(deadline),
+        faults: &faults,
+        recorder: &DISABLED_RECORDER,
+    };
+    let proto = BroadcastDisj::new(32, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let inputs = workload::random_sets(32, 3, 0.7, &mut rng);
+    let started = Instant::now();
+    let result = TcpTransport::new(fast_config()).run_session(&proto, &inputs, rng.clone(), &ctx);
+    // The player stays alive and heartbeating, so this is a timeout (the
+    // fabric's dropped-wakeup semantics), not a missed-heartbeat abort.
+    assert_eq!(result.outcome, SessionOutcome::TimedOut);
+    assert!(result.output.is_none());
+    assert!(
+        started.elapsed() < deadline + Duration::from_secs(3),
+        "timeout honored promptly"
+    );
+}
+
+#[test]
+fn slow_player_completes_under_a_generous_deadline() {
+    let faults = [FaultSpec {
+        kind: FaultKind::SlowPlayer(Duration::from_millis(10)),
+        player: 1,
+        sessions: SessionSelector::All,
+    }];
+    let ctx = SessionContext {
+        session_id: 0,
+        deadline: Some(Duration::from_secs(10)),
+        faults: &faults,
+        recorder: &DISABLED_RECORDER,
+    };
+    let proto = BroadcastDisj::new(32, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let inputs = workload::random_sets(32, 3, 0.7, &mut rng);
+    let result = TcpTransport::new(fast_config()).run_session(&proto, &inputs, rng.clone(), &ctx);
+    assert_eq!(result.outcome, SessionOutcome::Completed);
+    assert!(result.latency >= Duration::from_millis(10));
+}
+
+/// A protocol whose player 1 panics when asked to speak.
+struct PanickyPlayer;
+
+impl Protocol for PanickyPlayer {
+    type Input = ();
+    type Output = ();
+
+    fn num_players(&self) -> usize {
+        2
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        (board.messages().len() < 2).then_some(board.messages().len())
+    }
+
+    fn message(
+        &self,
+        player: PlayerId,
+        _input: &(),
+        _board: &Board,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        assert!(player != 1, "player 1 always fails");
+        BitVec::from_bools(&[true])
+    }
+
+    fn output(&self, _board: &Board) {}
+}
+
+#[test]
+fn player_panic_is_contained_as_abort() {
+    let result = TcpTransport::new(fast_config()).run_session(
+        &PanickyPlayer,
+        &[(), ()],
+        ChaCha8Rng::seed_from_u64(0),
+        &ctx(0),
+    );
+    match &result.outcome {
+        SessionOutcome::Aborted(reason) => {
+            assert!(reason.contains("player 1"), "reason: {reason}");
+        }
+        other => panic!("expected abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn wire_stats_account_for_every_byte() {
+    let proto = BroadcastDisj::new(64, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let inputs = workload::random_sets(64, 4, 0.7, &mut rng);
+    let (result, stats) = loopback_session(
+        &proto,
+        &inputs,
+        rng.clone(),
+        &ctx(0),
+        &fast_config(),
+        "disj",
+        6,
+    );
+    assert_eq!(result.outcome, SessionOutcome::Completed);
+    assert_eq!(stats.transcript_bits as usize, result.bits_written);
+    assert!(stats.bytes_tx > 0 && stats.bytes_rx > 0);
+    assert!(
+        stats.frames_tx > stats.frames_rx,
+        "broadcasts fan out k-fold"
+    );
+    assert!(
+        stats.overhead_ratio() > 1.0,
+        "wire bits must exceed transcript bits, got {}",
+        stats.overhead_ratio()
+    );
+}
+
+#[test]
+fn dial_retries_until_the_coordinator_appears() {
+    // Reserve an address, release it, and only re-bind after a delay: the
+    // client's first dials are refused and backoff carries it through.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+
+    let config = NetConfig {
+        connect_attempts: 40,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(40),
+        ..fast_config()
+    };
+    let dialer = std::thread::spawn({
+        let config = config.clone();
+        move || bci_net::backoff::connect_with_backoff(addr, &config, 1, 0)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let listener = TcpListener::bind(addr).expect("re-bind reserved addr");
+    let (stream, retries) = dialer.join().unwrap().expect("dial eventually succeeds");
+    assert!(retries > 0, "first dial should have been refused");
+    drop(stream);
+    drop(listener);
+}
+
+#[test]
+fn roster_rejects_bad_hellos_with_structured_errors() {
+    use bci_net::frame::{Frame, Hello, PROTOCOL_VERSION};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let config = fast_config();
+    let info = bci_net::coordinator::SessionInfo {
+        protocol_id: "disj".into(),
+        players: 1,
+        seed: 0,
+        params: vec![64],
+    };
+
+    let handle = std::thread::spawn({
+        let config = config.clone();
+        move || {
+            // First connection: wrong protocol id — must be rejected.
+            let mut bad = bci_net::conn::Conn::new(TcpStream::connect(addr).unwrap()).unwrap();
+            bad.send(
+                &Frame::Hello(Hello {
+                    version: PROTOCOL_VERSION,
+                    protocol_id: "union".into(),
+                    player: 0,
+                    players: 0,
+                    seed: 0,
+                    params: vec![],
+                }),
+                &config,
+            )
+            .unwrap();
+            let reply = bad
+                .recv_deadline(Instant::now() + config.io_timeout, &config)
+                .unwrap();
+            let rejected = matches!(&reply, Frame::Error { message, .. }
+                if message.contains("protocol mismatch"));
+
+            // Second connection: valid — fills the roster.
+            let (_conn, ack, _retries) =
+                bci_net::client::connect_player(addr, 0, "disj", &config, 0).unwrap();
+            (rejected, ack)
+        }
+    });
+
+    let conns = bci_net::coordinator::accept_roster(
+        &listener,
+        &info,
+        &config,
+        Instant::now() + config.io_timeout,
+    )
+    .unwrap();
+    assert_eq!(conns.len(), 1);
+    let (rejected, ack) = handle.join().unwrap();
+    assert!(rejected, "bad hello must get a structured error frame");
+    assert_eq!(ack.players, 1);
+    assert_eq!(ack.params, vec![64]);
+}

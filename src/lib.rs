@@ -25,6 +25,9 @@
 //! * [`fabric`] — the concurrent execution fabric: transports, session
 //!   scheduling with backpressure, fault injection, and a deterministic
 //!   parallel Monte-Carlo driver.
+//! * [`net`] — the fabric over real TCP sockets: coordinator daemon,
+//!   length-prefixed frames, heartbeats, reconnect backoff, and
+//!   wire-overhead measurement (see `docs/net.md`).
 //! * [`telemetry`] — structured tracing and metrics: spans, counters,
 //!   fixed-bucket histograms, and a dependency-free JSON writer; recording
 //!   never perturbs results (see `docs/telemetry.md`).
@@ -38,5 +41,6 @@ pub use bci_encoding as encoding;
 pub use bci_fabric as fabric;
 pub use bci_info as info;
 pub use bci_lowerbound as lowerbound;
+pub use bci_net as net;
 pub use bci_protocols as protocols;
 pub use bci_telemetry as telemetry;
