@@ -10,9 +10,10 @@
 //! bci amortize --k 16 --copies 256 --trials 10 [--seed 1]
 //! bci fabric --sessions 1024 --workers 4 --seed 1 [--protocol disj|and] [--n 256] [--k 4]
 //! bci trace  --engine fabric|serial [--sessions 8] [--out events.jsonl]
-//! bci serve  --port 7701 --players 4 [--protocol disj] [--n 256] [--sessions 1] [--seed 1]
+//! bci serve  --port 7701 --players 4 [--protocol disj] [--n 256] [--sessions 1] [--seed 1] [--mux]
 //! bci join   --addr 127.0.0.1:7701 --player 0 [--protocol disj]
 //! bci netrun [--points 64x4,256x4,256x8] [--sessions 3] [--seed 1] [--json report.json]
+//! bci load   --sessions 10000 --players 3 [--inflight 1024] [--compare] [--json BENCH_net.json]
 //! bci experiments list
 //! bci experiments run e7 [--workers 4] [--seed 5]
 //! ```
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts, &diag),
         "join" => cmd_join(&opts, &diag),
         "netrun" => cmd_netrun(&opts, &diag),
+        "load" => cmd_load(&opts, &diag),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -116,9 +118,14 @@ USAGE:
   bci trace    [--engine fabric|serial] [--sessions N] [--n N] [--k K] [--seed S] [--workers W]
                [--transport channel|inprocess] [--out PATH]
   bci serve    --port <P> --players <K> [--protocol disj] [--n N] [--sessions N] [--seed S]
-               [--density D] [--deadline-ms MS] [--roster-timeout-s SECS]
+               [--density D] [--deadline-ms MS] [--roster-timeout-s SECS] [--mux]
+               [--inflight M] [--max-frame-len B] [--miss-limit N]
   bci join     --addr <HOST:PORT> --player <I> [--protocol disj] [--seed S]
   bci netrun   [--points NxK,NxK,...] [--sessions N] [--seed S] [--json PATH]
+  bci load     --sessions <M> --players <K> [--n N] [--density D] [--seed S]
+               [--deadline-ms MS] [--inflight M] [--coordinator mux|thread] [--compare]
+               [--addr HOST:PORT] [--json PATH] [--no-verify]
+               [--max-frame-len B] [--miss-limit N]
   bci experiments list
   bci experiments run <id> [--workers W] [--seed S]
 
@@ -135,11 +142,18 @@ REPORTS:
 NETWORK:
   bci serve binds a coordinator: it owns the blackboard, samples the inputs from
   --seed, and sequences sessions over TCP. bci join connects one player client.
+  bci serve --mux swaps in the multiplexed daemon: one reactor thread running up
+  to --inflight concurrent sessions over the same k connections (v2 frames).
   bci netrun runs coordinator + players over loopback in one process and checks
-  the TCP transcripts are bit-identical to the in-process transport.";
+  the TCP transcripts are bit-identical to the in-process transport.
+  bci load drives M sessions x K synthetic players against a coordinator (an
+  in-process one, or a remote bci serve --mux via --addr), reports sessions/sec
+  and turn-latency percentiles, verifies transcripts against the in-process
+  transport, and with --json writes a bci.bench.v1 report. --compare also runs
+  the thread-per-connection baseline on the same workload.";
 
 /// Option keys that are boolean flags: present means on, they take no value.
-const FLAGS: [&str; 2] = ["quiet", "verbose"];
+const FLAGS: [&str; 5] = ["quiet", "verbose", "mux", "compare", "no-verify"];
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -605,16 +619,38 @@ fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
     Ok(())
 }
 
+/// Builds a [`bci_net::NetConfig`] from the shared `--max-frame-len` /
+/// `--miss-limit` overrides and rejects unusable values via
+/// [`bci_net::NetConfig::validate`].
+fn net_config_from(opts: &HashMap<String, String>) -> Result<bci_net::NetConfig, String> {
+    let mut config = bci_net::NetConfig::default();
+    if let Some(v) = opts.get("max-frame-len") {
+        config.max_frame_len = v
+            .parse()
+            .map_err(|_| format!("--max-frame-len: cannot parse '{v}'"))?;
+    }
+    if let Some(v) = opts.get("miss-limit") {
+        config.miss_limit = v
+            .parse()
+            .map_err(|_| format!("--miss-limit: cannot parse '{v}'"))?;
+    }
+    config.validate()?;
+    Ok(config)
+}
+
 /// `bci serve` — run the coordinator daemon: bind a TCP port, accept
 /// player registrations until the roster is full, then sequence
 /// `--sessions` protocol sessions over the wire. The coordinator owns the
 /// blackboard and samples the inputs, so the whole run is reproducible
 /// from `--seed` alone.
+///
+/// `--mux` swaps in the multiplexed daemon from `bci-mux`: one reactor
+/// thread, the same `k` connections, up to `--inflight` sessions parked
+/// and resumed concurrently (v2 session-id frames).
 fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
     use bci_blackboard::runner::derive_trial_seed;
     use bci_fabric::transport::{SessionContext, DISABLED_RECORDER};
     use bci_net::coordinator::{accept_roster, run_coordinator_session, SessionInfo};
-    use bci_net::NetConfig;
     use std::net::TcpListener;
     use std::time::{Duration, Instant};
 
@@ -635,17 +671,95 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
     if players == 0 || sessions == 0 {
         return Err("--players and --sessions must be positive".into());
     }
+    let config = net_config_from(opts)?;
 
     let listener = TcpListener::bind(("0.0.0.0", port))
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     let bound = listener
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
+
+    if opts.contains_key("mux") {
+        use bci_mux::daemon::{accept_mux_roster, run_mux_daemon, MuxOptions};
+        let inflight: usize = get(
+            opts,
+            "inflight",
+            Some(bci_mux::daemon::DEFAULT_MAX_INFLIGHT),
+        )?;
+        if inflight == 0 {
+            return Err("--inflight must be positive".into());
+        }
+        diag.info(&format!(
+            "serving {protocol_name} (n={n}, k={players}) on {bound} [mux, inflight={inflight}]: \
+             waiting for {players} players (up to {roster_secs}s)"
+        ));
+        let info = SessionInfo {
+            protocol_id: protocol_name.to_string(),
+            players: players as u32,
+            seed,
+            params: vec![n as u64, u64::from(sessions)],
+        };
+        let conns = accept_mux_roster(
+            &listener,
+            &info,
+            &config,
+            Instant::now() + Duration::from_secs(roster_secs),
+        )
+        .map_err(|e| e.to_string())?;
+        diag.info(&format!("roster complete: {players} players registered"));
+        let proto = BroadcastDisj::new(n, players);
+        let recorder = Recorder::metrics_only();
+        let mux_opts = MuxOptions {
+            deadline: Some(Duration::from_millis(deadline_ms)),
+            max_inflight: inflight,
+            config,
+        };
+        let report = run_mux_daemon(
+            &proto,
+            conns,
+            u64::from(sessions),
+            seed,
+            |_, rng| workload::random_sets(n, players, density, rng),
+            &mux_opts,
+            &recorder,
+        );
+        let snap = recorder.snapshot();
+        let hist = snap.hist("mux.turn_latency_us");
+        let (completed, failed) = (report.completed(), report.failed());
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let mut t = Table::new(["sessions", "completed", "failed", "sessions/sec"]);
+        t.row([
+            sessions.to_string(),
+            completed.to_string(),
+            failed.to_string(),
+            f(completed as f64 / secs, 1),
+        ]);
+        println!("{}", t.render());
+        if let Some(h) = hist {
+            println!(
+                "turn latency: p50 {}us  p95 {}us  p99 {}us over {} turns",
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.count()
+            );
+        }
+        println!(
+            "wire: {} bytes sent, {} bytes received; transcript fold {:#018x}",
+            report.wire.bytes_tx,
+            report.wire.bytes_rx,
+            report.digest_fold()
+        );
+        if failed > 0 {
+            return Err(format!("{failed} session(s) did not complete"));
+        }
+        return Ok(());
+    }
+
     diag.info(&format!(
         "serving {protocol_name} (n={n}, k={players}) on {bound}: waiting for {players} players \
          (up to {roster_secs}s)"
     ));
-    let config = NetConfig::default();
     let info = SessionInfo {
         protocol_id: protocol_name.to_string(),
         players: players as u32,
@@ -745,6 +859,143 @@ fn cmd_join(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
     let played = run_player(&proto, conn, player, PlayerBehavior::default(), &config)
         .map_err(|e| e.to_string())?;
     println!("player {player}: {played} session(s) finished");
+    Ok(())
+}
+
+/// `bci load` — the load harness: M sessions × K synthetic players
+/// against a coordinator, reporting sessions/sec, turn-latency
+/// percentiles, wire accounting, and an end-to-end transcript check
+/// against the in-process transport. Exits nonzero if any session fails
+/// or any transcript diverges, so CI can gate on it directly.
+fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
+    use bci_mux::load::{bench_document, run_load, run_load_thread_baseline, LoadSpec};
+    use bci_mux::LoadReport;
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+
+    let sessions: u64 = get(opts, "sessions", None)?;
+    let players: usize = get(opts, "players", None)?;
+    if sessions == 0 || players == 0 {
+        return Err("--sessions and --players must be positive".into());
+    }
+    let mut spec = LoadSpec::new(sessions, players);
+    spec.n = get(opts, "n", Some(spec.n))?;
+    spec.density = get(opts, "density", Some(spec.density))?;
+    spec.seed = get(opts, "seed", Some(spec.seed))?;
+    spec.max_inflight = get(opts, "inflight", Some(spec.max_inflight))?;
+    if spec.max_inflight == 0 {
+        return Err("--inflight must be positive".into());
+    }
+    let deadline_ms: u64 = get(opts, "deadline-ms", Some(30_000u64))?;
+    spec.deadline = Some(Duration::from_millis(deadline_ms));
+    spec.config = net_config_from(opts)?;
+    spec.verify = !opts.contains_key("no-verify");
+    if let Some(addr_str) = opts.get("addr") {
+        spec.addr = Some(
+            addr_str
+                .to_socket_addrs()
+                .map_err(|e| format!("cannot resolve '{addr_str}': {e}"))?
+                .next()
+                .ok_or_else(|| format!("'{addr_str}' resolved to no address"))?,
+        );
+    }
+    let coordinator = opts.get("coordinator").map_or("mux", String::as_str);
+    let compare = opts.contains_key("compare");
+    let (run_mux, run_thread) = match (coordinator, compare) {
+        (_, true) => (true, true),
+        ("mux", _) => (true, false),
+        ("thread", _) => (false, true),
+        (other, _) => {
+            return Err(format!(
+                "unknown coordinator '{other}' (expected mux or thread)"
+            ))
+        }
+    };
+    if run_thread && spec.addr.is_some() {
+        return Err("--addr drives a remote mux daemon; the thread baseline is in-process".into());
+    }
+
+    let mut reports: Vec<LoadReport> = Vec::new();
+    if run_mux {
+        diag.info(&format!(
+            "load: {sessions} session(s) x {players} player(s) against {} (inflight {})",
+            spec.addr
+                .map_or_else(|| "in-process mux daemon".to_owned(), |a| a.to_string()),
+            spec.max_inflight
+        ));
+        reports.push(run_load(&spec).map_err(|e| e.to_string())?);
+    }
+    if run_thread {
+        diag.info(&format!(
+            "load: {sessions} session(s) x {players} player(s) against thread-per-conn baseline"
+        ));
+        reports.push(run_load_thread_baseline(&spec).map_err(|e| e.to_string())?);
+    }
+
+    let mut t = Table::new([
+        "coordinator",
+        "sessions",
+        "completed",
+        "failed",
+        "sessions/sec",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "wire bytes",
+        "bits/bit",
+        "digest",
+    ]);
+    for r in &reports {
+        t.row([
+            r.kind.label().to_owned(),
+            r.sessions.to_string(),
+            r.completed.to_string(),
+            r.failed.to_string(),
+            f(r.sessions_per_sec(), 1),
+            r.turn_latency.percentile(50.0).to_string(),
+            r.turn_latency.percentile(95.0).to_string(),
+            r.turn_latency.percentile(99.0).to_string(),
+            r.wire.bytes_total().to_string(),
+            f(r.wire_bits_per_transcript_bit(), 2),
+            match r.verified() {
+                Some(true) => "match".to_owned(),
+                Some(false) => "MISMATCH".to_owned(),
+                None => format!("{:#018x}", r.digest),
+            },
+        ]);
+    }
+    println!(
+        "load — {sessions} session(s) x {players} player(s), seed {}\n",
+        spec.seed
+    );
+    println!("{}", t.render());
+
+    if let Some(path) = opts.get("json") {
+        let doc = bench_document(&spec, &reports);
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write report to '{path}': {e}"))?;
+        diag.info(&format!("wrote bci.bench.v1 report to {path}"));
+    }
+
+    for r in &reports {
+        if r.failed > 0 {
+            return Err(format!(
+                "{} failed {} of {} session(s)",
+                r.kind.label(),
+                r.failed,
+                r.sessions
+            ));
+        }
+        if r.verified() == Some(false) {
+            return Err(format!(
+                "{} transcripts diverged from the in-process transport \
+                 ({:#018x} != {:#018x})",
+                r.kind.label(),
+                r.digest,
+                r.digest_inprocess.unwrap_or(0)
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -133,6 +133,145 @@ fn netrun_rejects_bad_point_specs() {
 }
 
 #[test]
+fn load_runs_the_mux_harness_and_writes_bench_json() {
+    let dir = std::env::temp_dir().join(format!("bci-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json = dir.join("load.json");
+    let json_path = json.to_str().expect("utf8 path");
+    let out = bci(&[
+        "load",
+        "--sessions",
+        "60",
+        "--players",
+        "3",
+        "--n",
+        "48",
+        "--seed",
+        "4",
+        "--compare",
+        "--json",
+        json_path,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("mux"), "{stdout}");
+    assert!(stdout.contains("thread-per-conn"), "{stdout}");
+    assert!(stdout.contains("match"), "{stdout}");
+    assert!(!stdout.contains("MISMATCH"), "{stdout}");
+    let doc = std::fs::read_to_string(&json).expect("json written");
+    assert!(doc.contains("\"schema\":\"bci.bench.v1\""), "{doc}");
+    assert!(doc.contains("\"experiment\":\"load\""), "{doc}");
+    assert!(doc.contains("\"mux\""), "{doc}");
+    assert!(doc.contains("\"thread-per-conn\""), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_and_serve_reject_unusable_limits() {
+    // Zero / absurd heartbeat miss limits and frame caps must be refused
+    // up front (NetConfig::validate), not discovered mid-run.
+    for bad in [
+        vec![
+            "load",
+            "--sessions",
+            "2",
+            "--players",
+            "2",
+            "--miss-limit",
+            "0",
+        ],
+        vec![
+            "load",
+            "--sessions",
+            "2",
+            "--players",
+            "2",
+            "--miss-limit",
+            "100000",
+        ],
+        vec![
+            "load",
+            "--sessions",
+            "2",
+            "--players",
+            "2",
+            "--max-frame-len",
+            "3",
+        ],
+        vec![
+            "load",
+            "--sessions",
+            "2",
+            "--players",
+            "2",
+            "--max-frame-len",
+            "2000000000",
+        ],
+        vec![
+            "load",
+            "--sessions",
+            "2",
+            "--players",
+            "2",
+            "--inflight",
+            "0",
+        ],
+        vec!["load", "--sessions", "0", "--players", "2"],
+        vec![
+            "serve",
+            "--port",
+            "0",
+            "--players",
+            "2",
+            "--mux",
+            "--miss-limit",
+            "0",
+        ],
+        vec![
+            "serve",
+            "--port",
+            "0",
+            "--players",
+            "2",
+            "--mux",
+            "--max-frame-len",
+            "1",
+        ],
+        vec![
+            "serve",
+            "--port",
+            "0",
+            "--players",
+            "2",
+            "--mux",
+            "--inflight",
+            "0",
+        ],
+    ] {
+        let out = bci(&bad);
+        assert!(!out.status.success(), "{bad:?} should be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains("error"), "{bad:?}: {stderr}");
+    }
+}
+
+#[test]
+fn load_coordinator_flag_is_validated() {
+    let out = bci(&[
+        "load",
+        "--sessions",
+        "2",
+        "--players",
+        "2",
+        "--coordinator",
+        "carrier-pigeon",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown coordinator"), "{stderr}");
+}
+
+#[test]
 fn bad_invocations_fail_with_usage() {
     for args in [
         vec![],                                    // no command

@@ -1,0 +1,39 @@
+//! `bci-mux` — the multiplexed broadcast coordinator and load harness.
+//!
+//! The single-session coordinator in `bci-net` is thread-per-connection
+//! and owns exactly one sequencer at a time; this crate is the serving
+//! path for the "heavy traffic" regime. One daemon thread multiplexes
+//! **thousands of concurrent sessions** over a pool of `k` player
+//! connections:
+//!
+//! * [`conn`] — [`conn::MuxConn`]: a non-blocking socket speaking the v2
+//!   (session-id) frame envelope, with a write buffer the daemon drains
+//!   opportunistically so a slow client never blocks the reactor;
+//! * [`daemon`] — [`daemon::run_mux_daemon`]: the readiness-driven
+//!   reactor. Sessions are *parked* as a board prefix + the 41-byte
+//!   ChaCha8 session-RNG state + a turn cursor, resumed for exactly the
+//!   time it takes to apply one reply and issue the next grant;
+//! * [`player`] — [`player::run_mux_player`]: the client side, keeping an
+//!   independent board replica per in-flight session;
+//! * [`load`] — the `bci load` harness: N synthetic players × M sessions
+//!   against an in-process or remote coordinator, with per-session
+//!   deadlines, latency percentiles, and a `bci.bench.v1` report.
+//!
+//! Determinism is inherited, not re-proven: the per-session seeding
+//! discipline (`derive_trial_seed(master, session)` → sample inputs →
+//! session RNG) and the RNG-rides-the-grant turn loop are exactly the
+//! `bci-net` coordinator's, so a multiplexed transcript is bit-identical
+//! to [`bci_fabric::transport::InProcessTransport`] for the same seed —
+//! the load harness verifies this end to end from the *player's* replica.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod daemon;
+pub mod load;
+pub mod player;
+
+pub use conn::MuxConn;
+pub use daemon::{run_mux_daemon, MuxOptions, MuxRunReport, SessionRecord};
+pub use load::{run_load, CoordinatorKind, LoadReport, LoadSpec};
+pub use player::{connect_mux_player, run_mux_player, MuxPlayerReport};

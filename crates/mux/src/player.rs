@@ -1,0 +1,243 @@
+//! The multiplexed player client: one connection, many concurrent
+//! sessions.
+//!
+//! Where the v1 client (`bci_net::client`) tracks one board replica, the
+//! mux player keeps an independent replica **per in-flight session**,
+//! keyed by the session id on every v2 frame. Everything else is the
+//! same discipline: replicas are built exclusively from the
+//! coordinator's authoritative `Broadcast` frames, grants are answered
+//! with the post-message RNG state, and heartbeats ride the control
+//! session whenever the client hasn't written anything for one interval.
+//!
+//! Because the replica applies every authoritative write, at `Outcome`
+//! time it *is* the coordinator's final board — which is what lets the
+//! load harness verify transcripts end to end from the client side,
+//! without trusting the daemon's own digests.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::Protocol;
+use bci_encoding::wire::Wire;
+use bci_net::backoff::connect_with_backoff;
+use bci_net::frame::{
+    BroadcastFrame, Frame, Hello, NetError, CONTROL_SESSION, NO_PLAYER, PROTOCOL_VERSION_MUX,
+};
+use bci_net::overhead::transcript_digest;
+use bci_net::transport::WireStats;
+use bci_net::NetConfig;
+use bci_telemetry::hist::TURN_LATENCY_US_BOUNDS;
+use bci_telemetry::Histogram;
+use rand_chacha::{ChaCha8Rng, STATE_LEN};
+
+use crate::conn::MuxConn;
+
+/// Per-session state a player tracks while the session is in flight.
+struct SessionReplica<I> {
+    input: I,
+    board: Board,
+    /// When the last authoritative `Broadcast` for this session arrived;
+    /// consecutive gaps are the client-observed turn service time.
+    last_broadcast: Option<Instant>,
+}
+
+/// What one player observed across a whole run.
+#[derive(Debug)]
+pub struct MuxPlayerReport {
+    /// Sessions this player saw end (any outcome kind).
+    pub sessions: u64,
+    /// Sessions that ended `Completed`.
+    pub completed: u64,
+    /// `(session, digest)` of the replica at outcome time, when digest
+    /// collection was requested; sorted by session id.
+    pub digests: Vec<(u64, u64)>,
+    /// Client-observed turn service times: gaps between consecutive
+    /// authoritative `Broadcast` frames of the same session.
+    pub turn_gaps: Histogram,
+    /// Connect retries spent dialing in.
+    pub reconnects: u32,
+    /// This player's wire accounting (`tx` = player → coordinator).
+    pub wire: WireStats,
+    /// Total bits across the final boards of digested sessions (the
+    /// replica at outcome time *is* the coordinator's board, so this is
+    /// the paper's transcript-length measure). Collected with digests.
+    pub transcript_bits: u64,
+}
+
+/// Dials the mux daemon with capped-exponential backoff and performs
+/// the v2 handshake. Returns the pooled connection, the daemon's ack
+/// (roster size, seed, protocol params), and the retry count.
+pub fn connect_mux_player(
+    addr: SocketAddr,
+    player: usize,
+    protocol_id: &str,
+    config: &NetConfig,
+    master_seed: u64,
+) -> Result<(MuxConn, Hello, u32), NetError> {
+    let (stream, retries) = connect_with_backoff(addr, config, master_seed, player as u64)?;
+    let mut conn = MuxConn::new(stream, config.max_frame_len)?;
+    let hello = Frame::Hello(Hello {
+        version: PROTOCOL_VERSION_MUX,
+        protocol_id: protocol_id.to_string(),
+        player: player as u32,
+        players: 0,
+        seed: 0,
+        params: Vec::new(),
+    });
+    conn.send_now(CONTROL_SESSION, &hello, config)?;
+    let ack_deadline = Instant::now() + config.io_timeout;
+    match conn.recv_deadline(ack_deadline, config)? {
+        (_, Frame::Hello(ack)) => Ok((conn, ack, retries)),
+        (_, Frame::Error { message, .. }) => Err(NetError::Protocol(message)),
+        (_, other) => Err(NetError::Protocol(format!(
+            "expected hello ack, got {} frame",
+            other.name()
+        ))),
+    }
+}
+
+/// Plays every session multiplexed onto `conn` until the daemon's final
+/// `Outcome` (one with `remaining == 0`).
+///
+/// `collect_digests` switches on per-session replica digests — the load
+/// harness enables it on player 0 only, so the verification cost is
+/// paid once, not `k` times.
+pub fn run_mux_player<P>(
+    protocol: &P,
+    mut conn: MuxConn,
+    player: usize,
+    config: &NetConfig,
+    collect_digests: bool,
+) -> Result<MuxPlayerReport, NetError>
+where
+    P: Protocol,
+    P::Input: Wire,
+{
+    let mut replicas: HashMap<u64, SessionReplica<P::Input>> = HashMap::new();
+    let mut report = MuxPlayerReport {
+        sessions: 0,
+        completed: 0,
+        digests: Vec::new(),
+        turn_gaps: Histogram::new(TURN_LATENCY_US_BOUNDS),
+        reconnects: 0,
+        wire: WireStats::default(),
+        transcript_bits: 0,
+    };
+    let fill_wire = |report: &mut MuxPlayerReport, conn: &MuxConn| {
+        report.wire.bytes_tx = conn.bytes_written;
+        report.wire.bytes_rx = conn.bytes_read();
+        report.wire.frames_tx = conn.frames_written;
+        report.wire.frames_rx = conn.frames_read();
+        report.wire.payload_bytes_tx = conn.payload_bytes_written;
+        report.wire.payload_bytes_rx = conn.payload_bytes_read();
+    };
+    let mut last_sent = Instant::now();
+    let mut heartbeat_seq = 0u64;
+    loop {
+        let (session, frame) = loop {
+            if last_sent.elapsed() >= config.heartbeat_interval {
+                heartbeat_seq += 1;
+                conn.send_now(
+                    CONTROL_SESSION,
+                    &Frame::Heartbeat { seq: heartbeat_seq },
+                    config,
+                )?;
+                last_sent = Instant::now();
+            }
+            if let Some(hit) = conn.poll()? {
+                break hit;
+            }
+            std::thread::sleep(config.poll_sleep);
+        };
+        match frame {
+            Frame::Input(inp) => {
+                if inp.player as usize != player {
+                    return Err(NetError::Protocol(format!(
+                        "input addressed to player {}, I am {player}",
+                        inp.player
+                    )));
+                }
+                replicas.insert(
+                    session,
+                    SessionReplica {
+                        input: P::Input::from_wire_bytes(&inp.payload)?,
+                        board: Board::new(),
+                        last_broadcast: None,
+                    },
+                );
+            }
+            Frame::Broadcast(b) => {
+                let replica = replicas.get_mut(&session).ok_or_else(|| {
+                    NetError::Protocol(format!("broadcast for unknown session {session}"))
+                })?;
+                let now = Instant::now();
+                if let Some(prev) = replica.last_broadcast.replace(now) {
+                    report
+                        .turn_gaps
+                        .record(now.duration_since(prev).as_micros() as u64);
+                }
+                // Apply the authoritative write first; the grant below
+                // must see the post-write board.
+                if b.speaker != NO_PLAYER {
+                    replica.board.write(b.speaker as usize, b.bits);
+                }
+                if b.next == NO_PLAYER || b.next as usize != player {
+                    continue;
+                }
+                let state: [u8; STATE_LEN] = b
+                    .rng
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| NetError::BadFrame("grant without RNG state"))?;
+                let mut rng = ChaCha8Rng::from_state_bytes(&state);
+                let bits = match catch_unwind(AssertUnwindSafe(|| {
+                    protocol.message(player, &replica.input, &replica.board, &mut rng)
+                })) {
+                    Ok(bits) => bits,
+                    // A panicking player hangs up; the daemon maps the
+                    // EOF to structured aborts, same as the v1 client.
+                    Err(_) => {
+                        fill_wire(&mut report, &conn);
+                        return Ok(report);
+                    }
+                };
+                let reply = Frame::Broadcast(BroadcastFrame {
+                    turn: b.turn,
+                    speaker: player as u32,
+                    bits,
+                    next: NO_PLAYER,
+                    rng: rng.state_bytes().to_vec(),
+                });
+                conn.send_now(session, &reply, config)?;
+                last_sent = Instant::now();
+            }
+            Frame::Outcome(outcome) => {
+                report.sessions += 1;
+                if outcome.kind == 0 {
+                    report.completed += 1;
+                }
+                if let Some(replica) = replicas.remove(&session) {
+                    if collect_digests {
+                        report
+                            .digests
+                            .push((session, transcript_digest(&replica.board)));
+                        report.transcript_bits += replica.board.total_bits() as u64;
+                    }
+                }
+                if outcome.remaining == 0 {
+                    report.digests.sort_unstable_by_key(|&(s, _)| s);
+                    fill_wire(&mut report, &conn);
+                    return Ok(report);
+                }
+            }
+            Frame::Heartbeat { .. } => {}
+            Frame::Error { message, .. } => return Err(NetError::Protocol(message)),
+            Frame::Hello(_) => {
+                return Err(NetError::Protocol("unexpected mid-run hello".into()));
+            }
+        }
+    }
+}

@@ -73,7 +73,7 @@ pub fn connect_player(
     master_seed: u64,
 ) -> Result<(Conn, Hello, u32), NetError> {
     let (stream, retries) = connect_with_backoff(addr, config, master_seed, player as u64)?;
-    let mut conn = Conn::new(stream)?;
+    let mut conn = Conn::with_max_frame_len(stream, config.max_frame_len)?;
     let hello = Frame::Hello(Hello {
         version: PROTOCOL_VERSION,
         protocol_id: protocol_id.to_string(),

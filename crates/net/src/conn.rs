@@ -16,30 +16,46 @@ use std::io::{self, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
-use crate::frame::{Frame, FrameReader, NetError};
+use crate::frame::{Frame, FrameReader, NetError, MAX_FRAME_LEN};
 use crate::NetConfig;
+
+/// Per-frame framing bytes on a v1 connection: the `u32` length prefix
+/// plus the tag byte. Every accounting identity in this crate hangs off
+/// this constant: `bytes == payload_bytes + V1_HEADER_BYTES × frames`.
+pub const V1_HEADER_BYTES: u64 = 5;
 
 /// One framed peer connection.
 #[derive(Debug)]
 pub struct Conn {
     stream: TcpStream,
     reader: FrameReader,
-    /// Total raw bytes written to the socket.
+    /// Total raw bytes written to the socket (framing included).
     pub bytes_written: u64,
     /// Total frames written to the socket.
     pub frames_written: u64,
+    /// Total Wire-payload bytes written: [`Self::bytes_written`] minus
+    /// the [`V1_HEADER_BYTES`] framing each frame pays.
+    pub payload_bytes_written: u64,
 }
 
 impl Conn {
     /// Wraps a connected stream: disables Nagle, switches to non-blocking.
+    /// Inbound frames are capped at the default [`MAX_FRAME_LEN`].
     pub fn new(stream: TcpStream) -> io::Result<Self> {
+        Conn::with_max_frame_len(stream, MAX_FRAME_LEN)
+    }
+
+    /// Like [`Conn::new`] but capping inbound frames at `max_frame_len`
+    /// (`NetConfig::max_frame_len` in deployments).
+    pub fn with_max_frame_len(stream: TcpStream, max_frame_len: usize) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
         Ok(Conn {
             stream,
-            reader: FrameReader::new(),
+            reader: FrameReader::with_limits(false, max_frame_len),
             bytes_written: 0,
             frames_written: 0,
+            payload_bytes_written: 0,
         })
     }
 
@@ -51,6 +67,12 @@ impl Conn {
     /// Total complete frames decoded from the socket.
     pub fn frames_read(&self) -> u64 {
         self.reader.frames_read
+    }
+
+    /// Total Wire-payload bytes decoded from the socket (framing
+    /// excluded).
+    pub fn payload_bytes_read(&self) -> u64 {
+        self.reader.payload_bytes_read
     }
 
     /// The peer's address, if the socket can still report it.
@@ -88,6 +110,7 @@ impl Conn {
             }
         }
         self.bytes_written += bytes.len() as u64;
+        self.payload_bytes_written += bytes.len() as u64 - V1_HEADER_BYTES;
         self.frames_written += 1;
         Ok(())
     }
@@ -144,6 +167,16 @@ mod tests {
         assert_eq!(client.frames_written, 1);
         assert_eq!(server.frames_read(), 1);
         assert_eq!(client.bytes_written, server.bytes_read());
+        // The accounting identity both ends agree on: framed bytes =
+        // payload bytes + 5 bytes of framing per frame.
+        assert_eq!(
+            client.bytes_written,
+            client.payload_bytes_written + V1_HEADER_BYTES * client.frames_written
+        );
+        assert_eq!(
+            server.bytes_read(),
+            server.payload_bytes_read() + V1_HEADER_BYTES * server.frames_read()
+        );
     }
 
     #[test]

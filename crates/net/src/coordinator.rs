@@ -91,7 +91,7 @@ pub fn accept_roster(
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let mut conn = Conn::new(stream)?;
+                let mut conn = Conn::with_max_frame_len(stream, config.max_frame_len)?;
                 let hello_deadline = Instant::now() + config.io_timeout;
                 let frame = match conn.recv_deadline(hello_deadline, config) {
                     Ok(f) => f,

@@ -1,6 +1,7 @@
 //! Length-prefixed binary frames and the incremental frame reader.
 //!
-//! Every message on a `bci-net` socket is one frame:
+//! Every message on a `bci-net` socket is one frame. The v1 layout
+//! (single-session coordinator, `Hello.version == 1`):
 //!
 //! ```text
 //! ┌────────────────┬─────────┬────────────────────┐
@@ -8,15 +9,30 @@
 //! └────────────────┴─────────┴────────────────────┘
 //! ```
 //!
-//! The length counts the tag byte plus the payload, so a reader needs
-//! exactly two reads to know how much to buffer. Payloads are encoded with
-//! the dependency-free [`Wire`] codec from `bci-encoding`; see
-//! `docs/net.md` for the per-tag field tables.
+//! The multiplexed coordinator (`Hello.version == 2`, the `bci-mux`
+//! crate) extends the header with a session id so thousands of
+//! concurrent sessions can interleave on one pooled connection:
+//!
+//! ```text
+//! ┌────────────────┬───────────────────┬─────────┬────────────────────┐
+//! │ u32 LE length  │ u64 LE session_id │ u8 tag  │ payload (Wire-coded)│
+//! └────────────────┴───────────────────┴─────────┴────────────────────┘
+//! ```
+//!
+//! In both layouts the length counts everything after the length prefix
+//! (session id, tag, payload), so a reader needs exactly two reads to
+//! know how much to buffer. Payloads are encoded with the dependency-free
+//! [`Wire`] codec from `bci-encoding` and are *identical* between v1 and
+//! v2 — only the envelope differs; see `docs/net.md` for the per-tag
+//! field tables.
 //!
 //! [`FrameReader`] is deliberately *incremental*: it consumes whatever
 //! bytes `read` returns and surfaces a frame only once one is complete, so
 //! a read timeout that fires mid-frame never corrupts the stream — the
-//! partial bytes stay buffered and the caller observes an idle tick.
+//! partial bytes stay buffered and the caller observes an idle tick. A
+//! reader is constructed for one envelope version ([`FrameReader::new`]
+//! for v1, [`FrameReader::new_mux`] for v2) and can cap the accepted
+//! frame length below [`MAX_FRAME_LEN`] via [`FrameReader::with_limits`].
 
 use std::fmt;
 use std::io::{self, Read};
@@ -24,17 +40,38 @@ use std::io::{self, Read};
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::{Wire, WireError};
 
-/// Version carried in every `Hello`; peers with a different version
-/// refuse the handshake.
+/// Version carried in every `Hello` to the single-session coordinator;
+/// peers with a different version refuse the handshake.
 pub const PROTOCOL_VERSION: u16 = 1;
+
+/// `Hello` version spoken by the multiplexed coordinator (`bci-mux`):
+/// every frame carries a `u64` session id between the length prefix and
+/// the tag byte. Payload encodings are identical to v1.
+pub const PROTOCOL_VERSION_MUX: u16 = 2;
 
 /// Sentinel player id: "nobody" (initial grant has no prior speaker; a
 /// final broadcast grants no next turn).
 pub const NO_PLAYER: u32 = u32::MAX;
 
-/// Hard cap on a frame's length field. A peer announcing more is treated
-/// as malformed before any allocation happens.
+/// Session id used for connection-scoped v2 frames (`Hello`,
+/// `Heartbeat`, fatal `Error`) that belong to no particular session.
+pub const CONTROL_SESSION: u64 = u64::MAX;
+
+/// Default hard cap on a frame's length field. A peer announcing more is
+/// treated as malformed before any allocation happens. Deployments can
+/// lower (or raise, up to [`MAX_FRAME_LEN_CEILING`]) the cap via
+/// `NetConfig::max_frame_len`.
 pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Absolute ceiling any configured frame-length cap must stay under: a
+/// cap above this cannot be satisfied by honest traffic and only widens
+/// the pre-allocation attack surface.
+pub const MAX_FRAME_LEN_CEILING: usize = 1 << 30;
+
+/// Smallest admissible frame-length cap: a v2 header (8-byte session id
+/// and tag) plus a `Heartbeat` payload must fit, or no liveness traffic
+/// can flow at all.
+pub const MIN_FRAME_LEN_CAP: usize = 64;
 
 /// Everything that can go wrong on a connection.
 #[derive(Debug)]
@@ -288,20 +325,39 @@ impl Frame {
         }
     }
 
-    /// Serializes tag + payload + length prefix into a write-ready buffer.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = vec![self.tag()];
+    /// Serializes the tag + Wire payload (no envelope).
+    fn encode_body(&self, body: &mut Vec<u8>) {
+        body.push(self.tag());
         match self {
-            Frame::Hello(h) => h.encode(&mut body),
-            Frame::Input(i) => i.encode(&mut body),
-            Frame::Broadcast(b) => b.encode(&mut body),
-            Frame::Heartbeat { seq } => seq.encode(&mut body),
-            Frame::Outcome(o) => o.encode(&mut body),
+            Frame::Hello(h) => h.encode(body),
+            Frame::Input(i) => i.encode(body),
+            Frame::Broadcast(b) => b.encode(body),
+            Frame::Heartbeat { seq } => seq.encode(body),
+            Frame::Outcome(o) => o.encode(body),
             Frame::Error { code, message } => {
-                code.encode(&mut body);
-                message.encode(&mut body);
+                code.encode(body);
+                message.encode(body);
             }
         }
+    }
+
+    /// Serializes tag + payload + length prefix into a write-ready v1
+    /// buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        self.encode_body(&mut body);
+        let len = u32::try_from(body.len()).expect("frame fits u32");
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Serializes into a write-ready v2 (multiplexed) buffer: the length
+    /// prefix is followed by `session` and then the v1 body.
+    pub fn to_bytes_mux(&self, session: u64) -> Vec<u8> {
+        let mut body = session.to_le_bytes().to_vec();
+        self.encode_body(&mut body);
         let len = u32::try_from(body.len()).expect("frame fits u32");
         let mut out = Vec::with_capacity(4 + body.len());
         out.extend_from_slice(&len.to_le_bytes());
@@ -341,22 +397,70 @@ impl Frame {
 /// `Ok(None)` on an idle tick (the read timed out / would block with no
 /// complete frame available), and errors on EOF, I/O failure, or a
 /// malformed frame. Partial frames persist in the buffer across polls.
-#[derive(Debug, Default)]
+///
+/// A reader decodes exactly one envelope version: [`FrameReader::new`]
+/// for v1 (no session id), [`FrameReader::new_mux`] for v2 (every frame
+/// carries a `u64` session id). [`FrameReader::with_limits`] additionally
+/// caps the accepted frame length.
+#[derive(Debug)]
 pub struct FrameReader {
     buf: Vec<u8>,
-    /// Total raw bytes consumed from the stream.
+    /// Whether frames carry a v2 session-id header.
+    sessioned: bool,
+    /// Frames whose length field exceeds this are rejected before any
+    /// payload is buffered.
+    max_len: usize,
+    /// Total raw bytes consumed from the stream (length prefixes,
+    /// session ids, tags, payloads — everything).
     pub bytes_read: u64,
     /// Total complete frames produced.
     pub frames_read: u64,
+    /// Total Wire-payload bytes decoded: [`Self::bytes_read`] minus all
+    /// framing (length prefix + tag, plus the session id on v2). The
+    /// difference is the exact framing overhead on the inbound half.
+    pub payload_bytes_read: u64,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader::with_limits(false, MAX_FRAME_LEN)
+    }
 }
 
 impl FrameReader {
-    /// A reader with an empty buffer.
+    /// A v1 reader with an empty buffer and the default length cap.
     pub fn new() -> Self {
         FrameReader::default()
     }
 
-    fn take_buffered(&mut self) -> Result<Option<Frame>, NetError> {
+    /// A v2 (session-id) reader with the default length cap.
+    pub fn new_mux() -> Self {
+        FrameReader::with_limits(true, MAX_FRAME_LEN)
+    }
+
+    /// A reader for the given envelope version and frame-length cap.
+    pub fn with_limits(sessioned: bool, max_len: usize) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            sessioned,
+            max_len,
+            bytes_read: 0,
+            frames_read: 0,
+            payload_bytes_read: 0,
+        }
+    }
+
+    /// Bytes of per-frame framing this reader's envelope version pays:
+    /// length prefix + tag, plus the session id on v2.
+    pub fn header_bytes_per_frame(&self) -> u64 {
+        if self.sessioned {
+            13
+        } else {
+            5
+        }
+    }
+
+    fn take_buffered(&mut self) -> Result<Option<(u64, Frame)>, NetError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -364,31 +468,39 @@ impl FrameReader {
         if len == 0 {
             return Err(NetError::BadFrame("zero-length frame"));
         }
-        if len > MAX_FRAME_LEN {
+        if len > self.max_len {
             return Err(NetError::BadFrame("oversized frame"));
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
-        let frame = Frame::from_body(&self.buf[4..4 + len])?;
+        let body = &self.buf[4..4 + len];
+        let (session, body) = if self.sessioned {
+            if len < 9 {
+                return Err(NetError::BadFrame("truncated session header"));
+            }
+            let session = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            (session, &body[8..])
+        } else {
+            (0, body)
+        };
+        let frame = Frame::from_body(body)?;
+        // The body still holds the tag byte; payload is everything after.
+        self.payload_bytes_read += (body.len() - 1) as u64;
         self.buf.drain(..4 + len);
         self.frames_read += 1;
-        Ok(Some(frame))
+        Ok(Some((session, frame)))
     }
 
-    /// Makes progress on `stream`: drains buffered frames first, then
-    /// reads. See the type docs for the return contract.
-    pub fn poll(&mut self, stream: &mut impl Read) -> Result<Option<Frame>, NetError> {
+    fn fill_from(&mut self, stream: &mut impl Read) -> Result<Option<()>, NetError> {
+        let mut tmp = [0u8; 4096];
         loop {
-            if let Some(frame) = self.take_buffered()? {
-                return Ok(Some(frame));
-            }
-            let mut tmp = [0u8; 4096];
             match stream.read(&mut tmp) {
                 Ok(0) => return Err(NetError::Disconnected),
                 Ok(n) => {
                     self.bytes_read += n as u64;
                     self.buf.extend_from_slice(&tmp[..n]);
+                    return Ok(Some(()));
                 }
                 Err(e)
                     if matches!(
@@ -400,6 +512,26 @@ impl FrameReader {
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Makes progress on a v1 `stream`: drains buffered frames first,
+    /// then reads. See the type docs for the return contract.
+    pub fn poll(&mut self, stream: &mut impl Read) -> Result<Option<Frame>, NetError> {
+        debug_assert!(!self.sessioned, "poll() on a v2 reader discards sessions");
+        Ok(self.poll_mux(stream)?.map(|(_, frame)| frame))
+    }
+
+    /// Makes progress on `stream` and surfaces `(session_id, frame)`
+    /// pairs. On a v1 reader the session id is always 0.
+    pub fn poll_mux(&mut self, stream: &mut impl Read) -> Result<Option<(u64, Frame)>, NetError> {
+        loop {
+            if let Some(hit) = self.take_buffered()? {
+                return Ok(Some(hit));
+            }
+            if self.fill_from(stream)?.is_none() {
+                return Ok(None);
             }
         }
     }
@@ -464,23 +596,74 @@ mod tests {
         let mut reader = FrameReader::new();
         let mut out = Vec::new();
         for &byte in &stream {
-            let mut one = &[byte][..];
             // A one-byte Read yields the byte then "WouldBlock" (empty
             // slice read returns Ok(0) = EOF, so stop before that).
-            if let Some(frame) = reader.take_buffered().unwrap() {
+            if let Some((session, frame)) = reader.take_buffered().unwrap() {
+                assert_eq!(session, 0, "v1 frames carry no session");
                 out.push(frame);
             }
-            let mut tmp = [0u8; 1];
-            let n = std::io::Read::read(&mut one, &mut tmp).unwrap();
-            assert_eq!(n, 1);
-            reader.buf.extend_from_slice(&tmp[..1]);
+            reader.buf.push(byte);
             reader.bytes_read += 1;
         }
-        while let Some(frame) = reader.take_buffered().unwrap() {
+        while let Some((_, frame)) = reader.take_buffered().unwrap() {
             out.push(frame);
         }
         assert_eq!(out, frames);
         assert_eq!(reader.bytes_read, stream.len() as u64);
+        let header_bytes = reader.frames_read * reader.header_bytes_per_frame();
+        assert_eq!(
+            reader.payload_bytes_read + header_bytes,
+            reader.bytes_read,
+            "payload + framing must account for every byte"
+        );
+    }
+
+    #[test]
+    fn mux_reader_round_trips_session_ids() {
+        let frames = sample_frames();
+        let sessions: Vec<u64> = vec![0, 7, u64::MAX, 42, 9_999_999_999, 3];
+        let stream: Vec<u8> = frames
+            .iter()
+            .zip(&sessions)
+            .flat_map(|(f, &s)| f.to_bytes_mux(s))
+            .collect();
+        let mut reader = FrameReader::new_mux();
+        let mut cursor = &stream[..];
+        let mut out = Vec::new();
+        while let Ok(Some(hit)) = reader.poll_mux(&mut cursor) {
+            out.push(hit);
+        }
+        let expected: Vec<(u64, Frame)> = sessions.into_iter().zip(frames).collect();
+        assert_eq!(out, expected);
+        let header_bytes = reader.frames_read * reader.header_bytes_per_frame();
+        assert_eq!(reader.payload_bytes_read + header_bytes, reader.bytes_read);
+    }
+
+    #[test]
+    fn mux_reader_rejects_truncated_session_headers() {
+        // A v2 frame must be at least session id + tag = 9 bytes long.
+        let mut reader = FrameReader::new_mux();
+        reader.buf.extend_from_slice(&5u32.to_le_bytes());
+        reader.buf.extend_from_slice(&[0; 5]);
+        assert!(matches!(
+            reader.take_buffered(),
+            Err(NetError::BadFrame("truncated session header"))
+        ));
+    }
+
+    #[test]
+    fn configured_length_cap_is_enforced() {
+        let mut reader = FrameReader::with_limits(false, 128);
+        let frame = Frame::Error {
+            code: 0,
+            message: "x".repeat(200),
+        };
+        let bytes = frame.to_bytes();
+        let mut cursor = &bytes[..];
+        assert!(matches!(
+            reader.poll(&mut cursor),
+            Err(NetError::BadFrame("oversized frame"))
+        ));
     }
 
     #[test]
@@ -496,6 +679,7 @@ mod tests {
         reader
             .buf
             .extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        // The length field alone convicts the frame — no payload needed.
         assert!(matches!(
             reader.take_buffered(),
             Err(NetError::BadFrame("oversized frame"))

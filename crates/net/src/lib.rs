@@ -38,7 +38,7 @@ pub mod frame;
 pub mod overhead;
 pub mod transport;
 
-pub use frame::{Frame, NetError, PROTOCOL_VERSION};
+pub use frame::{Frame, NetError, PROTOCOL_VERSION, PROTOCOL_VERSION_MUX};
 pub use transport::{loopback_session, TcpTransport, WireStats};
 
 /// Timeouts, heartbeat cadence, and reconnect policy for one deployment.
@@ -62,6 +62,12 @@ pub struct NetConfig {
     pub backoff_base: Duration,
     /// Ceiling on the backoff delay.
     pub backoff_cap: Duration,
+    /// Largest frame length this deployment accepts; peers announcing
+    /// more are treated as malformed before any allocation happens.
+    /// Bounded by [`frame::MIN_FRAME_LEN_CAP`] and
+    /// [`frame::MAX_FRAME_LEN_CEILING`] (enforced by
+    /// [`NetConfig::validate`]).
+    pub max_frame_len: usize,
 }
 
 impl Default for NetConfig {
@@ -74,6 +80,83 @@ impl Default for NetConfig {
             connect_attempts: 5,
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
+            max_frame_len: frame::MAX_FRAME_LEN,
         }
+    }
+}
+
+impl NetConfig {
+    /// Upper bound on `miss_limit` accepted by [`NetConfig::validate`]: a
+    /// peer allowed to miss more heartbeats than this is effectively
+    /// immortal, which defeats the liveness machinery.
+    pub const MISS_LIMIT_CEILING: u32 = 10_000;
+
+    /// Rejects configurations that cannot work: a zero or absurd
+    /// `miss_limit` (0 declares every peer instantly dead; beyond
+    /// [`Self::MISS_LIMIT_CEILING`] never declares anyone dead), and a
+    /// frame cap no frame fits under ([`frame::MIN_FRAME_LEN_CAP`]) or
+    /// past the pre-allocation guard ([`frame::MAX_FRAME_LEN_CEILING`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.miss_limit == 0 {
+            return Err("miss_limit must be at least 1 (0 declares every peer dead)".into());
+        }
+        if self.miss_limit > Self::MISS_LIMIT_CEILING {
+            return Err(format!(
+                "miss_limit {} is absurd (max {})",
+                self.miss_limit,
+                Self::MISS_LIMIT_CEILING
+            ));
+        }
+        if self.max_frame_len < frame::MIN_FRAME_LEN_CAP {
+            return Err(format!(
+                "max_frame_len {} is too small to fit any frame (min {})",
+                self.max_frame_len,
+                frame::MIN_FRAME_LEN_CAP
+            ));
+        }
+        if self.max_frame_len > frame::MAX_FRAME_LEN_CEILING {
+            return Err(format!(
+                "max_frame_len {} exceeds the allocation guard ({})",
+                self.max_frame_len,
+                frame::MAX_FRAME_LEN_CEILING
+            ));
+        }
+        if self.connect_attempts == 0 {
+            return Err("connect_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        NetConfig::default().validate().expect("defaults are sane");
+    }
+
+    #[test]
+    fn zero_and_absurd_limits_are_rejected() {
+        let mut config = NetConfig {
+            miss_limit: 0,
+            ..NetConfig::default()
+        };
+        assert!(config.validate().is_err(), "miss_limit 0 must be rejected");
+        config.miss_limit = NetConfig::MISS_LIMIT_CEILING + 1;
+        assert!(config.validate().is_err(), "absurd miss_limit rejected");
+
+        let mut config = NetConfig {
+            max_frame_len: 0,
+            ..NetConfig::default()
+        };
+        assert!(config.validate().is_err(), "frame cap 0 must be rejected");
+        config.max_frame_len = frame::MIN_FRAME_LEN_CAP - 1;
+        assert!(config.validate().is_err(), "tiny frame cap rejected");
+        config.max_frame_len = frame::MAX_FRAME_LEN_CEILING + 1;
+        assert!(config.validate().is_err(), "huge frame cap rejected");
+        config.max_frame_len = frame::MIN_FRAME_LEN_CAP;
+        assert!(config.validate().is_ok(), "boundary cap accepted");
     }
 }

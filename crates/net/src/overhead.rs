@@ -68,9 +68,24 @@ pub fn transcript_digest(board: &Board) -> u64 {
 }
 
 /// Folds another board into a running concatenated-transcript digest.
-fn fold_digest(acc: u64, board: &Board) -> u64 {
+/// Start from `0` and fold boards in session order; two runs agree iff
+/// every folded transcript is bit-identical in the same order. The mux
+/// load harness folds per-session digests with [`fold_digest_u64`]
+/// instead (sessions finish out of order there), so the two digests are
+/// *not* interchangeable — compare like with like.
+pub fn fold_digest(acc: u64, board: &Board) -> u64 {
     let mut bytes = acc.to_le_bytes().to_vec();
     bytes.extend_from_slice(&board.to_bytes());
+    fnv1a(&bytes)
+}
+
+/// Folds a per-session digest (e.g. [`transcript_digest`]) into a running
+/// accumulator. Order-sensitive, so callers with out-of-order completion
+/// must fold in a canonical order (the mux harness folds by session id).
+pub fn fold_digest_u64(acc: u64, digest: u64) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&acc.to_le_bytes());
+    bytes[8..].copy_from_slice(&digest.to_le_bytes());
     fnv1a(&bytes)
 }
 
@@ -101,12 +116,7 @@ pub fn overhead_point(
         let (tcp, stats) =
             loopback_session(&protocol, &inputs, rng.clone(), &ctx, config, "disj", seed);
         let inproc = InProcessTransport.run_session(&protocol, &inputs, rng.clone(), &ctx);
-        wire.bytes_tx += stats.bytes_tx;
-        wire.bytes_rx += stats.bytes_rx;
-        wire.frames_tx += stats.frames_tx;
-        wire.frames_rx += stats.frames_rx;
-        wire.transcript_bits += stats.transcript_bits;
-        wire.reconnects += stats.reconnects;
+        wire.merge(&stats);
         digest_tcp = fold_digest(digest_tcp, &tcp.board);
         digest_inprocess = fold_digest(digest_inprocess, &inproc.board);
         if tcp.outcome == SessionOutcome::Completed {

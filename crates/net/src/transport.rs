@@ -38,6 +38,10 @@ pub struct WireStats {
     pub frames_tx: u64,
     /// Frames the coordinator read.
     pub frames_rx: u64,
+    /// Wire-payload bytes the coordinator wrote (framing excluded).
+    pub payload_bytes_tx: u64,
+    /// Wire-payload bytes the coordinator read (framing excluded).
+    pub payload_bytes_rx: u64,
     /// Bits on the final board (the quantity the paper's communication
     /// measures count).
     pub transcript_bits: u64,
@@ -49,6 +53,26 @@ impl WireStats {
     /// Total bytes on the wire in both directions.
     pub fn bytes_total(&self) -> u64 {
         self.bytes_tx + self.bytes_rx
+    }
+
+    /// Framing bytes in both directions: length prefixes plus tag bytes,
+    /// i.e. `bytes_total - payload_total`. The identity
+    /// `framing_bytes == 5 × (frames_tx + frames_rx)` holds on v1
+    /// connections and is asserted by the accounting reconcile test.
+    pub fn framing_bytes(&self) -> u64 {
+        self.bytes_total() - (self.payload_bytes_tx + self.payload_bytes_rx)
+    }
+
+    /// Folds another session's stats into this accumulator.
+    pub fn merge(&mut self, other: &WireStats) {
+        self.bytes_tx += other.bytes_tx;
+        self.bytes_rx += other.bytes_rx;
+        self.frames_tx += other.frames_tx;
+        self.frames_rx += other.frames_rx;
+        self.payload_bytes_tx += other.payload_bytes_tx;
+        self.payload_bytes_rx += other.payload_bytes_rx;
+        self.transcript_bits += other.transcript_bits;
+        self.reconnects += other.reconnects;
     }
 
     /// Wire bits per transcript bit: `8 × bytes_total / transcript_bits`
@@ -139,6 +163,8 @@ where
             stats.bytes_rx += pc.conn.bytes_read();
             stats.frames_tx += pc.conn.frames_written;
             stats.frames_rx += pc.conn.frames_read();
+            stats.payload_bytes_tx += pc.conn.payload_bytes_written;
+            stats.payload_bytes_rx += pc.conn.payload_bytes_read();
         }
         (result, stats)
         // Dropping `conns` here closes every socket, which unblocks any
@@ -196,6 +222,10 @@ impl Transport for TcpTransport {
             ctx.recorder.counter_add("net.bytes_rx", stats.bytes_rx);
             ctx.recorder.counter_add("net.frames_tx", stats.frames_tx);
             ctx.recorder.counter_add("net.frames_rx", stats.frames_rx);
+            ctx.recorder
+                .counter_add("net.payload_bytes_tx", stats.payload_bytes_tx);
+            ctx.recorder
+                .counter_add("net.payload_bytes_rx", stats.payload_bytes_rx);
             ctx.recorder.counter_add("net.reconnects", stats.reconnects);
         }
         result

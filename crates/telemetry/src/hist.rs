@@ -16,6 +16,16 @@ pub const LATENCY_US_BOUNDS: &[u64] = &[
     200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
 ];
 
+/// Bucket ladder for multiplexed-coordinator turn latencies
+/// (`mux.turn_latency_us`): finer than [`LATENCY_US_BOUNDS`] in the
+/// 10µs–10ms band where loopback turn service times live, while still
+/// reaching 60s so saturated daemons don't dump everything in overflow.
+pub const TURN_LATENCY_US_BOUNDS: &[u64] = &[
+    1, 2, 5, 10, 15, 20, 30, 50, 75, 100, 150, 200, 300, 500, 750, 1_000, 1_500, 2_000, 3_000,
+    5_000, 7_500, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000, 2_000_000,
+    5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
 /// Bucket ladder for queue depths (batches waiting).
 pub const QUEUE_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 128, 256];
 
