@@ -14,6 +14,8 @@
 //! bci join   --addr 127.0.0.1:7701 --player 0 [--protocol disj]
 //! bci netrun [--points 64x4,256x4,256x8] [--sessions 3] [--seed 1] [--json report.json]
 //! bci load   --sessions 10000 --players 3 [--inflight 1024] [--compare] [--json BENCH_net.json]
+//! bci stat   127.0.0.1:7701 [--json|--prom|--events]
+//! bci top    127.0.0.1:7701 [--interval-ms 1000] [--iters 10]
 //! bci experiments list
 //! bci experiments run e7 [--workers 4] [--seed 5]
 //! ```
@@ -51,6 +53,23 @@ fn main() -> ExitCode {
         // Takes positional subcommands (`list`, `run <id>`), so it parses
         // its own argument tail instead of going through `parse_opts`.
         return match cmd_experiments(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                Diag::default().error(&format!("error: {e}\n\n{USAGE}"));
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "stat" || cmd == "top" {
+        // The address is a positional operand and `--json` is a boolean
+        // here (it is a value option everywhere else), so these parse
+        // their own argument tails too.
+        let result = if cmd == "stat" {
+            cmd_stat(&args[1..])
+        } else {
+            cmd_top(&args[1..])
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 Diag::default().error(&format!("error: {e}\n\n{USAGE}"));
@@ -120,12 +139,15 @@ USAGE:
   bci serve    --port <P> --players <K> [--protocol disj] [--n N] [--sessions N] [--seed S]
                [--density D] [--deadline-ms MS] [--roster-timeout-s SECS] [--mux]
                [--inflight M] [--max-frame-len B] [--miss-limit N]
+               [--flight N] [--admin-linger-ms MS] [--admin-port P]
   bci join     --addr <HOST:PORT> --player <I> [--protocol disj] [--seed S]
   bci netrun   [--points NxK,NxK,...] [--sessions N] [--seed S] [--json PATH]
   bci load     --sessions <M> --players <K> [--n N] [--density D] [--seed S]
                [--deadline-ms MS] [--inflight M] [--coordinator mux|thread] [--compare]
-               [--addr HOST:PORT] [--json PATH] [--no-verify]
+               [--addr HOST:PORT] [--json PATH] [--no-verify] [--scrape-ms MS]
                [--max-frame-len B] [--miss-limit N]
+  bci stat     <HOST:PORT> [--json|--prom|--events]
+  bci top      <HOST:PORT> [--interval-ms MS] [--iters K]
   bci experiments list
   bci experiments run <id> [--workers W] [--seed S]
 
@@ -150,7 +172,20 @@ NETWORK:
   in-process one, or a remote bci serve --mux via --addr), reports sessions/sec
   and turn-latency percentiles, verifies transcripts against the in-process
   transport, and with --json writes a bci.bench.v1 report. --compare also runs
-  the thread-per-connection baseline on the same workload.";
+  the thread-per-connection baseline on the same workload. --scrape-ms re-runs
+  the mux workload with a live admin scraper attached and records the overhead
+  in the report's meta.
+
+OBSERVABILITY:
+  Every coordinator serves a read-only admin stats channel: the mux daemon
+  answers Stats frames inline on its own listener; the thread-per-conn
+  coordinator uses a dedicated listener (bci serve --admin-port P). bci stat
+  scrapes one snapshot and prints JSON (--json, default), Prometheus text
+  exposition (--prom), or the flight-recorder ring as JSON lines (--events).
+  bci top refreshes a delta-aware sessions/sec + latency-percentile view every
+  --interval-ms. bci serve --admin-linger-ms keeps answering scrapes that long
+  after the run so one-shot stats can collect the final numbers; --flight N
+  sizes the in-memory flight-recorder ring (0 disables it).";
 
 /// Option keys that are boolean flags: present means on, they take no value.
 const FLAGS: [&str; 5] = ["quiet", "verbose", "mux", "compare", "no-verify"];
@@ -649,7 +684,7 @@ fn net_config_from(opts: &HashMap<String, String>) -> Result<bci_net::NetConfig,
 /// and resumed concurrently (v2 session-id frames).
 fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
     use bci_blackboard::runner::derive_trial_seed;
-    use bci_fabric::transport::{SessionContext, DISABLED_RECORDER};
+    use bci_fabric::transport::SessionContext;
     use bci_net::coordinator::{accept_roster, run_coordinator_session, SessionInfo};
     use std::net::TcpListener;
     use std::time::{Duration, Instant};
@@ -672,6 +707,13 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
         return Err("--players and --sessions must be positive".into());
     }
     let config = net_config_from(opts)?;
+    let flight: usize = get(opts, "flight", Some(256usize))?;
+    let admin_linger_ms: u64 = get(opts, "admin-linger-ms", Some(0u64))?;
+    let recorder = if flight > 0 {
+        Recorder::with_flight(flight)
+    } else {
+        Recorder::metrics_only()
+    };
 
     let listener = TcpListener::bind(("0.0.0.0", port))
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
@@ -680,7 +722,7 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
         .map_err(|e| format!("local addr: {e}"))?;
 
     if opts.contains_key("mux") {
-        use bci_mux::daemon::{accept_mux_roster, run_mux_daemon, MuxOptions};
+        use bci_mux::daemon::{accept_mux_roster, run_mux_daemon_with_admin, MuxOptions};
         let inflight: usize = get(
             opts,
             "inflight",
@@ -704,25 +746,40 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
             &info,
             &config,
             Instant::now() + Duration::from_secs(roster_secs),
+            &recorder,
         )
         .map_err(|e| e.to_string())?;
-        diag.info(&format!("roster complete: {players} players registered"));
+        diag.info(&format!(
+            "roster complete: {players} players registered; admin stats channel live on {bound}"
+        ));
         let proto = BroadcastDisj::new(n, players);
-        let recorder = Recorder::metrics_only();
         let mux_opts = MuxOptions {
             deadline: Some(Duration::from_millis(deadline_ms)),
             max_inflight: inflight,
-            config,
+            config: config.clone(),
+            dump_flight_on_failure: flight > 0,
         };
-        let report = run_mux_daemon(
+        let report = run_mux_daemon_with_admin(
             &proto,
             conns,
+            Some(&listener),
             u64::from(sessions),
             seed,
             |_, rng| workload::random_sets(n, players, density, rng),
             &mux_opts,
             &recorder,
         );
+        if admin_linger_ms > 0 {
+            // Keep answering scrapes after the run, so a one-shot
+            // `bci stat` can still collect the final numbers.
+            let admin_listener = listener.try_clone().map_err(|e| format!("listener: {e}"))?;
+            let server =
+                bci_net::admin::AdminServer::spawn(admin_listener, recorder.clone(), config)
+                    .map_err(|e| e.to_string())?;
+            diag.info(&format!("admin channel lingering {admin_linger_ms}ms"));
+            std::thread::sleep(Duration::from_millis(admin_linger_ms));
+            server.stop();
+        }
         let snap = recorder.snapshot();
         let hist = snap.hist("mux.turn_latency_us");
         let (completed, failed) = (report.completed(), report.failed());
@@ -756,6 +813,24 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
         return Ok(());
     }
 
+    // The thread-per-conn coordinator has no mux envelope to ride, so its
+    // stats channel is a dedicated listener on `--admin-port`.
+    let admin_port: u16 = get(opts, "admin-port", Some(0u16))?;
+    let admin = if admin_port > 0 {
+        let admin_listener = TcpListener::bind(("0.0.0.0", admin_port))
+            .map_err(|e| format!("cannot bind admin port {admin_port}: {e}"))?;
+        let admin_addr = admin_listener
+            .local_addr()
+            .map_err(|e| format!("admin addr: {e}"))?;
+        let server =
+            bci_net::admin::AdminServer::spawn(admin_listener, recorder.clone(), config.clone())
+                .map_err(|e| e.to_string())?;
+        diag.info(&format!("admin stats channel on {admin_addr}"));
+        Some(server)
+    } else {
+        None
+    };
+
     diag.info(&format!(
         "serving {protocol_name} (n={n}, k={players}) on {bound}: waiting for {players} players \
          (up to {roster_secs}s)"
@@ -784,7 +859,7 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
             session_id: u64::from(s),
             deadline: Some(Duration::from_millis(deadline_ms)),
             faults: &[],
-            recorder: &DISABLED_RECORDER,
+            recorder: &recorder,
         };
         let result = run_coordinator_session(
             &proto,
@@ -818,6 +893,13 @@ fn cmd_serve(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
     }
     println!("{}", t.render());
     println!("wire: {bytes_tx} bytes sent, {bytes_rx} bytes received");
+    if let Some(server) = admin {
+        if admin_linger_ms > 0 {
+            diag.info(&format!("admin channel lingering {admin_linger_ms}ms"));
+            std::thread::sleep(Duration::from_millis(admin_linger_ms));
+        }
+        server.stop();
+    }
     Ok(())
 }
 
@@ -899,6 +981,7 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
                 .ok_or_else(|| format!("'{addr_str}' resolved to no address"))?,
         );
     }
+    let scrape_ms: u64 = get(opts, "scrape-ms", Some(0u64))?;
     let coordinator = opts.get("coordinator").map_or("mux", String::as_str);
     let compare = opts.contains_key("compare");
     let (run_mux, run_thread) = match (coordinator, compare) {
@@ -924,6 +1007,16 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
             spec.max_inflight
         ));
         reports.push(run_load(&spec).map_err(|e| e.to_string())?);
+        if scrape_ms > 0 {
+            // Same workload again with a live admin scraper attached —
+            // the report pair becomes the scrape-overhead measurement.
+            diag.info(&format!(
+                "load: re-running mux with a {scrape_ms}ms admin scraper attached"
+            ));
+            let mut scraped = spec.clone();
+            scraped.scrape_interval = Some(Duration::from_millis(scrape_ms));
+            reports.push(run_load(&scraped).map_err(|e| e.to_string())?);
+        }
     }
     if run_thread {
         diag.info(&format!(
@@ -943,6 +1036,7 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
         "p99 us",
         "wire bytes",
         "bits/bit",
+        "scrapes",
         "digest",
     ]);
     for r in &reports {
@@ -957,6 +1051,7 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
             r.turn_latency.percentile(99.0).to_string(),
             r.wire.bytes_total().to_string(),
             f(r.wire_bits_per_transcript_bit(), 2),
+            r.scrapes.to_string(),
             match r.verified() {
                 Some(true) => "match".to_owned(),
                 Some(false) => "MISMATCH".to_owned(),
@@ -971,7 +1066,13 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
     println!("{}", t.render());
 
     if let Some(path) = opts.get("json") {
-        let doc = bench_document(&spec, &reports);
+        // The doc spec carries the scrape interval so the meta's
+        // overhead measurement can name it.
+        let mut doc_spec = spec.clone();
+        if scrape_ms > 0 {
+            doc_spec.scrape_interval = Some(Duration::from_millis(scrape_ms));
+        }
+        let doc = bench_document(&doc_spec, &reports);
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("cannot write report to '{path}': {e}"))?;
         diag.info(&format!("wrote bci.bench.v1 report to {path}"));
@@ -997,6 +1098,161 @@ fn cmd_load(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `bci stat <addr>` — one-shot scrape of a coordinator's admin stats
+/// channel. Prints the live snapshot as JSON (`--json`, the default),
+/// Prometheus text exposition (`--prom`), or the flight-recorder ring as
+/// JSON lines (`--events`); the flags combine.
+fn cmd_stat(args: &[String]) -> Result<(), String> {
+    use bci_net::admin::scrape;
+    use bci_net::frame::stats_request;
+
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("stat needs an address: bci stat <host:port> [--json|--prom|--events]".into());
+    };
+    let (mut json, mut prom, mut events) = (false, false, false);
+    for flag in &args[1..] {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--prom" => prom = true,
+            "--events" => events = true,
+            other => return Err(format!("unknown stat flag '{other}'")),
+        }
+    }
+    if !json && !prom && !events {
+        json = true;
+    }
+    let mut what = 0u8;
+    if json || prom {
+        what |= stats_request::SNAPSHOT;
+    }
+    if events {
+        what |= stats_request::EVENTS;
+    }
+    let config = bci_net::NetConfig::default();
+    let reply = scrape(addr, what, &config).map_err(|e| e.to_string())?;
+    if json || prom {
+        let snap = reply
+            .payload
+            .into_snapshot()
+            .map_err(|e| format!("malformed snapshot from {addr}: {e}"))?;
+        if json {
+            println!("{}", snap.to_json());
+        }
+        if prom {
+            print!("{}", snap.to_prometheus());
+        }
+    }
+    if events {
+        print!("{}", reply.events_jsonl);
+    }
+    Ok(())
+}
+
+/// `bci top <addr>` — refreshing live view of a coordinator: scrapes the
+/// admin channel every `--interval-ms` and prints one delta-aware line
+/// per tick (sessions/sec and latency percentiles computed over the tick
+/// window via histogram deltas, not cumulative totals). `--iters 0`
+/// refreshes until interrupted.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    use bci_net::admin::AdminClient;
+    use bci_telemetry::Snapshot;
+    use std::time::Duration;
+
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(
+            "top needs an address: bci top <host:port> [--interval-ms MS] [--iters K]".into(),
+        );
+    };
+    let opts = parse_opts(&args[1..])?;
+    let interval_ms: u64 = get(&opts, "interval-ms", Some(1000u64))?;
+    let iters: u64 = get(&opts, "iters", Some(0u64))?;
+    if interval_ms == 0 {
+        return Err("--interval-ms must be positive".into());
+    }
+    let config = bci_net::NetConfig::default();
+    let mut client = AdminClient::connect(addr, &config).map_err(|e| e.to_string())?;
+    let mut prev: Option<Snapshot> = None;
+    let mut tick = 0u64;
+    loop {
+        let snap = client.fetch_snapshot().map_err(|e| e.to_string())?;
+        println!("{}", top_line(&snap, prev.as_ref()));
+        prev = Some(snap);
+        tick += 1;
+        if iters != 0 && tick >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// Sessions finished so far, summed across the counter families the
+/// coordinators publish (only one family is nonzero per coordinator).
+fn sessions_finished(snap: &bci_telemetry::Snapshot) -> u64 {
+    ["mux", "net", "fabric"]
+        .iter()
+        .map(|p| {
+            snap.counter(&format!("{p}.sessions_completed"))
+                + snap.counter(&format!("{p}.sessions_timed_out"))
+                + snap.counter(&format!("{p}.sessions_aborted"))
+        })
+        .sum()
+}
+
+/// One `bci top` output line: uptime, completed sessions with the
+/// tick-window rate, inflight/parked gauges, and the window's turn-
+/// latency percentiles (from the histogram delta when a previous
+/// snapshot exists, else cumulative).
+fn top_line(snap: &bci_telemetry::Snapshot, prev: Option<&bci_telemetry::Snapshot>) -> String {
+    let finished = sessions_finished(snap);
+    let uptime_s = snap.uptime_us as f64 / 1e6;
+    let (delta, rate) = match prev {
+        Some(p) => {
+            let d = finished.saturating_sub(sessions_finished(p));
+            let window_s = (snap.uptime_us.saturating_sub(p.uptime_us)) as f64 / 1e6;
+            (
+                d,
+                if window_s > 0.0 {
+                    d as f64 / window_s
+                } else {
+                    0.0
+                },
+            )
+        }
+        None => (finished, 0.0),
+    };
+    let mut line = format!(
+        "up {uptime_s:7.1}s  sessions {finished} (+{delta}, {rate:.1}/s)  inflight {}/{}",
+        snap.gauge("mux.inflight"),
+        snap.gauge("mux.inflight_limit"),
+    );
+    line.push_str(&format!(
+        "  parked {}  remaining {}",
+        snap.gauge("mux.sessions_parked"),
+        snap.gauge("mux.sessions_remaining"),
+    ));
+    let lat_name = ["mux.turn_latency_us", "net.hop_rtt_us"]
+        .into_iter()
+        .find(|name| snap.hist(name).is_some());
+    if let Some(name) = lat_name {
+        let cur = snap.hist(name).expect("name was found above");
+        let window = match prev.and_then(|p| p.hist(name)) {
+            Some(old) => cur.delta_since(old),
+            None => cur.clone(),
+        };
+        line.push_str(&format!(
+            "  turn p50/p95/p99 {}/{}/{}us ({} turns)",
+            window.percentile(50.0),
+            window.percentile(95.0),
+            window.percentile(99.0),
+            window.count(),
+        ));
+    }
+    if let Some(q) = snap.hist("mux.outbound_queue_bytes") {
+        line.push_str(&format!("  outq p95 {}B", q.percentile(95.0)));
+    }
+    line
 }
 
 /// Parses `--points` syntax: comma-separated `NxK` pairs.

@@ -45,6 +45,7 @@ use bci_blackboard::runner::derive_trial_seed;
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::Wire;
 use bci_fabric::transport::DEFAULT_STALL_CAP;
+use bci_net::admin::{check_admin_hello, stats_reply};
 use bci_net::coordinator::SessionInfo;
 use bci_net::frame::{
     BroadcastFrame, Frame, Hello, InputFrame, NetError, OutcomeFrame, CONTROL_SESSION, NO_PLAYER,
@@ -53,8 +54,8 @@ use bci_net::frame::{
 use bci_net::overhead::transcript_digest;
 use bci_net::transport::WireStats;
 use bci_net::NetConfig;
-use bci_telemetry::hist::TURN_LATENCY_US_BOUNDS;
-use bci_telemetry::Recorder;
+use bci_telemetry::hist::{QUEUE_BYTES_BOUNDS, TURN_LATENCY_US_BOUNDS};
+use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::SeedableRng;
 use rand_chacha::{ChaCha8Rng, STATE_LEN};
 
@@ -78,6 +79,11 @@ pub struct MuxOptions {
     pub max_inflight: usize,
     /// Socket-level configuration (timeouts, heartbeat policy, frame cap).
     pub config: NetConfig,
+    /// Dump the recorder's flight ring to stderr when a session ends
+    /// `TimedOut`/`Aborted` (rate-limited to once per second so an
+    /// abort storm doesn't flood the log). No-op unless the recorder
+    /// was built with [`Recorder::with_flight`].
+    pub dump_flight_on_failure: bool,
 }
 
 impl Default for MuxOptions {
@@ -86,6 +92,7 @@ impl Default for MuxOptions {
             deadline: None,
             max_inflight: DEFAULT_MAX_INFLIGHT,
             config: NetConfig::default(),
+            dump_flight_on_failure: false,
         }
     }
 }
@@ -165,11 +172,17 @@ impl MuxRunReport {
 /// multiplexed envelope: clients must announce
 /// [`PROTOCOL_VERSION_MUX`], and all control frames ride the
 /// [`CONTROL_SESSION`] id. A rejected hello never burns the slot.
+///
+/// Roster assembly is counted on `recorder` (`mux.roster_accepted`,
+/// `mux.hello_rejected`) so a live scrape shows how many dial attempts
+/// it took to fill the pool — the mux-side analogue of the v1
+/// transport's reconnect totals.
 pub fn accept_mux_roster(
     listener: &TcpListener,
     info: &SessionInfo,
     config: &NetConfig,
     deadline: Instant,
+    recorder: &Recorder,
 ) -> Result<Vec<MuxConn>, NetError> {
     listener.set_nonblocking(true)?;
     let k = info.players as usize;
@@ -190,6 +203,7 @@ pub fn accept_mux_roster(
                     Err(_) => continue, // died before saying hello
                 };
                 let reject = |mut conn: MuxConn, message: String| {
+                    recorder.counter_add("mux.hello_rejected", 1);
                     let _ =
                         conn.send_now(CONTROL_SESSION, &Frame::Error { code: 1, message }, config);
                 };
@@ -246,6 +260,7 @@ pub fn accept_mux_roster(
                 }
                 slots[player] = Some(conn);
                 registered += 1;
+                recorder.counter_add("mux.roster_accepted", 1);
             }
             Err(e)
                 if matches!(
@@ -265,6 +280,12 @@ pub fn accept_mux_roster(
         .collect())
 }
 
+/// One connected admin scraper being served inline by the reactor.
+struct AdminPeer {
+    conn: MuxConn,
+    greeted: bool,
+}
+
 /// The daemon's mutable state while the reactor runs.
 struct Reactor<'a, P: Protocol> {
     protocol: &'a P,
@@ -275,9 +296,14 @@ struct Reactor<'a, P: Protocol> {
     next_session: u64,
     total: u64,
     finished: u64,
+    /// `finished` as of the last time every player write buffer was
+    /// fully drained. Sessions finished since then may still have
+    /// outcomes sitting in a buffer — they are "draining".
+    drain_watermark: u64,
     master_seed: u64,
     opts: &'a MuxOptions,
     recorder: &'a Recorder,
+    last_flight_dump: Option<Instant>,
 }
 
 impl<P> Reactor<'_, P>
@@ -320,6 +346,13 @@ where
             };
             self.table.insert(session, slot);
             self.recorder.counter_add("mux.sessions_started", 1);
+            if self.recorder.events_enabled() {
+                self.recorder.point(
+                    SpanKind::Session,
+                    session,
+                    vec![("phase", Json::str("admit"))],
+                );
+            }
             self.grant(session);
         }
     }
@@ -460,16 +493,153 @@ where
             _ => "mux.sessions_aborted",
         };
         self.recorder.counter_add(counter, 1);
+        if self.recorder.events_enabled() {
+            let mut attrs = vec![
+                ("phase", Json::str("finish")),
+                ("kind", Json::UInt(kind as u64)),
+                ("turns", Json::UInt(slot.turn as u64)),
+            ];
+            if !reason.is_empty() {
+                attrs.push(("reason", Json::str(&reason)));
+            }
+            self.recorder.point(SpanKind::Session, session, attrs);
+        }
         self.records.push(SessionRecord {
             session,
             kind,
-            reason,
+            reason: reason.clone(),
             output,
             digest: transcript_digest(&slot.board),
             transcript_bits: slot.board.total_bits() as u64,
             turns: slot.turn,
             latency_us: slot.started.elapsed().as_micros() as u64,
         });
+        if kind != 0 && self.opts.dump_flight_on_failure {
+            self.dump_flight(session, kind, &reason);
+        }
+    }
+
+    /// Dumps the flight ring to stderr for a failed session, at most
+    /// once per second (an `abort_all` storm finishes thousands of
+    /// sessions with the same ring contents).
+    fn dump_flight(&mut self, session: u64, kind: u8, reason: &str) {
+        let now = Instant::now();
+        let due = self
+            .last_flight_dump
+            .is_none_or(|last| now.duration_since(last) >= Duration::from_secs(1));
+        if !due {
+            return;
+        }
+        let dump = self.recorder.flight_jsonl();
+        if dump.is_empty() {
+            return;
+        }
+        self.last_flight_dump = Some(now);
+        eprintln!("--- flight recorder (session {session} ended kind={kind} {reason}) ---");
+        eprint!("{dump}");
+        eprintln!("--- end flight recorder ---");
+    }
+
+    /// Publishes the daemon's internal levels as gauges, immediately
+    /// before a snapshot is taken for an admin reply. Gauges the
+    /// recorder can't see on its own: roster and session-table
+    /// occupancy, per-state session counts, inflight-window usage, and
+    /// outbound queue depth.
+    fn set_gauges(&self) {
+        let inflight = self.table.len() as u64;
+        let granted = self
+            .table
+            .values()
+            .filter(|slot| slot.granted.is_some())
+            .count() as u64;
+        let rec = self.recorder;
+        rec.gauge_set("mux.roster_players", self.conns.len() as u64);
+        rec.gauge_set("mux.inflight", inflight);
+        rec.gauge_set("mux.inflight_limit", self.opts.max_inflight as u64);
+        rec.gauge_set("mux.sessions_granted", granted);
+        rec.gauge_set("mux.sessions_parked", inflight - granted);
+        rec.gauge_set(
+            "mux.sessions_draining",
+            self.finished - self.drain_watermark,
+        );
+        rec.gauge_set("mux.sessions_remaining", self.total - self.finished);
+        rec.gauge_set(
+            "mux.outbound_queue_bytes",
+            self.conns.iter().map(MuxConn::pending_out).sum::<usize>() as u64,
+        );
+    }
+
+    /// Accepts and serves admin scrapers without ever blocking the
+    /// reactor: handshakes are validated with the shared
+    /// [`check_admin_hello`], replies are built by the shared
+    /// [`stats_reply`], and a misbehaving or dead peer is dropped —
+    /// never aborted into the run the way a player failure is.
+    fn serve_admins(&mut self, listener: &TcpListener, peers: &mut Vec<AdminPeer>) {
+        // Drain the accept queue; WouldBlock (or a transient error)
+        // ends the sweep until the next tick.
+        while let Ok((stream, _)) = listener.accept() {
+            if let Ok(conn) = MuxConn::new(stream, self.opts.config.max_frame_len) {
+                peers.push(AdminPeer {
+                    conn,
+                    greeted: false,
+                });
+            }
+        }
+        let mut i = 0;
+        while i < peers.len() {
+            let mut dead = peers[i].conn.flush().is_err();
+            while !dead {
+                match peers[i].conn.poll() {
+                    Ok(Some((_, frame))) => match frame {
+                        Frame::Hello(hello) if !peers[i].greeted => {
+                            match check_admin_hello(&hello) {
+                                Ok(ack) => {
+                                    peers[i].conn.queue(CONTROL_SESSION, &ack);
+                                    peers[i].greeted = true;
+                                }
+                                Err(rejection) => {
+                                    peers[i].conn.queue(CONTROL_SESSION, &rejection);
+                                    let _ = peers[i].conn.flush();
+                                    dead = true;
+                                }
+                            }
+                        }
+                        Frame::Stats { what } if peers[i].greeted => {
+                            self.set_gauges();
+                            let reply =
+                                Frame::StatsReply(Box::new(stats_reply(self.recorder, what)));
+                            peers[i].conn.queue(CONTROL_SESSION, &reply);
+                            self.recorder.counter_add("mux.stats_served", 1);
+                        }
+                        Frame::Heartbeat { .. } => {}
+                        other => {
+                            peers[i].conn.queue(
+                                CONTROL_SESSION,
+                                &Frame::Error {
+                                    code: 1,
+                                    message: format!(
+                                        "unexpected {} on admin channel",
+                                        other.name()
+                                    ),
+                                },
+                            );
+                            let _ = peers[i].conn.flush();
+                            dead = true;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(_) => dead = true,
+                }
+            }
+            if !dead {
+                dead = peers[i].conn.flush().is_err();
+            }
+            if dead {
+                peers.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Marks every unfinished session aborted (connection-pool failure:
@@ -516,6 +686,42 @@ where
     P::Output: Wire,
     F: Fn(u64, &mut ChaCha8Rng) -> Vec<P::Input>,
 {
+    run_mux_daemon_with_admin(
+        protocol,
+        conns,
+        None,
+        total_sessions,
+        master_seed,
+        sample_inputs,
+        opts,
+        recorder,
+    )
+}
+
+/// [`run_mux_daemon`] plus a live admin stats channel: when
+/// `admin_listener` is given, the reactor also accepts read-only admin
+/// peers on it (typically the roster listener, reused once the roster
+/// is full) and answers their `Stats` requests inline from the
+/// throttled scan tick — so a scrape observes the daemon mid-run
+/// without a lock, a second thread, or any effect on session state.
+/// Admin traffic is excluded from the run's wire accounting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mux_daemon_with_admin<P, F>(
+    protocol: &P,
+    conns: Vec<MuxConn>,
+    admin_listener: Option<&TcpListener>,
+    total_sessions: u64,
+    master_seed: u64,
+    sample_inputs: F,
+    opts: &MuxOptions,
+    recorder: &Recorder,
+) -> MuxRunReport
+where
+    P: Protocol,
+    P::Input: Wire,
+    P::Output: Wire,
+    F: Fn(u64, &mut ChaCha8Rng) -> Vec<P::Input>,
+{
     assert_eq!(conns.len(), protocol.num_players(), "pool size");
     assert!(opts.max_inflight > 0, "max_inflight must be positive");
     let start = Instant::now();
@@ -531,10 +737,17 @@ where
         next_session: 0,
         total: total_sessions,
         finished: 0,
+        drain_watermark: 0,
         master_seed,
         opts,
         recorder,
+        last_flight_dump: None,
     };
+    if let Some(listener) = admin_listener {
+        // The roster phase left it nonblocking; make sure regardless.
+        let _ = listener.set_nonblocking(true);
+    }
+    let mut admin_peers: Vec<AdminPeer> = Vec::new();
     reactor.admit(&sample_inputs);
 
     let mut last_scan = Instant::now();
@@ -544,14 +757,18 @@ where
 
         // Drain write buffers first: grants queued last iteration are
         // what unblocks the players.
+        let mut all_drained = true;
         for player in 0..reactor.conns.len() {
             match reactor.conns[player].flush() {
-                Ok(_) => {}
+                Ok(drained) => all_drained &= drained,
                 Err(_) => {
                     reactor.abort_all(&format!("player {player} disconnected"));
                     break 'run;
                 }
             }
+        }
+        if all_drained {
+            reactor.drain_watermark = reactor.finished;
         }
 
         // Drain every connection's reader and dispatch.
@@ -594,8 +811,23 @@ where
         reactor.admit(&sample_inputs);
 
         // Throttled table walk: per-session deadlines + pool staleness.
+        // Admin peers are accepted and served on the same tick — a
+        // scrape costs at most one scan interval of latency and zero
+        // cycles on the hot path.
         if last_scan.elapsed() >= DEADLINE_SCAN_INTERVAL {
             last_scan = Instant::now();
+            reactor.recorder.hist_record(
+                "mux.outbound_queue_bytes",
+                reactor
+                    .conns
+                    .iter()
+                    .map(MuxConn::pending_out)
+                    .sum::<usize>() as u64,
+                QUEUE_BYTES_BOUNDS,
+            );
+            if let Some(listener) = admin_listener {
+                reactor.serve_admins(listener, &mut admin_peers);
+            }
             if let Some(deadline) = opts.deadline {
                 let mut expired: Vec<u64> = reactor
                     .table

@@ -19,6 +19,12 @@
 //!   against an in-process or remote coordinator, with per-session
 //!   deadlines, latency percentiles, and a `bci.bench.v1` report.
 //!
+//! The daemon also serves the **admin stats channel** inline
+//! ([`daemon::run_mux_daemon_with_admin`]): read-only `Stats` frames on
+//! the control session answer with a live telemetry snapshot plus
+//! reactor gauges, without touching session state or RNG — see
+//! `docs/observability.md`.
+//!
 //! Determinism is inherited, not re-proven: the per-session seeding
 //! discipline (`derive_trial_seed(master, session)` → sample inputs →
 //! session RNG) and the RNG-rides-the-grant turn loop are exactly the
@@ -34,6 +40,8 @@ pub mod load;
 pub mod player;
 
 pub use conn::MuxConn;
-pub use daemon::{run_mux_daemon, MuxOptions, MuxRunReport, SessionRecord};
+pub use daemon::{
+    run_mux_daemon, run_mux_daemon_with_admin, MuxOptions, MuxRunReport, SessionRecord,
+};
 pub use load::{run_load, CoordinatorKind, LoadReport, LoadSpec};
 pub use player::{connect_mux_player, run_mux_player, MuxPlayerReport};

@@ -19,11 +19,13 @@
 //! bit-identity check that crosses the wire, not a daemon self-report.
 
 use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use bci_blackboard::runner::derive_trial_seed;
 use bci_fabric::session::SessionOutcome;
 use bci_fabric::transport::{InProcessTransport, SessionContext, Transport};
+use bci_net::admin::{AdminClient, AdminServer};
 use bci_net::client::{connect_player, run_player, PlayerBehavior};
 use bci_net::coordinator::{accept_roster, run_coordinator_session, SessionInfo};
 use bci_net::frame::NetError;
@@ -33,11 +35,11 @@ use bci_net::NetConfig;
 use bci_protocols::disj::broadcast::BroadcastDisj;
 use bci_protocols::workload;
 use bci_telemetry::hist::TURN_LATENCY_US_BOUNDS;
-use bci_telemetry::{obj, Histogram, Json, Recorder};
+use bci_telemetry::{obj, Histogram, Json, Recorder, Snapshot};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::daemon::{accept_mux_roster, run_mux_daemon, MuxOptions, MuxRunReport};
+use crate::daemon::{accept_mux_roster, run_mux_daemon_with_admin, MuxOptions, MuxRunReport};
 use crate::player::{connect_mux_player, run_mux_player};
 
 /// Which coordinator a load run drove.
@@ -45,9 +47,17 @@ use crate::player::{connect_mux_player, run_mux_player};
 pub enum CoordinatorKind {
     /// The multiplexed reactor daemon (`crates/mux`).
     Mux,
+    /// The mux daemon with a live admin scraper attached
+    /// (`LoadSpec::scrape_interval`) — same workload, same digests;
+    /// comparing its row against [`CoordinatorKind::Mux`] measures the
+    /// observation overhead.
+    MuxScraped,
     /// The single-session, thread-per-connection coordinator
     /// (`bci_net::coordinator`), running sessions sequentially.
     ThreadPerConn,
+    /// The thread-per-connection coordinator scraped through its
+    /// dedicated [`AdminServer`] listener.
+    ThreadPerConnScraped,
 }
 
 impl CoordinatorKind {
@@ -55,7 +65,9 @@ impl CoordinatorKind {
     pub fn label(&self) -> &'static str {
         match self {
             CoordinatorKind::Mux => "mux",
+            CoordinatorKind::MuxScraped => "mux+scrape",
             CoordinatorKind::ThreadPerConn => "thread-per-conn",
+            CoordinatorKind::ThreadPerConnScraped => "thread-per-conn+scrape",
         }
     }
 }
@@ -84,6 +96,12 @@ pub struct LoadSpec {
     /// Drive a remote coordinator instead of an in-process one. The
     /// remote daemon owns session admission; this side only plays.
     pub addr: Option<SocketAddr>,
+    /// Attach a live admin scraper polling the coordinator's stats
+    /// channel at this interval while the run is in flight. The report
+    /// kind flips to the `*Scraped` variant and records how many
+    /// snapshots landed — the digest discipline is unchanged, which is
+    /// exactly the point: observation must not perturb transcripts.
+    pub scrape_interval: Option<Duration>,
 }
 
 impl LoadSpec {
@@ -101,6 +119,7 @@ impl LoadSpec {
             config: NetConfig::default(),
             verify: true,
             addr: None,
+            scrape_interval: None,
         }
     }
 }
@@ -134,6 +153,11 @@ pub struct LoadReport {
     pub digest: u64,
     /// The in-process replay's digest fold, when verification ran.
     pub digest_inprocess: Option<u64>,
+    /// Stats snapshots the live scraper landed while the run was in
+    /// flight (0 when no scraper was attached).
+    pub scrapes: u64,
+    /// The last snapshot the scraper saw, for post-run inspection.
+    pub scrape_snapshot: Option<Snapshot>,
 }
 
 impl LoadReport {
@@ -186,6 +210,62 @@ fn fold_sorted_digests(digests: &[(u64, u64)]) -> u64 {
         .fold(0u64, |acc, &(_, d)| fold_digest_u64(acc, d))
 }
 
+/// What the live scraper observed.
+struct ScrapeRun {
+    scrapes: u64,
+    last: Option<Snapshot>,
+}
+
+/// Polls the coordinator's admin channel every `interval` until `stop`.
+/// Waits on `ready` first so the dial never races roster assembly, and
+/// swallows every error — a scraper must never be able to fail the run
+/// it is watching (a failed fetch just drops the connection and redials
+/// on the next tick).
+fn run_scraper(
+    addr: SocketAddr,
+    interval: Duration,
+    config: &NetConfig,
+    ready: &AtomicBool,
+    stop: &AtomicBool,
+) -> ScrapeRun {
+    let mut out = ScrapeRun {
+        scrapes: 0,
+        last: None,
+    };
+    while !ready.load(Ordering::Acquire) {
+        if stop.load(Ordering::Acquire) {
+            return out;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let addr = addr.to_string();
+    // A scraper must never outlive the run it observes: the load
+    // listener stays bound after the daemon exits, so a full-fat
+    // connect (5 attempts x 10s handshake timeout) against a dead
+    // coordinator would stall the harness for ~50s. One attempt with a
+    // short timeout keeps the tail bounded; the loop redials anyway.
+    let mut config = config.clone();
+    config.connect_attempts = 1;
+    config.io_timeout = config.io_timeout.min(Duration::from_millis(500));
+    let mut client = None;
+    while !stop.load(Ordering::Acquire) {
+        if client.is_none() {
+            client = AdminClient::connect(&addr, &config).ok();
+        }
+        if let Some(c) = client.as_mut() {
+            match c.fetch_snapshot() {
+                Ok(snap) => {
+                    out.scrapes += 1;
+                    out.last = Some(snap);
+                }
+                Err(_) => client = None, // daemon gone or mid-shutdown
+            }
+        }
+        std::thread::sleep(interval);
+    }
+    out
+}
+
 /// Drives the multiplexed coordinator. With `spec.addr` unset, an
 /// in-process daemon is spun up on an ephemeral loopback listener; the
 /// calling thread hosts the reactor and `spec.players` client threads
@@ -196,10 +276,23 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, NetError> {
     let protocol_id = "disj";
     let recorder = Recorder::metrics_only();
 
-    let (daemon_report, player_reports): (Option<MuxRunReport>, Vec<_>) = match spec.addr {
+    type MuxRun = (Option<MuxRunReport>, Vec<PlayerRun>, Option<ScrapeRun>);
+    let (daemon_report, player_reports, scrape): MuxRun = match spec.addr {
         Some(addr) => {
-            let reports = run_players(&protocol, protocol_id, addr, spec)?;
-            (None, reports)
+            // Remote daemon: the admin channel (if any) lives at the same
+            // address, multiplexed over the roster listener.
+            let ready = AtomicBool::new(true);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| -> Result<MuxRun, NetError> {
+                let (ready, stop) = (&ready, &stop);
+                let scraper = spec.scrape_interval.map(|interval| {
+                    scope.spawn(move || run_scraper(addr, interval, &spec.config, ready, stop))
+                });
+                let reports = run_players(&protocol, protocol_id, addr, spec);
+                stop.store(true, Ordering::Release);
+                let scrape = scraper.map(|h| h.join().expect("scraper thread panicked"));
+                Ok((None, reports?, scrape))
+            })?
         }
         None => {
             let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::Io)?;
@@ -214,25 +307,48 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, NetError> {
                 deadline: spec.deadline,
                 max_inflight: spec.max_inflight,
                 config: spec.config.clone(),
+                dump_flight_on_failure: false,
             };
-            std::thread::scope(|scope| -> Result<_, NetError> {
+            let ready = AtomicBool::new(false);
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| -> Result<MuxRun, NetError> {
                 let players = scope.spawn(|| run_players(&protocol, protocol_id, addr, spec));
-                let roster_deadline = Instant::now() + spec.config.io_timeout;
-                let conns = accept_mux_roster(&listener, &info, &spec.config, roster_deadline)?;
-                let n = spec.n;
-                let density = spec.density;
-                let k = spec.players;
-                let report = run_mux_daemon(
-                    &protocol,
-                    conns,
-                    spec.sessions,
-                    spec.seed,
-                    |_, rng| workload::random_sets(n, k, density, rng),
-                    &opts,
-                    &recorder,
-                );
+                let (ready, stop) = (&ready, &stop);
+                let scraper = spec.scrape_interval.map(|interval| {
+                    scope.spawn(move || run_scraper(addr, interval, &spec.config, ready, stop))
+                });
+                // Everything the daemon side does is wrapped so the stop
+                // flag is set on *every* exit path — a roster failure must
+                // not leave the scraper thread spinning.
+                let run = (|| -> Result<MuxRunReport, NetError> {
+                    let roster_deadline = Instant::now() + spec.config.io_timeout;
+                    let conns = accept_mux_roster(
+                        &listener,
+                        &info,
+                        &spec.config,
+                        roster_deadline,
+                        &recorder,
+                    )?;
+                    ready.store(true, Ordering::Release);
+                    let n = spec.n;
+                    let density = spec.density;
+                    let k = spec.players;
+                    Ok(run_mux_daemon_with_admin(
+                        &protocol,
+                        conns,
+                        spec.scrape_interval.is_some().then_some(&listener),
+                        spec.sessions,
+                        spec.seed,
+                        |_, rng| workload::random_sets(n, k, density, rng),
+                        &opts,
+                        &recorder,
+                    ))
+                })();
+                stop.store(true, Ordering::Release);
+                let scrape = scraper.map(|h| h.join().expect("scraper thread panicked"));
+                let report = run?;
                 let player_reports = players.join().expect("player host thread panicked")?;
-                Ok((Some(report), player_reports))
+                Ok((Some(report), player_reports, scrape))
             })?
         }
     };
@@ -288,8 +404,16 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, NetError> {
     };
 
     let digest_inprocess = spec.verify.then(|| inprocess_digest_fold(spec));
+    let (scrapes, scrape_snapshot) = match scrape {
+        Some(s) => (s.scrapes, s.last),
+        None => (0, None),
+    };
     Ok(LoadReport {
-        kind: CoordinatorKind::Mux,
+        kind: if spec.scrape_interval.is_some() {
+            CoordinatorKind::MuxScraped
+        } else {
+            CoordinatorKind::Mux
+        },
         sessions: spec.sessions,
         completed,
         failed,
@@ -299,6 +423,8 @@ pub fn run_load(spec: &LoadSpec) -> Result<LoadReport, NetError> {
         reconnects,
         digest,
         digest_inprocess,
+        scrapes,
+        scrape_snapshot,
     })
 }
 
@@ -366,7 +492,23 @@ pub fn run_load_thread_baseline(spec: &LoadSpec) -> Result<LoadReport, NetError>
         params: vec![spec.n as u64, spec.sessions],
     };
 
-    let (digest, completed, elapsed, wire, reconnects) =
+    // The v1 coordinator has no mux envelope to ride, so its stats
+    // channel is a dedicated listener served by `AdminServer` threads.
+    let admin = match spec.scrape_interval {
+        Some(_) => {
+            let admin_listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::Io)?;
+            Some(AdminServer::spawn(
+                admin_listener,
+                recorder.clone(),
+                spec.config.clone(),
+            )?)
+        }
+        None => None,
+    };
+    let scrape_ready = AtomicBool::new(true);
+    let scrape_stop = AtomicBool::new(false);
+
+    let (digest, completed, elapsed, wire, reconnects, scrape) =
         std::thread::scope(|scope| -> Result<_, NetError> {
             let handles: Vec<_> = (0..spec.players)
                 .map(|player| {
@@ -384,62 +526,81 @@ pub fn run_load_thread_baseline(spec: &LoadSpec) -> Result<LoadReport, NetError>
                     })
                 })
                 .collect();
+            let (ready, stop) = (&scrape_ready, &scrape_stop);
+            let scraper = admin
+                .as_ref()
+                .zip(spec.scrape_interval)
+                .map(|(server, interval)| {
+                    let admin_addr = server.local_addr();
+                    scope
+                        .spawn(move || run_scraper(admin_addr, interval, &spec.config, ready, stop))
+                });
 
-            let roster_deadline = Instant::now() + spec.config.io_timeout;
-            let mut conns = accept_roster(&listener, &info, &spec.config, roster_deadline)?;
-            let start = Instant::now();
-            let mut digest = 0u64;
-            let mut completed = 0u64;
-            let mut transcript_bits = 0u64;
-            for session in 0..spec.sessions {
-                let seed = derive_trial_seed(spec.seed, session);
-                let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                let inputs = workload::random_sets(spec.n, spec.players, spec.density, &mut rng);
-                let ctx = SessionContext {
-                    session_id: session,
-                    deadline: spec.deadline,
-                    faults: &[],
-                    recorder: &recorder,
+            let run = (|| -> Result<_, NetError> {
+                let roster_deadline = Instant::now() + spec.config.io_timeout;
+                let mut conns = accept_roster(&listener, &info, &spec.config, roster_deadline)?;
+                let start = Instant::now();
+                let mut digest = 0u64;
+                let mut completed = 0u64;
+                let mut transcript_bits = 0u64;
+                for session in 0..spec.sessions {
+                    let seed = derive_trial_seed(spec.seed, session);
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    let inputs =
+                        workload::random_sets(spec.n, spec.players, spec.density, &mut rng);
+                    let ctx = SessionContext {
+                        session_id: session,
+                        deadline: spec.deadline,
+                        faults: &[],
+                        recorder: &recorder,
+                    };
+                    let remaining = (spec.sessions - 1 - session) as u32;
+                    let result = run_coordinator_session(
+                        &protocol,
+                        &inputs,
+                        rng,
+                        &ctx,
+                        &mut conns,
+                        &spec.config,
+                        session as u32,
+                        remaining,
+                    );
+                    digest = fold_digest_u64(digest, transcript_digest(&result.board));
+                    transcript_bits += result.board.total_bits() as u64;
+                    if result.outcome == SessionOutcome::Completed {
+                        completed += 1;
+                    }
+                }
+                let elapsed = start.elapsed();
+                let mut wire = WireStats {
+                    transcript_bits,
+                    ..WireStats::default()
                 };
-                let remaining = (spec.sessions - 1 - session) as u32;
-                let result = run_coordinator_session(
-                    &protocol,
-                    &inputs,
-                    rng,
-                    &ctx,
-                    &mut conns,
-                    &spec.config,
-                    session as u32,
-                    remaining,
-                );
-                digest = fold_digest_u64(digest, transcript_digest(&result.board));
-                transcript_bits += result.board.total_bits() as u64;
-                if result.outcome == SessionOutcome::Completed {
-                    completed += 1;
+                for pc in &conns {
+                    wire.bytes_tx += pc.conn.bytes_written;
+                    wire.bytes_rx += pc.conn.bytes_read();
+                    wire.frames_tx += pc.conn.frames_written;
+                    wire.frames_rx += pc.conn.frames_read();
+                    wire.payload_bytes_tx += pc.conn.payload_bytes_written;
+                    wire.payload_bytes_rx += pc.conn.payload_bytes_read();
                 }
-            }
-            let elapsed = start.elapsed();
-            let mut wire = WireStats {
-                transcript_bits,
-                ..WireStats::default()
-            };
-            for pc in &conns {
-                wire.bytes_tx += pc.conn.bytes_written;
-                wire.bytes_rx += pc.conn.bytes_read();
-                wire.frames_tx += pc.conn.frames_written;
-                wire.frames_rx += pc.conn.frames_read();
-                wire.payload_bytes_tx += pc.conn.payload_bytes_written;
-                wire.payload_bytes_rx += pc.conn.payload_bytes_read();
-            }
-            drop(conns); // hang up so any stuck player thread exits
-            let mut reconnects = 0u64;
-            for h in handles {
-                if let Ok(retries) = h.join().expect("player thread panicked") {
-                    reconnects += retries as u64;
+                drop(conns); // hang up so any stuck player thread exits
+                let mut reconnects = 0u64;
+                for h in handles {
+                    if let Ok(retries) = h.join().expect("player thread panicked") {
+                        reconnects += retries as u64;
+                    }
                 }
-            }
-            Ok((digest, completed, elapsed, wire, reconnects))
+                Ok((digest, completed, elapsed, wire, reconnects))
+            })();
+            stop.store(true, Ordering::Release);
+            let scrape = scraper.map(|h| h.join().expect("scraper thread panicked"));
+            let (digest, completed, elapsed, wire, reconnects) = run?;
+            Ok((digest, completed, elapsed, wire, reconnects, scrape))
         })?;
+    if let Some(server) = admin {
+        server.stop();
+    }
 
     let turn_latency = recorder
         .snapshot()
@@ -449,8 +610,16 @@ pub fn run_load_thread_baseline(spec: &LoadSpec) -> Result<LoadReport, NetError>
     let mut wire = wire;
     wire.reconnects = reconnects;
     let digest_inprocess = spec.verify.then(|| inprocess_digest_fold(spec));
+    let (scrapes, scrape_snapshot) = match scrape {
+        Some(s) => (s.scrapes, s.last),
+        None => (0, None),
+    };
     Ok(LoadReport {
-        kind: CoordinatorKind::ThreadPerConn,
+        kind: if spec.scrape_interval.is_some() {
+            CoordinatorKind::ThreadPerConnScraped
+        } else {
+            CoordinatorKind::ThreadPerConn
+        },
         sessions: spec.sessions,
         completed,
         failed: spec.sessions - completed,
@@ -460,7 +629,59 @@ pub fn run_load_thread_baseline(spec: &LoadSpec) -> Result<LoadReport, NetError>
         reconnects,
         digest,
         digest_inprocess,
+        scrapes,
+        scrape_snapshot,
     })
+}
+
+/// The bench document's `meta` object. When the report set contains both
+/// a scraped and an unscraped mux run of the same workload, the pair is
+/// distilled into a scrape-overhead measurement: sessions/sec with and
+/// without a live admin scraper attached.
+fn bench_meta(spec: &LoadSpec, reports: &[LoadReport]) -> Json {
+    let mut meta = vec![
+        ("seed".to_owned(), Json::UInt(spec.seed)),
+        ("sessions".to_owned(), Json::UInt(spec.sessions)),
+        ("players".to_owned(), Json::UInt(spec.players as u64)),
+        ("n".to_owned(), Json::UInt(spec.n as u64)),
+        (
+            "max_inflight".to_owned(),
+            Json::UInt(spec.max_inflight as u64),
+        ),
+    ];
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let unscraped = reports.iter().find(|r| r.kind == CoordinatorKind::Mux);
+    let scraped = reports
+        .iter()
+        .find(|r| r.kind == CoordinatorKind::MuxScraped);
+    if let (Some(base), Some(with)) = (unscraped, scraped) {
+        let base_rate = base.sessions_per_sec();
+        let with_rate = with.sessions_per_sec();
+        meta.push((
+            "sessions_per_sec_unscraped".to_owned(),
+            Json::Num(round2(base_rate)),
+        ));
+        meta.push((
+            "sessions_per_sec_scraped".to_owned(),
+            Json::Num(round2(with_rate)),
+        ));
+        if let Some(interval) = spec.scrape_interval {
+            meta.push((
+                "scrape_interval_ms".to_owned(),
+                Json::UInt(interval.as_millis() as u64),
+            ));
+        }
+        let overhead_pct = if base_rate > 0.0 {
+            (base_rate - with_rate) / base_rate * 100.0
+        } else {
+            0.0
+        };
+        meta.push((
+            "scrape_overhead_pct".to_owned(),
+            Json::Num(round2(overhead_pct)),
+        ));
+    }
+    Json::Obj(meta)
 }
 
 /// Renders load reports as one `bci.bench.v1` document — the schema
@@ -482,6 +703,7 @@ pub fn bench_document(spec: &LoadSpec, reports: &[LoadReport]) -> Json {
         "transcript bits",
         "wire bits/bit",
         "reconnects",
+        "scrapes",
         "digest",
     ];
     let rows: Vec<Json> = reports
@@ -502,6 +724,7 @@ pub fn bench_document(spec: &LoadSpec, reports: &[LoadReport]) -> Json {
                 Json::UInt(r.wire.transcript_bits),
                 Json::Num((r.wire_bits_per_transcript_bit() * 100.0).round() / 100.0),
                 Json::UInt(r.reconnects),
+                Json::UInt(r.scrapes),
                 Json::str(match r.verified() {
                     Some(true) => "match",
                     Some(false) => "MISMATCH",
@@ -524,19 +747,7 @@ pub fn bench_document(spec: &LoadSpec, reports: &[LoadReport]) -> Json {
                  in-process replay of the same seeds, folded in session order)",
             )]),
         ),
-        (
-            "meta",
-            Json::Obj(vec![
-                ("seed".to_owned(), Json::UInt(spec.seed)),
-                ("sessions".to_owned(), Json::UInt(spec.sessions)),
-                ("players".to_owned(), Json::UInt(spec.players as u64)),
-                ("n".to_owned(), Json::UInt(spec.n as u64)),
-                (
-                    "max_inflight".to_owned(),
-                    Json::UInt(spec.max_inflight as u64),
-                ),
-            ]),
-        ),
+        ("meta", bench_meta(spec, reports)),
         (
             "tables",
             Json::Arr(vec![obj([

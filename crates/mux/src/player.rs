@@ -238,6 +238,13 @@ where
             Frame::Hello(_) => {
                 return Err(NetError::Protocol("unexpected mid-run hello".into()));
             }
+            Frame::Stats { .. } | Frame::StatsReply(_) => {
+                // Admin traffic is answered on the admin peer's own
+                // connection; it never reaches a roster player.
+                return Err(NetError::Protocol(
+                    "unexpected admin frame on player channel".into(),
+                ));
+            }
         }
     }
 }

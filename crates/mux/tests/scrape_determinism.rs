@@ -1,0 +1,88 @@
+//! The observability plane's determinism gate: attaching a live admin
+//! scraper to a run must not perturb its transcripts. A scraped run has
+//! to produce the *bit-identical* digest fold of an unscraped run of the
+//! same seed — and both must match the in-process replay — because the
+//! stats channel is read-only by construction: it never touches session
+//! state, the RNG discipline, or the turn order.
+
+use std::time::Duration;
+
+use bci_mux::load::{run_load, run_load_thread_baseline, LoadSpec};
+use bci_mux::CoordinatorKind;
+
+fn spec(sessions: u64) -> LoadSpec {
+    let mut spec = LoadSpec::new(sessions, 3);
+    spec.n = 32;
+    spec.seed = 0x0B5E;
+    spec.deadline = Some(Duration::from_secs(20));
+    spec
+}
+
+#[test]
+fn scraped_mux_run_is_bit_identical_to_unscraped() {
+    let base = spec(256);
+    let unscraped = run_load(&base).expect("unscraped run");
+    assert_eq!(unscraped.kind, CoordinatorKind::Mux);
+    assert_eq!(unscraped.scrapes, 0);
+    assert!(unscraped.scrape_snapshot.is_none());
+
+    let mut scraped_spec = base.clone();
+    scraped_spec.scrape_interval = Some(Duration::from_millis(1));
+    let scraped = run_load(&scraped_spec).expect("scraped run");
+    assert_eq!(scraped.kind, CoordinatorKind::MuxScraped);
+    assert_eq!(scraped.completed, base.sessions);
+
+    // The whole point: observation changed nothing.
+    assert_eq!(
+        scraped.digest, unscraped.digest,
+        "scraping perturbed the transcripts"
+    );
+    assert_eq!(scraped.verified(), Some(true));
+    assert_eq!(unscraped.verified(), Some(true));
+}
+
+#[test]
+fn mux_scraper_lands_snapshots_while_the_run_is_in_flight() {
+    // Enough sessions that the run outlives the scraper's connect
+    // handshake; the 1ms interval then lands many mid-run snapshots.
+    let mut s = spec(2048);
+    s.scrape_interval = Some(Duration::from_millis(1));
+    let report = run_load(&s).expect("scraped run");
+    assert_eq!(report.completed, s.sessions);
+    assert_eq!(report.verified(), Some(true));
+    assert!(
+        report.scrapes > 0,
+        "scraper should land at least one live snapshot over {} sessions",
+        s.sessions
+    );
+    let snap = report.scrape_snapshot.expect("last snapshot kept");
+    // The snapshot is the daemon's live telemetry, not a placeholder:
+    // roster gauges and the session counters must be populated.
+    assert_eq!(snap.gauge("mux.roster_players"), 3);
+    assert!(snap.counter("mux.sessions_started") > 0);
+    assert!(snap.counter("mux.stats_served") > 0);
+    assert!(snap.hist("mux.turn_latency_us").is_some());
+}
+
+#[test]
+fn scraped_thread_baseline_agrees_with_unscraped_and_inprocess() {
+    let base = spec(24);
+    let unscraped = run_load_thread_baseline(&base).expect("unscraped baseline");
+    assert_eq!(unscraped.kind, CoordinatorKind::ThreadPerConn);
+
+    let mut scraped_spec = base.clone();
+    scraped_spec.scrape_interval = Some(Duration::from_millis(1));
+    let scraped = run_load_thread_baseline(&scraped_spec).expect("scraped baseline");
+    assert_eq!(scraped.kind, CoordinatorKind::ThreadPerConnScraped);
+    assert_eq!(scraped.completed, base.sessions);
+    assert_eq!(
+        scraped.digest, unscraped.digest,
+        "scraping the v1 coordinator perturbed the transcripts"
+    );
+    assert_eq!(scraped.verified(), Some(true));
+    // The AdminServer runs for the whole (slower, sequential) baseline
+    // run, so at 1ms the scraper always lands snapshots.
+    assert!(scraped.scrapes > 0, "admin server never answered");
+    let snap = scraped.scrape_snapshot.expect("last snapshot kept");
+    assert!(snap.hist("net.hop_rtt_us").is_some());
+}

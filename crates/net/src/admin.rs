@@ -1,0 +1,348 @@
+//! The read-only admin stats channel.
+//!
+//! Both coordinators expose their live [`Recorder`] over the same tiny
+//! protocol, spoken in the v2 (session-id) envelope on
+//! [`CONTROL_SESSION`]:
+//!
+//! 1. the scraper dials in and sends a `Hello` with `version ==`
+//!    [`PROTOCOL_VERSION_MUX`] and `player ==` [`ADMIN_PLAYER`] — the
+//!    sentinel marks it as an observer, never a roster participant;
+//! 2. the server acks by echoing the `Hello`;
+//! 3. each [`Frame::Stats`] request (a bitmask of [`stats_request`]
+//!    bits) is answered by one [`Frame::StatsReply`] carrying the
+//!    snapshot in wire form and/or the flight-recorder JSON lines;
+//! 4. either side closes whenever it likes — the channel is stateless
+//!    after the handshake, so `bci top` holds one connection open and
+//!    re-requests, while `bci stat` does one round trip and hangs up.
+//!
+//! The multiplexed coordinator answers admin peers inline from its
+//! reactor loop (`bci-mux`); the v1 thread-per-connection coordinator is
+//! sequential and must not block its session loop, so it runs the
+//! [`AdminServer`] here on a dedicated listener thread instead. Both
+//! paths build replies with [`stats_reply`], so the two coordinators are
+//! indistinguishable to a scraper.
+//!
+//! Scraping is read-only by construction: nothing in this module touches
+//! session state or any RNG, which is how the determinism gates can
+//! prove a scraped run produces bit-identical transcripts.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bci_telemetry::{Recorder, Snapshot};
+
+use crate::frame::{
+    stats_request, Frame, FrameReader, Hello, NetError, StatsPayload, StatsReplyFrame,
+    ADMIN_PLAYER, CONTROL_SESSION, PROTOCOL_VERSION_MUX,
+};
+use crate::NetConfig;
+
+/// Protocol id announced in admin hellos. Coordinators accept any id
+/// from an [`ADMIN_PLAYER`] peer (the sentinel alone authorizes
+/// read-only access), but a distinct id keeps diagnostics legible.
+pub const ADMIN_PROTOCOL_ID: &str = "bci-admin";
+
+/// Builds the reply to a [`Frame::Stats`] request from a live recorder.
+/// Shared by the mux reactor and the [`AdminServer`] so both
+/// coordinators serve byte-identical sections for the same state.
+pub fn stats_reply(recorder: &Recorder, what: u8) -> StatsReplyFrame {
+    StatsReplyFrame {
+        payload: if what & stats_request::SNAPSHOT != 0 {
+            StatsPayload::from_snapshot(&recorder.snapshot())
+        } else {
+            StatsPayload::default()
+        },
+        events_jsonl: if what & stats_request::EVENTS != 0 {
+            recorder.flight_jsonl()
+        } else {
+            String::new()
+        },
+    }
+}
+
+/// Validates an admin handshake `Hello`. Returns the ack to send, or an
+/// error frame describing the rejection.
+pub fn check_admin_hello(hello: &Hello) -> Result<Frame, Frame> {
+    if hello.version != PROTOCOL_VERSION_MUX {
+        return Err(Frame::Error {
+            code: 1,
+            message: format!(
+                "admin channel speaks v{PROTOCOL_VERSION_MUX}, got v{}",
+                hello.version
+            ),
+        });
+    }
+    if hello.player != ADMIN_PLAYER {
+        return Err(Frame::Error {
+            code: 1,
+            message: "admin channel requires the ADMIN_PLAYER sentinel".into(),
+        });
+    }
+    Ok(Frame::Hello(hello.clone()))
+}
+
+fn send_control(stream: &mut TcpStream, frame: &Frame) -> Result<(), NetError> {
+    stream.write_all(&frame.to_bytes_mux(CONTROL_SESSION))?;
+    Ok(())
+}
+
+fn recv_control(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    deadline: Instant,
+) -> Result<Frame, NetError> {
+    loop {
+        match reader.poll_mux(stream)? {
+            Some((_, frame)) => return Ok(frame),
+            None if Instant::now() >= deadline => {
+                return Err(NetError::Protocol("admin peer timed out".into()))
+            }
+            None => {}
+        }
+    }
+}
+
+/// A connected admin scrape client. Holds the connection open so
+/// repeated fetches (the `bci top` refresh loop) pay the dial and
+/// handshake once.
+#[derive(Debug)]
+pub struct AdminClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    io_timeout: Duration,
+}
+
+impl AdminClient {
+    /// Dials `addr`, retrying per `config.connect_attempts` with
+    /// doubling backoff, and completes the admin handshake.
+    pub fn connect(addr: &str, config: &NetConfig) -> Result<AdminClient, NetError> {
+        let mut last_err: Option<NetError> = None;
+        let mut delay = config.backoff_base;
+        for attempt in 0..config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(config.backoff_cap);
+            }
+            match TcpStream::connect(addr) {
+                Ok(stream) => match AdminClient::handshake(stream, config) {
+                    Ok(client) => return Ok(client),
+                    Err(e) => last_err = Some(e),
+                },
+                Err(e) => last_err = Some(NetError::Io(e)),
+            }
+        }
+        Err(last_err.unwrap_or(NetError::Protocol("no connect attempts".into())))
+    }
+
+    fn handshake(mut stream: TcpStream, config: &NetConfig) -> Result<AdminClient, NetError> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(config.poll_sleep.max(Duration::from_millis(1))))?;
+        stream.set_write_timeout(Some(config.io_timeout))?;
+        send_control(
+            &mut stream,
+            &Frame::Hello(Hello {
+                version: PROTOCOL_VERSION_MUX,
+                protocol_id: ADMIN_PROTOCOL_ID.into(),
+                player: ADMIN_PLAYER,
+                players: 0,
+                seed: 0,
+                params: vec![],
+            }),
+        )?;
+        let mut reader = FrameReader::with_limits(true, config.max_frame_len);
+        let deadline = Instant::now() + config.io_timeout;
+        match recv_control(&mut stream, &mut reader, deadline)? {
+            Frame::Hello(_) => Ok(AdminClient {
+                stream,
+                reader,
+                io_timeout: config.io_timeout,
+            }),
+            Frame::Error { message, .. } => Err(NetError::Protocol(format!(
+                "admin hello rejected: {message}"
+            ))),
+            other => Err(NetError::Protocol(format!(
+                "expected hello ack, got {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// One stats round trip: sends [`Frame::Stats`] and waits for the
+    /// reply. `what` is a bitmask of [`stats_request`] bits.
+    pub fn fetch(&mut self, what: u8) -> Result<StatsReplyFrame, NetError> {
+        send_control(&mut self.stream, &Frame::Stats { what })?;
+        let deadline = Instant::now() + self.io_timeout;
+        loop {
+            match recv_control(&mut self.stream, &mut self.reader, deadline)? {
+                Frame::StatsReply(reply) => return Ok(*reply),
+                Frame::Heartbeat { .. } => {}
+                Frame::Error { message, .. } => {
+                    return Err(NetError::Protocol(format!("stats refused: {message}")))
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected stats reply, got {}",
+                        other.name()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches and rebuilds the live [`Snapshot`].
+    pub fn fetch_snapshot(&mut self) -> Result<Snapshot, NetError> {
+        self.fetch(stats_request::SNAPSHOT)?.payload.into_snapshot()
+    }
+}
+
+/// One-shot scrape: connect, handshake, fetch, hang up.
+pub fn scrape(addr: &str, what: u8, config: &NetConfig) -> Result<StatsReplyFrame, NetError> {
+    AdminClient::connect(addr, config)?.fetch(what)
+}
+
+/// A dedicated admin listener serving scrapes for a coordinator whose
+/// main loop can't (the v1 thread-per-connection coordinator runs
+/// sessions sequentially and must never block on an observer). Each
+/// accepted connection gets its own short-lived thread; all of them
+/// serve from the same shared [`Recorder`] handle.
+///
+/// The server stops accepting when dropped or [`AdminServer::stop`]ped;
+/// in-flight connection threads notice the flag within one poll tick.
+#[derive(Debug)]
+pub struct AdminServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Spawns the accept loop on `listener` (which is moved in and
+    /// switched to non-blocking).
+    pub fn spawn(
+        listener: TcpListener,
+        recorder: Recorder,
+        config: NetConfig,
+    ) -> std::io::Result<AdminServer> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let recorder = recorder.clone();
+                        let config = config.clone();
+                        let conn_stop = Arc::clone(&accept_stop);
+                        conn_threads.push(std::thread::spawn(move || {
+                            let _ = serve_admin_conn(stream, &recorder, &config, &conn_stop);
+                        }));
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for handle in conn_threads {
+                let _ = handle.join();
+            }
+        });
+        Ok(AdminServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The listener's bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop (and, transitively, all
+    /// connection threads).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one admin connection until the peer hangs up, errs, or `stop`
+/// is raised. Exposed for coordinators that want to serve a scrape
+/// inline on an already-accepted stream.
+pub fn serve_admin_conn(
+    mut stream: TcpStream,
+    recorder: &Recorder,
+    config: &NetConfig,
+    stop: &AtomicBool,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    let mut reader = FrameReader::with_limits(true, config.max_frame_len);
+    let mut greeted = false;
+    let mut last_activity = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if last_activity.elapsed() > config.io_timeout {
+            return Err(NetError::Protocol("admin peer idle too long".into()));
+        }
+        let frame = match reader.poll_mux(&mut stream) {
+            Ok(Some((_, frame))) => frame,
+            Ok(None) => continue,
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        last_activity = Instant::now();
+        match frame {
+            Frame::Hello(hello) if !greeted => match check_admin_hello(&hello) {
+                Ok(ack) => {
+                    send_control(&mut stream, &ack)?;
+                    greeted = true;
+                }
+                Err(reject) => {
+                    send_control(&mut stream, &reject)?;
+                    return Err(NetError::Protocol("bad admin hello".into()));
+                }
+            },
+            Frame::Stats { what } if greeted => {
+                let reply = Frame::StatsReply(Box::new(stats_reply(recorder, what)));
+                send_control(&mut stream, &reply)?;
+            }
+            Frame::Heartbeat { .. } => {}
+            other => {
+                let reject = Frame::Error {
+                    code: 1,
+                    message: format!("unexpected {} on admin channel", other.name()),
+                };
+                send_control(&mut stream, &reject).ok();
+                return Err(NetError::Protocol("admin protocol violation".into()));
+            }
+        }
+    }
+}

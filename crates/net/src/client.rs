@@ -215,6 +215,12 @@ where
             Frame::Hello(_) => {
                 return Err(NetError::Protocol("unexpected mid-session hello".into()))
             }
+            Frame::Stats { .. } | Frame::StatsReply(_) => {
+                // Admin traffic never reaches a player socket.
+                return Err(NetError::Protocol(
+                    "unexpected admin frame on player channel".into(),
+                ));
+            }
         }
     }
 }

@@ -39,6 +39,7 @@ use std::io::{self, Read};
 
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::{Wire, WireError};
+use bci_telemetry::{Histogram, Snapshot};
 
 /// Version carried in every `Hello` to the single-session coordinator;
 /// peers with a different version refuse the handshake.
@@ -56,6 +57,12 @@ pub const NO_PLAYER: u32 = u32::MAX;
 /// Session id used for connection-scoped v2 frames (`Hello`,
 /// `Heartbeat`, fatal `Error`) that belong to no particular session.
 pub const CONTROL_SESSION: u64 = u64::MAX;
+
+/// Sentinel player id announced in an admin `Hello`: the peer is a
+/// read-only stats scraper, not a protocol participant. Coordinators
+/// never assign this id to a real player (rosters are far smaller and
+/// [`NO_PLAYER`] is the other reserved value).
+pub const ADMIN_PLAYER: u32 = u32::MAX - 1;
 
 /// Default hard cap on a frame's length field. A peer announcing more is
 /// treated as malformed before any allocation happens. Deployments can
@@ -268,6 +275,202 @@ impl Wire for OutcomeFrame {
     }
 }
 
+/// One named `u64` metric (a counter or gauge) inside a
+/// [`StatsPayload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedValue {
+    /// Metric name (e.g. `mux.sessions_started`).
+    pub name: String,
+    /// Metric value.
+    pub value: u64,
+}
+
+impl Wire for NamedValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.value.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(NamedValue {
+            name: String::decode(input)?,
+            value: u64::decode(input)?,
+        })
+    }
+}
+
+/// One histogram inside a [`StatsPayload`]: the full bucket ladder plus
+/// counts and exact extremes, enough for the receiving side to rebuild a
+/// [`Histogram`] and compute percentiles or deltas locally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistPayload {
+    /// Histogram name (e.g. `mux.turn_latency_us`).
+    pub name: String,
+    /// Bucket upper bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` per-bucket counts, overflow last.
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min: u64,
+    /// Exact largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Wire for HistPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.bounds.encode(out);
+        self.counts.encode(out);
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.min.encode(out);
+        self.max.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(HistPayload {
+            name: String::decode(input)?,
+            bounds: Vec::decode(input)?,
+            counts: Vec::decode(input)?,
+            count: u64::decode(input)?,
+            sum: u64::decode(input)?,
+            min: u64::decode(input)?,
+            max: u64::decode(input)?,
+        })
+    }
+}
+
+/// A live [`Snapshot`] in wire form: uptime, counters, gauges, and full
+/// histograms. Transported binary (not JSON) so the scraping side can
+/// rebuild a real [`Snapshot`] — rendering JSON or Prometheus text
+/// locally and subtracting successive scrapes for delta views.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsPayload {
+    /// Microseconds the serving recorder had been alive.
+    pub uptime_us: u64,
+    /// Monotone counters, name-sorted.
+    pub counters: Vec<NamedValue>,
+    /// Point-in-time gauges, name-sorted.
+    pub gauges: Vec<NamedValue>,
+    /// Histograms, name-sorted.
+    pub hists: Vec<HistPayload>,
+}
+
+impl Wire for StatsPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.uptime_us.encode(out);
+        self.counters.encode(out);
+        self.gauges.encode(out);
+        self.hists.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(StatsPayload {
+            uptime_us: u64::decode(input)?,
+            counters: Vec::decode(input)?,
+            gauges: Vec::decode(input)?,
+            hists: Vec::decode(input)?,
+        })
+    }
+}
+
+impl StatsPayload {
+    /// Wire form of a snapshot (BTreeMap iteration keeps names sorted).
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        StatsPayload {
+            uptime_us: snap.uptime_us,
+            counters: snap
+                .counters
+                .iter()
+                .map(|(name, &value)| NamedValue {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(name, &value)| NamedValue {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            hists: snap
+                .hists
+                .iter()
+                .map(|(name, h)| HistPayload {
+                    name: name.clone(),
+                    bounds: h.bounds().to_vec(),
+                    counts: h.counts().to_vec(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a [`Snapshot`], validating every histogram's internal
+    /// consistency ([`Histogram::from_parts`]). Fails as a protocol
+    /// violation on corrupt or self-contradictory payloads.
+    pub fn into_snapshot(self) -> Result<Snapshot, NetError> {
+        let mut snap = Snapshot {
+            uptime_us: self.uptime_us,
+            ..Snapshot::default()
+        };
+        for nv in self.counters {
+            snap.counters.insert(nv.name, nv.value);
+        }
+        for nv in self.gauges {
+            snap.gauges.insert(nv.name, nv.value);
+        }
+        for h in self.hists {
+            let hist = Histogram::from_parts(h.bounds, h.counts, h.count, h.sum, h.min, h.max)
+                .map_err(|e| NetError::Protocol(format!("bad histogram '{}': {e}", h.name)))?;
+            snap.hists.insert(h.name, hist);
+        }
+        Ok(snap)
+    }
+}
+
+/// What a [`Frame::Stats`] request asks for; bits combine.
+pub mod stats_request {
+    /// The metrics snapshot (counters, gauges, histograms, uptime).
+    pub const SNAPSHOT: u8 = 1;
+    /// The flight-recorder ring as JSON lines.
+    pub const EVENTS: u8 = 2;
+}
+
+/// Reply to a [`Frame::Stats`] request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReplyFrame {
+    /// The live snapshot; empty (all-default) unless
+    /// [`stats_request::SNAPSHOT`] was asked for.
+    pub payload: StatsPayload,
+    /// Flight-recorder dump, one JSON object per line; empty unless
+    /// [`stats_request::EVENTS`] was asked for (or no ring is attached).
+    pub events_jsonl: String,
+}
+
+impl Wire for StatsReplyFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.payload.encode(out);
+        self.events_jsonl.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(StatsReplyFrame {
+            payload: StatsPayload::decode(input)?,
+            events_jsonl: String::decode(input)?,
+        })
+    }
+}
+
 /// One frame on the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -291,6 +494,16 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Read-only stats request from an admin peer (tag 6). `what` is a
+    /// bitmask of [`stats_request`] bits.
+    Stats {
+        /// Which sections the scraper wants.
+        what: u8,
+    },
+    /// Reply to [`Frame::Stats`] (tag 7). Boxed: a full snapshot dwarfs
+    /// every other variant and would bloat `size_of::<Frame>()` on the
+    /// hot dispatch paths.
+    StatsReply(Box<StatsReplyFrame>),
 }
 
 const TAG_HELLO: u8 = 0;
@@ -299,6 +512,8 @@ const TAG_BROADCAST: u8 = 2;
 const TAG_HEARTBEAT: u8 = 3;
 const TAG_OUTCOME: u8 = 4;
 const TAG_ERROR: u8 = 5;
+const TAG_STATS: u8 = 6;
+const TAG_STATS_REPLY: u8 = 7;
 
 impl Frame {
     /// The frame's tag byte.
@@ -310,6 +525,8 @@ impl Frame {
             Frame::Heartbeat { .. } => TAG_HEARTBEAT,
             Frame::Outcome(_) => TAG_OUTCOME,
             Frame::Error { .. } => TAG_ERROR,
+            Frame::Stats { .. } => TAG_STATS,
+            Frame::StatsReply(_) => TAG_STATS_REPLY,
         }
     }
 
@@ -322,6 +539,8 @@ impl Frame {
             Frame::Heartbeat { .. } => "heartbeat",
             Frame::Outcome(_) => "outcome",
             Frame::Error { .. } => "error",
+            Frame::Stats { .. } => "stats",
+            Frame::StatsReply(_) => "stats_reply",
         }
     }
 
@@ -338,6 +557,8 @@ impl Frame {
                 code.encode(body);
                 message.encode(body);
             }
+            Frame::Stats { what } => what.encode(body),
+            Frame::StatsReply(reply) => reply.encode(body),
         }
     }
 
@@ -384,6 +605,12 @@ impl Frame {
                     return Err(NetError::Decode(WireError::TrailingBytes));
                 }
                 Frame::Error { code, message }
+            }
+            TAG_STATS => Frame::Stats {
+                what: u8::from_wire_bytes(payload)?,
+            },
+            TAG_STATS_REPLY => {
+                Frame::StatsReply(Box::new(StatsReplyFrame::from_wire_bytes(payload)?))
             }
             _ => return Err(NetError::BadFrame("unknown tag")),
         };
@@ -574,6 +801,33 @@ mod tests {
                 code: 1,
                 message: "bad hello".into(),
             },
+            Frame::Stats {
+                what: stats_request::SNAPSHOT | stats_request::EVENTS,
+            },
+            Frame::StatsReply(Box::new(StatsReplyFrame {
+                payload: StatsPayload {
+                    uptime_us: 123_456,
+                    counters: vec![NamedValue {
+                        name: "mux.sessions_started".into(),
+                        value: 10,
+                    }],
+                    gauges: vec![NamedValue {
+                        name: "mux.inflight".into(),
+                        value: 4,
+                    }],
+                    hists: vec![HistPayload {
+                        name: "mux.turn_latency_us".into(),
+                        bounds: vec![10, 20],
+                        counts: vec![1, 2, 0],
+                        count: 3,
+                        sum: 45,
+                        min: 5,
+                        max: 19,
+                    }],
+                },
+                events_jsonl: "{\"ts_us\":1,\"ev\":\"point\",\"span\":\"session\",\"id\":0}\n"
+                    .into(),
+            })),
         ]
     }
 
@@ -621,7 +875,12 @@ mod tests {
     #[test]
     fn mux_reader_round_trips_session_ids() {
         let frames = sample_frames();
-        let sessions: Vec<u64> = vec![0, 7, u64::MAX, 42, 9_999_999_999, 3];
+        let sessions: Vec<u64> = vec![0, 7, u64::MAX, 42, 9_999_999_999, 3, CONTROL_SESSION, 1];
+        assert_eq!(
+            sessions.len(),
+            frames.len(),
+            "every sample frame rides once"
+        );
         let stream: Vec<u8> = frames
             .iter()
             .zip(&sessions)
@@ -696,6 +955,61 @@ mod tests {
             Frame::from_body(&[]),
             Err(NetError::BadFrame("empty body"))
         ));
+    }
+
+    #[test]
+    fn stats_payload_round_trips_through_a_snapshot() {
+        use bci_telemetry::Recorder;
+        let rec = Recorder::metrics_only();
+        rec.counter_add("net.frames_tx", 9);
+        rec.gauge_set("net.roster", 3);
+        rec.hist_record("net.lat_us", 42, &[10, 100]);
+        rec.hist_record("net.lat_us", 7, &[10, 100]);
+        let snap = rec.snapshot();
+        let payload = StatsPayload::from_snapshot(&snap);
+        let bytes = payload.to_wire_bytes();
+        let rebuilt = StatsPayload::from_wire_bytes(&bytes)
+            .expect("decode")
+            .into_snapshot()
+            .expect("validate");
+        assert_eq!(rebuilt, snap, "snapshot survives the wire round-trip");
+        assert_eq!(
+            rebuilt.hist("net.lat_us").expect("hist").percentile(100.0),
+            42
+        );
+    }
+
+    #[test]
+    fn corrupt_stats_payloads_are_rejected_loudly() {
+        let payload = StatsPayload {
+            uptime_us: 0,
+            counters: vec![],
+            gauges: vec![],
+            hists: vec![HistPayload {
+                name: "bad".into(),
+                bounds: vec![10, 20],
+                counts: vec![1, 0, 0],
+                count: 7, // contradicts the bucket counts
+                sum: 5,
+                min: 5,
+                max: 5,
+            }],
+        };
+        match payload.into_snapshot() {
+            Err(NetError::Protocol(msg)) => {
+                assert!(msg.contains("bad"), "names the culprit: {msg}")
+            }
+            other => panic!("corrupt histogram must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_player_is_disjoint_from_real_and_sentinel_ids() {
+        assert_ne!(ADMIN_PLAYER, NO_PLAYER);
+        assert!(
+            ADMIN_PLAYER > u16::MAX as u32,
+            "no realistic roster reaches it"
+        );
     }
 
     #[test]

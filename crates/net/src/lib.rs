@@ -9,6 +9,9 @@
 //! * [`frame`] — the wire format: `u32` LE length + tag byte + a
 //!   [`bci_encoding::wire::Wire`]-encoded payload, and the incremental
 //!   [`frame::FrameReader`] that never tears a frame on a timeout;
+//! * [`admin`] — the read-only admin stats channel: live
+//!   [`bci_telemetry::Snapshot`] scrapes and flight-recorder dumps for
+//!   `bci stat` / `bci top` (see `docs/observability.md`);
 //! * [`conn`] — a framed non-blocking socket with byte/frame accounting;
 //! * [`backoff`] — capped exponential reconnect backoff with
 //!   deterministic jitter, seeded per `(run, player)`;
@@ -30,6 +33,7 @@
 
 use std::time::Duration;
 
+pub mod admin;
 pub mod backoff;
 pub mod client;
 pub mod conn;

@@ -1,0 +1,209 @@
+//! End-to-end tests for the admin stats channel: a real [`AdminServer`]
+//! on a loopback listener, scraped by [`AdminClient`] over TCP.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use bci_net::admin::{scrape, AdminClient, AdminServer};
+use bci_net::frame::{stats_request, Frame, FrameReader, Hello, ADMIN_PLAYER, CONTROL_SESSION};
+use bci_net::{NetConfig, PROTOCOL_VERSION_MUX};
+use bci_telemetry::hist::TURN_LATENCY_US_BOUNDS;
+use bci_telemetry::{Recorder, SpanKind};
+
+fn test_config() -> NetConfig {
+    NetConfig {
+        io_timeout: Duration::from_secs(5),
+        connect_attempts: 3,
+        ..NetConfig::default()
+    }
+}
+
+fn spawn_server(recorder: Recorder) -> AdminServer {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    AdminServer::spawn(listener, recorder, test_config()).expect("spawn admin server")
+}
+
+#[test]
+fn scrape_returns_the_live_snapshot() {
+    let rec = Recorder::metrics_only();
+    rec.counter_add("mux.sessions_completed", 42);
+    rec.gauge_set("mux.inflight", 7);
+    rec.hist_record("mux.turn_latency_us", 1_234, TURN_LATENCY_US_BOUNDS);
+    let server = spawn_server(rec.clone());
+    let addr = server.local_addr().to_string();
+
+    let reply = scrape(&addr, stats_request::SNAPSHOT, &test_config()).expect("scrape");
+    let snap = reply.payload.into_snapshot().expect("valid payload");
+    assert_eq!(snap.counter("mux.sessions_completed"), 42);
+    assert_eq!(snap.gauge("mux.inflight"), 7);
+    let hist = snap.hist("mux.turn_latency_us").expect("histogram");
+    assert_eq!(hist.count(), 1);
+    assert_eq!(hist.max(), 1_234);
+
+    // The scrape is a point-in-time copy: recording more and re-scraping
+    // observes the new state on the same server.
+    rec.counter_add("mux.sessions_completed", 8);
+    let again = scrape(&addr, stats_request::SNAPSHOT, &test_config())
+        .expect("second scrape")
+        .payload
+        .into_snapshot()
+        .expect("valid");
+    assert_eq!(again.counter("mux.sessions_completed"), 50);
+    assert!(again.uptime_us >= snap.uptime_us, "uptime is monotone");
+    server.stop();
+}
+
+#[test]
+fn one_connection_serves_repeated_fetches_and_events() {
+    let rec = Recorder::with_flight(4);
+    for id in 0..6u64 {
+        rec.point(SpanKind::Session, id, vec![]);
+    }
+    let server = spawn_server(rec.clone());
+    let addr = server.local_addr().to_string();
+
+    let mut client = AdminClient::connect(&addr, &test_config()).expect("connect");
+    let first = client.fetch_snapshot().expect("snapshot fetch");
+    rec.counter_add("ticks", 1);
+    let second = client.fetch_snapshot().expect("refetch on same conn");
+    assert_eq!(second.counter("ticks"), first.counter("ticks") + 1);
+
+    let events = client
+        .fetch(stats_request::EVENTS)
+        .expect("events fetch")
+        .events_jsonl;
+    let lines: Vec<&str> = events.lines().collect();
+    assert_eq!(lines.len(), 4, "ring capacity bounds the dump");
+    assert!(lines.iter().all(|l| l.starts_with("{\"ts_us\":")));
+    assert!(lines.last().expect("last").contains("\"id\":5"));
+
+    let both = client
+        .fetch(stats_request::SNAPSHOT | stats_request::EVENTS)
+        .expect("combined fetch");
+    assert!(!both.events_jsonl.is_empty());
+    assert_eq!(
+        both.payload.into_snapshot().expect("snap").counter("ticks"),
+        1
+    );
+    server.stop();
+}
+
+#[test]
+fn prometheus_rendering_of_a_scrape_is_well_formed() {
+    let rec = Recorder::metrics_only();
+    rec.counter_add("net.frames_tx", 3);
+    rec.hist_record("net.turn_latency_us", 50, TURN_LATENCY_US_BOUNDS);
+    let server = spawn_server(rec);
+    let addr = server.local_addr().to_string();
+
+    let snap = scrape(&addr, stats_request::SNAPSHOT, &test_config())
+        .expect("scrape")
+        .payload
+        .into_snapshot()
+        .expect("valid");
+    let text = snap.to_prometheus();
+    assert!(text.contains("# TYPE bci_uptime_seconds gauge\n"));
+    assert!(text.contains("# TYPE net_frames_tx counter\nnet_frames_tx 3\n"));
+    assert!(text.contains("# TYPE net_turn_latency_us histogram\n"));
+    assert!(text.contains("net_turn_latency_us_bucket{le=\"+Inf\"} 1\n"));
+    assert!(text.contains("net_turn_latency_us_count 1\n"));
+    server.stop();
+}
+
+#[test]
+fn non_admin_hellos_are_rejected() {
+    let server = spawn_server(Recorder::metrics_only());
+    let addr = server.local_addr();
+
+    // A roster-player hello (wrong sentinel) must be turned away.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("timeout");
+    let hello = Frame::Hello(Hello {
+        version: PROTOCOL_VERSION_MUX,
+        protocol_id: "disj".into(),
+        player: 0,
+        players: 0,
+        seed: 0,
+        params: vec![],
+    });
+    use std::io::Write;
+    stream
+        .write_all(&hello.to_bytes_mux(CONTROL_SESSION))
+        .expect("send");
+    let mut reader = FrameReader::new_mux();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let reply = loop {
+        if let Some((_, frame)) = reader.poll_mux(&mut stream).expect("read") {
+            break frame;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never answered"
+        );
+    };
+    match reply {
+        Frame::Error { message, .. } => {
+            assert!(
+                message.contains("ADMIN_PLAYER"),
+                "explains the rejection: {message}"
+            )
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // The stale version is refused too, and the client surfaces it.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("timeout");
+    let hello = Frame::Hello(Hello {
+        version: 1,
+        protocol_id: "bci-admin".into(),
+        player: ADMIN_PLAYER,
+        players: 0,
+        seed: 0,
+        params: vec![],
+    });
+    stream
+        .write_all(&hello.to_bytes_mux(CONTROL_SESSION))
+        .expect("send");
+    let mut reader = FrameReader::new_mux();
+    let reply = loop {
+        if let Some((_, frame)) = reader.poll_mux(&mut stream).expect("read") {
+            break frame;
+        }
+    };
+    assert!(matches!(reply, Frame::Error { .. }));
+    server.stop();
+}
+
+#[test]
+fn stats_before_hello_is_a_protocol_violation() {
+    let server = spawn_server(Recorder::metrics_only());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("timeout");
+    use std::io::Write;
+    stream
+        .write_all(
+            &Frame::Stats {
+                what: stats_request::SNAPSHOT,
+            }
+            .to_bytes_mux(CONTROL_SESSION),
+        )
+        .expect("send");
+    let mut reader = FrameReader::new_mux();
+    let reply = loop {
+        if let Some((_, frame)) = reader.poll_mux(&mut stream).expect("read") {
+            break frame;
+        }
+    };
+    assert!(
+        matches!(reply, Frame::Error { .. }),
+        "unauthenticated stats must be refused, got {reply:?}"
+    );
+    server.stop();
+}

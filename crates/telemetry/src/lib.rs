@@ -14,10 +14,14 @@
 //! * [`hist`] — fixed-bucket [`Histogram`]s with an overflow bucket,
 //!   mergeable across runs and workers, with nearest-rank percentiles.
 //! * [`recorder`] — the thread-safe [`Recorder`]: span events (session,
-//!   round, transport hop), monotone counters, and named histograms. A
-//!   disabled recorder is a single `Option` check per call site — no
-//!   allocation, no locking — so instrumented hot paths cost nearly
-//!   nothing when telemetry is off.
+//!   round, transport hop), monotone counters, point-in-time gauges,
+//!   named histograms, and an optional fixed-capacity flight-recorder
+//!   ring of recent events. A disabled recorder is a single `Option`
+//!   check per call site — no allocation, no locking — so instrumented
+//!   hot paths cost nearly nothing when telemetry is off.
+//! * [`prom`] — [`Snapshot::to_prometheus`], a dependency-free
+//!   Prometheus text exposition writer so external scrapers can consume
+//!   live coordinator stats (see `docs/observability.md`).
 //!
 //! # Determinism contract
 //!
@@ -44,6 +48,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod prom;
 pub mod recorder;
 
 pub use hist::Histogram;

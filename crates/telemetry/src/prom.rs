@@ -1,0 +1,179 @@
+//! Prometheus text exposition for [`Snapshot`]s.
+//!
+//! The admin stats channel (see `bci-net`'s `admin` module and
+//! `docs/observability.md`) serves live coordinator snapshots; this
+//! module renders them in the Prometheus text exposition format so any
+//! off-the-shelf scraper can consume them — without adding a single
+//! dependency, in line with the workspace's vendored-offline policy.
+//!
+//! Metric names are the snapshot's own names with every character
+//! outside `[a-zA-Z0-9_:]` replaced by `_` (so `mux.turn_latency_us`
+//! becomes `mux_turn_latency_us`), keeping a 1:1 correspondence with the
+//! JSON exposition. Counters and gauges emit a `# TYPE` line and a
+//! value; histograms emit cumulative `_bucket{le="..."}` series ending
+//! in `le="+Inf"`, plus `_sum` and `_count`. Recorder uptime is exposed
+//! as `bci_uptime_seconds`.
+
+use crate::recorder::Snapshot;
+
+/// Rewrites a snapshot metric name into the Prometheus name charset.
+/// A leading digit gets an underscore prefix (metric names must not
+/// start with a digit).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if ok {
+            out.push(ch);
+        } else if ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` lines, counter and gauge samples, and
+    /// cumulative histogram `_bucket`/`_sum`/`_count` series. Output is
+    /// deterministic — metrics appear in `BTreeMap` (name) order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        out.push_str("# TYPE bci_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "bci_uptime_seconds {:.6}\n",
+            self.uptime_us as f64 / 1e6
+        ));
+
+        for (name, &value) in &self.counters {
+            let metric = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        }
+
+        for (name, &value) in &self.gauges {
+            let metric = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {metric} gauge\n{metric} {value}\n"));
+        }
+
+        for (name, hist) in &self.hists {
+            let metric = sanitize_metric_name(name);
+            out.push_str(&format!("# TYPE {metric} histogram\n"));
+            let mut cumulative = 0u64;
+            for (&le, &n) in hist.bounds().iter().zip(hist.counts()) {
+                cumulative += n;
+                out.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"+Inf\"}} {}\n",
+                hist.count()
+            ));
+            out.push_str(&format!("{metric}_sum {}\n", hist.sum()));
+            out.push_str(&format!("{metric}_count {}\n", hist.count()));
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn sanitization_maps_dots_and_leading_digits() {
+        assert_eq!(
+            sanitize_metric_name("mux.turn_latency_us"),
+            "mux_turn_latency_us"
+        );
+        assert_eq!(sanitize_metric_name("net.bytes-tx"), "net_bytes_tx");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn exposition_is_pinned_for_a_small_snapshot() {
+        let mut snap = Snapshot {
+            uptime_us: 1_500_000,
+            ..Snapshot::default()
+        };
+        snap.counters.insert("mux.sessions_started".into(), 3);
+        snap.gauges.insert("mux.inflight".into(), 2);
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(5);
+        h.record(15);
+        h.record(99);
+        snap.hists.insert("mux.turn_latency_us".into(), h);
+
+        let text = snap.to_prometheus();
+        let expected = "\
+# TYPE bci_uptime_seconds gauge
+bci_uptime_seconds 1.500000
+# TYPE mux_sessions_started counter
+mux_sessions_started 3
+# TYPE mux_inflight gauge
+mux_inflight 2
+# TYPE mux_turn_latency_us histogram
+mux_turn_latency_us_bucket{le=\"10\"} 1
+mux_turn_latency_us_bucket{le=\"20\"} 2
+mux_turn_latency_us_bucket{le=\"+Inf\"} 3
+mux_turn_latency_us_sum 119
+mux_turn_latency_us_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let rec = Recorder::metrics_only();
+        for v in [1u64, 15, 15, 25] {
+            rec.hist_record("lat", v, &[10, 20]);
+        }
+        let text = rec.snapshot().to_prometheus();
+        assert!(text.contains("lat_bucket{le=\"10\"} 1\n"));
+        assert!(
+            text.contains("lat_bucket{le=\"20\"} 3\n"),
+            "cumulative: {text}"
+        );
+        assert!(
+            text.contains("lat_bucket{le=\"+Inf\"} 4\n"),
+            "overflow included"
+        );
+        assert!(text.contains("lat_count 4\n"));
+        assert!(text.contains("lat_sum 56\n"));
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        let rec = Recorder::metrics_only();
+        rec.counter_add("net.frames_tx", 7);
+        rec.gauge_set("net.roster", 3);
+        rec.hist_record("net.lat_us", 42, &[10, 100]);
+        let text = rec.snapshot().to_prometheus();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().expect("metric name");
+                let kind = parts.next().expect("metric kind");
+                assert!(parts.next().is_none());
+                assert!(!name.is_empty());
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"));
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(!series.is_empty());
+                assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            }
+        }
+    }
+}

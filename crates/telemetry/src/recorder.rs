@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::hist::Histogram;
-use crate::json::{obj, Json};
+use crate::json::Json;
 
 /// What an event marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,12 +120,54 @@ impl Event {
     }
 }
 
+/// A fixed-capacity ring of the most recent events — the flight
+/// recorder. The backing store is allocated once at construction;
+/// `push` overwrites the oldest slot under the caller's lock and never
+/// grows the buffer, so a coordinator can feed it from the dispatch
+/// loop without unbounded memory or allocator traffic.
+#[derive(Debug)]
+struct FlightRing {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+}
+
+impl FlightRing {
+    fn new(cap: usize) -> Self {
+        FlightRing {
+            cap,
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Oldest-first copy of the retained events.
+    fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     t0: Instant,
     capture_events: bool,
     events: Mutex<Vec<Event>>,
+    flight: Option<Mutex<FlightRing>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
     hists: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
@@ -154,16 +196,38 @@ impl Recorder {
     /// A recorder capturing counters and histograms only. Use for long
     /// sweeps where an event per round would cost unbounded memory.
     pub fn metrics_only() -> Self {
-        Recorder::with_capture(false)
+        Recorder::build(false, None)
+    }
+
+    /// A metrics recorder with a flight recorder attached: the most
+    /// recent `capacity` events are retained in a fixed ring (allocated
+    /// up front, overwritten in place) instead of the unbounded stream
+    /// [`Recorder::new`] keeps. Long-running coordinators use this to
+    /// keep post-mortem context for [`Recorder::flight_jsonl`] without
+    /// paying full-event-stream memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 — a zero-slot flight recorder silently
+    /// recording nothing is a configuration bug.
+    pub fn with_flight(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Recorder::build(false, Some(capacity))
     }
 
     fn with_capture(capture_events: bool) -> Self {
+        Recorder::build(capture_events, None)
+    }
+
+    fn build(capture_events: bool, flight_capacity: Option<usize>) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 t0: Instant::now(),
                 capture_events,
                 events: Mutex::new(Vec::new()),
+                flight: flight_capacity.map(|cap| Mutex::new(FlightRing::new(cap))),
                 counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
                 hists: Mutex::new(BTreeMap::new()),
             })),
         }
@@ -175,13 +239,14 @@ impl Recorder {
         self.inner.is_some()
     }
 
-    /// Whether the event stream is being captured. Check before building
-    /// per-event attribute vectors on hot paths.
+    /// Whether events are being retained anywhere — the unbounded stream
+    /// or the flight ring. Check before building per-event attribute
+    /// vectors on hot paths.
     #[inline]
     pub fn events_enabled(&self) -> bool {
         self.inner
             .as_ref()
-            .is_some_and(|inner| inner.capture_events)
+            .is_some_and(|inner| inner.capture_events || inner.flight.is_some())
     }
 
     fn push_event(
@@ -191,15 +256,26 @@ impl Recorder {
         id: u64,
         attrs: Vec<(&'static str, Json)>,
     ) {
-        if let Some(inner) = self.inner.as_ref().filter(|i| i.capture_events) {
-            let ts_us = inner.t0.elapsed().as_micros() as u64;
-            inner.events.lock().expect("events lock").push(Event {
-                ts_us,
-                kind,
-                span,
-                id,
-                attrs,
-            });
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if !inner.capture_events && inner.flight.is_none() {
+            return;
+        }
+        let event = Event {
+            ts_us: inner.t0.elapsed().as_micros() as u64,
+            kind,
+            span,
+            id,
+            attrs,
+        };
+        if inner.capture_events {
+            if let Some(flight) = &inner.flight {
+                flight.lock().expect("flight lock").push(event.clone());
+            }
+            inner.events.lock().expect("events lock").push(event);
+        } else if let Some(flight) = &inner.flight {
+            flight.lock().expect("flight lock").push(event);
         }
     }
 
@@ -249,6 +325,28 @@ impl Recorder {
         }
     }
 
+    /// Sets the named gauge to `value` (last write wins). Gauges report
+    /// point-in-time levels — roster occupancy, session-table size,
+    /// inflight-window usage — that counters' monotonicity can't express.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .gauges
+                .lock()
+                .expect("gauges lock")
+                .insert(name, value);
+        }
+    }
+
+    /// Microseconds since the recorder was created (0 when disabled).
+    pub fn uptime_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.t0.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+
     /// Records `value` into the named histogram, created over `bounds` on
     /// first use (see the presets in [`crate::hist`]).
     ///
@@ -283,15 +381,45 @@ impl Recorder {
         out
     }
 
-    /// A point-in-time copy of all counters and histograms.
+    /// Oldest-first copy of the flight-recorder ring (empty when no
+    /// flight recorder is attached).
+    pub fn flight_events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.flight.as_ref())
+            .map(|flight| flight.lock().expect("flight lock").events())
+            .unwrap_or_default()
+    }
+
+    /// The flight-recorder ring as JSON lines (one event per line,
+    /// oldest first) — the post-mortem dump format.
+    pub fn flight_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.flight_events() {
+            out.push_str(&event.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A point-in-time copy of all counters, gauges, and histograms,
+    /// stamped with the recorder's uptime.
     pub fn snapshot(&self) -> Snapshot {
         match &self.inner {
             None => Snapshot::default(),
             Some(inner) => Snapshot {
+                uptime_us: inner.t0.elapsed().as_micros() as u64,
                 counters: inner
                     .counters
                     .lock()
                     .expect("counters lock")
+                    .iter()
+                    .map(|(&k, &v)| (k.to_owned(), v))
+                    .collect(),
+                gauges: inner
+                    .gauges
+                    .lock()
+                    .expect("gauges lock")
                     .iter()
                     .map(|(&k, &v)| (k.to_owned(), v))
                     .collect(),
@@ -307,11 +435,15 @@ impl Recorder {
     }
 }
 
-/// A mergeable copy of a recorder's counters and histograms.
-#[derive(Debug, Clone, Default)]
+/// A mergeable copy of a recorder's counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
+    /// Microseconds the recorder had been alive when captured.
+    pub uptime_us: u64,
     /// Monotone counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges by name (last write wins).
+    pub gauges: BTreeMap<String, u64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, Histogram>,
 }
@@ -322,20 +454,31 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// A gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// A histogram, if recorded.
     pub fn hist(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)
     }
 
     /// Merges `other` in: counters add (both streams' increments count),
-    /// histograms merge bucket-wise.
+    /// histograms merge bucket-wise; gauges and uptime take the max (a
+    /// merged level has no additive meaning — the high-water mark does).
     ///
     /// # Panics
     ///
     /// Panics if a shared histogram name has a different bucket ladder.
     pub fn merge(&mut self, other: &Snapshot) {
+        self.uptime_us = self.uptime_us.max(other.uptime_us);
         for (name, &value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, &value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(value);
         }
         for (name, hist) in &other.hists {
             match self.hists.get_mut(name) {
@@ -347,11 +490,14 @@ impl Snapshot {
         }
     }
 
-    /// Serializes as `{counters: {...}, histograms: {...}}`.
+    /// Serializes as `{uptime_us, counters: {...}, gauges: {...},
+    /// histograms: {...}}` (`gauges` elided when empty, keeping the
+    /// pre-gauge shape for metrics-only producers).
     pub fn to_json(&self) -> Json {
-        obj([
+        let mut fields = vec![
+            ("uptime_us".to_owned(), Json::UInt(self.uptime_us)),
             (
-                "counters",
+                "counters".to_owned(),
                 Json::Obj(
                     self.counters
                         .iter()
@@ -359,16 +505,28 @@ impl Snapshot {
                         .collect(),
                 ),
             ),
-            (
-                "histograms",
+        ];
+        if !self.gauges.is_empty() {
+            fields.push((
+                "gauges".to_owned(),
                 Json::Obj(
-                    self.hists
+                    self.gauges
                         .iter()
-                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
                         .collect(),
                 ),
+            ));
+        }
+        fields.push((
+            "histograms".to_owned(),
+            Json::Obj(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.to_json()))
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -455,6 +613,98 @@ mod tests {
         assert_eq!(snap.counter("n"), 3);
         assert_eq!(snap.counter("only_b"), 7);
         assert_eq!(snap.hist("lat").expect("merged").count(), 2);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_merge_by_max() {
+        let rec = Recorder::metrics_only();
+        rec.gauge_set("inflight", 7);
+        rec.gauge_set("inflight", 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge("inflight"), 3);
+        assert_eq!(snap.gauge("absent"), 0);
+
+        let other = Recorder::metrics_only();
+        other.gauge_set("inflight", 9);
+        other.gauge_set("only_other", 2);
+        let mut merged = snap.clone();
+        merged.merge(&other.snapshot());
+        assert_eq!(
+            merged.gauge("inflight"),
+            9,
+            "merge keeps the high-water mark"
+        );
+        assert_eq!(merged.gauge("only_other"), 2);
+    }
+
+    #[test]
+    fn snapshot_carries_uptime_and_merge_takes_max() {
+        let rec = Recorder::metrics_only();
+        let snap = rec.snapshot();
+        let mut merged = Snapshot {
+            uptime_us: 5,
+            ..Snapshot::default()
+        };
+        merged.merge(&Snapshot {
+            uptime_us: 9,
+            ..Snapshot::default()
+        });
+        assert_eq!(merged.uptime_us, 9);
+        // A live recorder's uptime is monotone.
+        assert!(rec.uptime_us() >= snap.uptime_us);
+    }
+
+    #[test]
+    fn flight_ring_keeps_the_most_recent_events() {
+        let rec = Recorder::with_flight(3);
+        assert!(rec.events_enabled(), "flight ring wants events");
+        for id in 0..5u64 {
+            rec.point(SpanKind::Session, id, vec![]);
+        }
+        assert!(
+            rec.events().is_empty(),
+            "flight recorder must not grow the unbounded stream"
+        );
+        let kept: Vec<u64> = rec.flight_events().iter().map(|e| e.id).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted, order preserved");
+        let jsonl = rec.flight_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.lines().all(|l| l.starts_with("{\"ts_us\":")));
+    }
+
+    #[test]
+    fn flight_ring_timestamps_are_monotone_after_wrap() {
+        let rec = Recorder::with_flight(2);
+        for id in 0..7u64 {
+            rec.point(SpanKind::Hop, id, vec![]);
+        }
+        let events = rec.flight_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts_us <= events[1].ts_us);
+        assert_eq!(events[0].id, 5);
+        assert_eq!(events[1].id, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_flight_recorder_is_rejected() {
+        let _ = Recorder::with_flight(0);
+    }
+
+    #[test]
+    fn snapshot_json_shape_includes_uptime_and_gauges() {
+        let rec = Recorder::metrics_only();
+        rec.counter_add("c", 1);
+        let plain = rec.snapshot().to_json().to_string();
+        assert!(plain.starts_with("{\"uptime_us\":"));
+        assert!(
+            !plain.contains("\"gauges\""),
+            "empty gauges elided: {plain}"
+        );
+        rec.gauge_set("g", 4);
+        let gauged = rec.snapshot().to_json().to_string();
+        assert!(gauged.contains("\"gauges\":{\"g\":4}"));
+        assert!(gauged.contains("\"counters\":{\"c\":1}"));
     }
 
     #[test]
