@@ -14,6 +14,7 @@ use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::RngCore;
 
 use crate::board::Board;
+use crate::engine::{Step, TurnEngine};
 use crate::PlayerId;
 
 /// A protocol in the broadcast model.
@@ -79,30 +80,34 @@ pub fn run<P: Protocol>(
 /// The recorder only *observes* — it never touches `rng` or influences
 /// control flow — so for any protocol the execution is bit-identical to
 /// [`run`]'s. With a disabled recorder the overhead is one branch per turn.
+///
+/// This is the *serial driver* of the sans-io [`TurnEngine`]: the caller
+/// keeps the random source, so the engine runs in external-RNG mode and
+/// each grant is performed inline on the calling thread.
 pub fn run_traced<P: Protocol>(
     protocol: &P,
     inputs: &[P::Input],
     rng: &mut dyn RngCore,
     recorder: &Recorder,
 ) -> Execution<P::Output> {
-    assert_eq!(
-        inputs.len(),
-        protocol.num_players(),
-        "expected {} inputs, got {}",
-        protocol.num_players(),
-        inputs.len()
-    );
-    let mut board = Board::new();
-    let mut steps = 0usize;
-    while let Some(speaker) = protocol.next_speaker(&board) {
-        assert!(
-            speaker < protocol.num_players(),
-            "protocol named speaker {speaker} of {}",
-            protocol.num_players()
-        );
-        let msg = protocol.message(speaker, &inputs[speaker], &board, rng);
+    let mut engine = match TurnEngine::new(protocol, inputs.len()) {
+        Ok(engine) => engine,
+        Err(violation) => panic!("{violation}"),
+    };
+    loop {
+        let step = match engine.poll() {
+            Ok(step) => step,
+            Err(violation) => panic!("{violation}"),
+        };
+        let grant = match step {
+            Step::Grant(grant) => grant,
+            Step::Halted => break,
+        };
+        let msg = protocol.message(grant.speaker, &inputs[grant.speaker], engine.board(), rng);
         let msg_bits = msg.len();
-        board.write(speaker, msg);
+        if let Err(violation) = engine.apply(grant.speaker, msg, None) {
+            panic!("{violation}");
+        }
         if recorder.enabled() {
             recorder.hist_record(
                 "runner.bits_per_round",
@@ -112,22 +117,20 @@ pub fn run_traced<P: Protocol>(
             if recorder.events_enabled() {
                 recorder.point(
                     SpanKind::Round,
-                    steps as u64,
+                    grant.turn as u64,
                     vec![
-                        ("speaker", Json::UInt(speaker as u64)),
+                        ("speaker", Json::UInt(grant.speaker as u64)),
                         ("msg_bits", Json::UInt(msg_bits as u64)),
-                        ("board_bits", Json::UInt(board.total_bits() as u64)),
+                        ("board_bits", Json::UInt(engine.bits_written() as u64)),
                     ],
                 );
             }
         }
-        steps += 1;
-        assert!(steps <= MAX_STEPS, "protocol exceeded {MAX_STEPS} turns");
     }
-    let output = protocol.output(&board);
-    let bits_written = board.total_bits();
+    let output = engine.output();
+    let bits_written = engine.bits_written();
     Execution {
-        board,
+        board: engine.into_board(),
         output,
         bits_written,
     }

@@ -138,14 +138,14 @@ USAGE:
                [--transport channel|inprocess] [--out PATH]
   bci serve    --port <P> --players <K> [--protocol disj] [--n N] [--sessions N] [--seed S]
                [--density D] [--deadline-ms MS] [--roster-timeout-s SECS] [--mux]
-               [--inflight M] [--max-frame-len B] [--miss-limit N]
+               [--inflight M] [--max-frame-len B] [--miss-limit N] [--max-steps T]
                [--flight N] [--admin-linger-ms MS] [--admin-port P]
   bci join     --addr <HOST:PORT> --player <I> [--protocol disj] [--seed S]
   bci netrun   [--points NxK,NxK,...] [--sessions N] [--seed S] [--json PATH]
   bci load     --sessions <M> --players <K> [--n N] [--density D] [--seed S]
                [--deadline-ms MS] [--inflight M] [--coordinator mux|thread] [--compare]
                [--addr HOST:PORT] [--json PATH] [--no-verify] [--scrape-ms MS]
-               [--max-frame-len B] [--miss-limit N]
+               [--max-frame-len B] [--miss-limit N] [--max-steps T]
   bci stat     <HOST:PORT> [--json|--prom|--events]
   bci top      <HOST:PORT> [--interval-ms MS] [--iters K]
   bci experiments list
@@ -174,7 +174,8 @@ NETWORK:
   transport, and with --json writes a bci.bench.v1 report. --compare also runs
   the thread-per-connection baseline on the same workload. --scrape-ms re-runs
   the mux workload with a live admin scraper attached and records the overhead
-  in the report's meta.
+  in the report's meta. --max-steps caps turns per session (the runaway guard):
+  a protocol that has not halted by then is aborted, on either coordinator.
 
 OBSERVABILITY:
   Every coordinator serves a read-only admin stats channel: the mux daemon
@@ -655,8 +656,8 @@ fn cmd_trace(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String> 
 }
 
 /// Builds a [`bci_net::NetConfig`] from the shared `--max-frame-len` /
-/// `--miss-limit` overrides and rejects unusable values via
-/// [`bci_net::NetConfig::validate`].
+/// `--miss-limit` / `--max-steps` overrides and rejects unusable values
+/// via [`bci_net::NetConfig::validate`].
 fn net_config_from(opts: &HashMap<String, String>) -> Result<bci_net::NetConfig, String> {
     let mut config = bci_net::NetConfig::default();
     if let Some(v) = opts.get("max-frame-len") {
@@ -668,6 +669,11 @@ fn net_config_from(opts: &HashMap<String, String>) -> Result<bci_net::NetConfig,
         config.miss_limit = v
             .parse()
             .map_err(|_| format!("--miss-limit: cannot parse '{v}'"))?;
+    }
+    if let Some(v) = opts.get("max-steps") {
+        config.max_steps = v
+            .parse()
+            .map_err(|_| format!("--max-steps: cannot parse '{v}'"))?;
     }
     config.validate()?;
     Ok(config)

@@ -8,6 +8,7 @@
 use std::time::Duration;
 
 use bci_blackboard::board::Board;
+use bci_blackboard::engine::ProtocolViolation;
 use bci_blackboard::PlayerId;
 
 /// How one session ended.
@@ -38,6 +39,46 @@ impl SessionOutcome {
             SessionOutcome::Aborted(_) => "aborted",
         }
     }
+
+    /// The stable wire code for this outcome (`0`/`1`/`2` = completed /
+    /// timed out / aborted), shared by the v1 `Outcome` frame and the mux
+    /// session records.
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            SessionOutcome::Completed => 0,
+            SessionOutcome::TimedOut => 1,
+            SessionOutcome::Aborted(_) => 2,
+        }
+    }
+
+    /// The abort reason shipped next to [`kind_code`](Self::kind_code) on
+    /// the wire — empty unless the session aborted.
+    pub fn reason(&self) -> &str {
+        match self {
+            SessionOutcome::Aborted(reason) => reason,
+            _ => "",
+        }
+    }
+
+    /// Rebuilds an outcome from its wire `(kind, reason)` pair. Unknown
+    /// kind codes conservatively decode as [`Aborted`](Self::Aborted).
+    pub fn from_kind_code(kind: u8, reason: &str) -> Self {
+        match kind {
+            0 => SessionOutcome::Completed,
+            1 => SessionOutcome::TimedOut,
+            _ => SessionOutcome::Aborted(reason.to_string()),
+        }
+    }
+}
+
+/// Every driver maps an engine-detected [`ProtocolViolation`] onto the
+/// same [`SessionOutcome::Aborted`] reason — the violation's canonical
+/// `Display` string — so transcripts of a misbehaving protocol carry
+/// identical diagnostics no matter which transport ran it.
+impl From<ProtocolViolation> for SessionOutcome {
+    fn from(violation: ProtocolViolation) -> Self {
+        SessionOutcome::Aborted(violation.to_string())
+    }
 }
 
 /// Everything a transport reports about one finished session.
@@ -54,6 +95,27 @@ pub struct SessionResult<O> {
     pub bits_written: usize,
     /// Wall-clock duration of the session.
     pub latency: Duration,
+}
+
+impl<O> SessionResult<O> {
+    /// Seals a finished (or failed) session into its result, deriving
+    /// `bits_written` from the board. The single finish path shared by
+    /// every driver — in-process, channel, TCP v1, and mux.
+    pub fn seal(
+        outcome: SessionOutcome,
+        output: Option<O>,
+        board: Board,
+        latency: Duration,
+    ) -> Self {
+        let bits_written = board.total_bits();
+        SessionResult {
+            outcome,
+            output,
+            board,
+            bits_written,
+            latency,
+        }
+    }
 }
 
 /// Which sessions a fault applies to.

@@ -33,7 +33,8 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use bci_blackboard::board::Board;
-use bci_blackboard::protocol::{Protocol, MAX_STEPS};
+use bci_blackboard::engine::{Grant, Step, TurnEngine};
+use bci_blackboard::protocol::Protocol;
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::Wire;
 use bci_telemetry::{Json, Recorder, SpanKind};
@@ -118,20 +119,82 @@ pub trait Transport: Sync {
         P::Output: Wire;
 }
 
-fn finish<O>(
-    outcome: SessionOutcome,
-    output: Option<O>,
-    board: Board,
+/// Drives one session's [`TurnEngine`] to completion, with `perform`
+/// supplying the I/O half of the contract: given the granted turn and the
+/// current board, produce the speaker's bits and the handed-back session
+/// RNG, or a terminal [`SessionOutcome`] (crash, timeout) that ends the
+/// session.
+///
+/// This is the single sequencer loop shared by both in-process
+/// transports — and, structurally, by the TCP drivers in `bci-net` /
+/// `bci-mux`: deadline checks, engine polling, violation → outcome
+/// mapping, hop telemetry, and result sealing all live here, so every
+/// fault path funnels through [`SessionResult::seal`].
+fn drive_session<P, F>(
+    protocol: &P,
+    input_count: usize,
+    rng: &ChaCha8Rng,
+    ctx: &SessionContext<'_>,
     start: Instant,
-) -> SessionResult<O> {
-    let bits_written = board.total_bits();
-    SessionResult {
-        outcome,
-        output,
-        board,
-        bits_written,
-        latency: start.elapsed(),
+    mut perform: F,
+) -> SessionResult<P::Output>
+where
+    P: Protocol,
+    F: FnMut(&Grant, &Board) -> Result<(BitVec, ChaCha8Rng), SessionOutcome>,
+{
+    let mut engine = match TurnEngine::with_rng(protocol, input_count, rng) {
+        Ok(engine) => engine,
+        Err(violation) => {
+            return SessionResult::seal(violation.into(), None, Board::new(), start.elapsed())
+        }
+    };
+    loop {
+        if let Some(deadline) = ctx.deadline {
+            if start.elapsed() >= deadline {
+                return SessionResult::seal(
+                    SessionOutcome::TimedOut,
+                    None,
+                    engine.into_board(),
+                    start.elapsed(),
+                );
+            }
+        }
+        let grant = match engine.poll() {
+            Ok(Step::Grant(grant)) => grant,
+            Ok(Step::Halted) => break,
+            Err(violation) => {
+                return SessionResult::seal(
+                    violation.into(),
+                    None,
+                    engine.into_board(),
+                    start.elapsed(),
+                )
+            }
+        };
+        let (bits, rng_back) = match perform(&grant, engine.board()) {
+            Ok(reply) => reply,
+            Err(outcome) => {
+                return SessionResult::seal(outcome, None, engine.into_board(), start.elapsed())
+            }
+        };
+        let msg_bits = bits.len();
+        if let Err(violation) = engine.apply(grant.speaker, bits, Some(&rng_back.state_bytes())) {
+            return SessionResult::seal(
+                violation.into(),
+                None,
+                engine.into_board(),
+                start.elapsed(),
+            );
+        }
+        ctx.record_hop(grant.turn, grant.speaker, msg_bits, engine.board());
     }
+    let output = engine.output();
+    SessionResult::seal(
+        SessionOutcome::Completed,
+        Some(output),
+        engine.into_board(),
+        start.elapsed(),
+    )
 }
 
 /// Runs the whole session on the calling thread.
@@ -148,7 +211,7 @@ impl Transport for InProcessTransport {
         &self,
         protocol: &P,
         inputs: &[P::Input],
-        mut rng: ChaCha8Rng,
+        rng: ChaCha8Rng,
         ctx: &SessionContext<'_>,
     ) -> SessionResult<P::Output>
     where
@@ -156,34 +219,11 @@ impl Transport for InProcessTransport {
         P::Input: Sync + Wire,
         P::Output: Wire,
     {
-        assert_eq!(inputs.len(), protocol.num_players(), "input count");
         let start = Instant::now();
-        let mut board = Board::new();
-        let mut steps = 0usize;
-        loop {
-            if let Some(deadline) = ctx.deadline {
-                if start.elapsed() >= deadline {
-                    return finish(SessionOutcome::TimedOut, None, board, start);
-                }
-            }
-            let Some(speaker) = protocol.next_speaker(&board) else {
-                break;
-            };
-            if speaker >= protocol.num_players() {
-                return finish(
-                    SessionOutcome::Aborted(format!("protocol named speaker {speaker}")),
-                    None,
-                    board,
-                    start,
-                );
-            }
+        drive_session(protocol, inputs.len(), &rng, ctx, start, |grant, board| {
+            let speaker = grant.speaker;
             if ctx.fault_for(speaker, |k| matches!(k, FaultKind::CrashedPlayer)) {
-                return finish(
-                    SessionOutcome::Aborted(format!("player {speaker} crashed")),
-                    None,
-                    board,
-                    start,
-                );
+                return Err(SessionOutcome::Aborted(format!("player {speaker} crashed")));
             }
             if ctx.fault_for(speaker, |k| matches!(k, FaultKind::DroppedWakeup)) {
                 // The wakeup is lost: nothing happens until the deadline.
@@ -192,39 +232,21 @@ impl Transport for InProcessTransport {
                     .map(|d| d.saturating_sub(start.elapsed()))
                     .unwrap_or(DEFAULT_STALL_CAP);
                 std::thread::sleep(stall);
-                return finish(SessionOutcome::TimedOut, None, board, start);
+                return Err(SessionOutcome::TimedOut);
             }
             if let Some(delay) = ctx.slow_delay(speaker) {
                 std::thread::sleep(delay);
             }
-            let msg = match catch_unwind(AssertUnwindSafe(|| {
-                protocol.message(speaker, &inputs[speaker], &board, &mut rng)
+            let mut rng = grant.resume_rng();
+            match catch_unwind(AssertUnwindSafe(|| {
+                protocol.message(speaker, &inputs[speaker], board, &mut rng)
             })) {
-                Ok(m) => m,
-                Err(_) => {
-                    return finish(
-                        SessionOutcome::Aborted(format!("player {speaker} panicked")),
-                        None,
-                        board,
-                        start,
-                    )
-                }
-            };
-            let msg_bits = msg.len();
-            board.write(speaker, msg);
-            ctx.record_hop(steps, speaker, msg_bits, &board);
-            steps += 1;
-            if steps > MAX_STEPS {
-                return finish(
-                    SessionOutcome::Aborted(format!("exceeded {MAX_STEPS} turns")),
-                    None,
-                    board,
-                    start,
-                );
+                Ok(bits) => Ok((bits, rng)),
+                Err(_) => Err(SessionOutcome::Aborted(format!(
+                    "player {speaker} panicked"
+                ))),
             }
-        }
-        let output = protocol.output(&board);
-        finish(SessionOutcome::Completed, Some(output), board, start)
+        })
     }
 }
 
@@ -266,7 +288,6 @@ impl Transport for ChannelTransport {
         P::Output: Wire,
     {
         let k = protocol.num_players();
-        assert_eq!(inputs.len(), k, "input count");
         let start = Instant::now();
 
         std::thread::scope(|scope| {
@@ -310,76 +331,30 @@ impl Transport for ChannelTransport {
                 });
             }
 
-            let mut board = Board::new();
-            let mut rng = Some(rng);
-            let mut steps = 0usize;
-            loop {
-                if let Some(deadline) = ctx.deadline {
-                    if start.elapsed() >= deadline {
-                        return finish(SessionOutcome::TimedOut, None, board, start);
-                    }
-                }
-                let Some(speaker) = protocol.next_speaker(&board) else {
-                    break;
-                };
-                if speaker >= k {
-                    return finish(
-                        SessionOutcome::Aborted(format!("protocol named speaker {speaker}")),
-                        None,
-                        board,
-                        start,
-                    );
-                }
+            drive_session(protocol, inputs.len(), &rng, ctx, start, |grant, board| {
+                let speaker = grant.speaker;
                 let turn = TurnMsg {
                     board: board.clone(),
-                    // Invariant: the RNG travels with the turn message and
-                    // every reply hands it back before the next speaker is
-                    // chosen, so it is always home at this point.
-                    rng: rng.take().expect("rng is home between turns"),
+                    // The engine parks the RNG between turns and lends it
+                    // out with each grant, so the state the player resumes
+                    // from is exactly the one the previous reply returned.
+                    rng: grant.resume_rng(),
                 };
                 if turn_txs[speaker].send(turn).is_err() {
-                    return finish(
-                        SessionOutcome::Aborted(format!("player {speaker} crashed")),
-                        None,
-                        board,
-                        start,
-                    );
+                    return Err(SessionOutcome::Aborted(format!("player {speaker} crashed")));
                 }
                 let wait = ctx
                     .deadline
                     .map(|d| d.saturating_sub(start.elapsed()))
                     .unwrap_or(DEFAULT_STALL_CAP);
                 match reply_rxs[speaker].recv_timeout(wait) {
-                    Ok(Reply { bits, rng: r }) => {
-                        let msg_bits = bits.len();
-                        board.write(speaker, bits);
-                        ctx.record_hop(steps, speaker, msg_bits, &board);
-                        rng = Some(r);
-                    }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        return finish(SessionOutcome::TimedOut, None, board, start);
-                    }
+                    Ok(Reply { bits, rng }) => Ok((bits, rng)),
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(SessionOutcome::TimedOut),
                     Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        return finish(
-                            SessionOutcome::Aborted(format!("player {speaker} crashed")),
-                            None,
-                            board,
-                            start,
-                        );
+                        Err(SessionOutcome::Aborted(format!("player {speaker} crashed")))
                     }
                 }
-                steps += 1;
-                if steps > MAX_STEPS {
-                    return finish(
-                        SessionOutcome::Aborted(format!("exceeded {MAX_STEPS} turns")),
-                        None,
-                        board,
-                        start,
-                    );
-                }
-            }
-            let output = protocol.output(&board);
-            finish(SessionOutcome::Completed, Some(output), board, start)
+            })
             // `turn_txs` drop here: player loops see the hangup and exit,
             // and the scope joins them before returning.
         })

@@ -5,12 +5,13 @@
 //!
 //! The daemon owns a pool of `k` player connections (one per roster
 //! slot, speaking the v2 session-id envelope) and a **session table**.
-//! Each in-flight session is parked as a `SessionSlot`: its board
-//! prefix, the 41-byte serialized ChaCha8 session-RNG state, a turn
-//! cursor, and — while a grant is outstanding — who holds the turn and
-//! since when. A session consumes daemon CPU only for the instants it
-//! takes to apply a reply and issue the next grant; the rest of its
-//! lifetime it is 100-odd bytes in a `HashMap`.
+//! Each in-flight session is parked as a `SessionSlot` holding the
+//! session's sans-io [`TurnEngine`] — board prefix, 41-byte serialized
+//! ChaCha8 session-RNG state, turn cursor, and runaway budget — plus
+//! the wall-clock bookkeeping (admission time, grant issue time) the
+//! engine deliberately doesn't own. A session consumes daemon CPU only
+//! for the instants it takes to apply a reply and issue the next grant;
+//! the rest of its lifetime it is 100-odd bytes in a `HashMap`.
 //!
 //! ## The reactor
 //!
@@ -39,8 +40,8 @@ use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use bci_blackboard::board::Board;
-use bci_blackboard::protocol::{Protocol, MAX_STEPS};
+use bci_blackboard::engine::{Step, TurnEngine};
+use bci_blackboard::protocol::Protocol;
 use bci_blackboard::runner::derive_trial_seed;
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::Wire;
@@ -57,7 +58,7 @@ use bci_net::NetConfig;
 use bci_telemetry::hist::{QUEUE_BYTES_BOUNDS, TURN_LATENCY_US_BOUNDS};
 use bci_telemetry::{Json, Recorder, SpanKind};
 use rand::SeedableRng;
-use rand_chacha::{ChaCha8Rng, STATE_LEN};
+use rand_chacha::ChaCha8Rng;
 
 use crate::conn::MuxConn;
 
@@ -99,16 +100,16 @@ impl Default for MuxOptions {
 
 /// One session parked in the daemon's table.
 ///
-/// `rng` holds the serialized ChaCha8 state between turns; while a grant
-/// is outstanding the state lives in the granted player's hands and
-/// `granted` records who and since when.
+/// The parked state *is* the sans-io [`TurnEngine`]: board prefix, turn
+/// cursor, runaway budget, and the serialized ChaCha8 state between
+/// turns all live inside it. While a grant is outstanding the engine
+/// records who holds it and `granted_at` records since when (the one
+/// clock the engine refuses to own).
 #[derive(Debug)]
-struct SessionSlot {
-    board: Board,
-    rng: Vec<u8>,
-    turn: u32,
-    /// `(player, granted_at)` while a turn is outstanding.
-    granted: Option<(usize, Instant)>,
+struct SessionSlot<'p, P: Protocol> {
+    engine: TurnEngine<'p, P>,
+    /// When the outstanding grant was issued, for turn-latency metrics.
+    granted_at: Option<Instant>,
     /// The previous authoritative write, folded into the next grant.
     prev: Option<(u32, BitVec)>,
     started: Instant,
@@ -291,7 +292,7 @@ struct Reactor<'a, P: Protocol> {
     protocol: &'a P,
     conns: Vec<MuxConn>,
     last_seen: Vec<Instant>,
-    table: HashMap<u64, SessionSlot>,
+    table: HashMap<u64, SessionSlot<'a, P>>,
     records: Vec<SessionRecord>,
     next_session: u64,
     total: u64,
@@ -306,7 +307,7 @@ struct Reactor<'a, P: Protocol> {
     last_flight_dump: Option<Instant>,
 }
 
-impl<P> Reactor<'_, P>
+impl<'a, P> Reactor<'a, P>
 where
     P: Protocol,
     P::Input: Wire,
@@ -336,11 +337,12 @@ where
                     }),
                 );
             }
+            let engine = TurnEngine::with_rng(self.protocol, inputs.len(), &rng)
+                .expect("sample_inputs produced one input per player")
+                .with_max_steps(self.opts.config.max_steps);
             let slot = SessionSlot {
-                board: Board::new(),
-                rng: rng.state_bytes().to_vec(),
-                turn: 0,
-                granted: None,
+                engine,
+                granted_at: None,
                 prev: None,
                 started: Instant::now(),
             };
@@ -357,50 +359,60 @@ where
         }
     }
 
-    /// Issues the next grant for `session` (folding in the previous
-    /// authoritative write), or finishes it when the protocol is done.
+    /// Polls the session's engine and issues the next grant (folding in
+    /// the previous authoritative write), or finishes the session when
+    /// the engine halts. Engine violations — out-of-range speaker,
+    /// runaway protocol — finish the session aborted with the
+    /// violation's canonical reason.
     fn grant(&mut self, session: u64) {
-        let next = {
-            let slot = self.table.get(&session).expect("granting a live session");
-            self.protocol.next_speaker(&slot.board)
-        };
-        if let Some(s) = next {
-            if s >= self.conns.len() {
-                self.finish(
-                    session,
-                    2,
-                    format!("protocol named speaker {s}"),
-                    Vec::new(),
-                );
-                return;
+        let step = {
+            let slot = self
+                .table
+                .get_mut(&session)
+                .expect("granting a live session");
+            match slot.engine.poll() {
+                Ok(step) => step,
+                Err(violation) => {
+                    self.finish(session, 2, violation.to_string(), Vec::new());
+                    return;
+                }
             }
-        }
-        let grant = {
+        };
+        let next = match &step {
+            Step::Grant(grant) => Some(grant),
+            Step::Halted => None,
+        };
+        let frame = {
             let slot = self
                 .table
                 .get_mut(&session)
                 .expect("granting a live session");
             let (prev_speaker, prev_bits) = slot.prev.take().unwrap_or((NO_PLAYER, BitVec::new()));
             let rng_bytes = match next {
-                Some(_) => slot.rng.clone(),
+                Some(grant) => grant
+                    .rng_state
+                    .expect("mux engine carries the session rng")
+                    .to_vec(),
                 None => Vec::new(),
             };
-            slot.granted = next.map(|s| (s, Instant::now()));
+            if next.is_some() {
+                slot.granted_at = Some(Instant::now());
+            }
             Frame::Broadcast(BroadcastFrame {
-                turn: slot.turn,
+                turn: slot.engine.steps() as u32,
                 speaker: prev_speaker,
                 bits: prev_bits,
-                next: next.map(|s| s as u32).unwrap_or(NO_PLAYER),
+                next: next.map(|g| g.speaker as u32).unwrap_or(NO_PLAYER),
                 rng: rng_bytes,
             })
         };
         for conn in &mut self.conns {
-            conn.queue(session, &grant);
+            conn.queue(session, &frame);
         }
         if next.is_none() {
             let output = {
-                let board = &self.table[&session].board;
-                catch_unwind(AssertUnwindSafe(|| self.protocol.output(board)))
+                let slot = &self.table[&session];
+                catch_unwind(AssertUnwindSafe(|| slot.engine.output()))
             };
             match output {
                 Ok(o) => self.finish(session, 0, String::new(), o.to_wire_bytes()),
@@ -409,61 +421,52 @@ where
         }
     }
 
-    /// Applies a granted speaker's reply: restores the RNG state, writes
-    /// the board, records turn latency, and issues the next grant.
+    /// Applies a granted speaker's reply through the session's engine
+    /// (which re-parks the RNG state and writes the board), records turn
+    /// latency, and issues the next grant. Engine violations — a reply
+    /// with no grant outstanding, the wrong speaker, a malformed RNG
+    /// state — finish the session aborted.
     fn apply_reply(&mut self, session: u64, player: usize, reply: BroadcastFrame) {
         let Some(slot) = self.table.get_mut(&session) else {
             // A reply raced a deadline outcome; it has nowhere to land.
             self.recorder.counter_add("mux.late_replies", 1);
             return;
         };
-        let Some((speaker, granted_at)) = slot.granted else {
-            self.finish(
-                session,
-                2,
-                format!("player {player} replied without an outstanding grant"),
-                Vec::new(),
-            );
-            return;
-        };
-        if player != speaker || reply.speaker as usize != speaker {
-            self.finish(
-                session,
-                2,
+        // The wire names a speaker twice (connection index and frame
+        // field); cross-check both against the engine's outstanding
+        // grant before applying, so a mismatched connection can't spend
+        // another player's grant.
+        let failure = match slot.engine.granted() {
+            None => Some(format!(
+                "player {player} replied without an outstanding grant"
+            )),
+            Some(speaker) if player != speaker || reply.speaker as usize != speaker => Some(
                 format!("player {player} replied on player {speaker}'s grant"),
-                Vec::new(),
-            );
-            return;
+            ),
+            Some(speaker) => {
+                match slot
+                    .engine
+                    .apply(speaker, reply.bits.clone(), Some(&reply.rng))
+                {
+                    Ok(()) => {
+                        if let Some(granted_at) = slot.granted_at.take() {
+                            self.recorder.hist_record(
+                                "mux.turn_latency_us",
+                                granted_at.elapsed().as_micros() as u64,
+                                TURN_LATENCY_US_BOUNDS,
+                            );
+                        }
+                        slot.prev = Some((speaker as u32, reply.bits));
+                        None
+                    }
+                    Err(violation) => Some(violation.to_string()),
+                }
+            }
+        };
+        match failure {
+            Some(reason) => self.finish(session, 2, reason, Vec::new()),
+            None => self.grant(session),
         }
-        if reply.rng.len() != STATE_LEN {
-            self.finish(
-                session,
-                2,
-                format!("player {speaker} returned a bad RNG state"),
-                Vec::new(),
-            );
-            return;
-        }
-        self.recorder.hist_record(
-            "mux.turn_latency_us",
-            granted_at.elapsed().as_micros() as u64,
-            TURN_LATENCY_US_BOUNDS,
-        );
-        slot.rng = reply.rng;
-        slot.granted = None;
-        slot.board.write(speaker, reply.bits.clone());
-        slot.prev = Some((speaker as u32, reply.bits));
-        slot.turn += 1;
-        if slot.turn as usize > MAX_STEPS {
-            self.finish(
-                session,
-                2,
-                format!("exceeded {MAX_STEPS} turns"),
-                Vec::new(),
-            );
-            return;
-        }
-        self.grant(session);
     }
 
     /// Removes `session` from the table, queues its outcome to every
@@ -493,25 +496,27 @@ where
             _ => "mux.sessions_aborted",
         };
         self.recorder.counter_add(counter, 1);
+        let turns = slot.engine.steps() as u32;
         if self.recorder.events_enabled() {
             let mut attrs = vec![
                 ("phase", Json::str("finish")),
                 ("kind", Json::UInt(kind as u64)),
-                ("turns", Json::UInt(slot.turn as u64)),
+                ("turns", Json::UInt(turns as u64)),
             ];
             if !reason.is_empty() {
                 attrs.push(("reason", Json::str(&reason)));
             }
             self.recorder.point(SpanKind::Session, session, attrs);
         }
+        let board = slot.engine.into_board();
         self.records.push(SessionRecord {
             session,
             kind,
             reason: reason.clone(),
             output,
-            digest: transcript_digest(&slot.board),
-            transcript_bits: slot.board.total_bits() as u64,
-            turns: slot.turn,
+            digest: transcript_digest(&board),
+            transcript_bits: board.total_bits() as u64,
+            turns,
             latency_us: slot.started.elapsed().as_micros() as u64,
         });
         if kind != 0 && self.opts.dump_flight_on_failure {
@@ -550,7 +555,7 @@ where
         let granted = self
             .table
             .values()
-            .filter(|slot| slot.granted.is_some())
+            .filter(|slot| slot.engine.granted().is_some())
             .count() as u64;
         let rec = self.recorder;
         rec.gauge_set("mux.roster_players", self.conns.len() as u64);

@@ -23,13 +23,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use bci_blackboard::board::Board;
-use bci_blackboard::protocol::{Protocol, MAX_STEPS};
+use bci_blackboard::engine::{Step, TurnEngine};
+use bci_blackboard::protocol::Protocol;
 use bci_encoding::bitio::BitVec;
 use bci_encoding::wire::Wire;
 use bci_fabric::session::{SessionOutcome, SessionResult};
 use bci_fabric::transport::{SessionContext, DEFAULT_STALL_CAP};
 use bci_telemetry::hist::LATENCY_US_BOUNDS;
-use rand_chacha::{ChaCha8Rng, STATE_LEN};
+use rand_chacha::ChaCha8Rng;
 
 use crate::conn::Conn;
 use crate::frame::{
@@ -191,32 +192,16 @@ fn session_end<O: Wire>(
     config: &NetConfig,
     remaining: u32,
 ) -> SessionResult<O> {
-    let kind = match &outcome {
-        SessionOutcome::Completed => 0,
-        SessionOutcome::TimedOut => 1,
-        SessionOutcome::Aborted(_) => 2,
-    };
-    let reason = match &outcome {
-        SessionOutcome::Aborted(r) => r.clone(),
-        _ => String::new(),
-    };
     let frame = Frame::Outcome(OutcomeFrame {
-        kind,
-        reason,
+        kind: outcome.kind_code(),
+        reason: outcome.reason().to_string(),
         output: output.as_ref().map(Wire::to_wire_bytes).unwrap_or_default(),
         remaining,
     });
     for pc in conns.iter_mut() {
         let _ = pc.conn.send(&frame, config);
     }
-    let bits_written = board.total_bits();
-    SessionResult {
-        outcome,
-        output,
-        board,
-        bits_written,
-        latency: start.elapsed(),
-    }
+    SessionResult::seal(outcome, output, board, start.elapsed())
 }
 
 /// What one sweep over the roster produced while waiting for a reply.
@@ -258,7 +243,6 @@ where
     P::Output: Wire,
 {
     let k = protocol.num_players();
-    assert_eq!(inputs.len(), k, "input count");
     assert_eq!(conns.len(), k, "roster size");
     let start = Instant::now();
     let stale_after = config.heartbeat_interval * config.miss_limit;
@@ -272,6 +256,13 @@ where
             config,
             remaining,
         )
+    };
+
+    // The engine owns the board, the turn cursor, the parked RNG state,
+    // and the runaway guard; this loop only does the wire work.
+    let mut engine = match TurnEngine::with_rng(protocol, inputs.len(), &rng) {
+        Ok(engine) => engine.with_max_steps(config.max_steps),
+        Err(violation) => return abort(violation.to_string(), Board::new(), conns),
     };
 
     // Ship each player its input share.
@@ -291,9 +282,6 @@ where
         return abort(reason, Board::new(), conns);
     }
 
-    let mut board = Board::new();
-    let mut rng = Some(rng);
-    let mut steps = 0usize;
     // The previous authoritative write, folded into the next grant frame.
     let mut prev: Option<(u32, BitVec)> = None;
 
@@ -303,7 +291,7 @@ where
                 return session_end(
                     SessionOutcome::TimedOut,
                     None,
-                    board,
+                    engine.into_board(),
                     start,
                     conns,
                     config,
@@ -311,27 +299,29 @@ where
                 );
             }
         }
-        let next = match protocol.next_speaker(&board) {
-            Some(s) if s >= k => {
-                return abort(format!("protocol named speaker {s}"), board, conns);
+        let step = match engine.poll() {
+            Ok(step) => step,
+            Err(violation) => {
+                return abort(violation.to_string(), engine.into_board(), conns);
             }
-            other => other,
         };
 
         // One frame carries the previous write and the next grant; every
         // player applies the write to its board replica, and the granted
         // player resumes the session RNG from the serialized state.
-        let (prev_speaker, prev_bits) = prev.take().unwrap_or((NO_PLAYER, BitVec::new()));
-        let rng_bytes = match next {
-            Some(_) => rng
-                .as_ref()
-                .expect("rng is home between turns")
-                .state_bytes()
-                .to_vec(),
-            None => Vec::new(),
+        let (next, rng_bytes) = match &step {
+            Step::Grant(grant) => (
+                Some(grant.speaker),
+                grant
+                    .rng_state
+                    .expect("engine built with_rng carries the state")
+                    .to_vec(),
+            ),
+            Step::Halted => (None, Vec::new()),
         };
+        let (prev_speaker, prev_bits) = prev.take().unwrap_or((NO_PLAYER, BitVec::new()));
         let grant = Frame::Broadcast(BroadcastFrame {
-            turn: steps as u32,
+            turn: engine.steps() as u32,
             speaker: prev_speaker,
             bits: prev_bits,
             next: next.map(|s| s as u32).unwrap_or(NO_PLAYER),
@@ -345,7 +335,7 @@ where
             }
         }
         if let Some(reason) = failed {
-            return abort(reason, board, conns);
+            return abort(reason, engine.into_board(), conns);
         }
 
         let Some(speaker) = next else {
@@ -365,7 +355,7 @@ where
                 return session_end(
                     SessionOutcome::TimedOut,
                     None,
-                    board,
+                    engine.into_board(),
                     start,
                     conns,
                     config,
@@ -422,52 +412,48 @@ where
         };
         let reply = match event {
             SweepEvent::Reply(b) => b,
-            SweepEvent::Fail(reason) => return abort(reason, board, conns),
+            SweepEvent::Fail(reason) => return abort(reason, engine.into_board(), conns),
         };
 
         let rtt_us = hop_start.elapsed().as_micros() as u64;
         ctx.recorder
             .hist_record("net.hop_rtt_us", rtt_us, LATENCY_US_BOUNDS);
 
+        // The wire's speaker field is checked here (only this layer can
+        // see it); everything else — wrong speaker, malformed RNG state —
+        // is the engine's contract to enforce.
         if reply.speaker as usize != speaker {
             return abort(
                 format!("player {speaker} replied as player {}", reply.speaker),
-                board,
+                engine.into_board(),
                 conns,
             );
         }
-        let state: [u8; STATE_LEN] = match reply.rng.as_slice().try_into() {
-            Ok(s) => s,
-            Err(_) => {
-                return abort(
-                    format!("player {speaker} returned a bad RNG state"),
-                    board,
-                    conns,
-                );
-            }
-        };
-        rng = Some(ChaCha8Rng::from_state_bytes(&state));
         let msg_bits = reply.bits.len();
-        board.write(speaker, reply.bits.clone());
-        ctx.record_hop(steps, speaker, msg_bits, &board);
-        prev = Some((speaker as u32, reply.bits));
-        steps += 1;
-        if steps > MAX_STEPS {
-            return abort(format!("exceeded {MAX_STEPS} turns"), board, conns);
+        if let Err(violation) = engine.apply(speaker, reply.bits.clone(), Some(&reply.rng)) {
+            return abort(violation.to_string(), engine.into_board(), conns);
         }
+        ctx.record_hop(engine.steps() - 1, speaker, msg_bits, engine.board());
+        prev = Some((speaker as u32, reply.bits));
     }
 
     // Deciding the output is the protocol's job; the coordinator computes
     // it from the final board and broadcasts it so every player ends the
     // session knowing the same answer.
-    let output = match catch_unwind(AssertUnwindSafe(|| protocol.output(&board))) {
+    let output = match catch_unwind(AssertUnwindSafe(|| engine.output())) {
         Ok(o) => o,
-        Err(_) => return abort("protocol output panicked".into(), board, conns),
+        Err(_) => {
+            return abort(
+                "protocol output panicked".into(),
+                engine.into_board(),
+                conns,
+            )
+        }
     };
     session_end(
         SessionOutcome::Completed,
         Some(output),
-        board,
+        engine.into_board(),
         start,
         conns,
         config,

@@ -72,6 +72,11 @@ pub struct NetConfig {
     /// [`frame::MAX_FRAME_LEN_CEILING`] (enforced by
     /// [`NetConfig::validate`]).
     pub max_frame_len: usize,
+    /// Runaway guard: a session whose protocol has not halted after this
+    /// many turns is aborted (`protocol exceeded … turns`). Applies to
+    /// both the v1 coordinator and the mux daemon; defaults to the serial
+    /// runner's [`bci_blackboard::protocol::MAX_STEPS`].
+    pub max_steps: usize,
 }
 
 impl Default for NetConfig {
@@ -85,6 +90,7 @@ impl Default for NetConfig {
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             max_frame_len: frame::MAX_FRAME_LEN,
+            max_steps: bci_blackboard::protocol::MAX_STEPS,
         }
     }
 }
@@ -128,6 +134,9 @@ impl NetConfig {
         if self.connect_attempts == 0 {
             return Err("connect_attempts must be at least 1".into());
         }
+        if self.max_steps == 0 {
+            return Err("max_steps must be at least 1 (0 aborts every session)".into());
+        }
         Ok(())
     }
 }
@@ -162,5 +171,11 @@ mod tests {
         assert!(config.validate().is_err(), "huge frame cap rejected");
         config.max_frame_len = frame::MIN_FRAME_LEN_CAP;
         assert!(config.validate().is_ok(), "boundary cap accepted");
+
+        let config = NetConfig {
+            max_steps: 0,
+            ..NetConfig::default()
+        };
+        assert!(config.validate().is_err(), "max_steps 0 must be rejected");
     }
 }

@@ -1,0 +1,101 @@
+//! The engine's runaway guard surfacing through the v1 TCP coordinator:
+//! a protocol that never halts must end as a *structured abort* — within
+//! `NetConfig::max_steps` turns, not at the wall-clock deadline — because
+//! the coordinator's `TurnEngine` is built with the config's step budget.
+
+use std::time::{Duration, Instant};
+
+use bci_blackboard::board::Board;
+use bci_blackboard::protocol::Protocol;
+use bci_blackboard::PlayerId;
+use bci_encoding::bitio::BitVec;
+use bci_fabric::session::SessionOutcome;
+use bci_fabric::transport::{SessionContext, DISABLED_RECORDER};
+use bci_net::transport::loopback_session;
+use bci_net::NetConfig;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Round-robins forever: `next_speaker` never returns `None`.
+struct NeverHalts {
+    k: usize,
+}
+
+impl Protocol for NeverHalts {
+    type Input = bool;
+    type Output = usize;
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_speaker(&self, board: &Board) -> Option<PlayerId> {
+        Some(board.messages().len() % self.k)
+    }
+
+    fn message(
+        &self,
+        _player: PlayerId,
+        input: &bool,
+        _board: &Board,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        BitVec::from_bools(&[*input])
+    }
+
+    fn output(&self, board: &Board) -> usize {
+        board.total_bits()
+    }
+}
+
+#[test]
+fn never_halting_protocol_is_aborted_by_the_step_budget() {
+    let max_steps = 64;
+    let config = NetConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        io_timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(200),
+        max_steps,
+        ..NetConfig::default()
+    };
+    // A deadline far beyond what 64 loopback turns take: if the outcome
+    // were `TimedOut`, the guard didn't fire — the deadline saved us.
+    let ctx = SessionContext {
+        session_id: 0,
+        deadline: Some(Duration::from_secs(60)),
+        faults: &[],
+        recorder: &DISABLED_RECORDER,
+    };
+    let proto = NeverHalts { k: 3 };
+    let inputs = vec![true, false, true];
+    let started = Instant::now();
+    let (result, _stats) = loopback_session(
+        &proto,
+        &inputs,
+        ChaCha8Rng::seed_from_u64(9),
+        &ctx,
+        &config,
+        "never-halts",
+        9,
+    );
+    match &result.outcome {
+        SessionOutcome::Aborted(reason) => {
+            assert!(
+                reason.contains("exceeded") && reason.contains("64"),
+                "abort reason must name the step budget: {reason}"
+            );
+        }
+        other => panic!("expected a runaway abort, got {other:?}"),
+    }
+    assert!(result.output.is_none(), "no output from an aborted session");
+    assert_eq!(
+        result.board.messages().len(),
+        max_steps,
+        "the guard fires after exactly max_steps writes"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the abort must come from the step budget, not the deadline"
+    );
+}
