@@ -8,8 +8,19 @@
 //!   the dense `BitSet` lane (`O(n)` per pruning round) vs the sparse
 //!   lane (`O(s)` per round) — the exact computation behind E12's
 //!   heaviest grid point.
+//! * `cic_dense_vs_batched`: the `cic_hard` evaluation over all `k` prior
+//!   slices of the hard distribution — per-slice
+//!   `information_cost_product` vs the one-pass
+//!   `information_cost_product_many` — the exact computation behind E2's
+//!   heaviest points.
+//! * `lemma7_single_vs_batched`: 200 sampler runs — per-seed `exchange` vs
+//!   `exchange_many` with its shared smoothed-ν table — the exact
+//!   computation behind every E6 point.
 
+use bci_compression::sampling::{exchange, exchange_many, SamplerConfig};
 use bci_encoding::bitset::{BitSet, SparseBitSet};
+use bci_info::dist::Dist;
+use bci_lowerbound::hard_dist::HardDist;
 use bci_protocols::{and_trees::sequential_and, sparse};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
@@ -58,5 +69,68 @@ fn bench_hw_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_transcript, bench_hw_round);
+fn bench_cic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cic_dense_vs_batched");
+    group.sample_size(10);
+    for k in [128usize, 512] {
+        let tree = sequential_and(k);
+        let mu = HardDist::new(k);
+        let slices: Vec<Vec<f64>> = (0..k).map(|z| mu.priors_given_z(z)).collect();
+        group.bench_function(format!("dense_k{k}"), |b| {
+            b.iter(|| {
+                let total: f64 = slices
+                    .iter()
+                    .map(|p| tree.information_cost_product(p))
+                    .sum();
+                black_box(total)
+            })
+        });
+        group.bench_function(format!("batched_k{k}"), |b| {
+            b.iter(|| {
+                let costs = tree.information_cost_product_many(&slices);
+                black_box(costs.iter().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma7_single_vs_batched");
+    group.sample_size(10);
+    let universe = 4096;
+    let mut probs = vec![(1.0 - 0.9) / (universe as f64 - 1.0); universe];
+    probs[0] = 0.9;
+    let eta = Dist::new(probs).expect("normalized");
+    let nu = Dist::uniform(universe);
+    let config = SamplerConfig::default();
+    let seeds: Vec<u64> = (0..200u64).collect();
+    group.bench_function("single_200_seeds", |b| {
+        b.iter(|| {
+            let total: u64 = seeds
+                .iter()
+                .map(|&s| exchange(&eta, &nu, &config, s).bits as u64)
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("batched_200_seeds", |b| {
+        b.iter(|| {
+            let total: u64 = exchange_many(&eta, &nu, &config, &seeds)
+                .iter()
+                .map(|e| e.bits as u64)
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_transcript,
+    bench_hw_round,
+    bench_cic,
+    bench_lemma7
+);
 criterion_main!(benches);

@@ -44,6 +44,8 @@
 //! assert!((tree.information_cost_product(&[0.5]) - 1.0).abs() < 1e-12);
 //! ```
 
+use std::collections::HashMap;
+
 use bci_encoding::bitio::BitVec;
 use bci_info::dist::Dist;
 use bci_info::num::{clamp_nonneg, xlog2_ratio};
@@ -294,6 +296,11 @@ impl ProtocolTree {
         self.root
     }
 
+    /// Number of nodes (leaves included); node ids are `0..num_nodes()`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Read access to a node.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id]
@@ -413,6 +420,148 @@ impl ProtocolTree {
             total += pl * div;
         }
         clamp_nonneg(total, 1e-9)
+    }
+
+    /// Batched [`information_cost_product`](Self::information_cost_product):
+    /// evaluates many prior slices against this tree in one pass, returning
+    /// one cost per slice. **Bit-for-bit identical** to calling the dense
+    /// method per slice (asserted by randomized cross-validation tests) but
+    /// asymptotically cheaper: the dense path spends two `log2` calls per
+    /// (slice, leaf, player) — `O(k³)` transcendentals for
+    /// `sequential_and(k)` under the `cic_hard` slice family — while this
+    /// path spends two per (slice, distinct prior, distinct `q`-pair).
+    ///
+    /// How the work is hoisted, and why every skipped operation is exact:
+    ///
+    /// 1. **Per-leaf structure → flat SoA, once per call.** Only *writers* —
+    ///    players whose Lemma-3 pair `q_{i,·}` differs from the neutral
+    ///    `(1,1)` — can contribute to a leaf's probability or divergence.
+    ///    Writer `(player, q-pair)` entries are laid out contiguously per
+    ///    leaf in player order, with distinct `(q₀,q₁)` pairs interned by bit
+    ///    pattern.
+    /// 2. **Per-slice tables.** Distinct prior values are deduplicated by
+    ///    bit pattern and a `(mass, g)` table is filled per
+    ///    (prior, q-pair) cell using the *exact dense-path expressions*
+    ///    (`mass = (1−p)·q₀ + p·q₁`, `post₁ = p·q₁/mass`,
+    ///    `g = xlog2_ratio(post₁,p) + xlog2_ratio(1−post₁,1−p)`), so each
+    ///    cached f64 equals what the dense loop would recompute.
+    /// 3. **Fused inner loop.** Per leaf, the probability product and the
+    ///    divergence sum run over writer entries only, in player order —
+    ///    the same multiply/add sequence as the dense loop minus the
+    ///    non-writer steps. Skipping a non-writer's probability factor is
+    ///    exact because `x × 1.0 = x` in IEEE 754, *provided* its mass
+    ///    `(1−p)·1 + p·1` is exactly `1.0`; skipping its divergence term is
+    ///    exact because that term is then exactly `+0.0` (see
+    ///    [`xlog2_ratio`]'s guarantees), and a `+0.0` addend can only affect
+    ///    the sign of a zero accumulator — a difference that cannot
+    ///    propagate (`±0.0 + g = g` for `g ≠ 0`, and `x + ±0.0 = x` in the
+    ///    final `total` fold, whose accumulator is never `-0.0`). Both
+    ///    conditions are **checked at runtime per distinct prior**; a slice
+    ///    containing a prior that fails them falls back to the dense kernel
+    ///    for that slice. Early-exiting the product at an exact `0.0` is
+    ///    also exact: masses are finite and non-negative, so `0.0` absorbs.
+    ///
+    /// The check in fact holds for *every* f64 prior in `[0,1]` — `1−p`
+    /// errs by at most a half-ulp (`2⁻⁵⁴`), so `(1−p)+p` ties back to
+    /// exactly `1.0` under round-to-even (pinned by a sweep test) — making
+    /// the dense fallback a guard against future refactors of the posterior
+    /// formulas rather than a path real data can take.
+    pub fn information_cost_product_many(&self, slices: &[Vec<f64>]) -> Vec<f64> {
+        // --- SoA layout, computed once per call -------------------------
+        let mut qpairs: Vec<[f64; 2]> = Vec::new();
+        let mut qpair_id: HashMap<(u64, u64), u32> = HashMap::new();
+        // (player, q-pair id) per writer, leaves concatenated (CSR layout).
+        let mut writers: Vec<(u32, u32)> = Vec::new();
+        let mut leaf_start: Vec<u32> = Vec::with_capacity(self.leaves.len() + 1);
+        leaf_start.push(0);
+        for leaf in &self.leaves {
+            for (i, q) in leaf.q.iter().enumerate() {
+                if q[0] == 1.0 && q[1] == 1.0 {
+                    continue;
+                }
+                let key = (q[0].to_bits(), q[1].to_bits());
+                let id = *qpair_id.entry(key).or_insert_with(|| {
+                    qpairs.push(*q);
+                    (qpairs.len() - 1) as u32
+                });
+                writers.push((i as u32, id));
+            }
+            leaf_start.push(writers.len() as u32);
+        }
+        let nq = qpairs.len();
+
+        let mut out = Vec::with_capacity(slices.len());
+        let mut prior_of = vec![0u32; self.k]; // player → distinct-prior id
+        for priors in slices {
+            self.check_priors(priors);
+            // Distinct prior values, deduplicated by bit pattern.
+            let mut pvals: Vec<f64> = Vec::new();
+            for (i, &p) in priors.iter().enumerate() {
+                let id = match pvals.iter().position(|v| v.to_bits() == p.to_bits()) {
+                    Some(id) => id,
+                    None => {
+                        pvals.push(p);
+                        pvals.len() - 1
+                    }
+                };
+                prior_of[i] = id as u32;
+            }
+            // Runtime skip-safety check (point 3 above): every distinct
+            // prior must make the neutral q-pair's mass exactly 1.0 and its
+            // divergence term exactly +0.0.
+            let skips_are_exact = pvals.iter().all(|&p| {
+                let mass = (1.0 - p) * 1.0 + p * 1.0;
+                if mass != 1.0 {
+                    return false;
+                }
+                let post1 = p * 1.0 / mass;
+                let g = xlog2_ratio(post1, p) + xlog2_ratio(1.0 - post1, 1.0 - p);
+                g.to_bits() == 0 // exactly +0.0
+            });
+            if !skips_are_exact {
+                out.push(self.information_cost_product(priors));
+                continue;
+            }
+            // (mass, g) per (distinct prior, distinct q-pair) cell — the
+            // only transcendentals in this slice.
+            let mut tab: Vec<[f64; 2]> = vec![[0.0; 2]; pvals.len() * nq];
+            for (a, &p) in pvals.iter().enumerate() {
+                for (b, q) in qpairs.iter().enumerate() {
+                    let mass = (1.0 - p) * q[0] + p * q[1];
+                    let g = if mass > 0.0 {
+                        let post1 = p * q[1] / mass;
+                        xlog2_ratio(post1, p) + xlog2_ratio(1.0 - post1, 1.0 - p)
+                    } else {
+                        // Never read: a zero mass zeroes the leaf
+                        // probability, which skips the whole leaf.
+                        0.0
+                    };
+                    tab[a * nq + b] = [mass, g];
+                }
+            }
+            let mut total = 0.0;
+            for l in 0..self.leaves.len() {
+                let lo = leaf_start[l] as usize;
+                let hi = leaf_start[l + 1] as usize;
+                let mut pl = 1.0;
+                let mut div = 0.0;
+                let mut alive = true;
+                for &(player, qp) in &writers[lo..hi] {
+                    let cell = &tab[prior_of[player as usize] as usize * nq + qp as usize];
+                    pl *= cell[0];
+                    if pl == 0.0 {
+                        alive = false;
+                        break;
+                    }
+                    div += cell[1];
+                }
+                if alive {
+                    total += pl * div;
+                }
+            }
+            out.push(clamp_nonneg(total, 1e-9));
+        }
+        out
     }
 
     /// Exact `I(Π; X)` by brute-force enumeration of all `2ᵏ` inputs.
@@ -870,6 +1019,151 @@ mod tests {
         assert_eq!(leaf0.posterior_one(1, 0.3), Some(0.3));
         // Unreachable leaf for a 0/1-prior: posterior is None.
         assert_eq!(leaf11.posterior_one(0, 0.0), None);
+    }
+
+    /// A random tree over `k` players: random speakers, 2–3 edges per
+    /// internal node, and a mix of deterministic (0/1) and smooth edge
+    /// probabilities — exercising neutral `(1,1)` q-pairs, exact-zero leaf
+    /// probabilities, and dense randomized paths alike.
+    fn random_tree(k: usize, depth: usize, rng: &mut rand_chacha::ChaCha8Rng) -> ProtocolTree {
+        fn grow(
+            b: &mut TreeBuilder,
+            k: usize,
+            depth: usize,
+            rng: &mut rand_chacha::ChaCha8Rng,
+        ) -> NodeId {
+            if depth == 0 || rng.random_bool(0.25) {
+                return b.leaf(rng.random_range(0..2));
+            }
+            let speaker = rng.random_range(0..k);
+            let n_edges = 2 + usize::from(rng.random_bool(0.4));
+            let mut probs = [[0.0f64; 3]; 2];
+            for row in &mut probs {
+                if rng.random_bool(0.3) {
+                    // Deterministic row: all mass on one edge.
+                    row[rng.random_range(0..n_edges)] = 1.0;
+                } else {
+                    let raw: Vec<f64> = (0..n_edges).map(|_| rng.random::<f64>() + 0.05).collect();
+                    let sum: f64 = raw.iter().sum();
+                    for (slot, r) in row.iter_mut().zip(&raw) {
+                        *slot = r / sum;
+                    }
+                }
+            }
+            let labels = [
+                BitVec::from_bools(&[false]),
+                BitVec::from_bools(&[true, false]),
+                BitVec::from_bools(&[true, true]),
+            ];
+            let edges: Vec<(BitVec, [f64; 2], NodeId)> = (0..n_edges)
+                .map(|e| {
+                    let child = grow(b, k, depth - 1, rng);
+                    (labels[e].clone(), [probs[0][e], probs[1][e]], child)
+                })
+                .collect();
+            b.internal(speaker, edges)
+        }
+        let mut b = TreeBuilder::new(k);
+        // Force at least one internal node so the tree is never a bare leaf.
+        let speaker = rng.random_range(0..k);
+        let left = grow(&mut b, k, depth, rng);
+        let right = grow(&mut b, k, depth, rng);
+        let root = b.internal(
+            speaker,
+            vec![
+                (BitVec::from_bools(&[false]), [1.0, 0.0], left),
+                (BitVec::from_bools(&[true]), [0.0, 1.0], right),
+            ],
+        );
+        b.finish(root)
+    }
+
+    #[test]
+    fn batched_ic_matches_dense_bit_for_bit_on_randomized_trees() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xBA7C);
+        for trial in 0..20 {
+            let k = 1 + (trial % 5);
+            let t = random_tree(k, 4, &mut rng);
+            // Slice families: cic_hard-shaped (one 0.0 prior, rest 1−1/k),
+            // degenerate all-0/all-1, uniform, and random mixtures that
+            // include exact 0.0/1.0 entries.
+            let mut slices: Vec<Vec<f64>> = Vec::new();
+            for z in 0..k {
+                let mut priors = vec![1.0 - 1.0 / k as f64; k];
+                priors[z] = 0.0;
+                slices.push(priors);
+            }
+            slices.push(vec![0.0; k]);
+            slices.push(vec![1.0; k]);
+            slices.push(vec![0.5; k]);
+            for _ in 0..6 {
+                slices.push(
+                    (0..k)
+                        .map(|_| match rng.random_range(0..4) {
+                            0 => 0.0,
+                            1 => 1.0,
+                            2 => 0.25,
+                            _ => rng.random::<f64>(),
+                        })
+                        .collect(),
+                );
+            }
+            let batched = t.information_cost_product_many(&slices);
+            assert_eq!(batched.len(), slices.len());
+            for (slice, b) in slices.iter().zip(&batched) {
+                let dense = t.information_cost_product(slice);
+                assert_eq!(
+                    b.to_bits(),
+                    dense.to_bits(),
+                    "trial {trial}, k {k}, slice {slice:?}: batched {b} vs dense {dense}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_check_holds_across_the_prior_range() {
+        // Documents the analysis behind the runtime skip check: for every
+        // f64 p ∈ [0,1], fl(1−p) errs by at most a half-ulp (2⁻⁵⁴, since
+        // 1−p ∈ [0.5, 1] where the ulp is 2⁻⁵³), so fl(fl(1−p)+p) lands
+        // within a half-ulp of 1.0 and ties round to even — exactly 1.0.
+        // The fallback branch is therefore unreachable for valid priors;
+        // it guards future refactors of the posterior formulas, not data.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut priors = vec![
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            0.5 - f64::EPSILON / 4.0,
+            0.5,
+            0.5 + f64::EPSILON / 2.0,
+            1.0 - f64::EPSILON / 2.0,
+            1.0,
+        ];
+        priors.extend((0..10_000).map(|_| rng.random::<f64>()));
+        for p in priors {
+            let mass = (1.0 - p) * 1.0 + p * 1.0;
+            assert_eq!(mass, 1.0, "p = {p:e}");
+            let post1 = p * 1.0 / mass;
+            let g = xlog2_ratio(post1, p) + xlog2_ratio(1.0 - post1, 1.0 - p);
+            assert_eq!(g.to_bits(), 0, "p = {p:e}");
+        }
+    }
+
+    #[test]
+    fn posterior_one_pins_zero_one_prior_limits() {
+        let t = and2();
+        let leaf11 = t.leaves().iter().find(|l| l.output == 1).unwrap();
+        let leaf0 = t.leaves().iter().find(|l| l.path_bits == 1).unwrap();
+        // p = 0: either the leaf is unreachable (None) or the posterior is
+        // exactly 0 — a zero prior can never be updated upward.
+        assert_eq!(leaf11.posterior_one(0, 0.0), None);
+        assert_eq!(leaf0.posterior_one(1, 0.0), Some(0.0));
+        // p = 1: symmetric — the posterior is exactly 1 where defined.
+        assert_eq!(leaf11.posterior_one(0, 1.0), Some(1.0));
+        assert_eq!(leaf0.posterior_one(1, 1.0), Some(1.0));
+        // A player with no writes on the path keeps its prior bitwise.
+        assert_eq!(leaf0.posterior_one(1, 0.3), Some(0.3));
     }
 
     #[test]

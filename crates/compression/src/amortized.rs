@@ -22,7 +22,7 @@
 use bci_blackboard::tree::{Node, ProtocolTree};
 use rand::Rng;
 
-use crate::cost_model::sample_cost;
+use crate::cost_model::{sample_binomial, sample_cost};
 
 /// Result of compressing the n-fold protocol.
 #[derive(Debug, Clone)]
@@ -155,6 +155,165 @@ pub fn compress_nfold<R: Rng + ?Sized>(
     }
 }
 
+/// One `(message cell)` of a node's per-round partition in the modeled
+/// lane: copies whose speaker bit is `b` and whose sampled message is edge
+/// `m` — everything the cost accounting needs, precomputed.
+struct Cell {
+    child: usize,
+    /// `Pr[bit = b, message = m | at this node] = post[b]·prob[b][m]`.
+    p: f64,
+    /// Per-copy contribution `log₂(η(m)/ν(m))`.
+    log_ratio: f64,
+    /// Raw label bits of the edge.
+    label_bits: u64,
+}
+
+/// Per-internal-node model: the cells plus the per-copy universe term.
+struct NodeModel {
+    log2_edges: f64,
+    cells: Vec<Cell>,
+}
+
+/// Builds the per-node partition models by walking the tree once with the
+/// running Lemma 3 `q`-products (a node's root path is unique, so the
+/// speaker posterior is a property of the node).
+fn build_node_models(tree: &ProtocolTree, priors: &[f64]) -> Vec<Option<NodeModel>> {
+    let k = tree.num_players();
+    let mut models: Vec<Option<NodeModel>> = (0..tree.num_nodes()).map(|_| None).collect();
+    let mut stack: Vec<(usize, Vec<[f64; 2]>)> = vec![(tree.root(), vec![[1.0; 2]; k])];
+    while let Some((id, q)) = stack.pop() {
+        let (speaker, edges) = match tree.node(id) {
+            Node::Leaf { .. } => continue,
+            Node::Internal { speaker, edges } => (*speaker, edges),
+        };
+        let w0 = (1.0 - priors[speaker]) * q[speaker][0];
+        let w1 = priors[speaker] * q[speaker][1];
+        let mass = w0 + w1;
+        debug_assert!(mass > 0.0, "node path has zero probability");
+        let post = [w0 / mass, w1 / mass];
+        let mut cells = Vec::with_capacity(2 * edges.len());
+        for edge in edges {
+            let nu_m = post[0] * edge.prob[0] + post[1] * edge.prob[1];
+            for (&post_b, &eta_m) in post.iter().zip(&edge.prob) {
+                let p = post_b * eta_m;
+                if p == 0.0 {
+                    continue;
+                }
+                cells.push(Cell {
+                    child: edge.child,
+                    p,
+                    log_ratio: (eta_m / nu_m).log2(),
+                    label_bits: edge.label.len() as u64,
+                });
+            }
+            let mut next_q = q.clone();
+            next_q[speaker][0] *= edge.prob[0];
+            next_q[speaker][1] *= edge.prob[1];
+            stack.push((edge.child, next_q));
+        }
+        models[id] = Some(NodeModel {
+            log2_edges: (edges.len() as f64).log2(),
+            cells,
+        });
+    }
+    models
+}
+
+/// The Theorem 3 cost model at scale: compresses `n` parallel copies
+/// **without materializing them**. Instead of `n` per-copy states it tracks
+/// *how many* copies sit at each tree node and partitions each node's count
+/// across its `(speaker bit, message)` cells with multinomial draws
+/// (sequential [`sample_binomial`]) — per-trial work is
+/// `O(rounds · nodes)`, independent of `n`, so the sweep extends to
+/// `n = 2³⁰` and beyond.
+///
+/// The path law is exactly that of [`compress_nfold`]: a copy's transition
+/// probability at a node is `ν(m) = Σ_b post[b]·prob[b][m]`, which is what
+/// the cells marginalize to. The log-ratio accounting re-draws the speaker
+/// bit from the node posterior each round, so it is exact whenever no
+/// player speaks twice on one root path (true of every AND tree E7 sweeps)
+/// and matches [`compress_nfold`] in expectation otherwise. Either way this
+/// is a *different* sampling path — numbers agree in distribution, not
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `trials == 0`, or the priors are invalid.
+pub fn compress_nfold_modeled<R: Rng + ?Sized>(
+    tree: &ProtocolTree,
+    priors: &[f64],
+    n: u64,
+    trials: usize,
+    rng: &mut R,
+) -> AmortizedReport {
+    assert!(n > 0, "need at least one copy");
+    assert!(trials > 0, "need at least one trial");
+    assert_eq!(priors.len(), tree.num_players(), "prior length mismatch");
+    let ic = tree.information_cost_product(priors);
+    let models = build_node_models(tree, priors);
+
+    let mut total_compressed = 0u64;
+    let mut total_raw = 0u64;
+    let mut max_rounds = 0usize;
+    for _ in 0..trials {
+        let mut counts = vec![0u64; models.len()];
+        counts[tree.root()] = n;
+        let mut rounds = 0usize;
+        loop {
+            let mut sum_log_ratio = 0.0f64;
+            let mut log2_universe = 0.0f64;
+            let mut any_active = false;
+            let mut next = vec![0u64; models.len()];
+            for (id, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let model = match &models[id] {
+                    None => continue, // leaf: these copies are finished
+                    Some(m) => m,
+                };
+                any_active = true;
+                log2_universe += c as f64 * model.log2_edges;
+                // Multinomial split of the c copies across the cells.
+                let mut remaining = c;
+                let mut mass_left = 1.0f64;
+                for (i, cell) in model.cells.iter().enumerate() {
+                    let cnt = if i + 1 == model.cells.len() {
+                        remaining
+                    } else {
+                        let cond = (cell.p / mass_left).clamp(0.0, 1.0);
+                        sample_binomial(remaining, cond, rng).min(remaining)
+                    };
+                    remaining -= cnt;
+                    mass_left -= cell.p;
+                    if cnt == 0 {
+                        continue;
+                    }
+                    sum_log_ratio += cnt as f64 * cell.log_ratio;
+                    total_raw += cnt * cell.label_bits;
+                    next[cell.child] += cnt;
+                }
+            }
+            if !any_active {
+                break;
+            }
+            counts = next;
+            rounds += 1;
+            let s = sum_log_ratio.ceil().max(0.0) as u64;
+            total_compressed += sample_cost(s, log2_universe, rng).total();
+        }
+        max_rounds = max_rounds.max(rounds);
+    }
+    AmortizedReport {
+        n_copies: n as usize,
+        trials,
+        rounds: max_rounds,
+        mean_compressed_bits: total_compressed as f64 / trials as f64,
+        mean_raw_bits: total_raw as f64 / trials as f64,
+        ic_per_copy: ic,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +413,70 @@ mod tests {
     fn zero_copies_rejected() {
         let tree = sequential_and(3);
         compress_nfold(&tree, &[0.5; 3], 0, 1, &mut rng(0));
+    }
+
+    #[test]
+    fn modeled_lane_matches_literal_lane_in_distribution() {
+        // Same tree, priors, and n, many trials: the count-based model's
+        // mean compressed/raw costs must agree with the per-copy
+        // simulation within Monte-Carlo noise.
+        let k = 8;
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        for &n in &[4usize, 64] {
+            let lit = compress_nfold(&tree, &priors, n, 400, &mut rng(11));
+            let model = compress_nfold_modeled(&tree, &priors, n as u64, 400, &mut rng(12));
+            assert_eq!(lit.rounds, model.rounds, "n={n}");
+            let raw_gap = (lit.mean_raw_bits - model.mean_raw_bits).abs();
+            assert!(
+                raw_gap / lit.mean_raw_bits < 0.05,
+                "n={n}: raw {} vs modeled {}",
+                lit.mean_raw_bits,
+                model.mean_raw_bits
+            );
+            let comp_gap = (lit.mean_compressed_bits - model.mean_compressed_bits).abs();
+            assert!(
+                comp_gap / lit.mean_compressed_bits < 0.1,
+                "n={n}: compressed {} vs modeled {}",
+                lit.mean_compressed_bits,
+                model.mean_compressed_bits
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_lane_reaches_a_billion_copies() {
+        // The whole point: n = 2^30 without materializing a single copy.
+        let k = 16;
+        let tree = sequential_and(k);
+        let priors = vec![1.0 - 1.0 / k as f64; k];
+        let rep = compress_nfold_modeled(&tree, &priors, 1u64 << 30, 3, &mut rng(13));
+        assert_eq!(rep.n_copies, 1usize << 30);
+        assert!(rep.rounds <= k);
+        // At this n the per-round O(log(n·IC)) overhead is invisible:
+        // per-copy compressed cost sits essentially on IC.
+        let gap = (rep.per_copy_compressed() - rep.ic_per_copy).abs();
+        assert!(
+            gap < 0.01 * rep.ic_per_copy + 1e-4,
+            "per-copy {} vs IC {}",
+            rep.per_copy_compressed(),
+            rep.ic_per_copy
+        );
+    }
+
+    #[test]
+    fn modeled_lane_works_on_randomized_trees() {
+        let k = 5;
+        let tree = noisy_sequential_and(k, 0.1);
+        let priors = vec![0.85; k];
+        let lit = compress_nfold(&tree, &priors, 32, 300, &mut rng(14));
+        let model = compress_nfold_modeled(&tree, &priors, 32, 300, &mut rng(15));
+        let gap = (lit.mean_compressed_bits - model.mean_compressed_bits).abs();
+        assert!(
+            gap / lit.mean_compressed_bits < 0.1,
+            "compressed {} vs modeled {}",
+            lit.mean_compressed_bits,
+            model.mean_compressed_bits
+        );
     }
 }

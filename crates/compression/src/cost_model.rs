@@ -63,6 +63,49 @@ pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
     (lambda + lambda.sqrt() * z + 0.5).floor().max(0.0)
 }
 
+/// Samples a `Binomial(n, p)` variate without `n` coin flips.
+///
+/// Exact Bernoulli summation up to `n ≤ 1024`; beyond that a Poisson
+/// approximation when the mean is small (`np ≤ 30`, where `p` is tiny) and
+/// a clamped normal approximation otherwise — the same `log₂`-resolution
+/// regime as [`sample_poisson`]. This is what lets the Theorem 3 model
+/// partition `2³⁰` protocol copies across message cells in `O(1)` draws
+/// per cell.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]` or is NaN.
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "bad probability {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        // Mirror so the Poisson branch below only sees small p.
+        return n - sample_binomial(n, 1.0 - p, rng);
+    }
+    if n <= 1024 {
+        return (0..n).filter(|_| rng.random_bool(p)).count() as u64;
+    }
+    let mean = n as f64 * p;
+    if mean <= 30.0 {
+        // p ≤ 30/1024: the Poisson limit of the binomial.
+        return (sample_poisson(mean, rng) as u64).min(n);
+    }
+    // np(1−p) ≥ 15 here: normal regime.
+    let z: f64 = {
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let var = mean * (1.0 - p);
+    let x = (mean + var.sqrt() * z + 0.5).floor().max(0.0);
+    (x as u64).min(n)
+}
+
 /// One sampled invocation of the Lemma 7 protocol's cost law.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampledCost {
@@ -108,6 +151,11 @@ pub fn sample_cost<R: Rng + ?Sized>(s: u64, log2_universe: f64, rng: &mut R) -> 
     let index_bits = if s as f64 >= log2_universe {
         // The scaled prior covers everything: |P'| ≈ |U|.
         log2_universe.ceil() as u64
+    } else if s >= 64 {
+        // 2^s has no exact u64/f64 form and Poisson(λ) concentrates at λ
+        // with relative deviation O(λ^{-1/2}): log₂|P'| = s to sub-bit
+        // accuracy. (The n = 2³⁰ joint rounds of Theorem 3 land here.)
+        s
     } else {
         let p_size = 1.0 + sample_poisson(2f64.powf(s as f64), rng);
         (p_size).log2().ceil().max(0.0) as u64
@@ -153,6 +201,40 @@ mod tests {
     fn poisson_zero() {
         let mut r = rng(3);
         assert_eq!(sample_poisson(0.0, &mut r), 0.0);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_across_regimes() {
+        let mut r = rng(8);
+        // (n, p) hitting the exact, Poisson, and normal branches.
+        for &(n, p) in &[(40u64, 0.3), (512, 0.9), (100_000, 0.0001), (1 << 20, 0.25)] {
+            let trials = 20_000;
+            let samples: Vec<f64> = (0..trials)
+                .map(|_| sample_binomial(n, p, &mut r) as f64)
+                .collect();
+            let mean = samples.iter().sum::<f64>() / trials as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / trials as f64;
+            let (m, v) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            assert!(
+                (mean - m).abs() < 4.0 * (v / trials as f64).sqrt() + 0.05,
+                "n={n} p={p}: mean {mean} vs {m}"
+            );
+            assert!(
+                (var - v).abs() / v.max(1.0) < 0.1,
+                "n={n} p={p}: var {var} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(9);
+        assert_eq!(sample_binomial(0, 0.5, &mut r), 0);
+        assert_eq!(sample_binomial(1000, 0.0, &mut r), 0);
+        assert_eq!(sample_binomial(1000, 1.0, &mut r), 1000);
+        for _ in 0..100 {
+            assert!(sample_binomial(7, 0.5, &mut r) <= 7);
+        }
     }
 
     #[test]

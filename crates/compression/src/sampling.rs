@@ -240,6 +240,184 @@ pub fn exchange_traced(
     }
 }
 
+/// Batched [`exchange`]: runs the protocol once per seed in `seeds`,
+/// returning the exchanges in seed order. **Identical output per seed**
+/// (asserted trial-by-trial in the tests): the public stream is positional
+/// in the seed, so batching can't change any draw.
+///
+/// What the batch amortizes over the single-seed path, which replays the
+/// public stream three times per run (sender scan, sender block re-scan,
+/// receiver re-scan) and smooths `ν` twice:
+///
+/// * the smoothed-ν table is computed **once per batch**;
+/// * each seed's stream is drawn **once**, block by block, into a reused
+///   buffer — the accepted block's points are then read back for the
+///   survivor set instead of re-seeding and skipping the prefix;
+/// * the receiver's sample is taken from the same survivor set. On the
+///   non-truncated path `receive` provably returns the sender's point
+///   (the decoded index *is* the sender's index within the survivors it
+///   re-derives from the same stream), so no third replay is needed.
+pub fn exchange_many(
+    eta: &Dist,
+    nu: &Dist,
+    config: &SamplerConfig,
+    seeds: &[u64],
+) -> Vec<Exchange> {
+    exchange_many_traced(eta, nu, config, seeds, &Recorder::disabled())
+}
+
+/// Like [`exchange_many`], but with one telemetry flush for the whole
+/// batch: counters are accumulated locally and added once, and the
+/// `D(η‖ν)` budget for per-run point events is computed once per batch
+/// instead of per run (it is `O(|U|)`).
+pub fn exchange_many_traced(
+    eta: &Dist,
+    nu: &Dist,
+    config: &SamplerConfig,
+    seeds: &[u64],
+    recorder: &Recorder,
+) -> Vec<Exchange> {
+    assert_eq!(eta.len(), nu.len(), "η and ν must share a support");
+    assert!(config.max_blocks >= 1, "need at least one block");
+    assert!(
+        (0.0..1.0).contains(&config.smoothing),
+        "smoothing outside [0,1)"
+    );
+    let u = eta.len();
+    let nu_s = smoothed(nu, config.smoothing); // shared across the batch
+    let budget = (recorder.enabled() && recorder.events_enabled())
+        .then(|| lemma7_bound(bci_info::divergence::kl(eta, nu)));
+
+    let mut out = Vec::with_capacity(seeds.len());
+    let mut block_buf: Vec<(usize, f64)> = Vec::with_capacity(u);
+    // Batch-local telemetry, flushed once after the loop.
+    let mut runs_accepted = 0u64;
+    let mut points_rejected = 0u64;
+    let mut truncations = 0u64;
+    let mut per_run: Vec<(u64, u64, u64, bool)> = Vec::new(); // (attempts, bits, s, trunc)
+
+    for &seed in seeds {
+        let mut w = BitWriter::new();
+        let mut stream = StdRng::seed_from_u64(seed);
+        // Draw the stream block by block into the buffer, stopping after
+        // the first block containing an accepted point. Completing that
+        // block costs draws the single-seed sender skips, but draws are
+        // positional in the seed, so no value changes — and the buffered
+        // block replaces both downstream re-scans.
+        let mut accepted: Option<(u64, usize)> = None;
+        for block in 0..config.max_blocks {
+            block_buf.clear();
+            for i in 0..u as u64 {
+                let (x, p) = next_point(u, &mut stream);
+                block_buf.push((x, p));
+                if accepted.is_none() && p < eta.prob(x) {
+                    accepted = Some((block * u as u64 + i, x));
+                }
+            }
+            if accepted.is_some() {
+                break;
+            }
+        }
+        let limit = config.max_blocks * u as u64;
+        let (sender_sample, receiver_sample, s, truncated) = match accepted {
+            None => {
+                elias::gamma_encode(config.max_blocks + 1, &mut w);
+                // Private fallbacks (not coordinated) — same derivations as
+                // the single-seed sender and `receive`.
+                let mut sender_private = StdRng::seed_from_u64(seed ^ 0x5EED_FA11_BACC_u64);
+                let mut receiver_private = StdRng::seed_from_u64(seed ^ 0x0DD_FA11_u64);
+                (
+                    eta.sample(&mut sender_private),
+                    nu.sample(&mut receiver_private),
+                    0u64,
+                    true,
+                )
+            }
+            Some((t, x)) => {
+                let block = t / u as u64; // 0-based internally
+                elias::gamma_encode(block + 1, &mut w);
+                let ratio = eta.prob(x) / nu_s[x];
+                let s = ratio.log2().ceil().max(0.0) as u64;
+                elias::gamma_encode(s + 1, &mut w);
+                // Survivor set P' of the accepted block, read back from the
+                // buffer instead of a re-seeded replay.
+                let scale = 2f64.powf(s as f64);
+                let t_in_block = (t - block * u as u64) as usize;
+                let mut index_in_p = 0u64;
+                let mut p_size = 0u64;
+                for (i, &(xx, pp)) in block_buf.iter().enumerate() {
+                    if pp < (scale * nu_s[xx]).min(1.0) {
+                        if i == t_in_block {
+                            index_in_p = p_size;
+                        }
+                        p_size += 1;
+                    }
+                    if i == t_in_block {
+                        debug_assert!(
+                            pp < (scale * nu_s[xx]).min(1.0),
+                            "sender's point must survive the scaled prior"
+                        );
+                    }
+                }
+                let width = bits_for_count(p_size);
+                w.write_bits(index_in_p, width);
+                // The receivers re-derive the same survivor set from the
+                // same public stream and read back index_in_p, so their
+                // sample is the sender's point.
+                (x, x, s, false)
+            }
+        };
+        let bits = w.into_bits();
+        if recorder.enabled() {
+            let attempts = accepted.map(|(t, _)| t + 1).unwrap_or(limit);
+            runs_accepted += u64::from(accepted.is_some());
+            points_rejected += attempts - u64::from(accepted.is_some());
+            truncations += u64::from(truncated);
+            per_run.push((attempts, bits.len() as u64, s, truncated));
+        }
+        out.push(Exchange {
+            sender_sample,
+            receiver_sample,
+            bits: bits.len(),
+            s,
+            truncated,
+        });
+    }
+
+    if recorder.enabled() {
+        recorder.counter_add("sampling.runs", seeds.len() as u64);
+        recorder.counter_add("sampling.points_accepted", runs_accepted);
+        recorder.counter_add("sampling.points_rejected", points_rejected);
+        if truncations > 0 {
+            recorder.counter_add("sampling.truncated", truncations);
+        }
+        for (&seed, &(attempts, bits, s, truncated)) in seeds.iter().zip(&per_run) {
+            recorder.hist_record(
+                "sampling.attempts",
+                attempts,
+                bci_telemetry::hist::ATTEMPTS_BOUNDS,
+            );
+            recorder.hist_record("sampling.bits", bits, bci_telemetry::hist::BITS_BOUNDS);
+            recorder.hist_record("sampling.s", s, bci_telemetry::hist::BITS_BOUNDS);
+            if let Some(budget) = budget {
+                recorder.point(
+                    SpanKind::Trial,
+                    seed,
+                    vec![
+                        ("attempts", Json::UInt(attempts)),
+                        ("bits", Json::UInt(bits)),
+                        ("s", Json::UInt(s)),
+                        ("truncated", Json::Bool(truncated)),
+                        ("budget_bits", Json::Num(budget)),
+                    ],
+                );
+            }
+        }
+    }
+
+    out
+}
+
 /// Number of bits to index one of `count` alternatives (`0` when `count ≤ 1`).
 fn bits_for_count(count: u64) -> u32 {
     if count <= 1 {
@@ -410,6 +588,82 @@ mod tests {
         // mass it is 1 − (1 − 1/u)^u ≈ 0.63, so ~37% truncation expected.
         assert!(truncations > 30, "got {truncations}");
         assert!(truncations < 200, "got {truncations}");
+    }
+
+    #[test]
+    fn batched_exchange_is_identical_to_single_runs() {
+        // exchange_many must return, per seed, exactly what exchange
+        // returns — across smooth, skewed, zero-mass-prior, and
+        // truncation-prone settings.
+        let cases: Vec<(Dist, Dist, SamplerConfig)> = vec![
+            (
+                Dist::new(vec![0.05, 0.15, 0.5, 0.3]).unwrap(),
+                Dist::uniform(4),
+                cfg(),
+            ),
+            (
+                Dist::new(vec![0.1, 0.1, 0.8]).unwrap(),
+                Dist::new(vec![0.5, 0.5, 0.0]).unwrap(),
+                cfg(),
+            ),
+            (
+                Dist::delta(64, 5),
+                Dist::uniform(64),
+                SamplerConfig {
+                    max_blocks: 1,
+                    smoothing: 1e-6,
+                },
+            ),
+        ];
+        for (eta, nu, config) in cases {
+            let seeds: Vec<u64> = (0..200).map(|i| i * 65537).collect();
+            let batched = exchange_many(&eta, &nu, &config, &seeds);
+            assert_eq!(batched.len(), seeds.len());
+            let mut saw_truncation = false;
+            for (&seed, b) in seeds.iter().zip(&batched) {
+                let single = exchange(&eta, &nu, &config, seed);
+                assert_eq!(b.sender_sample, single.sender_sample, "seed {seed}");
+                assert_eq!(b.receiver_sample, single.receiver_sample, "seed {seed}");
+                assert_eq!(b.bits, single.bits, "seed {seed}");
+                assert_eq!(b.s, single.s, "seed {seed}");
+                assert_eq!(b.truncated, single.truncated, "seed {seed}");
+                saw_truncation |= b.truncated;
+            }
+            if config.max_blocks == 1 {
+                assert!(saw_truncation, "truncation path must be exercised");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_tracing_matches_per_run_tracing() {
+        let eta = Dist::new(vec![0.05, 0.15, 0.5, 0.3]).unwrap();
+        let nu = Dist::uniform(4);
+        let seeds: Vec<u64> = (0..50).map(|i| i * 7919).collect();
+        let per_run = Recorder::new();
+        for &seed in &seeds {
+            exchange_traced(&eta, &nu, &cfg(), seed, &per_run);
+        }
+        let batched = Recorder::new();
+        exchange_many_traced(&eta, &nu, &cfg(), &seeds, &batched);
+        let a = per_run.snapshot();
+        let b = batched.snapshot();
+        for key in [
+            "sampling.runs",
+            "sampling.points_accepted",
+            "sampling.points_rejected",
+            "sampling.truncated",
+        ] {
+            assert_eq!(a.counter(key), b.counter(key), "{key}");
+        }
+        for key in ["sampling.attempts", "sampling.bits", "sampling.s"] {
+            assert_eq!(
+                a.hist(key).map(|h| h.count()),
+                b.hist(key).map(|h| h.count()),
+                "{key}"
+            );
+        }
+        assert_eq!(per_run.events().len(), batched.events().len());
     }
 
     #[test]

@@ -3,17 +3,27 @@
 //! Sweeps the number of speakers `ℓ` of the truncated deterministic
 //! protocol and measures its error under the two-point distribution `μ′`,
 //! three ways: the closed form `(1−ε′)(1−ℓ/k)`, the exact tree computation,
-//! and a Monte-Carlo run of the executable protocol. The error crosses `ε`
-//! exactly at the lemma's threshold `(1 − ε/(1−ε′))·k` — linear in `k`.
+//! and a Monte-Carlo estimate. The error crosses `ε` exactly at the lemma's
+//! threshold `(1 − ε/(1−ε′))·k` — linear in `k`.
+//!
+//! The Monte-Carlo lane is the batched fast path: each trial draws its `μ′`
+//! input in compressed form ([`FoolingDist::sample_zero`] — just the
+//! position of the single zero, no `Vec<bool>` materialization) and applies
+//! the truncated protocol's decision rule directly ([`trial_errs`]; the
+//! rule is cross-checked against running the executable [`TruncatedAnd`](bci_protocols::and::TruncatedAnd)
+//! through the engine in the tests). Trials are seeded per-trial via
+//! [`derive_trial_seed`], which is what lets the registry's [`TrialSplit`]
+//! hook fan a 20 000-trial point across workers byte-identically.
 
-use bci_blackboard::runner::monte_carlo;
+use std::ops::Range;
+
+use bci_blackboard::runner::derive_trial_seed;
 use bci_lowerbound::counting::FoolingDist;
-use bci_protocols::and::{and_function, TruncatedAnd};
 use bci_protocols::and_trees::truncated_and;
 use bci_telemetry::Json;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult, TrialSplit};
 use crate::table::{f, Table};
 
 /// One speaker-count sweep point.
@@ -27,10 +37,21 @@ pub struct Row {
     pub closed_form: f64,
     /// Exact error from the protocol tree.
     pub exact: f64,
-    /// Monte-Carlo error of the executable protocol.
+    /// Monte-Carlo error of the protocol's decision rule.
     pub monte_carlo: f64,
     /// Whether the lemma predicts error `> ε` at this `ℓ`.
     pub below_threshold: bool,
+}
+
+/// Error counts from a contiguous range of Monte-Carlo trials — the
+/// [`TrialSplit`] partial. Integer sums, so merging partials in trial
+/// order is trivially identical to one whole-point pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial {
+    /// Trials in the range that erred.
+    pub errors: u64,
+    /// Trials in the range.
+    pub trials: u64,
 }
 
 /// Parameters of the experiment.
@@ -60,32 +81,69 @@ impl Default for Params {
     }
 }
 
-/// Runs one speaker-fraction point under its own Monte-Carlo RNG.
-pub fn run_point(params: &Params, &frac: &f64, seed: u64) -> Row {
+/// Speakers at sweep fraction `frac`.
+fn speakers_for(k: usize, frac: f64) -> usize {
+    ((k as f64 * frac).round() as usize).min(k)
+}
+
+/// Whether one Monte-Carlo trial errs: draws a `μ′` input in compressed
+/// form and applies the truncated protocol's decision rule directly.
+///
+/// The rule: the protocol announces bits in order, stopping at the first
+/// zero or after `speakers` announcements, and outputs 1 iff every
+/// announced bit was 1. So it outputs the truth on the all-ones input and
+/// is wrong on a single-zero input exactly when the zero is silent
+/// (`z ≥ speakers`). The tests cross-check this against running the
+/// executable [`TruncatedAnd`](bci_protocols::and::TruncatedAnd) through the engine on every input class.
+pub fn trial_errs<R: Rng + ?Sized>(d: &FoolingDist, speakers: usize, rng: &mut R) -> bool {
+    match d.sample_zero(rng) {
+        // All-ones input: the optimistic output 1 is correct.
+        None => false,
+        // Single zero at z: truth is 0, output is 0 iff the zero spoke.
+        Some(z) => z >= speakers,
+    }
+}
+
+/// Runs trials `range` of one speaker-fraction point. Trial `t` draws from
+/// its own `derive_trial_seed(point_seed, t)` stream, so any partition of
+/// `0..trials` reassembles into the same counts.
+pub fn run_trial_range(params: &Params, frac: f64, point_seed: u64, range: Range<u64>) -> Partial {
+    let d = FoolingDist::new(params.k, params.eps_prime);
+    let speakers = speakers_for(params.k, frac);
+    let trials = range.end - range.start;
+    let mut errors = 0u64;
+    for t in range {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(derive_trial_seed(point_seed, t));
+        errors += u64::from(trial_errs(&d, speakers, &mut rng));
+    }
+    Partial { errors, trials }
+}
+
+/// Assembles the full [`Row`] for a point from its merged Monte-Carlo
+/// counts (the deterministic columns don't depend on the trials).
+fn finish_row(params: &Params, frac: f64, mc: Partial) -> Row {
     let d = FoolingDist::new(params.k, params.eps_prime);
     let threshold = d.speaker_threshold(params.eps);
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let speakers = ((params.k as f64 * frac).round() as usize).min(params.k);
+    let speakers = speakers_for(params.k, frac);
     let closed_form = d.truncated_error(speakers);
     // error_of_tree enumerates the μ′ support of k+1 inputs
     // directly — no 2^k blowup — so it is exact at any k.
     let exact = d.error_of_tree(&truncated_and(params.k, speakers));
-    let protocol = TruncatedAnd::new(params.k, speakers);
-    let report = monte_carlo(
-        &protocol,
-        |rng| d.sample(rng),
-        and_function,
-        params.trials,
-        &mut rng,
-    );
     Row {
         k: params.k,
         speakers,
         closed_form,
         exact,
-        monte_carlo: report.error_rate(),
+        monte_carlo: mc.errors as f64 / mc.trials as f64,
         below_threshold: (speakers as f64) < threshold,
     }
+}
+
+/// Runs one speaker-fraction point: Monte-Carlo counts over the full trial
+/// range plus the deterministic columns.
+pub fn run_point(params: &Params, &frac: &f64, seed: u64) -> Row {
+    let mc = run_trial_range(params, frac, seed, 0..params.trials);
+    finish_row(params, frac, mc)
 }
 
 /// Runs the sweep over `speaker_fracs · k` speakers: point `i` computes
@@ -185,11 +243,55 @@ impl Experiment for E4 {
             .collect();
         vec![(preamble(&Params::default()), table(&rows))]
     }
+
+    fn splitter(&self) -> Option<&dyn TrialSplit> {
+        Some(self)
+    }
+}
+
+impl TrialSplit for E4 {
+    fn trials(&self, _point: &Point) -> u64 {
+        Params::default().trials
+    }
+
+    fn chunk(&self) -> u64 {
+        // Each trial is a ChaCha8 seed + one or two draws (~100 ns); the
+        // default 8-trial chunk would make 2 500 sub-jobs per point and
+        // drown the work in dispatch. 2 048 trials ≈ 0.2 ms per sub-job,
+        // ~10 sub-jobs per point — enough to spread 8 points across any
+        // realistic pool.
+        2_048
+    }
+
+    fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult {
+        let params = Params::default();
+        PointResult::new(run_trial_range(
+            &params,
+            default_fracs()[point.index()],
+            point_seed,
+            range,
+        ))
+    }
+
+    fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult {
+        let params = Params::default();
+        let mut total = Partial {
+            errors: 0,
+            trials: 0,
+        };
+        for part in parts {
+            let p = part.downcast::<Partial>();
+            total.errors += p.errors;
+            total.trials += p.trials;
+        }
+        PointResult::new(finish_row(&params, default_fracs()[point.index()], total))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bci_protocols::and::{and_function, TruncatedAnd};
 
     #[test]
     fn three_measurements_agree() {
@@ -227,6 +329,78 @@ mod tests {
             } else {
                 assert!(r.exact <= params.eps + 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn decision_rule_matches_engine_execution() {
+        // The fast lane's rule — "err iff the zero is silent" — against
+        // the executable TruncatedAnd run through the engine, on every
+        // input class μ′ can produce, for a spread of (k, speakers).
+        for k in [1usize, 2, 5, 9] {
+            for speakers in 0..=k {
+                let protocol = TruncatedAnd::new(k, speakers);
+                let inputs: Vec<Option<usize>> =
+                    std::iter::once(None).chain((0..k).map(Some)).collect();
+                for zero in inputs {
+                    let mut x = vec![true; k];
+                    if let Some(z) = zero {
+                        x[z] = false;
+                    }
+                    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+                    let exec = bci_blackboard::protocol::run(&protocol, &x, &mut rng);
+                    let engine_errs = exec.output != and_function(&x);
+                    let rule_errs = match zero {
+                        None => false,
+                        Some(z) => z >= speakers,
+                    };
+                    assert_eq!(
+                        rule_errs, engine_errs,
+                        "k={k} speakers={speakers} zero={zero:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trial_errs_consumes_the_same_draws_as_the_materialized_sampler() {
+        // The compressed sampler must leave the RNG in the same state as
+        // the materialized one, so the fast lane's per-trial streams are
+        // interchangeable with protocol-executing ones.
+        let d = FoolingDist::new(16, 0.15);
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            let x = d.sample(&mut a);
+            let z = d.sample_zero(&mut b);
+            assert_eq!(z, x.iter().position(|&bit| !bit));
+            assert_eq!(a.random::<u64>(), b.random::<u64>(), "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn split_trials_merge_back_to_the_whole_point() {
+        // Every chunking of the trial range must reassemble into exactly
+        // the whole-point counts.
+        let params = Params::default();
+        let frac = 0.9;
+        let seed = point_seed(params.seed, 5);
+        let trials = 1_000;
+        let whole = run_trial_range(&params, frac, seed, 0..trials);
+        for chunk in [1u64, 7, 256, 1_000] {
+            let mut errors = 0u64;
+            let mut count = 0u64;
+            let mut lo = 0;
+            while lo < trials {
+                let hi = (lo + chunk).min(trials);
+                let part = run_trial_range(&params, frac, seed, lo..hi);
+                errors += part.errors;
+                count += part.trials;
+                lo = hi;
+            }
+            assert_eq!(errors, whole.errors, "chunk {chunk}");
+            assert_eq!(count, whole.trials, "chunk {chunk}");
         }
     }
 }

@@ -5,13 +5,22 @@
 //! receivers decode the sender's sample (agreement `≥ 1 − ε`), the output
 //! law is `η`, and the mean cost is `D(η‖ν) + O(log D + log 1/ε)` — far
 //! below the naive `log₂ |U|` when `ν` is close to `η`.
+//!
+//! The trials run through the batched [`exchange_many`] lane (shared
+//! smoothed-ν table, one stream pass per seed) — trial-identical to calling
+//! [`exchange`](bci_compression::sampling::exchange) per seed, so the table
+//! numbers are unchanged. Per-trial seeds depend only on `(point_seed, t)`,
+//! and the accumulators are integer sums, which is what lets the registry's
+//! [`TrialSplit`] hook chunk a point across workers byte-identically.
 
-use bci_compression::sampling::{exchange, lemma7_bound, SamplerConfig};
+use std::ops::Range;
+
+use bci_compression::sampling::{exchange_many, lemma7_bound, SamplerConfig};
 use bci_info::dist::Dist;
 use bci_info::divergence::kl;
 use bci_telemetry::Json;
 
-use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult};
+use super::registry::{point_seed, Experiment, LabeledTable, Point, PointResult, TrialSplit};
 use crate::table::{f, Table};
 
 /// Canonical trials per point (`EXPERIMENTS.md` parameters).
@@ -36,6 +45,18 @@ pub struct Row {
     pub naive_bits: f64,
 }
 
+/// Integer accumulators from a contiguous trial range — the [`TrialSplit`]
+/// partial. Sums of `u64`s, so any chunking merges back exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial {
+    /// Total bits over the range's trials.
+    pub bits: u64,
+    /// Trials on which all parties agreed.
+    pub agreed: u64,
+    /// Trials in the range.
+    pub trials: u64,
+}
+
 /// Builds an `(η, ν)` pair over `universe` outcomes whose divergence grows
 /// with `sharpness ∈ [0, 1)`: `ν` uniform, `η` puts mass `sharpness` on one
 /// outcome and spreads the rest.
@@ -51,32 +72,53 @@ pub fn controlled_pair(universe: usize, sharpness: f64) -> (Dist, Dist) {
     )
 }
 
-/// Runs one `(universe, sharpness)` point: `trials` independent protocol
-/// executions with distinct public seeds derived from `seed`.
-pub fn run_point(&(universe, sharpness): &(usize, f64), trials: u64, seed: u64) -> Row {
+/// The public seed of trial `t` under a point's `seed` — a fixed function
+/// of `(seed, t)` alone, so trial ranges can run anywhere.
+fn trial_public_seed(seed: u64, t: u64) -> u64 {
+    seed.wrapping_add(t).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs trials `range` of one `(universe, sharpness)` point through the
+/// batched sampler.
+pub fn run_trial_range(
+    &(universe, sharpness): &(usize, f64),
+    seed: u64,
+    range: Range<u64>,
+) -> Partial {
     let config = SamplerConfig::default();
     let (eta, nu) = controlled_pair(universe, sharpness);
-    let d = kl(&eta, &nu);
+    let seeds: Vec<u64> = range.clone().map(|t| trial_public_seed(seed, t)).collect();
     let mut bits = 0u64;
     let mut agreed = 0u64;
-    for t in 0..trials {
-        let e = exchange(
-            &eta,
-            &nu,
-            &config,
-            seed.wrapping_add(t).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+    for e in exchange_many(&eta, &nu, &config, &seeds) {
         bits += e.bits as u64;
         agreed += u64::from(e.agreed());
     }
+    Partial {
+        bits,
+        agreed,
+        trials: range.end - range.start,
+    }
+}
+
+/// Assembles the [`Row`] for a point from its merged trial accumulators.
+fn finish_row(&(universe, sharpness): &(usize, f64), mc: Partial) -> Row {
+    let (eta, nu) = controlled_pair(universe, sharpness);
+    let d = kl(&eta, &nu);
     Row {
         universe,
         divergence: d,
-        mean_bits: bits as f64 / trials as f64,
-        agreement: agreed as f64 / trials as f64,
+        mean_bits: mc.bits as f64 / mc.trials as f64,
+        agreement: mc.agreed as f64 / mc.trials as f64,
         bound: lemma7_bound(d),
         naive_bits: (universe as f64).log2(),
     }
+}
+
+/// Runs one `(universe, sharpness)` point: `trials` independent protocol
+/// executions with distinct public seeds derived from `seed`.
+pub fn run_point(point: &(usize, f64), trials: u64, seed: u64) -> Row {
+    finish_row(point, run_trial_range(point, seed, 0..trials))
 }
 
 /// Runs the sweep: point `i` computes under `point_seed(seed, i)` (thin
@@ -172,6 +214,45 @@ impl Experiment for E6 {
             .collect();
         vec![(String::new(), table(&rows))]
     }
+
+    fn splitter(&self) -> Option<&dyn TrialSplit> {
+        Some(self)
+    }
+}
+
+impl TrialSplit for E6 {
+    fn trials(&self, _point: &Point) -> u64 {
+        TRIALS
+    }
+
+    fn chunk(&self) -> u64 {
+        // 50-trial sub-jobs: 8 per point — each still big enough to
+        // amortize the batch's shared smoothed-ν table.
+        50
+    }
+
+    fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult {
+        PointResult::new(run_trial_range(
+            &default_grid()[point.index()],
+            point_seed,
+            range,
+        ))
+    }
+
+    fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult {
+        let mut total = Partial {
+            bits: 0,
+            agreed: 0,
+            trials: 0,
+        };
+        for part in parts {
+            let p = part.downcast::<Partial>();
+            total.bits += p.bits;
+            total.agreed += p.agreed;
+            total.trials += p.trials;
+        }
+        PointResult::new(finish_row(&default_grid()[point.index()], total))
+    }
 }
 
 #[cfg(test)]
@@ -212,5 +293,53 @@ mod tests {
         };
         assert!(d(0.1) < d(0.5));
         assert!(d(0.5) < d(0.95));
+    }
+
+    #[test]
+    fn batched_lane_keeps_the_single_exchange_numbers() {
+        // Guards the "numbers must not move" contract: the batched lane's
+        // accumulators equal a per-trial loop over the single-seed
+        // exchange with the historical seed formula.
+        use bci_compression::sampling::exchange;
+        let point = (64usize, 0.5f64);
+        let seed = point_seed(SEED, 3);
+        let config = SamplerConfig::default();
+        let (eta, nu) = controlled_pair(point.0, point.1);
+        let mut bits = 0u64;
+        let mut agreed = 0u64;
+        for t in 0..100 {
+            let e = exchange(&eta, &nu, &config, trial_public_seed(seed, t));
+            bits += e.bits as u64;
+            agreed += u64::from(e.agreed());
+        }
+        let batched = run_trial_range(&point, seed, 0..100);
+        assert_eq!(batched.bits, bits);
+        assert_eq!(batched.agreed, agreed);
+    }
+
+    #[test]
+    fn split_trials_merge_back_to_the_whole_point() {
+        let point = (512usize, 0.9f64);
+        let seed = point_seed(SEED, 8);
+        let whole = run_trial_range(&point, seed, 0..200);
+        for chunk in [1u64, 50, 64, 200] {
+            let mut total = Partial {
+                bits: 0,
+                agreed: 0,
+                trials: 0,
+            };
+            let mut lo = 0;
+            while lo < 200 {
+                let hi = (lo + chunk).min(200);
+                let part = run_trial_range(&point, seed, lo..hi);
+                total.bits += part.bits;
+                total.agreed += part.agreed;
+                total.trials += part.trials;
+                lo = hi;
+            }
+            assert_eq!(total.bits, whole.bits, "chunk {chunk}");
+            assert_eq!(total.agreed, whole.agreed, "chunk {chunk}");
+            assert_eq!(total.trials, whole.trials, "chunk {chunk}");
+        }
     }
 }

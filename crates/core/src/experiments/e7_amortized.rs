@@ -5,8 +5,15 @@
 //! compressed cost falls towards the exact `IC(Π)` as `n` grows (the
 //! `r·O(log(n·IC))/n` overhead vanishes), while the uncompressed per-copy
 //! cost stays flat.
+//!
+//! Two lanes sweep the same law. The **literal** lane
+//! ([`compress_nfold`]) simulates every copy and covers `n ≤ 1024`; the
+//! **modeled** lane ([`compress_nfold_modeled`]) tracks only per-node copy
+//! counts (multinomial partitions per round, `O(1)` draws per cell) and
+//! extends the sweep to `n = 2³⁰`, where the per-copy cost sits on `IC(Π)`
+//! to within a hundredth of a bit.
 
-use bci_compression::amortized::{compress_nfold, AmortizedReport};
+use bci_compression::amortized::{compress_nfold, compress_nfold_modeled, AmortizedReport};
 use bci_protocols::and_trees::sequential_and;
 use bci_telemetry::Json;
 use rand::SeedableRng;
@@ -44,9 +51,15 @@ impl Default for Params {
     }
 }
 
-/// The copy counts used in `EXPERIMENTS.md`.
+/// The copy counts of the literal lane used in `EXPERIMENTS.md`.
 pub fn default_ns() -> Vec<usize> {
     vec![1, 4, 16, 64, 256, 1024]
+}
+
+/// The copy counts of the modeled big-`n` lane used in `EXPERIMENTS.md`
+/// (count-based sampler; no per-copy state).
+pub fn default_modeled_ns() -> Vec<u64> {
+    vec![1 << 20, 1 << 25, 1 << 30]
 }
 
 /// Runs one `n` point under its own RNG, under the natural prior
@@ -56,6 +69,17 @@ pub fn run_point(params: &Params, &n: &usize, seed: u64) -> Row {
     let priors = vec![1.0 - 1.0 / params.k as f64; params.k];
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let report = compress_nfold(&tree, &priors, n, params.trials, &mut rng);
+    let overhead = report.per_copy_compressed() - report.ic_per_copy;
+    Row { report, overhead }
+}
+
+/// Runs one modeled-lane `n` point under its own RNG — same prior and
+/// tree as [`run_point`], count-based sampler.
+pub fn run_modeled_point(params: &Params, &n: &u64, seed: u64) -> Row {
+    let tree = sequential_and(params.k);
+    let priors = vec![1.0 - 1.0 / params.k as f64; params.k];
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let report = compress_nfold_modeled(&tree, &priors, n, params.trials, &mut rng);
     let overhead = report.per_copy_compressed() - report.ic_per_copy;
     Row { report, overhead }
 }
@@ -130,16 +154,33 @@ impl Experiment for E7 {
     }
 
     fn grid(&self) -> Vec<Point> {
-        default_ns()
-            .iter()
+        // Literal points keep indices 0..6 (their point seeds, and hence
+        // their table bytes, are unchanged); modeled points extend the grid.
+        let literal = default_ns()
+            .into_iter()
             .enumerate()
-            .map(|(i, n)| Point::new(i, format!("n={n}")))
-            .collect()
+            .map(|(i, n)| Point::new(i, format!("n={n}")));
+        let offset = default_ns().len();
+        let modeled = default_modeled_ns()
+            .into_iter()
+            .enumerate()
+            .map(move |(i, n)| Point::new(offset + i, format!("n={n} (modeled)")));
+        literal.chain(modeled).collect()
     }
 
     fn run_point(&self, point: &Point, seed: u64) -> PointResult {
         let params = Params::default();
-        PointResult::new(run_point(&params, &default_ns()[point.index()], seed))
+        let i = point.index();
+        let literal = default_ns();
+        if i < literal.len() {
+            PointResult::new(run_point(&params, &literal[i], seed))
+        } else {
+            PointResult::new(run_modeled_point(
+                &params,
+                &default_modeled_ns()[i - literal.len()],
+                seed,
+            ))
+        }
     }
 
     fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
@@ -147,7 +188,17 @@ impl Experiment for E7 {
             .iter()
             .map(|r| r.downcast::<Row>().clone())
             .collect();
-        vec![(preamble(&Params::default()), table(&rows))]
+        let (literal, modeled) = rows.split_at(default_ns().len());
+        vec![
+            (preamble(&Params::default()), table(literal)),
+            (
+                format!(
+                    "modeled big-n lane (count-based sampler), {}",
+                    preamble(&Params::default())
+                ),
+                table(modeled),
+            ),
+        ]
     }
 }
 
@@ -174,6 +225,33 @@ mod tests {
             "n=256 per-copy within a few bits of IC, overhead {}",
             rows[2].overhead
         );
+    }
+
+    #[test]
+    fn modeled_points_sit_on_ic_at_huge_n() {
+        use super::super::registry::point_seed;
+        let params = Params::default();
+        let row = run_modeled_point(&params, &(1u64 << 30), point_seed(params.seed, 8));
+        assert_eq!(row.report.n_copies, 1usize << 30);
+        assert!(
+            row.overhead.abs() < 0.01 * row.report.ic_per_copy + 1e-4,
+            "overhead {} at n=2^30",
+            row.overhead
+        );
+    }
+
+    #[test]
+    fn registry_grid_covers_both_lanes() {
+        let e7 = E7;
+        use super::super::registry::Experiment;
+        let grid = e7.grid();
+        assert_eq!(grid.len(), default_ns().len() + default_modeled_ns().len());
+        let results: Vec<_> = grid
+            .iter()
+            .take(7) // all six literal points plus the first modeled one
+            .map(|p| e7.run_point(p, point_seed(Params::default().seed, p.index())))
+            .collect();
+        assert_eq!(results[6].downcast::<Row>().report.n_copies, 1usize << 20);
     }
 
     #[test]

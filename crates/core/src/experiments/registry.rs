@@ -148,19 +148,33 @@ pub trait Experiment: Sync {
 /// depending on the split.
 ///
 /// Implementations must derive trial `t`'s randomness from
-/// `derive_trial_seed(point_seed, t)` **alone** — never from which other
-/// trials ran in the same chunk — and [`merge`](TrialSplit::merge) must
-/// reassemble partial results in trial order into exactly the
+/// `(point_seed, t)` **alone** (typically `derive_trial_seed(point_seed,
+/// t)`, but any pure per-trial derivation qualifies) — never from which
+/// other trials ran in the same chunk — and [`merge`](TrialSplit::merge)
+/// must reassemble partial results in trial order into exactly the
 /// [`PointResult`] that a whole-point
 /// [`run_point`](Experiment::run_point) produces. Under that contract
 /// every partition of `0..trials` yields byte-identical tables, so
-/// executors are free to pick any fixed chunking (see [`TRIAL_CHUNK`]).
+/// executors are free to pick any fixed chunking (see
+/// [`chunk`](TrialSplit::chunk)).
 pub trait TrialSplit: Sync {
     /// The number of independent trials at `point`.
     fn trials(&self, point: &Point) -> u64;
 
-    /// Runs trials `range` of `point`. Trial `t` computes under
-    /// `derive_trial_seed(point_seed, t)`.
+    /// Trials per sub-job when an executor splits a point. Must be a fixed
+    /// property of the experiment — **never derived from the worker
+    /// count** — so the chunking, and therefore the merged output, is
+    /// identical for every pool shape (CI byte-diffs `--workers 4` against
+    /// `--workers 1`). The default [`TRIAL_CHUNK`] suits points whose
+    /// per-trial work is substantial (e12's HW rounds); experiments with
+    /// tens of thousands of cheap trials (e4) override it so per-job
+    /// dispatch overhead doesn't swamp the trial work.
+    fn chunk(&self) -> u64 {
+        TRIAL_CHUNK
+    }
+
+    /// Runs trials `range` of `point`. Trial `t` computes under a seed
+    /// derived from `(point_seed, t)` alone.
     fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult;
 
     /// Merges [`run_range`](TrialSplit::run_range) partials — handed in
@@ -169,10 +183,10 @@ pub trait TrialSplit: Sync {
     fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult;
 }
 
-/// Trials per sub-job when an executor splits a point via
-/// [`TrialSplit`]. Fixed — never derived from the worker count — so the
-/// chunking, and therefore the merged output, is identical for every pool
-/// shape (CI byte-diffs `--workers 4` against `--workers 1`).
+/// Default trials per sub-job for [`TrialSplit::chunk`]. Fixed — never
+/// derived from the worker count — so the chunking, and therefore the
+/// merged output, is identical for every pool shape (CI byte-diffs
+/// `--workers 4` against `--workers 1`).
 pub const TRIAL_CHUNK: u64 = 8;
 
 /// The seed for point `index` of a sweep with master seed `master_seed` —
@@ -202,8 +216,8 @@ pub fn run_grid(exp: &dyn Experiment) -> Vec<LabeledTable> {
 /// Indivisible points run one job each (exactly what
 /// [`report_for`]-style executors did before); experiments exposing a
 /// [`TrialSplit`] hook additionally split every point into
-/// [`TRIAL_CHUNK`]-trial sub-jobs, so the suite's largest single point no
-/// longer bounds the achievable speedup. Either way the assembled results
+/// [`chunk`](TrialSplit::chunk)-trial sub-jobs, so the suite's largest
+/// single point no longer bounds the achievable speedup. Either way the assembled results
 /// are byte-identical to the serial [`run_grid`] for any worker count.
 ///
 /// [`report_for`]: ../../../bci_bench/suite/fn.report_for.html
@@ -217,14 +231,15 @@ pub fn run_grid_pooled(exp: &dyn Experiment, pool: &JobPool, master_seed: u64) -
             .outputs
         }
         Some(split) => {
+            let chunk_size = split.chunk();
             pool.run_chunked(
                 &grid,
                 master_seed,
-                &|_, point| split.trials(point).div_ceil(TRIAL_CHUNK).max(1) as usize,
+                &|_, point| split.trials(point).div_ceil(chunk_size).max(1) as usize,
                 &|point_seed, point, chunk| {
                     let trials = split.trials(point);
-                    let lo = chunk as u64 * TRIAL_CHUNK;
-                    let hi = (lo + TRIAL_CHUNK).min(trials);
+                    let lo = chunk as u64 * chunk_size;
+                    let hi = (lo + chunk_size).min(trials);
                     split.run_range(point, point_seed, lo..hi)
                 },
                 &|_, point, parts| split.merge(point, parts),
@@ -320,11 +335,11 @@ mod tests {
     #[test]
     fn pooled_grid_matches_serial_including_trial_splits() {
         use bci_fabric::pool::PoolConfig;
-        // e12 exposes the TrialSplit hook (points fan out into
-        // TRIAL_CHUNK-trial sub-jobs); e16 does not (one job per point).
-        // Both must render byte-identically to the serial reference for
-        // any worker count.
-        for id in ["e12", "e16"] {
+        // e12, e4, and e6 expose the TrialSplit hook (points fan out into
+        // chunk()-trial sub-jobs — e4 and e6 override the default chunk);
+        // e16 does not (one job per point). All must render byte-identically
+        // to the serial reference for any worker count.
+        for id in ["e12", "e4", "e6", "e16"] {
             let exp = find(id).expect("registered");
             let serial = render_report(exp, &run_grid(exp));
             for workers in [1usize, 3] {

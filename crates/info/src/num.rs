@@ -16,6 +16,18 @@ pub fn xlog2x(x: f64) -> f64 {
 
 /// `p · log₂(p/q)` with the conventions `0 log(0/q) = 0` and
 /// `p log(p/0) = +∞` for `p > 0`.
+///
+/// Two edge-case guarantees that callers rely on:
+///
+/// * `p == 0.0` returns the literal `+0.0` (never `-0.0`), including the
+///   empty-support corner `xlog2_ratio(0.0, 0.0) == +0.0`;
+/// * `p == q > 0.0` returns exactly `+0.0`: `p / p` is exactly `1.0`,
+///   `log₂(1.0)` is `+0.0` per IEEE 754, and `p · (+0.0) = +0.0` for
+///   positive `p`. The batched information-cost kernel
+///   (`ProtocolTree::information_cost_product_many`) leans on this to skip
+///   divergence terms of players a transcript says nothing about.
+///
+/// These are pinned by unit tests below (including the sign bit).
 pub fn xlog2_ratio(p: f64, q: f64) -> f64 {
     debug_assert!(p >= 0.0 && q >= 0.0, "negative probability: p={p} q={q}");
     if p == 0.0 {
@@ -68,6 +80,28 @@ mod tests {
         assert_eq!(xlog2_ratio(0.0, 0.5), 0.0);
         assert_eq!(xlog2_ratio(0.5, 0.0), f64::INFINITY);
         assert!((xlog2_ratio(0.5, 0.25) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratio_p_equals_q_is_exactly_positive_zero() {
+        // The batched CIC kernel skips these terms, so they must be exactly
+        // +0.0 (sign bit included), not merely tiny.
+        for p in [1e-300, 0.25, 0.3, 0.5, 1.0 - 1.0 / 512.0, 1.0] {
+            let g = xlog2_ratio(p, p);
+            assert_eq!(g.to_bits(), 0.0f64.to_bits(), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn ratio_degenerate_prior_limits() {
+        // p = 0: a zero-probability event carries no divergence, including
+        // the empty-support corner q = 0.
+        assert_eq!(xlog2_ratio(0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(xlog2_ratio(0.0, 1.0).to_bits(), 0.0f64.to_bits());
+        // p = q = 1: certain under prior and posterior alike.
+        assert_eq!(xlog2_ratio(1.0, 1.0).to_bits(), 0.0f64.to_bits());
+        // Posterior mass on an impossible prior is infinite surprise.
+        assert_eq!(xlog2_ratio(1.0, 0.0), f64::INFINITY);
     }
 
     #[test]

@@ -15,6 +15,11 @@ use crate::hard_dist::HardDist;
 /// each slice is `(Pr[D = d], conditional priors given d)` with
 /// `priors[i] = Pr[Xᵢ = 1 | D = d]`.
 ///
+/// All slices are evaluated through the batched
+/// [`information_cost_product_many`](ProtocolTree::information_cost_product_many)
+/// kernel, which is bit-identical to the per-slice dense path; the weighted
+/// fold below keeps the dense implementation's summation order.
+///
 /// # Panics
 ///
 /// Panics if the slice weights do not sum to 1 (within `1e-9`), or a priors
@@ -25,9 +30,12 @@ pub fn cic_product(tree: &ProtocolTree, slices: &[(f64, Vec<f64>)]) -> f64 {
         (total - 1.0).abs() < 1e-9,
         "auxiliary-variable weights sum to {total}"
     );
+    let priors: Vec<Vec<f64>> = slices.iter().map(|(_, p)| p.clone()).collect();
+    let costs = tree.information_cost_product_many(&priors);
     slices
         .iter()
-        .map(|(w, priors)| w * tree.information_cost_product(priors))
+        .zip(&costs)
+        .map(|((w, _), &cost)| w * cost)
         .sum()
 }
 
@@ -61,9 +69,14 @@ pub fn cic_hard(tree: &ProtocolTree, dist: &HardDist) -> f64 {
         tree.num_players()
     );
     let w = 1.0 / k as f64;
-    (0..k)
-        .map(|z| w * tree.information_cost_product(&dist.priors_given_z(z)))
-        .sum()
+    // One batched pass over all k prior slices: every slice shares the same
+    // leaf structure, and the hard distribution only has two distinct prior
+    // values (0 and 1−1/k), so the batched kernel collapses the O(k³)
+    // transcendental count of the per-slice loop to O(k). Bit-identical to
+    // `w * information_cost_product(slice)` summed in z-order.
+    let slices: Vec<Vec<f64>> = (0..k).map(|z| dist.priors_given_z(z)).collect();
+    let costs = tree.information_cost_product_many(&slices);
+    costs.iter().map(|&cost| w * cost).sum()
 }
 
 /// The paper's Theorem 1 lower-bound form `c · log₂ k` evaluated with the
@@ -103,6 +116,24 @@ mod tests {
             .map(|z| tree.information_cost_product(&mu.priors_given_z(z)) / k as f64)
             .sum();
         assert!((cic_hard(&tree, &mu) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cic_hard_is_bitwise_identical_to_per_slice_dense_kernel() {
+        // The batched lane must not move a single digit of the e2 table:
+        // compare against the pre-batching implementation (per-slice dense
+        // kernel, identical fold order) bit for bit.
+        for k in [2usize, 3, 8, 33, 64] {
+            let mu = HardDist::new(k);
+            for tree in [sequential_and(k), noisy_sequential_and(k, 0.2)] {
+                let w = 1.0 / k as f64;
+                let dense: f64 = (0..k)
+                    .map(|z| w * tree.information_cost_product(&mu.priors_given_z(z)))
+                    .sum();
+                let batched = cic_hard(&tree, &mu);
+                assert_eq!(batched.to_bits(), dense.to_bits(), "k={k}");
+            }
+        }
     }
 
     #[test]

@@ -48,13 +48,28 @@ impl FoolingDist {
 
     /// Samples one input from `μ′`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        match self.sample_zero(rng) {
+            None => vec![true; self.k],
+            Some(z) => {
+                let mut x = vec![true; self.k];
+                x[z] = false;
+                x
+            }
+        }
+    }
+
+    /// Samples one input from `μ′` in its compressed form: `None` for the
+    /// all-ones input, `Some(z)` for the input whose single zero sits at
+    /// `z`. Draws from `rng` in exactly the same order as
+    /// [`sample`](Self::sample) (which is built on it), so a stream of
+    /// compressed draws is interchangeable with a stream of materialized
+    /// ones — the allocation-free lane for Monte-Carlo loops that only
+    /// need the zero's position.
+    pub fn sample_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
         if rng.random_bool(self.eps_prime) {
-            vec![true; self.k]
+            None
         } else {
-            let z = rng.random_range(0..self.k);
-            let mut x = vec![true; self.k];
-            x[z] = false;
-            x
+            Some(rng.random_range(0..self.k))
         }
     }
 
