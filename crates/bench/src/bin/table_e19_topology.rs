@@ -1,0 +1,5 @@
+//! Prints the E19 table (thin registry lookup; see `EXPERIMENTS.md`).
+
+fn main() {
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e19", 1).expect("e19 is registered"));
+}

@@ -1,0 +1,5 @@
+//! Prints the E20 table (thin registry lookup; see `EXPERIMENTS.md`).
+
+fn main() {
+    bci_bench::report::emit(&bci_bench::suite::report_by_id("e20", 1).expect("e20 is registered"));
+}

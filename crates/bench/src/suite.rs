@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn unknown_ids_are_rejected() {
-        assert!(report_by_id("e19", 1).is_none());
+        assert!(report_by_id("e21", 1).is_none());
         assert!(report_by_id("fabric", 1).is_none());
     }
 }

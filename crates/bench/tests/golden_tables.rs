@@ -25,10 +25,14 @@ use bci_core::experiments::registry::find;
 use std::path::PathBuf;
 
 /// Experiments whose point computation is exact (no RNG): snapshotted.
-const DETERMINISTIC: &[&str] = &["e2", "e3", "e5", "e8", "e9", "e11", "e13", "e16", "e17"];
+const DETERMINISTIC: &[&str] = &[
+    "e2", "e3", "e5", "e8", "e9", "e11", "e13", "e16", "e17", "e20",
+];
 
 /// Seeded Monte-Carlo experiments: shape-checked only.
-const RANDOMIZED: &[&str] = &["e1", "e4", "e6", "e7", "e10", "e12", "e14", "e15", "e18"];
+const RANDOMIZED: &[&str] = &[
+    "e1", "e4", "e6", "e7", "e10", "e12", "e14", "e15", "e18", "e19",
+];
 
 fn golden_path(id: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))

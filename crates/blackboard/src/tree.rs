@@ -12,8 +12,11 @@
 //! (= transcript) `ℓ`, the probability of reaching `ℓ` on input
 //! `X = (X₁, …, X_k)` factors as `Pr[Π(X) = ℓ] = ∏ᵢ q_{i,Xᵢ}^ℓ`, where
 //! `q_{i,b}^ℓ` multiplies the branch probabilities of player `i`'s moves
-//! along the path. The tree precomputes all `q` values at construction, which
-//! makes the following *exact* (no sampling):
+//! along the path. The tree computes all `q` values on first use (lazily:
+//! finalizing a tree is linear in its node count, and consumers that only
+//! walk the tree — sampling, sparse transcript supports, leaf counting —
+//! never pay the `O(#leaves · k)` decomposition), which makes the following
+//! *exact* (no sampling):
 //!
 //! * the transcript distribution under any product input distribution,
 //! * per-player posteriors given a transcript (the paper's Lemma 4),
@@ -45,6 +48,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use bci_encoding::bitio::BitVec;
 use bci_info::dist::Dist;
@@ -236,42 +240,52 @@ impl TreeBuilder {
     pub fn finish(self, root: NodeId) -> ProtocolTree {
         assert!(root < self.nodes.len(), "unknown root {root}");
         let mut visited = vec![false; self.nodes.len()];
-        let mut leaves = Vec::new();
-        // Iterative DFS carrying (node, path_bits, q) to avoid recursion
-        // limits on deep trees (e.g. sequential AND with k in the thousands).
-        let mut stack = vec![(root, 0usize, vec![[1.0f64; 2]; self.k])];
-        while let Some((id, path_bits, q)) = stack.pop() {
+        let mut metas = Vec::new();
+        // Iterative DFS carrying (node, path_bits) — cheap identity data
+        // only. The Lemma-3 `q`-decomposition clones a k-sized vector per
+        // edge, which is `O(#leaves · k)` work that pure tree-walkers
+        // (sampling, sparse supports, Huffman over leaf counts) never
+        // need, so it is deferred to the first [`ProtocolTree::leaves`]
+        // call. The iterative form avoids recursion limits on deep trees
+        // (e.g. sequential AND with k in the thousands).
+        let mut stack = vec![(root, 0usize)];
+        while let Some((id, path_bits)) = stack.pop() {
             assert!(!visited[id], "node {id} reachable twice: not a tree");
             visited[id] = true;
             match &self.nodes[id] {
-                Node::Leaf { output } => leaves.push(Leaf {
+                Node::Leaf { .. } => metas.push(LeafMeta {
                     node: id,
-                    output: *output,
                     path_bits,
-                    q,
                 }),
-                Node::Internal { speaker, edges } => {
+                Node::Internal { edges, .. } => {
                     for e in edges {
-                        let mut q2 = q.clone();
-                        q2[*speaker][0] *= e.prob[0];
-                        q2[*speaker][1] *= e.prob[1];
-                        stack.push((e.child, path_bits + e.label.len(), q2));
+                        stack.push((e.child, path_bits + e.label.len()));
                     }
                 }
             }
         }
         let mut leaf_of_node = vec![None; self.nodes.len()];
-        for (idx, leaf) in leaves.iter().enumerate() {
-            leaf_of_node[leaf.node] = Some(idx);
+        for (idx, meta) in metas.iter().enumerate() {
+            leaf_of_node[meta.node] = Some(idx);
         }
         ProtocolTree {
             k: self.k,
             nodes: self.nodes,
             root,
-            leaves,
+            metas,
             leaf_of_node,
+            leaves: OnceLock::new(),
         }
     }
+}
+
+/// Per-leaf identity data computed eagerly at [`TreeBuilder::finish`];
+/// the output and `q`-decomposition live in [`Leaf`], materialized
+/// lazily.
+#[derive(Debug, Clone)]
+struct LeafMeta {
+    node: NodeId,
+    path_bits: usize,
 }
 
 /// A finalized protocol tree; see the [module docs](self).
@@ -280,9 +294,13 @@ pub struct ProtocolTree {
     k: usize,
     nodes: Vec<Node>,
     root: NodeId,
-    leaves: Vec<Leaf>,
-    /// Maps a leaf's `NodeId` to its index in `leaves`.
+    /// Eager per-leaf identity in DFS order.
+    metas: Vec<LeafMeta>,
+    /// Maps a leaf's `NodeId` to its index in DFS leaf order.
     leaf_of_node: Vec<Option<LeafId>>,
+    /// The leaves with their Lemma-3 `q`-decompositions, materialized on
+    /// first use (see [`ProtocolTree::leaves`]).
+    leaves: OnceLock<Vec<Leaf>>,
 }
 
 impl ProtocolTree {
@@ -306,22 +324,60 @@ impl ProtocolTree {
         &self.nodes[id]
     }
 
-    /// The leaves with their precomputed `q`-decompositions.
+    /// Number of leaves. Unlike `leaves().len()`, never materializes the
+    /// `q`-decompositions.
+    pub fn num_leaves(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The leaves with their `q`-decompositions, materialized on first
+    /// call.
+    ///
+    /// The materialization runs the same DFS in the same order, with the
+    /// same multiplication order, as an eager build at `finish` time
+    /// would — the `q` products are bit-identical whenever they are
+    /// computed.
     pub fn leaves(&self) -> &[Leaf] {
-        &self.leaves
+        self.leaves.get_or_init(|| {
+            let mut leaves = Vec::with_capacity(self.metas.len());
+            let mut stack = vec![(self.root, 0usize, vec![[1.0f64; 2]; self.k])];
+            while let Some((id, path_bits, q)) = stack.pop() {
+                match &self.nodes[id] {
+                    Node::Leaf { output } => leaves.push(Leaf {
+                        node: id,
+                        output: *output,
+                        path_bits,
+                        q,
+                    }),
+                    Node::Internal { speaker, edges } => {
+                        for e in edges {
+                            let mut q2 = q.clone();
+                            q2[*speaker][0] *= e.prob[0];
+                            q2[*speaker][1] *= e.prob[1];
+                            stack.push((e.child, path_bits + e.label.len(), q2));
+                        }
+                    }
+                }
+            }
+            debug_assert!(leaves
+                .iter()
+                .zip(&self.metas)
+                .all(|(l, m)| l.node == m.node && l.path_bits == m.path_bits));
+            leaves
+        })
     }
 
     /// Worst-case communication: the longest root-to-leaf label path, in
     /// bits. This is `CC(Π)`.
     pub fn worst_case_bits(&self) -> usize {
-        self.leaves.iter().map(|l| l.path_bits).max().unwrap_or(0)
+        self.metas.iter().map(|m| m.path_bits).max().unwrap_or(0)
     }
 
     /// Expected communication under independent priors
     /// (`priors[i] = Pr[Xᵢ = 1]`).
     pub fn expected_bits_product(&self, priors: &[f64]) -> f64 {
         self.check_priors(priors);
-        self.leaves
+        self.leaves()
             .iter()
             .map(|l| l.prob_under_product(priors) * l.path_bits as f64)
             .sum()
@@ -337,7 +393,10 @@ impl ProtocolTree {
     /// fast lane instead; the two agree exactly (cross-checked in tests).
     pub fn transcript_dist_given_input(&self, x: &[bool]) -> Vec<f64> {
         assert_eq!(x.len(), self.k, "input length mismatch");
-        self.leaves.iter().map(|l| l.prob_given_input(x)).collect()
+        self.leaves()
+            .iter()
+            .map(|l| l.prob_given_input(x))
+            .collect()
     }
 
     /// The support of the transcript distribution on input `x`: the leaves
@@ -405,7 +464,7 @@ impl ProtocolTree {
     pub fn information_cost_product(&self, priors: &[f64]) -> f64 {
         self.check_priors(priors);
         let mut total = 0.0;
-        for leaf in &self.leaves {
+        for leaf in self.leaves() {
             let pl = leaf.prob_under_product(priors);
             if pl <= 0.0 {
                 continue;
@@ -471,10 +530,11 @@ impl ProtocolTree {
         let mut qpairs: Vec<[f64; 2]> = Vec::new();
         let mut qpair_id: HashMap<(u64, u64), u32> = HashMap::new();
         // (player, q-pair id) per writer, leaves concatenated (CSR layout).
+        let leaves = self.leaves();
         let mut writers: Vec<(u32, u32)> = Vec::new();
-        let mut leaf_start: Vec<u32> = Vec::with_capacity(self.leaves.len() + 1);
+        let mut leaf_start: Vec<u32> = Vec::with_capacity(leaves.len() + 1);
         leaf_start.push(0);
-        for leaf in &self.leaves {
+        for leaf in leaves {
             for (i, q) in leaf.q.iter().enumerate() {
                 if q[0] == 1.0 && q[1] == 1.0 {
                     continue;
@@ -540,7 +600,7 @@ impl ProtocolTree {
                 }
             }
             let mut total = 0.0;
-            for l in 0..self.leaves.len() {
+            for l in 0..leaves.len() {
                 let lo = leaf_start[l] as usize;
                 let hi = leaf_start[l + 1] as usize;
                 let mut pl = 1.0;
@@ -590,7 +650,7 @@ impl ProtocolTree {
                 .map(|(&b, &p)| if b { p } else { 1.0 - p })
                 .product();
             let row: Vec<f64> = self
-                .leaves
+                .leaves()
                 .iter()
                 .map(|l| px * l.prob_given_input(&x))
                 .collect();
@@ -704,7 +764,7 @@ impl ProtocolTree {
         // each conditional by leaf id keeps every f64 accumulation in the
         // order the dense path used (zero terms contribute exactly 0.0
         // there), so this is bit-identical to the dense evaluation.
-        let mut marginal = vec![0.0f64; self.leaves.len()];
+        let mut marginal = vec![0.0f64; self.num_leaves()];
         let conditionals: Vec<Vec<(LeafId, f64)>> = support
             .iter()
             .map(|(w, x)| {
@@ -747,7 +807,7 @@ impl ProtocolTree {
     /// Probability that the protocol's output differs from `expected` on
     /// input `x`.
     pub fn error_on_input(&self, x: &[bool], expected: usize) -> f64 {
-        self.leaves
+        self.leaves()
             .iter()
             .filter(|l| l.output != expected)
             .map(|l| l.prob_given_input(x))
@@ -768,9 +828,29 @@ impl ProtocolTree {
                 }
                 Node::Internal { speaker, edges } => {
                     let b = usize::from(x[*speaker]);
-                    let weights: Vec<f64> = edges.iter().map(|e| e.prob[b]).collect();
-                    let d = Dist::from_weights(weights).expect("edge probabilities sum to one");
-                    let choice = d.sample(rng);
+                    // Inline cumulative sampling, float-for-float identical
+                    // to `Dist::from_weights(..).sample(rng)` — same
+                    // summation order, same per-weight normalization, same
+                    // round-off fallback — without allocating a weight
+                    // vector and a `Dist` at every node of every walk.
+                    let sum: f64 = edges.iter().map(|e| e.prob[b]).sum();
+                    assert!(sum > 0.0, "edge probabilities sum to one");
+                    let u: f64 = rng.random();
+                    let mut acc = 0.0;
+                    let mut choice = None;
+                    for (i, e) in edges.iter().enumerate() {
+                        acc += e.prob[b] / sum;
+                        if u < acc {
+                            choice = Some(i);
+                            break;
+                        }
+                    }
+                    let choice = choice.unwrap_or_else(|| {
+                        edges
+                            .iter()
+                            .rposition(|e| e.prob[b] > 0.0)
+                            .expect("distribution has positive mass")
+                    });
                     bits.extend_from(&edges[choice].label);
                     id = edges[choice].child;
                 }

@@ -149,7 +149,7 @@ USAGE:
   bci stat     <HOST:PORT> [--json|--prom|--events]
   bci top      <HOST:PORT> [--interval-ms MS] [--iters K]
   bci experiments list
-  bci experiments run <id> [--workers W] [--seed S]
+  bci experiments run <id> [--workers W] [--seed S] [--topology blackboard|star|p2p]
 
 GLOBAL FLAGS:
   --quiet      suppress informational diagnostics on stderr
@@ -1400,12 +1400,29 @@ fn cmd_netrun(opts: &HashMap<String, String>, diag: &Diag) -> Result<(), String>
 /// registry. `run` executes the sweep on a fabric [`JobPool`]
 /// (`--workers`, default 1) and prints the same text the `table_*` bench
 /// binaries emit; `--seed` overrides the experiment's canonical master
-/// seed.
+/// seed; `--topology` restricts a cross-model experiment (see the
+/// `model` column of `experiments list`) to one communication model's
+/// columns.
 ///
 /// [`JobPool`]: bci_fabric::pool::JobPool
 fn cmd_experiments(args: &[String]) -> Result<(), String> {
-    use bci_core::experiments::registry::{find, registry, render_report, run_grid_pooled};
+    use bci_core::experiments::registry::{
+        find, registry, render_report, run_grid_pooled, Experiment,
+    };
     use bci_fabric::pool::{JobPool, PoolConfig};
+    use bci_telemetry::Json;
+
+    /// The experiment's communication model(s), from its `model` meta
+    /// key; everything without one is a plain blackboard experiment.
+    fn model_of(exp: &dyn Experiment) -> String {
+        exp.meta()
+            .iter()
+            .find_map(|(key, value)| match (key, value) {
+                (&"model", Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "blackboard".to_owned())
+    }
 
     let Some(sub) = args.first() else {
         return Err("experiments needs a subcommand: list | run <id>".into());
@@ -1417,12 +1434,13 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
                     "experiments list takes no arguments, got '{extra}'"
                 ));
             }
-            let mut t = Table::new(["id", "points", "seed", "title"]);
+            let mut t = Table::new(["id", "points", "seed", "model", "title"]);
             for exp in registry() {
                 t.row([
                     exp.id().to_owned(),
                     exp.grid().len().to_string(),
                     exp.seed().to_string(),
+                    model_of(*exp),
                     exp.title().to_owned(),
                 ]);
             }
@@ -1445,6 +1463,24 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
                 )
             })?;
             let opts = parse_opts(&args[2..])?;
+            let restricted: Box<dyn Experiment>;
+            let exp: &dyn Experiment = match opts.get("topology") {
+                None => exp,
+                Some(name) => {
+                    if bci_topology::Topology::parse(name).is_none() {
+                        return Err(format!(
+                            "--topology: unknown model '{name}' (expected blackboard | star | p2p)"
+                        ));
+                    }
+                    restricted = exp.with_topology(name).ok_or_else(|| {
+                        format!(
+                            "experiment '{id}' has no {name} lane (its models: {})",
+                            model_of(exp)
+                        )
+                    })?;
+                    &*restricted
+                }
+            };
             let workers: usize = get(&opts, "workers", Some(1usize))?;
             if workers == 0 {
                 return Err("--workers must be positive".into());

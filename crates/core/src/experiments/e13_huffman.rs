@@ -51,7 +51,7 @@ pub fn run_point(&k: &usize) -> Row {
     // evaluation that made this point cubic in k. On this deterministic
     // tree every walk returns a single (leaf, 1.0) pair, so the
     // accumulated leaf_probs are bit-identical to the dense path's.
-    let mut leaf_probs = vec![0.0f64; tree.leaves().len()];
+    let mut leaf_probs = vec![0.0f64; tree.num_leaves()];
     let all_ones = vec![true; k];
     let add = |probs: &mut Vec<f64>, x: &[bool], w: f64, tree: &bci_blackboard::ProtocolTree| {
         for (leaf, p) in tree.transcript_support_given_input(x) {

@@ -1,0 +1,382 @@
+//! **E19 (extension) — broadcast vs. message-passing `DISJ` cost**.
+//!
+//! The separation the paper leads with, made executable: in the
+//! message-passing world (BEOPV's coordinator model, or any
+//! point-to-point wiring) `DISJ_{n,k}` costs `Θ(nk)` bits, while the
+//! blackboard's Theorem 2 protocol pays `O(n log k + k)`. This
+//! experiment sweeps `(n, k)` on disjoint instances and runs all three
+//! models side by side:
+//!
+//! * **blackboard** — the Theorem 2 batched protocol ([`batched::run`]),
+//!   averaged over random disjoint instances (its cost is
+//!   input-dependent);
+//! * **star** — [`StarDisj`] through the routed engine: exactly
+//!   `n(k−1) + (k−1)` bits, all of them through the hub;
+//! * **p2p** — [`P2pDisj`] (a ring): the same total, but the heaviest
+//!   player carries only `Θ(n)` bits.
+//!
+//! The star and ring lanes are engine-verified on trial 0 of every
+//! point (outputs checked against [`disj_function`], accounting against
+//! the closed forms); the remaining trials feed the broadcast average.
+//! The headline column is `msg-pass / broadcast` — growing with `k` at
+//! fixed `n`, the `Θ(nk)` vs `Θ(n log k + k)` gap.
+
+use std::ops::Range;
+
+use bci_blackboard::runner::derive_trial_seed;
+use bci_protocols::disj::{batched, disj_function};
+use bci_protocols::msgpass::{P2pDisj, StarDisj};
+use bci_protocols::workload;
+use bci_telemetry::Json;
+use bci_topology::run_routed;
+use rand::SeedableRng;
+
+use super::registry::{Experiment, LabeledTable, Point, PointResult, TrialSplit};
+use crate::table::{f, Table};
+
+/// The canonical master seed (`EXPERIMENTS.md` parameters).
+pub const SEED: u64 = 0xE19;
+
+/// Monte-Carlo trials per point (the broadcast lane averages over them).
+pub const TRIALS: u64 = 16;
+
+/// One `(n, k)` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Universe size.
+    pub n: usize,
+    /// Players.
+    pub k: usize,
+    /// Mean Theorem 2 (blackboard) bits over the trials.
+    pub broadcast_bits: f64,
+    /// Coordinator-star bits: `n(k−1) + (k−1)`, every execution.
+    pub star_bits: usize,
+    /// Point-to-point ring bits: same total as the star.
+    pub p2p_bits: usize,
+    /// `star_bits / broadcast_bits` — the `Θ(nk)` vs `Θ(n log k + k)` gap.
+    pub ratio: f64,
+    /// The star hub's directed load (bits through the coordinator).
+    pub hub_bits: usize,
+    /// The heaviest ring player's directed load.
+    pub p2p_max_player_bits: usize,
+}
+
+/// Per-trial outcome: the broadcast cost, plus (trial 0 only) the
+/// engine-verified message-passing accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct Trial {
+    /// Theorem 2 bits on this instance.
+    pub broadcast_bits: usize,
+    /// Engine-measured `(star_total, star_hub, p2p_total, p2p_max_player)`,
+    /// present on trial 0.
+    pub verified: Option<(usize, usize, usize, usize)>,
+}
+
+/// Partial result of a trial range, in trial order.
+pub type Partial = Vec<Trial>;
+
+/// The grid used in `EXPERIMENTS.md`.
+pub fn default_grid() -> Vec<(usize, usize)> {
+    let mut g = Vec::new();
+    for &n in &[256usize, 1024, 4096] {
+        for &k in &[4usize, 16, 64] {
+            g.push((n, k));
+        }
+    }
+    g
+}
+
+/// Runs one trial: a fresh disjoint instance, the Theorem 2 protocol on
+/// it, and — on trial 0 — the star and ring protocols through the routed
+/// engine, outputs and accounting checked.
+pub fn run_trial(n: usize, k: usize, t: u64, trial_seed: u64) -> Trial {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(trial_seed);
+    let inputs = workload::planted_zero_cover(n, k, 0.0, &mut rng);
+    debug_assert!(disj_function(&inputs));
+    let bt = batched::run(&inputs);
+    assert!(bt.output, "planted instances are disjoint");
+    let verified = (t == 0).then(|| {
+        let star = run_routed(&StarDisj::new(n, k), &inputs, &rng);
+        let ring = run_routed(&P2pDisj::new(n, k), &inputs, &rng);
+        assert!(star.output && ring.output, "message-passing lanes agree");
+        assert_eq!(star.stats.total_bits, StarDisj::worst_case_bits(n, k));
+        assert_eq!(ring.stats.total_bits, P2pDisj::worst_case_bits(n, k));
+        (
+            star.stats.total_bits,
+            star.stats.max_player_bits,
+            ring.stats.total_bits,
+            ring.stats.max_player_bits,
+        )
+    });
+    Trial {
+        broadcast_bits: bt.bits,
+        verified,
+    }
+}
+
+/// Runs trials `range` of one `(n, k)` point; trial `t` computes under
+/// `derive_trial_seed(seed, t)` alone.
+pub fn run_trial_range(&(n, k): &(usize, usize), seed: u64, range: Range<u64>) -> Partial {
+    range
+        .map(|t| run_trial(n, k, t, derive_trial_seed(seed, t)))
+        .collect()
+}
+
+/// Folds per-trial outcomes (all trials of the point, in trial order)
+/// into the point's row.
+pub fn fold_trials(&(n, k): &(usize, usize), trials: &[Trial]) -> Row {
+    let mean = trials.iter().map(|t| t.broadcast_bits).sum::<usize>() as f64 / trials.len() as f64;
+    let (star_bits, hub_bits, p2p_bits, p2p_max) = trials
+        .iter()
+        .find_map(|t| t.verified)
+        .expect("trial 0 carries the engine-verified lanes");
+    Row {
+        n,
+        k,
+        broadcast_bits: mean,
+        star_bits,
+        p2p_bits,
+        ratio: star_bits as f64 / mean,
+        hub_bits,
+        p2p_max_player_bits: p2p_max,
+    }
+}
+
+/// Runs one `(n, k)` point (all trials, folded).
+pub fn run_point(p: &(usize, usize), seed: u64) -> Row {
+    fold_trials(p, &run_trial_range(p, seed, 0..TRIALS))
+}
+
+/// Runs the sweep: point `i` computes under `point_seed(seed, i)`.
+pub fn run(grid: &[(usize, usize)], seed: u64) -> Vec<Row> {
+    grid.iter()
+        .enumerate()
+        .map(|(i, p)| run_point(p, super::registry::point_seed(seed, i)))
+        .collect()
+}
+
+/// Which model columns a table should carry.
+fn wants(only: Option<&str>, model: &str) -> bool {
+    only.is_none_or(|m| m == model)
+}
+
+/// Builds the E19 table, optionally restricted to one model's columns.
+pub fn table_restricted(rows: &[Row], only: Option<&str>) -> Table {
+    let mut header: Vec<&str> = vec!["n", "k"];
+    if wants(only, "blackboard") {
+        header.push("bb bits (mean)");
+    }
+    if wants(only, "star") {
+        header.extend(["star bits", "hub bits"]);
+    }
+    if wants(only, "p2p") {
+        header.extend(["p2p bits", "p2p max/player"]);
+    }
+    if only.is_none() {
+        header.push("msg-pass/bb");
+    }
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut row = vec![r.n.to_string(), r.k.to_string()];
+        if wants(only, "blackboard") {
+            row.push(f(r.broadcast_bits, 1));
+        }
+        if wants(only, "star") {
+            row.extend([r.star_bits.to_string(), r.hub_bits.to_string()]);
+        }
+        if wants(only, "p2p") {
+            row.extend([r.p2p_bits.to_string(), r.p2p_max_player_bits.to_string()]);
+        }
+        if only.is_none() {
+            row.push(f(r.ratio, 2));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Builds the full (all-models) E19 table.
+pub fn table(rows: &[Row]) -> Table {
+    table_restricted(rows, None)
+}
+
+/// Renders the E19 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
+}
+
+/// E19 as a registry [`Experiment`]; [`E19::ALL`] carries every model,
+/// `with_topology` yields single-model restrictions.
+pub struct E19 {
+    only: Option<&'static str>,
+}
+
+impl E19 {
+    /// The registry instance: all three models side by side.
+    pub const ALL: E19 = E19 { only: None };
+}
+
+impl Experiment for E19 {
+    fn id(&self) -> &'static str {
+        "e19"
+    }
+
+    fn title(&self) -> &'static str {
+        "E19 — DISJ across topologies: blackboard vs coordinator-star vs point-to-point"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        let mut notes = vec![format!(
+            "(disjoint instances; blackboard = Theorem 2 batched, mean over {TRIALS} trials; \
+             star/p2p = exact n(k-1)+(k-1), engine-verified)"
+        )];
+        if let Some(m) = self.only {
+            notes.push(format!("(restricted to the {m} model)"));
+        }
+        notes
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("trials", Json::UInt(TRIALS)),
+            ("seed", Json::UInt(SEED)),
+            (
+                "model",
+                Json::str(self.only.unwrap_or("blackboard+star+p2p")),
+            ),
+        ]
+    }
+
+    fn seed(&self) -> u64 {
+        SEED
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_grid()
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, k))| Point::new(i, format!("n={n}, k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_grid()[point.index()], seed))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table_restricted(&rows, self.only))]
+    }
+
+    fn splitter(&self) -> Option<&dyn TrialSplit> {
+        Some(self)
+    }
+
+    fn with_topology(&self, topology: &str) -> Option<Box<dyn Experiment>> {
+        match topology {
+            "blackboard" => Some(Box::new(E19 {
+                only: Some("blackboard"),
+            })),
+            "star" => Some(Box::new(E19 { only: Some("star") })),
+            "p2p" => Some(Box::new(E19 { only: Some("p2p") })),
+            _ => None,
+        }
+    }
+}
+
+impl TrialSplit for E19 {
+    fn trials(&self, _point: &Point) -> u64 {
+        TRIALS
+    }
+
+    fn chunk(&self) -> u64 {
+        4
+    }
+
+    fn run_range(&self, point: &Point, point_seed: u64, range: Range<u64>) -> PointResult {
+        PointResult::new(run_trial_range(
+            &default_grid()[point.index()],
+            point_seed,
+            range,
+        ))
+    }
+
+    fn merge(&self, point: &Point, parts: Vec<PointResult>) -> PointResult {
+        let trials: Vec<Trial> = parts
+            .iter()
+            .flat_map(|p| p.downcast::<Partial>().iter().copied())
+            .collect();
+        PointResult::new(fold_trials(&default_grid()[point.index()], &trials))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::registry::point_seed;
+
+    #[test]
+    fn message_passing_gap_grows_with_k() {
+        let rows = run(&[(1024, 4), (1024, 64)], SEED);
+        // Θ(nk) vs Θ(n log k + k): at k=4 the constants still favor the
+        // star (log₂(e·4) ≈ 3.4 > k−1 = 3 bits per coordinate); 16x-ing
+        // k at fixed n must widen the gap substantially.
+        assert!(rows[0].ratio > 0.5, "k=4 ratio {}", rows[0].ratio);
+        assert!(
+            rows[1].ratio > 3.0 * rows[0].ratio,
+            "k=64 ratio {} vs k=4 ratio {}",
+            rows[1].ratio,
+            rows[0].ratio
+        );
+        // Star and ring totals are identical; the hub carries everything.
+        for r in &rows {
+            assert_eq!(r.star_bits, r.p2p_bits);
+            assert_eq!(r.hub_bits, r.star_bits);
+            assert!(r.p2p_max_player_bits < r.hub_bits || r.k == 2);
+        }
+    }
+
+    #[test]
+    fn split_trials_merge_back_to_the_whole_point() {
+        let exp = E19::ALL;
+        let point = &exp.grid()[0];
+        let seed = point_seed(SEED, 0);
+        let whole = exp.run_point(point, seed);
+        for chunk in [1u64, 4, 5, 16] {
+            let mut parts = Vec::new();
+            let mut lo = 0;
+            while lo < TRIALS {
+                let hi = (lo + chunk).min(TRIALS);
+                parts.push(exp.run_range(point, seed, lo..hi));
+                lo = hi;
+            }
+            let merged = exp.merge(point, parts);
+            let (w, m) = (whole.downcast::<Row>(), merged.downcast::<Row>());
+            assert!(w.broadcast_bits == m.broadcast_bits, "chunk {chunk}");
+            assert_eq!(w.star_bits, m.star_bits, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn restricted_tables_drop_the_other_models() {
+        let rows = run(&[(256, 4)], SEED);
+        let all = table_restricted(&rows, None).render();
+        let star = table_restricted(&rows, Some("star")).render();
+        let bb = table_restricted(&rows, Some("blackboard")).render();
+        assert!(all.contains("star bits") && all.contains("bb bits"));
+        assert!(star.contains("star bits") && !star.contains("bb bits"));
+        assert!(bb.contains("bb bits") && !bb.contains("star bits"));
+    }
+
+    #[test]
+    fn with_topology_accepts_the_three_models_only() {
+        let exp = E19::ALL;
+        for m in ["blackboard", "star", "p2p"] {
+            assert!(exp.with_topology(m).is_some(), "{m}");
+        }
+        assert!(exp.with_topology("mesh").is_none());
+    }
+}

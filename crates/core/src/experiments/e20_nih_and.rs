@@ -1,0 +1,288 @@
+//! **E20 (extension) — `AND_k` information cost: blackboard vs star**.
+//!
+//! The e2 lane shows the broadcast model solves `AND_k` with
+//! `CIC_μ = Θ(log k)` under the hard distribution. In the
+//! message-passing world there is no free blackboard: the natural star
+//! protocol ([`StarAnd`]) ships every spoke's bit to the hub, and its
+//! *external* information cost is the full entropy of the spokes'
+//! inputs — `Θ(log k)` too in absolute terms here (the hard
+//! distribution is heavily skewed), but paid for with `2(k−1)` bits of
+//! communication against the blackboard witness's `k`, and computed by
+//! a completely different mechanism (revealing inputs verbatim instead
+//! of Theorem 1's square-root–loss accounting). This is the Gronemeier
+//! number-in-hand calibration point next to BEOPV's coordinator model.
+//!
+//! Everything here is exact and deterministic:
+//!
+//! * **broadcast CIC** — `cic_hard(sequential_and(k), μ)`, the e2 lane;
+//! * **star ext IC** — closed form. The star transcript is the spokes'
+//!   inputs `X_V` (`V` = non-hub players) followed by downlinks that are
+//!   identically 0 under `μ` (the support always contains a zero), so
+//!   `I(X; Π) = H(X_V)`. Under `μ` with `q = 1/k`, a spoke vector with
+//!   `m` zeros has probability `p_m = (1/k)·q^{m−1}(1−q)^{K−m}(q+m)`
+//!   (`K = k−1`), hence `H(X_V) = −Σ_m C(K,m)·p_m·log₂ p_m`, evaluated
+//!   in the log domain.
+
+use bci_lowerbound::cic::cic_hard;
+use bci_lowerbound::hard_dist::HardDist;
+use bci_protocols::and_trees::sequential_and;
+use bci_protocols::msgpass::StarAnd;
+use bci_telemetry::Json;
+
+use super::registry::{Experiment, LabeledTable, Point, PointResult};
+use crate::table::{f, Table};
+
+/// One `k` sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of players.
+    pub k: usize,
+    /// Exact `CIC_μ` of the sequential blackboard witness (the e2 lane).
+    pub broadcast_cic: f64,
+    /// Exact external information cost of the star protocol: `H(X_V)`.
+    pub star_ic: f64,
+    /// `star_ic / broadcast_cic`.
+    pub ratio: f64,
+    /// Blackboard witness communication (`= k`).
+    pub cc_broadcast: usize,
+    /// Star communication (`= 2(k−1)`).
+    pub cc_star: usize,
+}
+
+/// The sweep used in `EXPERIMENTS.md` (same `k`s as e2).
+pub fn default_ks() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64, 128, 256, 512]
+}
+
+/// `H(X_V)`: the exact entropy of the `k−1` non-hub inputs under the
+/// hard distribution — the star protocol's external information cost.
+///
+/// Evaluated per zero-count class in the log domain, so it is stable out
+/// to `k = 512` and beyond.
+pub fn star_information_cost(k: usize) -> f64 {
+    assert!(k >= 2, "the star needs a hub and at least one spoke");
+    let big_k = k - 1; // spokes
+    let q = 1.0 / k as f64;
+    // ln C(K, m) via a ln-factorial table.
+    let mut ln_fact = vec![0.0f64; big_k + 1];
+    for i in 1..=big_k {
+        ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+    }
+    let ln2 = std::f64::consts::LN_2;
+    let mut h = 0.0;
+    for m in 0..=big_k {
+        // ln p_m = −ln k + (m−1)·ln q + (K−m)·ln(1−q) + ln(q + m).
+        let ln_pm = -(k as f64).ln()
+            + (m as f64 - 1.0) * q.ln()
+            + ((big_k - m) as f64) * (1.0 - q).ln()
+            + (q + m as f64).ln();
+        let ln_class = ln_fact[big_k] - ln_fact[m] - ln_fact[big_k - m] + ln_pm;
+        h -= ln_class.exp() * (ln_pm / ln2);
+    }
+    h
+}
+
+/// Computes one `k` point (fully deterministic — everything is exact).
+pub fn run_point(&k: &usize) -> Row {
+    let broadcast_cic = cic_hard(&sequential_and(k), &HardDist::new(k));
+    let star_ic = star_information_cost(k);
+    Row {
+        k,
+        broadcast_cic,
+        star_ic,
+        ratio: star_ic / broadcast_cic,
+        cc_broadcast: k,
+        cc_star: StarAnd::worst_case_bits(k),
+    }
+}
+
+/// Runs the sweep (thin wrapper over [`run_point`]).
+pub fn run(ks: &[usize]) -> Vec<Row> {
+    ks.iter().map(run_point).collect()
+}
+
+/// Which model columns a table should carry.
+fn wants(only: Option<&str>, model: &str) -> bool {
+    only.is_none_or(|m| m == model)
+}
+
+/// Builds the E20 table, optionally restricted to one model's columns.
+pub fn table_restricted(rows: &[Row], only: Option<&str>) -> Table {
+    let mut header: Vec<&str> = vec!["k"];
+    if wants(only, "blackboard") {
+        header.extend(["CIC(seq AND)", "CC bb"]);
+    }
+    if wants(only, "star") {
+        header.extend(["star ext IC", "CC star"]);
+    }
+    if only.is_none() {
+        header.push("star/bb IC");
+    }
+    let mut t = Table::new(header);
+    for r in rows {
+        let mut row = vec![r.k.to_string()];
+        if wants(only, "blackboard") {
+            row.extend([f(r.broadcast_cic, 4), r.cc_broadcast.to_string()]);
+        }
+        if wants(only, "star") {
+            row.extend([f(r.star_ic, 4), r.cc_star.to_string()]);
+        }
+        if only.is_none() {
+            row.push(f(r.ratio, 4));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Builds the full (both-models) E20 table.
+pub fn table(rows: &[Row]) -> Table {
+    table_restricted(rows, None)
+}
+
+/// Renders the E20 table as text.
+pub fn render(rows: &[Row]) -> String {
+    table(rows).render()
+}
+
+/// E20 as a registry [`Experiment`]; [`E20::ALL`] carries both models,
+/// `with_topology` yields single-model restrictions.
+pub struct E20 {
+    only: Option<&'static str>,
+}
+
+impl E20 {
+    /// The registry instance: blackboard and star side by side.
+    pub const ALL: E20 = E20 { only: None };
+}
+
+impl Experiment for E20 {
+    fn id(&self) -> &'static str {
+        "e20"
+    }
+
+    fn title(&self) -> &'static str {
+        "E20 — AND_k information cost: blackboard CIC vs star (number-in-hand) external IC"
+    }
+
+    fn notes(&self) -> Vec<String> {
+        let mut notes = vec![
+            "(hard distribution; star transcript reveals the spokes' inputs, so its \
+             external IC is H(X_V) exactly — the Gronemeier NIH calibration next to \
+             BEOPV's coordinator model)"
+                .into(),
+        ];
+        if let Some(m) = self.only {
+            notes.push(format!("(restricted to the {m} model)"));
+        }
+        notes
+    }
+
+    fn meta(&self) -> Vec<(&'static str, Json)> {
+        vec![("model", Json::str(self.only.unwrap_or("blackboard+star")))]
+    }
+
+    fn grid(&self) -> Vec<Point> {
+        default_ks()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(i, format!("k={k}")))
+            .collect()
+    }
+
+    fn run_point(&self, point: &Point, _seed: u64) -> PointResult {
+        PointResult::new(run_point(&default_ks()[point.index()]))
+    }
+
+    fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable> {
+        let rows: Vec<Row> = results
+            .iter()
+            .map(|r| r.downcast::<Row>().clone())
+            .collect();
+        vec![(String::new(), table_restricted(&rows, self.only))]
+    }
+
+    fn with_topology(&self, topology: &str) -> Option<Box<dyn Experiment>> {
+        match topology {
+            "blackboard" => Some(Box::new(E20 {
+                only: Some("blackboard"),
+            })),
+            "star" => Some(Box::new(E20 { only: Some("star") })),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_two_entropy_is_the_binary_entropy_of_one_quarter() {
+        // One spoke, Pr[X₁ = 0] = 1/4 (z hits the spoke w.p. 1/2, else
+        // Bernoulli(1/2)): H = h(1/4).
+        let h = star_information_cost(2);
+        let expect = -(0.25f64.log2() * 0.25 + 0.75f64.log2() * 0.75);
+        assert!((h - expect).abs() < 1e-12, "{h} vs {expect}");
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_enumeration() {
+        // Enumerate the spoke marginal by summing the full HardDist
+        // marginal over the hub's bit.
+        for k in [3usize, 4, 6] {
+            let mu = HardDist::new(k);
+            let spokes = k - 1;
+            let mut h = 0.0;
+            for v in 0..(1u32 << spokes) {
+                let mut p = 0.0;
+                for hub in [false, true] {
+                    let mut x = vec![hub];
+                    x.extend((0..spokes).map(|i| v >> i & 1 == 1));
+                    p += mu.prob(&x);
+                }
+                if p > 0.0 {
+                    h -= p * p.log2();
+                }
+            }
+            let closed = star_information_cost(k);
+            assert!((h - closed).abs() < 1e-10, "k={k}: {h} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn star_ic_scales_like_log_k_and_dominates_broadcast_cic() {
+        let rows = run(&[4, 64, 512]);
+        for r in &rows {
+            // The spokes' entropy: K spokes, each ≈ h(1/k) ≈ (log k)/k
+            // bits, plus the shared zero — Θ(log k) total here.
+            assert!(r.star_ic > 0.0);
+            assert!(
+                r.star_ic > r.broadcast_cic,
+                "k={}: star {} vs broadcast {}",
+                r.k,
+                r.star_ic,
+                r.broadcast_cic
+            );
+        }
+        // The ratio is bounded (both sides are Θ(log k)).
+        assert!(rows[2].ratio < 10.0 * rows[0].ratio.max(1.0));
+    }
+
+    #[test]
+    fn restricted_tables_drop_the_other_model() {
+        let rows = run(&[4]);
+        let all = table_restricted(&rows, None).render();
+        let star = table_restricted(&rows, Some("star")).render();
+        assert!(all.contains("star ext IC") && all.contains("CIC(seq AND)"));
+        assert!(star.contains("star ext IC") && !star.contains("CIC(seq AND)"));
+    }
+
+    #[test]
+    fn with_topology_supports_blackboard_and_star_only() {
+        let exp = E20::ALL;
+        assert!(exp.with_topology("blackboard").is_some());
+        assert!(exp.with_topology("star").is_some());
+        assert!(exp.with_topology("p2p").is_none());
+    }
+}

@@ -4,7 +4,7 @@
 //! driver (`run_point`-style), `run(params) -> Vec<Row>` as a thin wrapper
 //! over it, `table`/`render` producing the output, and `default_*` helpers
 //! with the parameters used in `EXPERIMENTS.md`. Each module also exposes a
-//! unit struct (`E1` … `E18`) implementing [`registry::Experiment`], the
+//! unit struct (`E1` … `E20`) implementing [`registry::Experiment`], the
 //! uniform interface the `bci-bench` report generator, the parallel sweep
 //! pool, and the `bci experiments` CLI all dispatch through; see
 //! [`registry`] for the contract and `docs/experiments.md` for how to add
@@ -21,7 +21,9 @@ pub mod e15_block_coding;
 pub mod e16_profile;
 pub mod e17_error_tradeoff;
 pub mod e18_promise;
+pub mod e19_topology;
 pub mod e1_disj_upper;
+pub mod e20_nih_and;
 pub mod e2_and_cic;
 pub mod e3_pointing;
 pub mod e4_omega_k;

@@ -1,4 +1,4 @@
-//! The [`Experiment`] trait and the registry of all 18 paper experiments.
+//! The [`Experiment`] trait and the registry of all 20 paper experiments.
 //!
 //! Every `e*_*` module implements [`Experiment`]: a stable id, a title and
 //! context notes, a grid of opaque sweep [`Point`]s, a pure
@@ -99,7 +99,7 @@ pub type LabeledTable = (String, Table);
 /// points ran or in what order. That property is what lets the suite run
 /// grids in parallel with output byte-identical to the serial order.
 pub trait Experiment: Sync {
-    /// Short stable id (`"e1"` … `"e18"`), also the registry key.
+    /// Short stable id (`"e1"` … `"e20"`), also the registry key.
     fn id(&self) -> &'static str;
 
     /// The headline printed above the tables.
@@ -131,6 +131,16 @@ pub trait Experiment: Sync {
     /// Assembles the rendered tables from the per-point results, in point
     /// order.
     fn tables(&self, results: &[PointResult]) -> Vec<LabeledTable>;
+
+    /// A variant of this experiment restricted to one communication
+    /// model (`"blackboard"`, `"star"`, `"p2p"`), or `None` when the
+    /// experiment has no lane for that model. Cross-model experiments
+    /// (e19, e20) override this so `bci experiments run --topology`
+    /// can emit a single model's columns; single-model experiments keep
+    /// the default.
+    fn with_topology(&self, _topology: &str) -> Option<Box<dyn Experiment>> {
+        None
+    }
 
     /// The trial-splitting hook: experiments whose points are Monte-Carlo
     /// aggregates over independent trials return `Some(self)` so executors
@@ -272,7 +282,7 @@ pub fn render_report(exp: &dyn Experiment, tables: &[LabeledTable]) -> String {
 
 /// Every experiment, in `EXPERIMENTS.md` order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 18] = [
+    static REGISTRY: [&dyn Experiment; 20] = [
         &e1_disj_upper::E1,
         &e2_and_cic::E2,
         &e3_pointing::E3,
@@ -291,6 +301,8 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &e16_profile::E16,
         &e17_error_tradeoff::E17,
         &e18_promise::E18,
+        &e19_topology::E19::ALL,
+        &e20_nih_and::E20::ALL,
     ];
     &REGISTRY
 }
@@ -307,7 +319,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_in_experiments_order() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        let expected: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
         assert_eq!(ids, expected);
     }
 
@@ -316,7 +328,7 @@ mod tests {
         for exp in registry() {
             assert_eq!(find(exp.id()).map(|e| e.id()), Some(exp.id()));
         }
-        assert!(find("e19").is_none());
+        assert!(find("e21").is_none());
         assert!(find("fabric").is_none());
     }
 

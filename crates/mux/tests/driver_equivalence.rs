@@ -16,6 +16,12 @@
 //! state* byte-for-byte against the serial runner's external RNG — the
 //! direct witness that all drivers consume the stream identically.
 //!
+//! A second matrix covers the non-blackboard topologies: the
+//! coordinator-star and point-to-point DISJ protocols run natively on
+//! the routed engine and, through `bci_topology::Embedded`, on the
+//! blackboard drivers; every driver's transcript must decode back to
+//! the native routed board byte for byte.
+//!
 //! CI runs this as the "Driver equivalence" step.
 
 use std::net::TcpListener;
@@ -27,6 +33,7 @@ use bci_blackboard::protocol::Protocol;
 use bci_blackboard::runner::derive_trial_seed;
 use bci_blackboard::PlayerId;
 use bci_encoding::bitio::BitVec;
+use bci_encoding::bitset::BitSet;
 use bci_encoding::wire::Wire;
 use bci_fabric::session::SessionOutcome;
 use bci_fabric::transport::{
@@ -38,8 +45,12 @@ use bci_net::coordinator::SessionInfo;
 use bci_net::overhead::transcript_digest;
 use bci_net::transport::loopback_session;
 use bci_net::NetConfig;
+use bci_protocols::disj::disj_function;
+use bci_protocols::msgpass::{P2pDisj, StarDisj};
 use bci_telemetry::Recorder;
+use bci_topology::{run_routed, Embedded, RoutedProtocol};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -284,5 +295,98 @@ proptest! {
         prop_assert_eq!(record.turns as usize, proto.total_turns());
         let mux_output = u64::from_wire_bytes(&record.output).expect("wire-encoded u64");
         prop_assert_eq!(mux_output, serial.output);
+    }
+}
+
+/// Runs one routed protocol natively on the routed engine, then through
+/// the [`Embedded`] header shim on the blackboard drivers — serial
+/// runner, both fabric transports, and the TCP loopback coordinator —
+/// and checks every driver's decoded transcript equals the native
+/// routed board byte for byte.
+fn check_routed_matrix<P>(
+    proto: P,
+    inputs: &[BitSet],
+    master_seed: u64,
+    expect: bool,
+) -> Result<(), TestCaseError>
+where
+    P: RoutedProtocol<Input = BitSet, Output = bool> + Sync,
+{
+    let session_rng = ChaCha8Rng::seed_from_u64(derive_trial_seed(master_seed, 0));
+
+    let native = run_routed(&proto, inputs, &session_rng);
+    prop_assert_eq!(native.output, expect);
+
+    let embedded = Embedded::new(proto);
+    let mut serial_rng = session_rng.clone();
+    let serial = bci_blackboard::protocol::run(&embedded, inputs, &mut serial_rng);
+    prop_assert_eq!(serial.output, expect);
+    let headers = native.board.messages().len() * embedded.header_bits();
+    prop_assert_eq!(
+        serial.bits_written,
+        native.stats.total_bits + headers,
+        "blackboard cost must be routed cost plus link headers"
+    );
+    prop_assert_eq!(
+        embedded.decode_board(&serial.board).to_bytes(),
+        native.board.to_bytes()
+    );
+
+    let inproc = InProcessTransport.run_session(&embedded, inputs, session_rng.clone(), &ctx(0));
+    prop_assert_eq!(&inproc.outcome, &SessionOutcome::Completed);
+    prop_assert_eq!(&inproc.board, &serial.board);
+    prop_assert_eq!(&inproc.output, &Some(expect));
+
+    let channel = ChannelTransport.run_session(&embedded, inputs, session_rng.clone(), &ctx(0));
+    prop_assert_eq!(&channel.outcome, &SessionOutcome::Completed);
+    prop_assert_eq!(&channel.board, &serial.board);
+    prop_assert_eq!(&channel.output, &Some(expect));
+
+    let (tcp, _stats) = loopback_session(
+        &embedded,
+        inputs,
+        session_rng,
+        &ctx(0),
+        &fast_config(),
+        "routed-disj",
+        master_seed,
+    );
+    prop_assert_eq!(&tcp.outcome, &SessionOutcome::Completed);
+    prop_assert_eq!(&tcp.board, &serial.board);
+    prop_assert_eq!(&tcp.output, &Some(expect));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The non-blackboard topologies ride the same driver matrix: the
+    /// coordinator-star and point-to-point DISJ protocols, run through
+    /// the `Embedded` shim, produce transcripts on every blackboard
+    /// driver that decode back to the native routed execution.
+    #[test]
+    fn routed_topologies_ride_the_driver_matrix(
+        n in 4usize..24,
+        k in 2usize..6,
+        density in 0.0f64..0.6,
+        master_seed in any::<u64>(),
+    ) {
+        let mut input_rng =
+            ChaCha8Rng::seed_from_u64(derive_trial_seed(master_seed, 1));
+        let inputs: Vec<BitSet> = (0..k)
+            .map(|_| {
+                let mut s = BitSet::new(n);
+                for e in 0..n {
+                    if input_rng.random_bool(density) {
+                        s.insert(e);
+                    }
+                }
+                s
+            })
+            .collect();
+        let expect = disj_function(&inputs);
+
+        check_routed_matrix(StarDisj::new(n, k), &inputs, master_seed, expect)?;
+        check_routed_matrix(P2pDisj::new(n, k), &inputs, master_seed, expect)?;
     }
 }

@@ -12,6 +12,11 @@
 //!   the introduction and the batched `O(n log k + k)` protocol of
 //!   Theorem 2, each with an input-free board decoder that proves the
 //!   transcript is self-describing.
+//! * [`msgpass`] — the message-passing counterparts the separations are
+//!   measured against: `DISJ` on the BEOPV coordinator star and on a
+//!   point-to-point ring (both `Θ(nk)`), and star `AND_k` — all as
+//!   [`RoutedProtocol`](bci_topology::RoutedProtocol)s over explicit
+//!   topologies.
 //! * [`union`] — the pointwise-OR (set union) problem the paper discusses
 //!   alongside symmetrization, with the same naive/batched pair.
 //! * [`sparse`] — the Håstad–Wigderson `O(s)` two-player protocol for
@@ -38,6 +43,7 @@ pub mod and;
 pub mod and_trees;
 pub mod disj;
 pub mod disj_trees;
+pub mod msgpass;
 pub mod sparse;
 pub mod union;
 pub mod workload;

@@ -1,0 +1,485 @@
+//! Message-passing counterparts of the broadcast protocols: DISJ and
+//! AND over the coordinator-star and point-to-point topologies.
+//!
+//! These are the protocols the paper's separations are measured
+//! *against*. On the blackboard, Theorem 2 solves `DISJ_{n,k}` with
+//! `O(n log k + k)` bits because one published zero kills a coordinate
+//! for everyone. In the message-passing world a bit only reaches one
+//! endpoint, and Braverman–Ellen–Oshman–Pitassi–Vaikuntanathan show
+//! `Ω(nk)` is unavoidable; the natural upper bounds here match it:
+//!
+//! * [`StarDisj`] — the BEOPV coordinator star: every non-hub player
+//!   ships its `n`-bit characteristic vector to the hub, which
+//!   intersects and answers each spoke with one bit. Exactly
+//!   `n(k−1) + (k−1)` bits, `Θ(nk)` of them through the hub.
+//! * [`P2pDisj`] — a ring: the running intersection travels
+//!   `0 → 1 → … → k−1` (`n` bits per hop), then the 1-bit verdict makes
+//!   a lap. The *total* is the same `n(k−1) + (k−1)`, but the per-player
+//!   load drops from the hub's `Θ(nk)` to `Θ(n)` — the accounting
+//!   distinction [`TopologyCommStats`](bci_topology::TopologyCommStats)
+//!   exists to expose.
+//! * [`StarAnd`] — multiparty `AND_k` on the star: one bit up from each
+//!   spoke, one bit back down; `2(k−1)` bits. The e20 experiment
+//!   compares its information cost under the hard distribution against
+//!   the blackboard CIC lane (Gronemeier's number-in-hand regime).
+//!
+//! All three are deterministic (zero RNG draws), use oblivious
+//! schedules (turn number alone determines speaker and link), and pin
+//! their exact cost as closed forms (`worst_case_bits`) that the tests
+//! check against the engine's accounting.
+
+use bci_blackboard::PlayerId;
+use bci_encoding::bitio::BitVec;
+use bci_encoding::bitset::BitSet;
+use bci_topology::{Link, PlayerView, RoutedBoard, RoutedProtocol, Topology};
+use rand::RngCore;
+
+/// Encodes a set as its `n`-bit characteristic vector.
+fn characteristic(x: &BitSet) -> BitVec {
+    let n = x.capacity();
+    let mut bits = BitVec::with_capacity(n);
+    for j in 0..n {
+        bits.push(x.contains(j));
+    }
+    bits
+}
+
+/// Decodes a characteristic vector back to a set.
+fn from_characteristic(bits: &BitVec, n: usize) -> BitSet {
+    let mut x = BitSet::new(n);
+    for j in 0..n {
+        if bits.get(j).expect("vector covers the universe") {
+            x.insert(j);
+        }
+    }
+    x
+}
+
+/// The last message in `view` directed *to* the viewing player.
+fn last_inbound<'a>(view: &'a PlayerView<'_>) -> &'a BitVec {
+    let me = view.player();
+    view.messages()
+        .iter()
+        .rev()
+        .find(|m| matches!(m.link, Link::Directed { to, .. } if to == me))
+        .map(|m| &m.bits)
+        .expect("an inbound message has arrived")
+}
+
+/// `DISJ_{n,k}` on the BEOPV coordinator star (hub = player 0).
+///
+/// Schedule: turns `0..k−1` are uplinks — player `t+1` sends its
+/// characteristic vector to the hub — and turns `k−1..2(k−1)` are
+/// downlinks — the hub answers each spoke with the 1-bit verdict
+/// (`1` = disjoint). The hub's own input joins the intersection
+/// locally, for free.
+#[derive(Debug, Clone)]
+pub struct StarDisj {
+    n: usize,
+    k: usize,
+}
+
+impl StarDisj {
+    /// A star instance over universe `[n]` with `k ≥ 2` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (a one-player star has no links).
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 2, "the star needs a hub and at least one spoke");
+        StarDisj { n, k }
+    }
+
+    /// Exact cost: `n(k−1)` uplink bits plus `k−1` downlink bits. The
+    /// schedule is oblivious, so every execution pays exactly this.
+    pub fn worst_case_bits(n: usize, k: usize) -> usize {
+        n * (k - 1) + (k - 1)
+    }
+
+    /// The hub's directed load: it touches every bit.
+    pub fn hub_bits(n: usize, k: usize) -> usize {
+        Self::worst_case_bits(n, k)
+    }
+}
+
+impl RoutedProtocol for StarDisj {
+    type Input = BitSet;
+    type Output = bool;
+
+    fn topology(&self) -> Topology {
+        Topology::CoordinatorStar { hub: 0 }
+    }
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_turn(&self, board: &RoutedBoard) -> Option<(PlayerId, Link)> {
+        let t = board.messages().len();
+        let spokes = self.k - 1;
+        if t < spokes {
+            let p = t + 1;
+            Some((p, Link::Directed { from: p, to: 0 }))
+        } else if t < 2 * spokes {
+            let p = t - spokes + 1;
+            Some((0, Link::Directed { from: 0, to: p }))
+        } else {
+            None
+        }
+    }
+
+    fn message(
+        &self,
+        speaker: PlayerId,
+        input: &BitSet,
+        view: &PlayerView<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        assert_eq!(input.capacity(), self.n, "input universe mismatch");
+        if speaker == 0 {
+            // After the first downlink the hub just repeats its own
+            // verdict (its prior sends are in its view).
+            if let Some(prev) = view.messages().iter().rev().find(|m| m.speaker == 0) {
+                return BitVec::from_bools(&[prev.bits.get(0).expect("verdict bit")]);
+            }
+            // First downlink: intersect the hub's set with every uplink.
+            let mut inter = input.clone();
+            for m in view.messages() {
+                if matches!(m.link, Link::Directed { to: 0, .. }) {
+                    inter = inter.intersection(&from_characteristic(&m.bits, self.n));
+                }
+            }
+            BitVec::from_bools(&[inter.is_empty()])
+        } else {
+            characteristic(input)
+        }
+    }
+
+    fn output(&self, board: &RoutedBoard) -> bool {
+        // The first downlink carries the verdict; the referee reads it
+        // off the global transcript.
+        let first_down = &board.messages()[self.k - 1];
+        debug_assert_eq!(first_down.speaker, 0);
+        first_down.bits.get(0).expect("verdict bit")
+    }
+}
+
+/// `DISJ_{n,k}` on a point-to-point ring.
+///
+/// Schedule: turns `0..k−1` push the running intersection forward
+/// (`i → i+1`, `n` bits each; player `i` ANDs in its own set before
+/// forwarding), then the 1-bit verdict laps the ring: `k−1 → 0`, then
+/// `s−1 → s` for `s = 1..k−1`. Same total as [`StarDisj`] — the `Θ(nk)`
+/// lower bound doesn't care about the wiring — but the heaviest player
+/// carries only `2n + 2` bits instead of the hub's `Θ(nk)`.
+#[derive(Debug, Clone)]
+pub struct P2pDisj {
+    n: usize,
+    k: usize,
+}
+
+impl P2pDisj {
+    /// A ring instance over universe `[n]` with `k ≥ 2` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (a one-player ring has no links).
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 2, "the ring needs at least two players");
+        P2pDisj { n, k }
+    }
+
+    /// Exact cost: `n(k−1)` forwarding bits plus `k−1` verdict bits —
+    /// identical to the star's total.
+    pub fn worst_case_bits(n: usize, k: usize) -> usize {
+        n * (k - 1) + (k - 1)
+    }
+
+    /// The heaviest player's directed load: an interior player receives
+    /// and re-sends the `n`-bit intersection plus the verdict bit. With
+    /// fewer than four players no one both relays the intersection and
+    /// re-sends the verdict, so the hot spot is slightly lighter.
+    pub fn max_player_bits(n: usize, k: usize) -> usize {
+        match k {
+            // Both players touch one n-bit hop and one verdict bit.
+            2 => n + 1,
+            // The single interior player receives the verdict last and
+            // never re-sends it.
+            3 => 2 * n + 1,
+            _ => 2 * n + 2,
+        }
+    }
+}
+
+impl RoutedProtocol for P2pDisj {
+    type Input = BitSet;
+    type Output = bool;
+
+    fn topology(&self) -> Topology {
+        Topology::PointToPoint
+    }
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_turn(&self, board: &RoutedBoard) -> Option<(PlayerId, Link)> {
+        let t = board.messages().len();
+        let hops = self.k - 1;
+        if t < hops {
+            // Forward pass: t → t+1.
+            Some((t, Link::Directed { from: t, to: t + 1 }))
+        } else if t < 2 * hops {
+            // Verdict lap: k−1 → 0, then s−1 → s.
+            let s = t - hops;
+            if s == 0 {
+                Some((hops, Link::Directed { from: hops, to: 0 }))
+            } else {
+                Some((s - 1, Link::Directed { from: s - 1, to: s }))
+            }
+        } else {
+            None
+        }
+    }
+
+    fn message(
+        &self,
+        speaker: PlayerId,
+        input: &BitSet,
+        view: &PlayerView<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        assert_eq!(input.capacity(), self.n, "input universe mismatch");
+        // The phase is determined by what this player has seen + sent:
+        // count its own prior sends.
+        let me = view.player();
+        let sent_before = view.messages().iter().filter(|m| m.speaker == me).count();
+        let last = self.k - 1;
+        if speaker < last && sent_before == 0 {
+            // Forward pass: intersect what arrived (nothing, for player
+            // 0) with the own set and forward.
+            let running = if speaker == 0 {
+                input.clone()
+            } else {
+                from_characteristic(last_inbound(view), self.n).intersection(input)
+            };
+            characteristic(&running)
+        } else if speaker == last && sent_before == 0 {
+            // End of the line: decide and start the verdict lap.
+            let inter = from_characteristic(last_inbound(view), self.n).intersection(input);
+            BitVec::from_bools(&[inter.is_empty()])
+        } else {
+            // Relay the verdict unchanged.
+            let verdict = last_inbound(view).get(0).expect("verdict bit");
+            BitVec::from_bools(&[verdict])
+        }
+    }
+
+    fn output(&self, board: &RoutedBoard) -> bool {
+        // The first verdict message (turn k−1) is the decision.
+        let first_verdict = &board.messages()[self.k - 1];
+        debug_assert_eq!(first_verdict.speaker, self.k - 1);
+        first_verdict.bits.get(0).expect("verdict bit")
+    }
+}
+
+/// Multiparty `AND_k` on the coordinator star: spokes send their bit up,
+/// the hub answers everyone with the conjunction.
+///
+/// The message-passing calibration point for the e2/e20 information-cost
+/// lane: its communication is exactly `2(k−1)` bits, and under the
+/// paper's hard distribution its external information cost grows like
+/// the entropy of the spokes' inputs — `Θ(log k)` *per instance more*
+/// than the broadcast CIC of sequential `AND_k` (Gronemeier's
+/// number-in-hand regime).
+#[derive(Debug, Clone)]
+pub struct StarAnd {
+    k: usize,
+}
+
+impl StarAnd {
+    /// A star `AND_k` instance with `k ≥ 2` players (hub = player 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "the star needs a hub and at least one spoke");
+        StarAnd { k }
+    }
+
+    /// Exact cost: one uplink and one downlink bit per spoke.
+    pub fn worst_case_bits(k: usize) -> usize {
+        2 * (k - 1)
+    }
+}
+
+impl RoutedProtocol for StarAnd {
+    type Input = bool;
+    type Output = bool;
+
+    fn topology(&self) -> Topology {
+        Topology::CoordinatorStar { hub: 0 }
+    }
+
+    fn num_players(&self) -> usize {
+        self.k
+    }
+
+    fn next_turn(&self, board: &RoutedBoard) -> Option<(PlayerId, Link)> {
+        let t = board.messages().len();
+        let spokes = self.k - 1;
+        if t < spokes {
+            let p = t + 1;
+            Some((p, Link::Directed { from: p, to: 0 }))
+        } else if t < 2 * spokes {
+            let p = t - spokes + 1;
+            Some((0, Link::Directed { from: 0, to: p }))
+        } else {
+            None
+        }
+    }
+
+    fn message(
+        &self,
+        speaker: PlayerId,
+        input: &bool,
+        view: &PlayerView<'_>,
+        _rng: &mut dyn RngCore,
+    ) -> BitVec {
+        if speaker == 0 {
+            if let Some(prev) = view.messages().iter().rev().find(|m| m.speaker == 0) {
+                return BitVec::from_bools(&[prev.bits.get(0).expect("verdict bit")]);
+            }
+            let conj = *input
+                && view
+                    .messages()
+                    .iter()
+                    .filter(|m| matches!(m.link, Link::Directed { to: 0, .. }))
+                    .all(|m| m.bits.get(0).expect("one bit"));
+            BitVec::from_bools(&[conj])
+        } else {
+            BitVec::from_bools(&[*input])
+        }
+    }
+
+    fn output(&self, board: &RoutedBoard) -> bool {
+        board.messages()[self.k - 1]
+            .bits
+            .get(0)
+            .expect("verdict bit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disj::disj_function;
+    use crate::workload;
+    use bci_topology::run_routed;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn star_and_ring_agree_with_the_reference_function() {
+        let mut r = rng(61);
+        for trial in 0..30 {
+            let n = 16 + (trial % 7) * 23;
+            let k = 2 + trial % 6;
+            let inputs = if trial % 3 == 0 {
+                workload::planted_zero_cover(n, k, 0.2, &mut r)
+            } else {
+                workload::random_sets(n, k, 0.8, &mut r)
+            };
+            let expect = disj_function(&inputs);
+            let star = run_routed(&StarDisj::new(n, k), &inputs, &rng(trial as u64));
+            assert_eq!(star.output, expect, "star trial {trial}");
+            let ring = run_routed(&P2pDisj::new(n, k), &inputs, &rng(trial as u64));
+            assert_eq!(ring.output, expect, "ring trial {trial}");
+        }
+    }
+
+    #[test]
+    fn costs_match_the_closed_forms_exactly() {
+        let mut r = rng(67);
+        for (n, k) in [(32usize, 2usize), (64, 3), (128, 5), (200, 8)] {
+            let inputs = workload::random_sets(n, k, 0.5, &mut r);
+
+            let star = run_routed(&StarDisj::new(n, k), &inputs, &rng(0));
+            assert_eq!(star.stats.total_bits, StarDisj::worst_case_bits(n, k));
+            assert_eq!(star.stats.broadcast_bits, 0);
+            assert_eq!(star.stats.messages, 2 * (k - 1));
+            // The hub touches every directed bit.
+            assert_eq!(star.stats.player_bits[0], StarDisj::hub_bits(n, k));
+            assert_eq!(star.stats.max_player_bits, StarDisj::hub_bits(n, k));
+            // Every spoke carries n + 1.
+            for p in 1..k {
+                assert_eq!(star.stats.player_bits[p], n + 1);
+            }
+
+            let ring = run_routed(&P2pDisj::new(n, k), &inputs, &rng(0));
+            assert_eq!(ring.stats.total_bits, P2pDisj::worst_case_bits(n, k));
+            assert_eq!(ring.stats.messages, 2 * (k - 1));
+            assert_eq!(ring.stats.max_player_bits, P2pDisj::max_player_bits(n, k));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_the_load_the_star_concentrates() {
+        let mut r = rng(71);
+        let (n, k) = (256, 16);
+        let inputs = workload::random_sets(n, k, 0.5, &mut r);
+        let star = run_routed(&StarDisj::new(n, k), &inputs, &rng(0));
+        let ring = run_routed(&P2pDisj::new(n, k), &inputs, &rng(0));
+        // Same total, wildly different hot spot.
+        assert_eq!(star.stats.total_bits, ring.stats.total_bits);
+        assert!(
+            star.stats.max_player_bits > 7 * ring.stats.max_player_bits,
+            "hub {} vs ring max {}",
+            star.stats.max_player_bits,
+            ring.stats.max_player_bits
+        );
+    }
+
+    #[test]
+    fn executions_are_deterministic_and_replayable() {
+        let mut r = rng(73);
+        let inputs = workload::random_sets(96, 5, 0.6, &mut r);
+        let a = run_routed(&StarDisj::new(96, 5), &inputs, &rng(1));
+        let b = run_routed(&StarDisj::new(96, 5), &inputs, &rng(2));
+        // Zero RNG draws: any seed yields the identical transcript.
+        assert_eq!(a.board, b.board);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn star_and_computes_the_conjunction() {
+        for k in [2usize, 3, 5, 9] {
+            for pattern in 0u32..(1 << k).min(64) {
+                let inputs: Vec<bool> = (0..k).map(|i| pattern >> i & 1 == 1).collect();
+                let expect = inputs.iter().all(|&b| b);
+                let exec = run_routed(&StarAnd::new(k), &inputs, &rng(0));
+                assert_eq!(exec.output, expect, "k={k} pattern={pattern:b}");
+                assert_eq!(exec.stats.total_bits, StarAnd::worst_case_bits(k));
+            }
+        }
+    }
+
+    #[test]
+    fn two_player_edge_cases() {
+        // k = 2 degenerates to one uplink + one downlink (star) and one
+        // forward hop + one verdict hop (ring).
+        let a = BitSet::from_elements(8, [0, 3]);
+        let b = BitSet::from_elements(8, [3, 7]);
+        let star = run_routed(&StarDisj::new(8, 2), &[a.clone(), b.clone()], &rng(0));
+        assert!(!star.output);
+        assert_eq!(star.stats.total_bits, 9);
+        let ring = run_routed(&P2pDisj::new(8, 2), &[a, b], &rng(0));
+        assert!(!ring.output);
+        assert_eq!(ring.stats.total_bits, 9);
+    }
+}

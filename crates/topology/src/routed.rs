@@ -1,0 +1,1066 @@
+//! The sans-io routed turn engine: `TurnEngine` semantics over any
+//! [`Topology`].
+//!
+//! [`RoutedEngine`] carries the blackboard engine's contract — poll for a
+//! grant, perform the turn anywhere, apply the reply; one outstanding
+//! grant at a time; the serialized ChaCha8 session-RNG state parked
+//! between turns and shipped inside every grant — to protocols whose
+//! messages travel on *links* instead of one shared board:
+//!
+//! * every message is recorded with its [`Link`], giving per-edge
+//!   transcripts ([`RoutedBoard`]);
+//! * a speaker composes its message from a [`PlayerView`] — only the
+//!   messages its player can see under the link visibility rule — so
+//!   privacy is structural, not a convention;
+//! * the engine validates every granted link against the protocol's
+//!   topology (a blackboard protocol cannot sneak a directed edge, a
+//!   star protocol cannot bypass its hub);
+//! * per-link bits accounting rolls up into a [`TopologyCommStats`].
+//!
+//! Violations reuse the blackboard engine's structured
+//! [`ProtocolViolation`] taxonomy (wrapped in [`RoutedViolation`]) so
+//! abort reasons render identically across drivers, and the board has a
+//! canonical byte serialization + FNV-1a digest for the same replay
+//! verification the mux/load harnesses perform on blackboard sessions.
+//!
+//! # Determinism
+//!
+//! Exactly the blackboard discipline: grants serialize the turns, the
+//! RNG state round-trips through the speaking player, and the schedule
+//! ([`RoutedProtocol::next_turn`]) is a function of the board alone.
+//! [`run_routed`] is the serial reference driver; any other driver must
+//! produce byte-identical [`RoutedBoard`]s (see the driver-equivalence
+//! tests in `bci-mux`).
+
+use std::fmt;
+
+use bci_blackboard::engine::ProtocolViolation;
+use bci_blackboard::protocol::MAX_STEPS;
+use bci_blackboard::PlayerId;
+use bci_encoding::bitio::BitVec;
+use rand::RngCore;
+use rand_chacha::{ChaCha8Rng, STATE_LEN};
+
+use crate::model::{Link, Topology};
+
+/// One message of a routed transcript: who spoke, on which link, what bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentMessage {
+    /// The player that wrote the message.
+    pub speaker: PlayerId,
+    /// The link it travelled on.
+    pub link: Link,
+    /// The payload.
+    pub bits: BitVec,
+}
+
+/// The routed transcript: an append-only log of [`SentMessage`]s.
+///
+/// The per-link sibling of the blackboard `Board`. The full log is the
+/// *global* transcript (what a referee sees); players only ever observe
+/// their [`PlayerView`] of it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutedBoard {
+    messages: Vec<SentMessage>,
+    total_bits: usize,
+}
+
+impl RoutedBoard {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a message.
+    pub fn write(&mut self, speaker: PlayerId, link: Link, bits: BitVec) {
+        self.total_bits += bits.len();
+        self.messages.push(SentMessage {
+            speaker,
+            link,
+            bits,
+        });
+    }
+
+    /// All messages, in write order.
+    pub fn messages(&self) -> &[SentMessage] {
+        &self.messages
+    }
+
+    /// Total payload bits across all links — the communication cost.
+    pub fn total_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// The sub-transcript `player` can see.
+    pub fn view(&self, player: PlayerId) -> PlayerView<'_> {
+        PlayerView {
+            player,
+            messages: self
+                .messages
+                .iter()
+                .filter(|m| m.link.visible_to(player))
+                .collect(),
+        }
+    }
+
+    /// Canonical byte serialization (mirrors `Board::to_bytes` framing):
+    /// `u32` message count, then per message `u32` speaker, `u8` link kind
+    /// (0 broadcast / 1 directed), directed links' `u32 from`/`u32 to`,
+    /// `u32` bit length, and the payload packed LSB-first.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.messages.len() as u32).to_le_bytes());
+        for m in &self.messages {
+            out.extend_from_slice(&(m.speaker as u32).to_le_bytes());
+            match m.link {
+                Link::Broadcast => out.push(0),
+                Link::Directed { from, to } => {
+                    out.push(1);
+                    out.extend_from_slice(&(from as u32).to_le_bytes());
+                    out.extend_from_slice(&(to as u32).to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&(m.bits.len() as u32).to_le_bytes());
+            let mut byte = 0u8;
+            for (i, bit) in m.bits.iter().enumerate() {
+                if bit {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if m.bits.len() % 8 != 0 {
+                out.push(byte);
+            }
+        }
+        out
+    }
+
+    /// FNV-1a (64-bit) digest of [`to_bytes`](Self::to_bytes) — the same
+    /// digest primitive the repo's transcript-verification paths fold.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// FNV-1a (64-bit) over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// What one player sees of a routed transcript: the messages on links
+/// visible to it, in global write order.
+#[derive(Debug, Clone)]
+pub struct PlayerView<'a> {
+    player: PlayerId,
+    messages: Vec<&'a SentMessage>,
+}
+
+impl<'a> PlayerView<'a> {
+    /// The observing player.
+    pub fn player(&self) -> PlayerId {
+        self.player
+    }
+
+    /// The visible messages, in write order.
+    pub fn messages(&self) -> &[&'a SentMessage] {
+        &self.messages
+    }
+
+    /// Number of visible messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether nothing is visible yet.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total visible payload bits.
+    pub fn total_bits(&self) -> usize {
+        self.messages.iter().map(|m| m.bits.len()).sum()
+    }
+}
+
+/// Per-link / per-player communication accounting for one routed
+/// transcript.
+///
+/// The interesting cross-model quantity is not just the total: the star
+/// topology concentrates `Θ(nk)` bits at its hub while point-to-point
+/// spreads the same total across the ring, so the hot-spot columns
+/// ([`max_player_bits`](Self::max_player_bits)) separate models that the
+/// totals alone cannot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyCommStats {
+    /// Total payload bits (== `RoutedBoard::total_bits`).
+    pub total_bits: usize,
+    /// Messages written.
+    pub messages: usize,
+    /// Bits sent on the shared board.
+    pub broadcast_bits: usize,
+    /// Bits sent on directed links.
+    pub directed_bits: usize,
+    /// Per directed link `(from, to)`, the bits it carried — sorted by
+    /// `(from, to)` for deterministic rendering.
+    pub link_bits: Vec<((PlayerId, PlayerId), usize)>,
+    /// Bits the heaviest single directed link carried.
+    pub max_link_bits: usize,
+    /// Per player, bits sent plus bits received on directed links (the
+    /// player's switched load; broadcast bits are excluded — the board
+    /// is nobody's port).
+    pub player_bits: Vec<usize>,
+    /// The heaviest player's directed load — the hot spot.
+    pub max_player_bits: usize,
+}
+
+impl TopologyCommStats {
+    /// Accounts a transcript for a `players`-player protocol.
+    pub fn from_board(board: &RoutedBoard, players: usize) -> Self {
+        let mut stats = TopologyCommStats {
+            player_bits: vec![0; players],
+            ..TopologyCommStats::default()
+        };
+        let mut links: Vec<((PlayerId, PlayerId), usize)> = Vec::new();
+        for m in board.messages() {
+            stats.total_bits += m.bits.len();
+            stats.messages += 1;
+            match m.link {
+                Link::Broadcast => stats.broadcast_bits += m.bits.len(),
+                Link::Directed { from, to } => {
+                    stats.directed_bits += m.bits.len();
+                    stats.player_bits[from] += m.bits.len();
+                    stats.player_bits[to] += m.bits.len();
+                    match links.iter_mut().find(|(l, _)| *l == (from, to)) {
+                        Some((_, bits)) => *bits += m.bits.len(),
+                        None => links.push(((from, to), m.bits.len())),
+                    }
+                }
+            }
+        }
+        links.sort_unstable_by_key(|&(l, _)| l);
+        stats.max_link_bits = links.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        stats.max_player_bits = stats.player_bits.iter().copied().max().unwrap_or(0);
+        stats.link_bits = links;
+        stats
+    }
+}
+
+/// A protocol over a communication [`Topology`].
+///
+/// The routed sibling of the blackboard `Protocol` trait. The contract
+/// mirrors the paper's convention that the transcript determines the
+/// schedule: [`next_turn`](Self::next_turn) must be a function of the
+/// board's public metadata (who spoke, on which link, how many bits) —
+/// an oblivious turn order is always safe — while
+/// [`message`](Self::message) sees only the speaker's [`PlayerView`], so
+/// message *contents* can never leak across invisible links.
+pub trait RoutedProtocol {
+    /// Per-player input.
+    type Input;
+    /// The protocol's output, a function of the final board.
+    type Output;
+
+    /// The topology every granted link is validated against.
+    fn topology(&self) -> Topology;
+
+    /// Number of players `k`.
+    fn num_players(&self) -> usize;
+
+    /// Whose turn it is and on which link, or `None` when halted.
+    /// Directed links must have `from == speaker`.
+    fn next_turn(&self, board: &RoutedBoard) -> Option<(PlayerId, Link)>;
+
+    /// The speaker's message for the granted turn, computed from its own
+    /// input, its view of the transcript, and the session randomness.
+    fn message(
+        &self,
+        speaker: PlayerId,
+        input: &Self::Input,
+        view: &PlayerView<'_>,
+        rng: &mut dyn RngCore,
+    ) -> BitVec;
+
+    /// The output determined by the final board.
+    fn output(&self, board: &RoutedBoard) -> Self::Output;
+}
+
+/// A violation of the routed protocol/driver contract.
+///
+/// Wraps the blackboard engine's [`ProtocolViolation`] (so the shared
+/// abort-reason strings stay canonical across every driver) and adds the
+/// link-discipline failures only routed protocols can commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutedViolation {
+    /// A violation of the turn/grant/RNG contract shared with the
+    /// blackboard engine.
+    Core(ProtocolViolation),
+    /// The protocol granted a link its own topology forbids.
+    LinkNotAllowed {
+        /// The granted speaker.
+        speaker: PlayerId,
+        /// The offending link.
+        link: Link,
+        /// `Topology::name()` of the protocol's topology.
+        topology: &'static str,
+    },
+    /// The granted link is malformed: an endpoint out of range, or a
+    /// directed self-loop.
+    MalformedLink {
+        /// The offending link.
+        link: Link,
+        /// Roster size `k`.
+        players: usize,
+    },
+    /// A directed link whose `from` is not the granted speaker.
+    ForeignLink {
+        /// The granted speaker.
+        speaker: PlayerId,
+        /// The link (with `from != speaker`).
+        link: Link,
+    },
+}
+
+impl fmt::Display for RoutedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutedViolation::Core(v) => v.fmt(f),
+            RoutedViolation::LinkNotAllowed {
+                speaker,
+                link,
+                topology,
+            } => {
+                write!(
+                    f,
+                    "player {speaker} granted link {link}, not allowed under the {topology} topology"
+                )
+            }
+            RoutedViolation::MalformedLink { link, players } => {
+                write!(f, "malformed link {link} for {players} players")
+            }
+            RoutedViolation::ForeignLink { speaker, link } => {
+                write!(f, "player {speaker} granted foreign link {link}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutedViolation {}
+
+impl From<ProtocolViolation> for RoutedViolation {
+    fn from(v: ProtocolViolation) -> Self {
+        RoutedViolation::Core(v)
+    }
+}
+
+/// One granted routed turn: the blackboard [`Grant`] plus the link the
+/// message must travel on.
+///
+/// [`Grant`]: bci_blackboard::engine::Grant
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedGrant {
+    /// The player whose turn it is.
+    pub speaker: PlayerId,
+    /// The link the message will be recorded on.
+    pub link: Link,
+    /// Zero-based turn number (== board writes so far).
+    pub turn: usize,
+    /// The serialized session-RNG state the speaker must resume from;
+    /// `None` for external-RNG engines.
+    pub rng_state: Option<[u8; STATE_LEN]>,
+}
+
+impl RoutedGrant {
+    /// Resumes the session RNG from the grant's serialized state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was built without an RNG
+    /// ([`RoutedEngine::new`]); external-RNG drivers bring their own.
+    pub fn resume_rng(&self) -> ChaCha8Rng {
+        let state = self
+            .rng_state
+            .as_ref()
+            .expect("grant carries no RNG state (external-RNG engine)");
+        ChaCha8Rng::from_state_bytes(state)
+    }
+}
+
+/// What the routed engine asks its driver to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutedStep {
+    /// A turn is granted: have `speaker` compute its message from its
+    /// view and hand the bits back via [`RoutedEngine::apply`].
+    Grant(RoutedGrant),
+    /// The protocol halted; the board is final.
+    Halted,
+}
+
+/// Where the session RNG lives right now (the blackboard engine's
+/// parking discipline, verbatim).
+#[derive(Debug, Clone)]
+enum RngSlot {
+    External,
+    Parked([u8; STATE_LEN]),
+    Lent([u8; STATE_LEN]),
+}
+
+/// The sans-io routed protocol state machine driving one session.
+///
+/// See the [module docs](self) for the contract; the driver loop is the
+/// blackboard `TurnEngine`'s with [`RoutedGrant`] in place of `Grant`.
+pub struct RoutedEngine<'p, P: RoutedProtocol> {
+    protocol: &'p P,
+    topology: Topology,
+    board: RoutedBoard,
+    rng: RngSlot,
+    steps: usize,
+    max_steps: usize,
+    granted: Option<(PlayerId, Link)>,
+    halted: bool,
+}
+
+impl<P: RoutedProtocol> fmt::Debug for RoutedEngine<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutedEngine")
+            .field("topology", &self.topology)
+            .field("board", &self.board)
+            .field("rng", &self.rng)
+            .field("steps", &self.steps)
+            .field("max_steps", &self.max_steps)
+            .field("granted", &self.granted)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: RoutedProtocol> Clone for RoutedEngine<'_, P> {
+    fn clone(&self) -> Self {
+        RoutedEngine {
+            protocol: self.protocol,
+            topology: self.topology,
+            board: self.board.clone(),
+            rng: self.rng.clone(),
+            steps: self.steps,
+            max_steps: self.max_steps,
+            granted: self.granted,
+            halted: self.halted,
+        }
+    }
+}
+
+impl<'p, P: RoutedProtocol> RoutedEngine<'p, P> {
+    /// An engine whose driver owns the random source (grants carry no
+    /// RNG state).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolViolation::InputCount`] if `input_count` differs from
+    /// `protocol.num_players()`.
+    pub fn new(protocol: &'p P, input_count: usize) -> Result<Self, RoutedViolation> {
+        Self::build(protocol, input_count, RngSlot::External)
+    }
+
+    /// An engine that parks the serialized ChaCha8 session-RNG state
+    /// between turns and ships it inside every grant — the discipline
+    /// every transport shares with the blackboard engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolViolation::InputCount`] if `input_count` differs from
+    /// `protocol.num_players()`.
+    pub fn with_rng(
+        protocol: &'p P,
+        input_count: usize,
+        rng: &ChaCha8Rng,
+    ) -> Result<Self, RoutedViolation> {
+        Self::build(protocol, input_count, RngSlot::Parked(rng.state_bytes()))
+    }
+
+    fn build(protocol: &'p P, input_count: usize, rng: RngSlot) -> Result<Self, RoutedViolation> {
+        let expected = protocol.num_players();
+        if input_count != expected {
+            return Err(ProtocolViolation::InputCount {
+                expected,
+                got: input_count,
+            }
+            .into());
+        }
+        Ok(RoutedEngine {
+            protocol,
+            topology: protocol.topology(),
+            board: RoutedBoard::new(),
+            rng,
+            steps: 0,
+            max_steps: MAX_STEPS,
+            granted: None,
+            halted: false,
+        })
+    }
+
+    /// Overrides the runaway guard (default `MAX_STEPS`).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Advances the state machine: grants the next turn (validating the
+    /// link against the topology), re-issues the outstanding grant
+    /// (polling is idempotent), or reports the halt.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolViolation::SpeakerOutOfRange`] (wrapped) — the
+    ///   schedule named a player `>= num_players`;
+    /// * [`RoutedViolation::MalformedLink`] /
+    ///   [`RoutedViolation::ForeignLink`] /
+    ///   [`RoutedViolation::LinkNotAllowed`] — link-discipline failures;
+    /// * [`ProtocolViolation::Runaway`] (wrapped) — step budget
+    ///   exhausted and the protocol still wants to speak.
+    pub fn poll(&mut self) -> Result<RoutedStep, RoutedViolation> {
+        if self.halted {
+            return Ok(RoutedStep::Halted);
+        }
+        if let Some((speaker, link)) = self.granted {
+            return Ok(RoutedStep::Grant(self.issue(speaker, link)));
+        }
+        let players = self.protocol.num_players();
+        match self.protocol.next_turn(&self.board) {
+            None => {
+                self.halted = true;
+                Ok(RoutedStep::Halted)
+            }
+            Some((speaker, _)) if speaker >= players => {
+                Err(ProtocolViolation::SpeakerOutOfRange { speaker, players }.into())
+            }
+            Some((_, link)) if !link.well_formed(players) => {
+                Err(RoutedViolation::MalformedLink { link, players })
+            }
+            Some((speaker, link @ Link::Directed { from, .. })) if from != speaker => {
+                Err(RoutedViolation::ForeignLink { speaker, link })
+            }
+            Some((speaker, link)) if !self.topology.allows(&link) => {
+                Err(RoutedViolation::LinkNotAllowed {
+                    speaker,
+                    link,
+                    topology: self.topology.name(),
+                })
+            }
+            Some(_) if self.steps >= self.max_steps => Err(ProtocolViolation::Runaway {
+                max_steps: self.max_steps,
+            }
+            .into()),
+            Some((speaker, link)) => {
+                self.granted = Some((speaker, link));
+                if let RngSlot::Parked(state) = self.rng {
+                    self.rng = RngSlot::Lent(state);
+                }
+                Ok(RoutedStep::Grant(self.issue(speaker, link)))
+            }
+        }
+    }
+
+    fn issue(&self, speaker: PlayerId, link: Link) -> RoutedGrant {
+        RoutedGrant {
+            speaker,
+            link,
+            turn: self.steps,
+            rng_state: match self.rng {
+                RngSlot::External => None,
+                RngSlot::Parked(state) | RngSlot::Lent(state) => Some(state),
+            },
+        }
+    }
+
+    /// Applies the granted speaker's reply: records `bits` on the
+    /// granted link, re-parks the returned RNG state, and advances the
+    /// turn cursor.
+    ///
+    /// # Errors
+    ///
+    /// The blackboard engine's reply contract, wrapped:
+    /// `ReplyWithoutGrant`, `WrongSpeaker`, `BadRngState`.
+    pub fn apply(
+        &mut self,
+        speaker: PlayerId,
+        bits: BitVec,
+        rng_state: Option<&[u8]>,
+    ) -> Result<(), RoutedViolation> {
+        let Some((granted, link)) = self.granted else {
+            return Err(ProtocolViolation::ReplyWithoutGrant { speaker }.into());
+        };
+        if speaker != granted {
+            return Err(ProtocolViolation::WrongSpeaker { granted, speaker }.into());
+        }
+        if let RngSlot::Lent(_) = self.rng {
+            let state: [u8; STATE_LEN] = match rng_state {
+                Some(bytes) => match bytes.try_into() {
+                    Ok(state) => state,
+                    Err(_) => {
+                        return Err(ProtocolViolation::BadRngState {
+                            speaker,
+                            len: bytes.len(),
+                        }
+                        .into())
+                    }
+                },
+                None => return Err(ProtocolViolation::BadRngState { speaker, len: 0 }.into()),
+            };
+            self.rng = RngSlot::Parked(state);
+        }
+        self.granted = None;
+        self.board.write(speaker, link, bits);
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// The protocol this engine drives.
+    pub fn protocol(&self) -> &'p P {
+        self.protocol
+    }
+
+    /// The global transcript so far.
+    pub fn board(&self) -> &RoutedBoard {
+        &self.board
+    }
+
+    /// `player`'s view of the transcript so far.
+    pub fn view(&self, player: PlayerId) -> PlayerView<'_> {
+        self.board.view(player)
+    }
+
+    /// Turn cursor: messages applied so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Total payload bits — the communication cost so far.
+    pub fn bits_written(&self) -> usize {
+        self.board.total_bits()
+    }
+
+    /// The outstanding grant, if any.
+    pub fn granted(&self) -> Option<(PlayerId, Link)> {
+        self.granted
+    }
+
+    /// `true` once [`poll`](Self::poll) has observed the halt.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The parked session-RNG state, when the engine holds one and no
+    /// grant is outstanding.
+    pub fn rng_state(&self) -> Option<&[u8; STATE_LEN]> {
+        match &self.rng {
+            RngSlot::Parked(state) => Some(state),
+            _ => None,
+        }
+    }
+
+    /// Per-link / per-player accounting for the transcript so far.
+    pub fn stats(&self) -> TopologyCommStats {
+        TopologyCommStats::from_board(&self.board, self.protocol.num_players())
+    }
+
+    /// The protocol's output for the final board (meaningful once
+    /// halted).
+    pub fn output(&self) -> P::Output {
+        self.protocol.output(&self.board)
+    }
+
+    /// Consumes the engine, returning the board.
+    pub fn into_board(self) -> RoutedBoard {
+        self.board
+    }
+}
+
+/// One completed routed execution: transcript, output, accounting,
+/// digest.
+#[derive(Debug, Clone)]
+pub struct RoutedExecution<O> {
+    /// The final global transcript.
+    pub board: RoutedBoard,
+    /// The protocol's output.
+    pub output: O,
+    /// Per-link / per-player accounting.
+    pub stats: TopologyCommStats,
+    /// FNV-1a digest of the canonical transcript bytes.
+    pub digest: u64,
+}
+
+/// The serial reference driver: runs `protocol` on `inputs` under the
+/// grant/parking discipline, starting from `rng`'s current state.
+///
+/// # Panics
+///
+/// Panics on any [`RoutedViolation`] — the serial driver treats contract
+/// violations as programming errors, exactly like the blackboard
+/// `run`/`run_traced`.
+pub fn run_routed<P: RoutedProtocol>(
+    protocol: &P,
+    inputs: &[P::Input],
+    rng: &ChaCha8Rng,
+) -> RoutedExecution<P::Output> {
+    let mut engine =
+        RoutedEngine::with_rng(protocol, inputs.len(), rng).expect("input count matches");
+    while let RoutedStep::Grant(grant) = engine.poll().expect("routed protocol violation") {
+        let mut rng = grant.resume_rng();
+        let bits = protocol.message(
+            grant.speaker,
+            &inputs[grant.speaker],
+            &engine.view(grant.speaker),
+            &mut rng,
+        );
+        engine
+            .apply(grant.speaker, bits, Some(&rng.state_bytes()))
+            .expect("reply matches the grant");
+    }
+    let stats = engine.stats();
+    let output = engine.output();
+    let board = engine.into_board();
+    let digest = board.digest();
+    RoutedExecution {
+        board,
+        output,
+        stats,
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Non-hub players send one random bit to the hub; the hub answers
+    /// each with the parity so far.
+    struct StarEcho {
+        k: usize,
+    }
+
+    impl RoutedProtocol for StarEcho {
+        type Input = ();
+        type Output = usize;
+
+        fn topology(&self) -> Topology {
+            Topology::CoordinatorStar { hub: 0 }
+        }
+
+        fn num_players(&self) -> usize {
+            self.k
+        }
+
+        fn next_turn(&self, board: &RoutedBoard) -> Option<(PlayerId, Link)> {
+            let t = board.messages().len();
+            let spokes = self.k - 1;
+            if t < spokes {
+                let p = t + 1;
+                Some((p, Link::Directed { from: p, to: 0 }))
+            } else if t < 2 * spokes {
+                let p = t - spokes + 1;
+                Some((0, Link::Directed { from: 0, to: p }))
+            } else {
+                None
+            }
+        }
+
+        fn message(
+            &self,
+            speaker: PlayerId,
+            _input: &(),
+            view: &PlayerView<'_>,
+            rng: &mut dyn RngCore,
+        ) -> BitVec {
+            if speaker == 0 {
+                let parity = view
+                    .messages()
+                    .iter()
+                    .filter(|m| {
+                        m.link
+                            == Link::Directed {
+                                from: m.speaker,
+                                to: 0,
+                            }
+                    })
+                    .filter(|m| m.bits.get(0) == Some(true))
+                    .count()
+                    % 2;
+                BitVec::from_bools(&[parity == 1])
+            } else {
+                BitVec::from_bools(&[rng.next_u32() & 1 == 1])
+            }
+        }
+
+        fn output(&self, board: &RoutedBoard) -> usize {
+            board.total_bits()
+        }
+    }
+
+    #[test]
+    fn star_echo_runs_and_accounts_per_link() {
+        let rng = ChaCha8Rng::seed_from_u64(5);
+        let exec = run_routed(&StarEcho { k: 4 }, &[(); 4], &rng);
+        assert_eq!(exec.output, 6);
+        assert_eq!(exec.stats.total_bits, 6);
+        assert_eq!(exec.stats.broadcast_bits, 0);
+        assert_eq!(exec.stats.directed_bits, 6);
+        // Six links, one bit each: 1->0, 2->0, 3->0, 0->1, 0->2, 0->3.
+        assert_eq!(exec.stats.link_bits.len(), 6);
+        assert!(exec.stats.link_bits.iter().all(|&(_, b)| b == 1));
+        // The hub touches every message; spokes touch two each.
+        assert_eq!(exec.stats.player_bits, vec![6, 2, 2, 2]);
+        assert_eq!(exec.stats.max_player_bits, 6);
+        assert_eq!(exec.stats.max_link_bits, 1);
+    }
+
+    #[test]
+    fn replay_from_the_same_seed_is_byte_identical() {
+        let rng = ChaCha8Rng::seed_from_u64(11);
+        let a = run_routed(&StarEcho { k: 5 }, &[(); 5], &rng);
+        let b = run_routed(&StarEcho { k: 5 }, &[(); 5], &rng);
+        assert_eq!(a.board, b.board);
+        assert_eq!(a.board.to_bytes(), b.board.to_bytes());
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn views_hide_invisible_links() {
+        let rng = ChaCha8Rng::seed_from_u64(3);
+        let exec = run_routed(&StarEcho { k: 4 }, &[(); 4], &rng);
+        // Player 1 sees exactly its own uplink and its downlink.
+        let view = exec.board.view(1);
+        assert_eq!(view.len(), 2);
+        assert!(view.messages().iter().all(|m| m.link.visible_to(1)));
+        // The hub sees everything.
+        assert_eq!(exec.board.view(0).len(), exec.board.messages().len());
+    }
+
+    #[test]
+    fn the_engine_enforces_the_topology() {
+        /// Claims the star topology but grants a spoke-to-spoke link.
+        struct Sneaky;
+        impl RoutedProtocol for Sneaky {
+            type Input = ();
+            type Output = ();
+            fn topology(&self) -> Topology {
+                Topology::CoordinatorStar { hub: 0 }
+            }
+            fn num_players(&self) -> usize {
+                3
+            }
+            fn next_turn(&self, _b: &RoutedBoard) -> Option<(PlayerId, Link)> {
+                Some((1, Link::Directed { from: 1, to: 2 }))
+            }
+            fn message(
+                &self,
+                _s: PlayerId,
+                _i: &(),
+                _v: &PlayerView<'_>,
+                _r: &mut dyn RngCore,
+            ) -> BitVec {
+                BitVec::new()
+            }
+            fn output(&self, _b: &RoutedBoard) {}
+        }
+        let mut engine = RoutedEngine::new(&Sneaky, 3).unwrap();
+        let err = engine.poll().unwrap_err();
+        assert_eq!(
+            err,
+            RoutedViolation::LinkNotAllowed {
+                speaker: 1,
+                link: Link::Directed { from: 1, to: 2 },
+                topology: "star",
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "player 1 granted link 1->2, not allowed under the star topology"
+        );
+        // The violation is stable under re-poll.
+        assert_eq!(engine.poll().unwrap_err(), err);
+    }
+
+    #[test]
+    fn foreign_and_malformed_links_are_violations() {
+        struct Bad {
+            link: Link,
+        }
+        impl RoutedProtocol for Bad {
+            type Input = ();
+            type Output = ();
+            fn topology(&self) -> Topology {
+                Topology::PointToPoint
+            }
+            fn num_players(&self) -> usize {
+                3
+            }
+            fn next_turn(&self, _b: &RoutedBoard) -> Option<(PlayerId, Link)> {
+                Some((1, self.link))
+            }
+            fn message(
+                &self,
+                _s: PlayerId,
+                _i: &(),
+                _v: &PlayerView<'_>,
+                _r: &mut dyn RngCore,
+            ) -> BitVec {
+                BitVec::new()
+            }
+            fn output(&self, _b: &RoutedBoard) {}
+        }
+        // from != speaker.
+        let bad = Bad {
+            link: Link::Directed { from: 2, to: 0 },
+        };
+        let err = RoutedEngine::new(&bad, 3).unwrap().poll().unwrap_err();
+        assert_eq!(
+            err,
+            RoutedViolation::ForeignLink {
+                speaker: 1,
+                link: Link::Directed { from: 2, to: 0 },
+            }
+        );
+        assert_eq!(err.to_string(), "player 1 granted foreign link 2->0");
+        // Out-of-range endpoint.
+        let bad = Bad {
+            link: Link::Directed { from: 1, to: 9 },
+        };
+        let err = RoutedEngine::new(&bad, 3).unwrap().poll().unwrap_err();
+        assert_eq!(
+            err,
+            RoutedViolation::MalformedLink {
+                link: Link::Directed { from: 1, to: 9 },
+                players: 3,
+            }
+        );
+        assert_eq!(err.to_string(), "malformed link 1->9 for 3 players");
+    }
+
+    #[test]
+    fn grant_discipline_matches_the_blackboard_engine() {
+        let proto = StarEcho { k: 3 };
+        let rng = ChaCha8Rng::seed_from_u64(0);
+        let mut engine = RoutedEngine::with_rng(&proto, 3, &rng).unwrap();
+
+        // Reply before any grant.
+        let err = engine.apply(1, BitVec::new(), None).unwrap_err();
+        assert_eq!(
+            err,
+            RoutedViolation::Core(ProtocolViolation::ReplyWithoutGrant { speaker: 1 })
+        );
+
+        // Poll is idempotent while a grant is outstanding.
+        let first = engine.poll().unwrap();
+        let again = engine.poll().unwrap();
+        assert_eq!(first, again);
+        let RoutedStep::Grant(grant) = first else {
+            panic!("expected a grant")
+        };
+        assert_eq!(grant.speaker, 1);
+        assert_eq!(grant.link, Link::Directed { from: 1, to: 0 });
+        assert!(grant.rng_state.is_some());
+
+        // Wrong speaker; then bad RNG state; the canonical strings hold.
+        let err = engine
+            .apply(2, BitVec::new(), Some(&[0u8; STATE_LEN]))
+            .unwrap_err();
+        assert_eq!(err.to_string(), "player 2 replied on player 1's grant");
+        let err = engine.apply(1, BitVec::new(), Some(&[1, 2])).unwrap_err();
+        assert_eq!(err.to_string(), "player 1 returned a bad RNG state");
+
+        // A good reply lands; the RNG state re-parks.
+        let mut rng = grant.resume_rng();
+        let bits = proto.message(1, &(), &engine.view(1), &mut rng);
+        engine
+            .apply(1, bits, Some(&rng.state_bytes()))
+            .expect("valid reply");
+        assert_eq!(engine.steps(), 1);
+        assert!(engine.rng_state().is_some());
+    }
+
+    #[test]
+    fn runaway_guard_trips_at_the_configured_budget() {
+        struct Chatty;
+        impl RoutedProtocol for Chatty {
+            type Input = ();
+            type Output = ();
+            fn topology(&self) -> Topology {
+                Topology::PointToPoint
+            }
+            fn num_players(&self) -> usize {
+                2
+            }
+            fn next_turn(&self, _b: &RoutedBoard) -> Option<(PlayerId, Link)> {
+                Some((0, Link::Directed { from: 0, to: 1 }))
+            }
+            fn message(
+                &self,
+                _s: PlayerId,
+                _i: &(),
+                _v: &PlayerView<'_>,
+                _r: &mut dyn RngCore,
+            ) -> BitVec {
+                BitVec::from_bools(&[true])
+            }
+            fn output(&self, _b: &RoutedBoard) {}
+        }
+        let mut engine = RoutedEngine::new(&Chatty, 2).unwrap().with_max_steps(8);
+        let err = loop {
+            match engine.poll() {
+                Ok(RoutedStep::Grant(g)) => {
+                    engine
+                        .apply(g.speaker, BitVec::from_bools(&[true]), None)
+                        .unwrap();
+                }
+                Ok(RoutedStep::Halted) => panic!("Chatty halted"),
+                Err(v) => break v,
+            }
+        };
+        assert_eq!(
+            err,
+            RoutedViolation::Core(ProtocolViolation::Runaway { max_steps: 8 })
+        );
+        assert_eq!(err.to_string(), "protocol exceeded 8 turns");
+        assert_eq!(engine.steps(), 8);
+    }
+
+    #[test]
+    fn serialization_distinguishes_links() {
+        let mut a = RoutedBoard::new();
+        a.write(
+            0,
+            Link::Directed { from: 0, to: 1 },
+            BitVec::from_bools(&[true]),
+        );
+        let mut b = RoutedBoard::new();
+        b.write(
+            0,
+            Link::Directed { from: 0, to: 2 },
+            BitVec::from_bools(&[true]),
+        );
+        let mut c = RoutedBoard::new();
+        c.write(0, Link::Broadcast, BitVec::from_bools(&[true]));
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_ne!(a.to_bytes(), c.to_bytes());
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn fnv1a_matches_the_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}
